@@ -1,0 +1,47 @@
+//! End-to-end simulation throughput: how fast the engine replays a
+//! reduced trace under each policy. This is the cost of one cell of the
+//! Figs. 7-10 matrices and bounds how large a parameter sweep stays
+//! interactive.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dare_core::PolicyKind;
+use dare_mapred::{SchedulerKind, SimConfig};
+use dare_workload::swim::{synthesize, SwimParams};
+
+fn endtoend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend_sim");
+    g.sample_size(20);
+    let wl = synthesize(
+        "bench",
+        &SwimParams {
+            jobs: 100,
+            ..SwimParams::wl1()
+        },
+        7,
+    );
+    for (name, policy) in [
+        ("vanilla", PolicyKind::Vanilla),
+        ("lru", PolicyKind::GreedyLru),
+        ("elephant", PolicyKind::elephant_default()),
+    ] {
+        for (sname, sched) in [
+            ("fifo", SchedulerKind::Fifo),
+            ("fair", SchedulerKind::fair_default()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, sname),
+                &(policy, sched),
+                |b, &(policy, sched)| {
+                    b.iter(|| {
+                        let cfg = SimConfig::cct(policy, sched, 7);
+                        black_box(dare_mapred::run(cfg, &wl))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, endtoend);
+criterion_main!(benches);

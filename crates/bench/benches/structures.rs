@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the core data structures: the ElephantTrap circular
+//! list vs the greedy LRU queue — the per-task cost of each policy's hot
+//! path, and of the name-node lookup the scheduler hammers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dare_core::{build_policy, CircularTrap, PolicyCtx, PolicyKind};
+use dare_dfs::{BlockId, FileId};
+use dare_simcore::DetRng;
+
+const BLK: u64 = 128 * (1 << 20);
+
+fn bench_circular_trap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circular_trap");
+    for &size in &[16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("touch", size), &size, |b, &n| {
+            let mut trap = CircularTrap::new();
+            for k in 0..n as u64 {
+                trap.insert(k);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7) % n as u64;
+                black_box(trap.touch(&i))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("victim_search", size), &size, |b, &n| {
+            let mut trap = CircularTrap::new();
+            for k in 0..n as u64 {
+                trap.insert(k);
+                for _ in 0..4 {
+                    trap.touch(&k);
+                }
+            }
+            b.iter(|| black_box(trap.find_victim(1, |_| true)));
+        });
+    }
+    g.finish();
+}
+
+fn policy_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_on_map_task");
+    let kinds = [
+        ("vanilla", PolicyKind::Vanilla),
+        ("lru", PolicyKind::GreedyLru),
+        ("elephant", PolicyKind::ElephantTrap { p: 0.3, threshold: 1 }),
+        ("lfu", PolicyKind::Lfu),
+    ];
+    for (name, kind) in kinds {
+        g.bench_function(name, |b| {
+            let mut policy = build_policy(kind, 64 * BLK);
+            let mut rng = DetRng::new(7);
+            let mut wl = DetRng::new(8);
+            b.iter(|| {
+                let block = wl.index(256) as u64;
+                black_box(policy.on_map_task(PolicyCtx {
+                    block: BlockId(block),
+                    file: FileId((block / 4) as u32),
+                    block_bytes: BLK,
+                    is_local: wl.coin(0.5),
+                    rng: &mut rng,
+                }))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_circular_trap, policy_throughput);
+criterion_main!(benches);

@@ -1,0 +1,342 @@
+//! Ablations beyond the paper's figures, probing the design choices
+//! DESIGN.md calls out:
+//!
+//! * **writes** — the Section I claim: ElephantTrap matches greedy-LRU
+//!   locality at roughly half the disk writes (replica creations).
+//! * **lfu** — Section IV's LRU-vs-LFU remark: profile both eviction
+//!   disciplines on both workloads.
+//! * **delay** — interaction of DARE with the Fair scheduler's delay
+//!   thresholds (how much scheduler patience is still needed once data is
+//!   replicated adaptively?).
+
+use crate::harness::{write_csv, Table};
+use dare_core::PolicyKind;
+use dare_mapred::{SchedulerKind, SimConfig};
+use dare_sched::fair::FairConfig;
+use dare_simcore::parallel::parallel_map;
+
+/// ElephantTrap vs LRU: locality per disk write.
+pub fn writes(seed: u64) {
+    let runs: Vec<(String, PolicyKind)> = vec![
+        ("lru".into(), PolicyKind::GreedyLru),
+        ("et-p0.9".into(), PolicyKind::ElephantTrap { p: 0.9, threshold: 1 }),
+        ("et-p0.5".into(), PolicyKind::ElephantTrap { p: 0.5, threshold: 1 }),
+        ("et-p0.3".into(), PolicyKind::ElephantTrap { p: 0.3, threshold: 1 }),
+    ];
+    let mut t = Table::new(
+        "Ablation: thrashing — locality per disk write (wl2, FIFO; paper claim: ET ~= LRU locality at ~50% of the writes)",
+        &["policy", "workload", "job_locality", "replicas(disk writes)", "evictions", "writes_vs_lru"],
+    );
+    for wl in [dare_workload::wl1(seed), dare_workload::wl2(seed)] {
+        let results = parallel_map(runs.clone(), |(label, policy)| {
+            let cfg = SimConfig::cct(policy, SchedulerKind::Fifo, seed);
+            (label, dare_mapred::run(cfg, &wl))
+        });
+        let lru_writes = results
+            .iter()
+            .find(|(l, _)| l == "lru")
+            .map(|(_, r)| r.replicas_created)
+            .expect("lru run present") as f64;
+        for (label, r) in &results {
+            t.row(vec![
+                label.clone(),
+                wl.name.clone(),
+                format!("{:.3}", r.run.job_locality),
+                r.replicas_created.to_string(),
+                r.evictions.to_string(),
+                format!("{:.0}%", r.replicas_created as f64 / lru_writes.max(1.0) * 100.0),
+            ]);
+        }
+    }
+    t.print();
+    write_csv("ablation_writes", &t);
+}
+
+/// LRU vs LFU eviction (greedy admission for both).
+pub fn lfu(seed: u64) {
+    let mut t = Table::new(
+        "Ablation: LRU vs LFU eviction (Section IV: 'choice should be made after profiling')",
+        &["workload", "scheduler", "policy", "job_locality", "gmtt_s", "evictions"],
+    );
+    for wl in [dare_workload::wl1(seed), dare_workload::wl2(seed)] {
+        let mut runs = Vec::new();
+        for &sched in &[SchedulerKind::Fifo, SchedulerKind::fair_default()] {
+            for &policy in &[PolicyKind::GreedyLru, PolicyKind::Lfu] {
+                runs.push((sched, policy));
+            }
+        }
+        let results = parallel_map(runs, |(sched, policy)| {
+            let cfg = SimConfig::cct(policy, sched, seed);
+            (sched, policy, dare_mapred::run(cfg, &wl))
+        });
+        for (sched, policy, r) in &results {
+            t.row(vec![
+                wl.name.clone(),
+                sched.label().to_string(),
+                policy.label(),
+                format!("{:.3}", r.run.job_locality),
+                format!("{:.1}", r.run.gmtt_secs),
+                r.evictions.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    write_csv("ablation_lfu", &t);
+}
+
+/// Delay-scheduling skip-threshold sweep, with and without DARE.
+pub fn delay(seed: u64) {
+    let wl = dare_workload::wl2(seed);
+    let ds: Vec<u32> = vec![0, 1, 2, 4, 8, 16];
+    let mut runs = Vec::new();
+    for &d in &ds {
+        for &policy in &[PolicyKind::Vanilla, PolicyKind::elephant_default()] {
+            runs.push((d, policy));
+        }
+    }
+    let results = parallel_map(runs, |(d, policy)| {
+        let sched = SchedulerKind::Fair(FairConfig { d1: d, d2: 2 * d });
+        let cfg = SimConfig::cct(policy, sched, seed);
+        (d, policy, dare_mapred::run(cfg, &wl))
+    });
+
+    let mut t = Table::new(
+        "Ablation: delay-scheduling patience (d1; d2=2*d1) x DARE (wl2) — DARE shrinks the patience needed for locality",
+        &["d1", "policy", "job_locality", "gmtt_s", "slowdown"],
+    );
+    for (d, policy, r) in &results {
+        t.row(vec![
+            d.to_string(),
+            policy.label(),
+            format!("{:.3}", r.run.job_locality),
+            format!("{:.1}", r.run.gmtt_secs),
+            format!("{:.3}", r.run.mean_slowdown),
+        ]);
+    }
+    t.print();
+    write_csv("ablation_delay", &t);
+}
+
+/// DARE (reactive) vs Scarlett (proactive, epoch-based) — the Section VI
+/// comparison made measurable. On a *drifting* workload (hot set rotating
+/// every ~40 jobs) the reactive scheme tracks the hot set at zero network
+/// cost, while the epoch scheme both lags (long epochs) and pays explicit
+/// replication traffic.
+pub fn scarlett(seed: u64) {
+    use dare_mapred::scarlett::ScarlettConfig;
+    use dare_simcore::SimDuration;
+    use dare_workload::swim::{synthesize, SwimParams};
+
+    let stable = dare_workload::wl1(seed);
+    let drifting = synthesize(
+        "wl1-drifting",
+        &SwimParams {
+            phase_jobs: 40,
+            ..SwimParams::wl1()
+        },
+        seed,
+    );
+
+    #[derive(Clone, Copy)]
+    enum Scheme {
+        Vanilla,
+        Dare,
+        Scarlett(u64),
+    }
+    let schemes = [
+        ("vanilla", Scheme::Vanilla),
+        ("dare-et(p=0.3)", Scheme::Dare),
+        ("scarlett(30s)", Scheme::Scarlett(30)),
+        ("scarlett(300s)", Scheme::Scarlett(300)),
+    ];
+
+    let mut t = Table::new(
+        "Ablation: reactive DARE vs proactive Scarlett (FIFO) — locality, turnaround, and network cost",
+        &[
+            "workload",
+            "scheme",
+            "job_locality",
+            "gmtt_s",
+            "fetch_GB",
+            "proactive_GB",
+            "total_net_GB",
+        ],
+    );
+    for wl in [&stable, &drifting] {
+        let results = parallel_map(schemes.to_vec(), |(label, scheme)| {
+            let cfg = match scheme {
+                Scheme::Vanilla => SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, seed),
+                Scheme::Dare => {
+                    SimConfig::cct(PolicyKind::elephant_default(), SchedulerKind::Fifo, seed)
+                }
+                Scheme::Scarlett(epoch) => {
+                    SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, seed).with_scarlett(
+                        ScarlettConfig {
+                            epoch: SimDuration::from_secs(epoch),
+                            accesses_per_replica: 3.0,
+                            max_extra_replicas: 18,
+                        },
+                    )
+                }
+            };
+            (label, dare_mapred::run(cfg, wl))
+        });
+        const GB: f64 = (1u64 << 30) as f64;
+        for (label, r) in &results {
+            let fetch = r.remote_bytes_fetched as f64 / GB;
+            let pro = r.proactive.map(|p| p.bytes_moved).unwrap_or(0) as f64 / GB;
+            t.row(vec![
+                wl.name.clone(),
+                label.to_string(),
+                format!("{:.3}", r.run.job_locality),
+                format!("{:.1}", r.run.gmtt_secs),
+                format!("{fetch:.1}"),
+                format!("{pro:.1}"),
+                format!("{:.1}", fetch + pro),
+            ]);
+        }
+    }
+    t.print();
+    write_csv("ablation_scarlett", &t);
+}
+
+/// Resilience: node failures mid-trace and Hadoop-style speculative
+/// execution, with and without DARE. Dynamic replicas both survive
+/// failures (first-order replicas) and give re-executed/backup attempts
+/// more local placements.
+pub fn resilience(seed: u64) {
+    let wl = dare_workload::wl2(seed);
+    #[derive(Clone, Copy)]
+    struct Case {
+        label: &'static str,
+        policy: PolicyKind,
+        failures: bool,
+        speculation: bool,
+    }
+    let cases = vec![
+        Case { label: "vanilla", policy: PolicyKind::Vanilla, failures: false, speculation: false },
+        Case { label: "vanilla+fail", policy: PolicyKind::Vanilla, failures: true, speculation: false },
+        Case { label: "dare+fail", policy: PolicyKind::elephant_default(), failures: true, speculation: false },
+        Case { label: "vanilla+fail+spec", policy: PolicyKind::Vanilla, failures: true, speculation: true },
+        Case { label: "dare+fail+spec", policy: PolicyKind::elephant_default(), failures: true, speculation: true },
+    ];
+    let results = parallel_map(cases, |c| {
+        let mut cfg = SimConfig::cct(c.policy, SchedulerKind::Fifo, seed);
+        if c.failures {
+            cfg = cfg.with_failures(vec![(60, 2), (150, 9), (260, 15)]);
+        }
+        if c.speculation {
+            cfg = cfg.with_speculation(Default::default());
+        }
+        (c.label, dare_mapred::run(cfg, &wl))
+    });
+
+    let mut t = Table::new(
+        "Ablation: resilience — 3 node failures mid-trace, optional speculation (wl2, FIFO)",
+        &[
+            "case",
+            "job_locality",
+            "gmtt_s",
+            "slowdown",
+            "reexecuted",
+            "spec_launches",
+            "spec_wins",
+        ],
+    );
+    for (label, r) in &results {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.3}", r.run.job_locality),
+            format!("{:.1}", r.run.gmtt_secs),
+            format!("{:.3}", r.run.mean_slowdown),
+            r.reexecuted_tasks.to_string(),
+            r.speculative_launches.to_string(),
+            r.speculative_wins.to_string(),
+        ]);
+    }
+    t.print();
+    write_csv("ablation_resilience", &t);
+}
+
+/// Scheduler agnosticism: DARE must help FIFO, Fair, *and* a scheduler
+/// the paper never saw (simplified Capacity) — Section IV: "our scheme is
+/// scheduler agnostic".
+pub fn schedulers(seed: u64) {
+    let wl = dare_workload::wl2(seed);
+    let scheds = [
+        SchedulerKind::Fifo,
+        SchedulerKind::fair_default(),
+        SchedulerKind::Capacity(3),
+    ];
+    let mut runs = Vec::new();
+    for &sched in &scheds {
+        for &policy in &[PolicyKind::Vanilla, PolicyKind::elephant_default()] {
+            runs.push((sched, policy));
+        }
+    }
+    let results = parallel_map(runs, |(sched, policy)| {
+        let cfg = SimConfig::cct(policy, sched, seed);
+        (sched, policy, dare_mapred::run(cfg, &wl))
+    });
+
+    let mut t = Table::new(
+        "Ablation: scheduler agnosticism — DARE vs vanilla under three schedulers (wl2)",
+        &["scheduler", "policy", "job_locality", "gmtt_s", "slowdown"],
+    );
+    for (sched, policy, r) in &results {
+        t.row(vec![
+            sched.label().to_string(),
+            policy.label(),
+            format!("{:.3}", r.run.job_locality),
+            format!("{:.1}", r.run.gmtt_secs),
+            format!("{:.3}", r.run.mean_slowdown),
+        ]);
+    }
+    t.print();
+    write_csv("ablation_schedulers", &t);
+}
+
+/// Tail latency: DARE's effect on the slowdown *distribution*, not just
+/// the mean — remote reads under contention are the straggler source, so
+/// replication compresses the p95/p99 tail hardest. (The paper reports
+/// mean slowdown; the tail is where users feel it.)
+pub fn tail(seed: u64) {
+    let mut t = Table::new(
+        "Ablation: slowdown distribution — mean vs median vs p95 (FIFO)",
+        &["workload", "policy", "mean", "p50", "p95", "p95/p50"],
+    );
+    for wl in [dare_workload::wl1(seed), dare_workload::wl2(seed)] {
+        let runs: Vec<(&str, PolicyKind)> = vec![
+            ("vanilla", PolicyKind::Vanilla),
+            ("lru", PolicyKind::GreedyLru),
+            ("et-p0.3", PolicyKind::elephant_default()),
+        ];
+        let results = parallel_map(runs, |(label, policy)| {
+            let cfg = SimConfig::cct(policy, SchedulerKind::Fifo, seed);
+            (label, dare_mapred::run(cfg, &wl))
+        });
+        for (label, r) in &results {
+            t.row(vec![
+                wl.name.clone(),
+                label.to_string(),
+                format!("{:.2}", r.run.mean_slowdown),
+                format!("{:.2}", r.run.p50_slowdown),
+                format!("{:.2}", r.run.p95_slowdown),
+                format!("{:.2}", r.run.p95_slowdown / r.run.p50_slowdown.max(1e-9)),
+            ]);
+        }
+    }
+    t.print();
+    write_csv("ablation_tail", &t);
+}
+
+/// All seven ablations.
+pub fn run(seed: u64) {
+    writes(seed);
+    lfu(seed);
+    delay(seed);
+    scarlett(seed);
+    resilience(seed);
+    schedulers(seed);
+    tail(seed);
+}

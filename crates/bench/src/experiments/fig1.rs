@@ -1,0 +1,43 @@
+//! Fig. 1 — distribution of traceroute hop counts between node pairs in a
+//! 20-node EC2 allocation. The paper found most pairs 4 hops apart (a
+//! same-size in-house cluster would be 1-2 hops everywhere).
+
+use crate::harness::{write_csv, Table};
+use dare_net::{ClusterProfile, NodeId};
+use dare_simcore::DetRng;
+
+/// Regenerate Fig. 1.
+pub fn run(seed: u64) {
+    let root = DetRng::new(seed);
+    let mut topo_rng = root.substream("fig1-topo");
+    let mut probe_rng = root.substream("fig1-probe");
+    let profile = ClusterProfile::ec2_small();
+    let topo = profile.build_topology(&mut topo_rng);
+
+    let n = topo.nodes();
+    let mut counts = [0u32; 11];
+    let mut pairs = 0u32;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let h = topo.measured_hops(NodeId(a), NodeId(b), &mut probe_rng) as usize;
+            counts[h.min(10)] += 1;
+            pairs += 1;
+        }
+    }
+
+    let mut t = Table::new(
+        "Fig. 1: hop-count distribution, 20-node EC2 cluster (paper: mode at 4 hops)",
+        &["hops", "proportion_of_node_pairs"],
+    );
+    for (h, &c) in counts.iter().enumerate() {
+        t.row(vec![
+            h.to_string(),
+            format!("{:.3}", c as f64 / pairs as f64),
+        ]);
+    }
+    t.print();
+    write_csv("fig1", &t);
+}

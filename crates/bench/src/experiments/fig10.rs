@@ -1,0 +1,19 @@
+//! Fig. 10 — DARE on the virtualized 100-node EC2 cluster, wl1, both
+//! schedulers, three policies. The paper's headline: for comparable
+//! locality gains, GMTT and slowdown improve *more* than on CCT (−19 % and
+//! −25 %) because EC2's network/disk bandwidth ratio is lower.
+
+use crate::experiments::fig7::print_tables;
+use crate::harness::{run_matrix, MatrixCell};
+use dare_core::PolicyKind;
+use dare_mapred::{SchedulerKind, SimConfig};
+
+/// Regenerate Fig. 10.
+pub fn run(seed: u64) -> Vec<MatrixCell> {
+    let schedulers = [SchedulerKind::Fifo, SchedulerKind::fair_default()];
+    let wl = dare_workload::wl1(seed);
+    let base = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::Fifo, seed);
+    let cells = run_matrix(&base, &wl, &schedulers);
+    print_tables("fig10", &cells);
+    cells
+}

@@ -1,0 +1,83 @@
+//! Fig. 9 — sensitivity to the replication budget, on wl2: panel (a) DARE
+//! with greedy LRU eviction; panel (b) DARE with ElephantTrap eviction at
+//! p = 0.9 and p = 0.3 (threshold = 1).
+
+use crate::harness::{write_csv, Table};
+use dare_core::PolicyKind;
+use dare_mapred::{SchedulerKind, SimConfig};
+use dare_simcore::parallel::parallel_map;
+
+// The paper sweeps 0.0-0.9; we add 0.02 and 0.05 points because that is
+// where the budget binds against the hot working set and the
+// replicas-created curve shows its churn (the paper's smaller cluster
+// budget was binding across more of its range).
+const BUDGETS: [f64; 11] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.8, 0.9];
+
+fn sweep(policies: &[PolicyKind], title: &str, csv: &str, seed: u64) {
+    let wl = dare_workload::wl2(seed);
+    let mut runs = Vec::new();
+    for &policy in policies {
+        for &sched in &[SchedulerKind::Fifo, SchedulerKind::fair_default()] {
+            for &b in &BUDGETS {
+                runs.push((policy, sched, b));
+            }
+        }
+    }
+    let results = parallel_map(runs, |(policy, sched, b)| {
+        let mut cfg = SimConfig::cct(policy, sched, seed);
+        cfg.budget_frac = b;
+        let r = dare_mapred::run(cfg, &wl);
+        (policy, sched, b, r)
+    });
+
+    let mut t = Table::new(
+        title,
+        &["policy", "scheduler", "budget", "job_locality", "blocks_per_job"],
+    );
+    for (policy, sched, b, r) in &results {
+        t.row(vec![
+            policy.label(),
+            sched.label().to_string(),
+            format!("{b:.2}"),
+            format!("{:.3}", r.run.job_locality),
+            format!("{:.2}", r.blocks_per_job),
+        ]);
+    }
+    t.print();
+    write_csv(csv, &t);
+}
+
+/// Regenerate Fig. 9a (LRU eviction).
+pub fn lru(seed: u64) {
+    sweep(
+        &[PolicyKind::GreedyLru],
+        "Fig. 9a: locality and blocks/job vs budget — DARE with LRU eviction (wl2)",
+        "fig9a",
+        seed,
+    );
+}
+
+/// Regenerate Fig. 9b (ElephantTrap eviction, p = 0.9 and 0.3).
+pub fn elephant(seed: u64) {
+    sweep(
+        &[
+            PolicyKind::ElephantTrap {
+                p: 0.9,
+                threshold: 1,
+            },
+            PolicyKind::ElephantTrap {
+                p: 0.3,
+                threshold: 1,
+            },
+        ],
+        "Fig. 9b: locality and blocks/job vs budget — DARE with ElephantTrap eviction (thr=1, wl2)",
+        "fig9b",
+        seed,
+    );
+}
+
+/// Both panels.
+pub fn run(seed: u64) {
+    lru(seed);
+    elephant(seed);
+}

@@ -1,0 +1,219 @@
+//! Console tables, CSV output, and the shared run matrix.
+
+use dare_core::PolicyKind;
+use dare_mapred::{SchedulerKind, SimConfig, SimResult};
+use dare_workload::Workload;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple fixed-width console table that doubles as a CSV buffer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.header);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for r in &self.rows {
+            line(r);
+        }
+    }
+
+    /// Serialize as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&self.header.join(","));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.join(","));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Where CSV results land (`results/` next to the workspace root, or the
+/// current directory as a fallback).
+pub fn csv_path(name: &str) -> PathBuf {
+    let dir = if std::path::Path::new("results").is_dir() {
+        PathBuf::from("results")
+    } else {
+        let candidate = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        if candidate.is_dir() {
+            candidate
+        } else {
+            PathBuf::from(".")
+        }
+    };
+    dir.join(format!("{name}.csv"))
+}
+
+/// Write a table's CSV to `results/<name>.csv` (best effort; prints the
+/// destination).
+pub fn write_csv(name: &str, table: &Table) {
+    let path = csv_path(name);
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if f.write_all(table.to_csv().as_bytes()).is_ok() {
+                println!("[csv] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[csv] could not write {}: {e}", path.display()),
+    }
+}
+
+/// The paper's default seed for experiment runs; change with `--seed`.
+pub const DEFAULT_SEED: u64 = 20110926;
+
+/// Mean, standard deviation, and 95 % confidence half-width over
+/// replicated runs (normal approximation; fine for the ~10-seed
+/// replications the `fig7ci` experiment uses).
+#[derive(Debug, Clone, Copy)]
+pub struct Replicated {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Sample standard deviation over seeds.
+    pub std: f64,
+    /// 95 % confidence half-width (1.96 σ/√n).
+    pub ci95: f64,
+}
+
+/// Summarize one metric across replicated runs.
+pub fn replicate(values: &[f64]) -> Replicated {
+    let mut st = dare_simcore::stats::OnlineStats::new();
+    for &v in values {
+        st.push(v);
+    }
+    let n = values.len().max(1) as f64;
+    // sample std from population std
+    let std = if values.len() > 1 {
+        (st.variance() * n / (n - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    Replicated {
+        mean: st.mean(),
+        std,
+        ci95: 1.96 * std / n.sqrt(),
+    }
+}
+
+/// One cell of the Figs. 7/10 matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Scheduler used.
+    pub scheduler: SchedulerKind,
+    /// Policy used.
+    pub policy: PolicyKind,
+    /// Workload name.
+    pub workload: String,
+    /// The run's results.
+    pub result: SimResult,
+}
+
+/// Run the {vanilla, LRU, ElephantTrap} × scheduler matrix for one
+/// workload on one base configuration, in parallel.
+pub fn run_matrix(
+    base: &SimConfig,
+    workload: &Workload,
+    schedulers: &[SchedulerKind],
+) -> Vec<MatrixCell> {
+    let policies = [
+        PolicyKind::Vanilla,
+        PolicyKind::GreedyLru,
+        PolicyKind::elephant_default(),
+    ];
+    let mut cells: Vec<(SchedulerKind, PolicyKind)> = Vec::new();
+    for &s in schedulers {
+        for &p in &policies {
+            cells.push((s, p));
+        }
+    }
+    
+    dare_simcore::parallel::parallel_map(cells, |(s, p)| {
+        let mut cfg = base.clone();
+        cfg.scheduler = s;
+        cfg.policy = p;
+        let result = dare_mapred::run(cfg, workload);
+        MatrixCell {
+            scheduler: s,
+            policy: p,
+            workload: workload.name.clone(),
+            result,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into(), "x".into()]);
+        t.row(vec!["2".into(), "y".into()]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,x\n2,y\n");
+        t.print(); // smoke: must not panic
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_path_resolves() {
+        let p = csv_path("zzz");
+        assert!(p.to_string_lossy().ends_with("zzz.csv"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # dare-core — the DARE adaptive replication algorithms
+//!
+//! The paper's contribution (Section IV), transcribed faithfully from its
+//! pseudocode. DARE runs **independently at every data node**: each node
+//! watches the map tasks scheduled on it and decides, task by task, whether
+//! to keep the bytes a remote fetch already moved — turning a throwaway
+//! read into a new first-order replica at zero extra network cost.
+//!
+//! Two algorithm families:
+//!
+//! * [`greedy_lru::GreedyLru`] — **Algorithm 1**: every non-local map task
+//!   replicates its block; a per-node *replication budget* bounds the extra
+//!   storage; eviction is least-recently-used with lazy deletion, skipping
+//!   victims that belong to the same file as the incoming block (same file
+//!   ⇒ same popularity ⇒ pointless swap).
+//! * [`elephant::ElephantTrapPolicy`] — **Algorithm 2**: a probabilistic
+//!   adaptation of the ElephantTrap heavy-hitter detector (Lu, Prabhakar &
+//!   Bonomi, HOTI'07). A coin with probability *p* gates both replication
+//!   and access-count refresh; eviction walks a circular list, halving
+//!   access counts (*competitive aging*) until it finds a block whose count
+//!   fell below *threshold*. Sampling plus aging is what suppresses the
+//!   thrashing the greedy scheme suffers, at ~half the disk writes.
+//!
+//! Also here: [`trap::CircularTrap`], the reusable generic circular-list
+//! structure both the policy and any heavy-hitter application can use, and
+//! [`lfu::LfuPolicy`], the least-frequently-used strawman the paper's
+//! Section IV discussion of eviction choices calls for profiling against.
+
+#![warn(missing_docs)]
+
+pub mod elephant;
+pub mod greedy_lru;
+pub mod lfu;
+pub mod policy;
+pub mod trap;
+pub mod trap_eval;
+
+pub use elephant::ElephantTrapPolicy;
+pub use greedy_lru::GreedyLru;
+pub use lfu::LfuPolicy;
+pub use policy::{
+    build_policy, PolicyCtx, PolicyKind, PolicyStats, ReplicationDecision, ReplicationPolicy,
+    VanillaPolicy,
+};
+pub use trap::CircularTrap;
+pub use trap_eval::{evaluate as evaluate_trap, TrapQuality};

@@ -1,0 +1,201 @@
+//! The per-node replication-policy interface and shared bookkeeping.
+//!
+//! A policy instance lives on one data node. The MapReduce engine calls
+//! [`ReplicationPolicy::on_map_task`] for **every** map task scheduled on
+//! that node — local or not — because both algorithms react to both kinds:
+//! non-local tasks are replication opportunities, local hits refresh
+//! recency/frequency state.
+
+use dare_dfs::{BlockId, FileId};
+use dare_simcore::DetRng;
+
+/// What the node should do about the block a just-scheduled map task reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationDecision {
+    /// Leave the file system untouched.
+    Skip,
+    /// Insert a dynamic replica of the task's block on this node, after
+    /// evicting the listed victim blocks (possibly empty).
+    Replicate {
+        /// Dynamic replicas to evict first (budget space).
+        evict: Vec<BlockId>,
+    },
+}
+
+/// Everything a policy may inspect about one scheduled map task.
+pub struct PolicyCtx<'a> {
+    /// The block the map task reads.
+    pub block: BlockId,
+    /// Owning file (the INode back-pointer — same-file victim exclusion).
+    pub file: FileId,
+    /// Size of the block in bytes.
+    pub block_bytes: u64,
+    /// True when a replica of the block is already on this node
+    /// (the task is data-local).
+    pub is_local: bool,
+    /// The node's deterministic RNG substream (the Algorithm 2 coin).
+    pub rng: &'a mut DetRng,
+}
+
+/// Counters every policy maintains; the thrashing and sensitivity analyses
+/// (Figs. 8-9 and the disk-write ablation) read these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Dynamic replicas created on this node.
+    pub replicas_created: u64,
+    /// Victims evicted to make room.
+    pub evictions: u64,
+    /// Non-local tasks ignored because the sampling coin said no.
+    pub skipped_by_sampling: u64,
+    /// Replications abandoned because no eviction victim qualified.
+    pub skipped_no_victim: u64,
+    /// Local accesses that refreshed recency/frequency state.
+    pub refreshes: u64,
+    /// Total bytes of replicas created.
+    pub bytes_replicated: u64,
+}
+
+/// A per-node adaptive replication algorithm.
+pub trait ReplicationPolicy {
+    /// React to a map task scheduled on this node. The engine applies the
+    /// returned decision to the file system (evictions first, then insert)
+    /// and only then considers the replica created.
+    fn on_map_task(&mut self, ctx: PolicyCtx<'_>) -> ReplicationDecision;
+
+    /// Forget a block (its dynamic replica was dropped externally, e.g. by
+    /// node failure handling). Default: no-op.
+    fn forget(&mut self, _block: BlockId) {}
+
+    /// Counters so far.
+    fn stats(&self) -> PolicyStats;
+
+    /// Short policy name for reports ("vanilla", "lru", "elephant-trap").
+    fn name(&self) -> &'static str;
+}
+
+/// The no-op baseline: vanilla Hadoop, no dynamic replication.
+#[derive(Debug, Default)]
+pub struct VanillaPolicy {
+    stats: PolicyStats,
+}
+
+impl VanillaPolicy {
+    /// Construct the baseline policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplicationPolicy for VanillaPolicy {
+    fn on_map_task(&mut self, _ctx: PolicyCtx<'_>) -> ReplicationDecision {
+        ReplicationDecision::Skip
+    }
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+}
+
+/// Which replication scheme to run, with its parameters — the configuration
+/// surface the paper's Section V sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// Vanilla Hadoop (no dynamic replication).
+    Vanilla,
+    /// Algorithm 1: greedy replication with LRU eviction.
+    GreedyLru,
+    /// Algorithm 2: probabilistic replication with ElephantTrap eviction.
+    ElephantTrap {
+        /// Sampling probability `p` (paper default 0.3).
+        p: f64,
+        /// Aging threshold (paper default 1).
+        threshold: u64,
+    },
+    /// Least-frequently-used eviction ablation (greedy admission).
+    Lfu,
+}
+
+impl PolicyKind {
+    /// The paper's headline configuration of Algorithm 2
+    /// (`p = 0.3`, `threshold = 1`; Figs. 7 and 10).
+    pub fn elephant_default() -> Self {
+        PolicyKind::ElephantTrap {
+            p: 0.3,
+            threshold: 1,
+        }
+    }
+
+    /// Short label used by result tables.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Vanilla => "vanilla".into(),
+            PolicyKind::GreedyLru => "lru".into(),
+            PolicyKind::ElephantTrap { p, threshold } => {
+                format!("elephant-trap(p={p},thr={threshold})")
+            }
+            PolicyKind::Lfu => "lfu".into(),
+        }
+    }
+}
+
+/// Instantiate one node's policy with a dynamic-replica budget of
+/// `budget_bytes`.
+pub fn build_policy(kind: PolicyKind, budget_bytes: u64) -> Box<dyn ReplicationPolicy> {
+    match kind {
+        PolicyKind::Vanilla => Box::new(VanillaPolicy::new()),
+        PolicyKind::GreedyLru => Box::new(crate::greedy_lru::GreedyLru::new(budget_bytes)),
+        PolicyKind::ElephantTrap { p, threshold } => Box::new(
+            crate::elephant::ElephantTrapPolicy::new(p, threshold, budget_bytes),
+        ),
+        PolicyKind::Lfu => Box::new(crate::lfu::LfuPolicy::new(budget_bytes)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_never_replicates() {
+        let mut p = VanillaPolicy::new();
+        let mut rng = DetRng::new(1);
+        for i in 0..100 {
+            let d = p.on_map_task(PolicyCtx {
+                block: BlockId(i),
+                file: FileId(0),
+                block_bytes: 128,
+                is_local: i % 2 == 0,
+                rng: &mut rng,
+            });
+            assert_eq!(d, ReplicationDecision::Skip);
+        }
+        assert_eq!(p.stats(), PolicyStats::default());
+        assert_eq!(p.name(), "vanilla");
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(PolicyKind::Vanilla.label(), "vanilla");
+        assert_eq!(PolicyKind::GreedyLru.label(), "lru");
+        assert_eq!(
+            PolicyKind::elephant_default().label(),
+            "elephant-trap(p=0.3,thr=1)"
+        );
+        assert_eq!(PolicyKind::Lfu.label(), "lfu");
+    }
+
+    #[test]
+    fn factory_builds_each_kind() {
+        for (kind, name) in [
+            (PolicyKind::Vanilla, "vanilla"),
+            (PolicyKind::GreedyLru, "lru"),
+            (PolicyKind::elephant_default(), "elephant-trap"),
+            (PolicyKind::Lfu, "lfu"),
+        ] {
+            let p = build_policy(kind, 1 << 30);
+            assert_eq!(p.name(), name);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the replication-policy invariants.
+//!
+//! These model the contract between a policy and the file system: whatever
+//! the access sequence, (1) the budget is never exceeded, (2) a policy only
+//! ever evicts blocks it previously asked to replicate and that are still
+//! live, and (3) internal bookkeeping stays consistent under interleaved
+//! forgets.
+
+use dare_core::{build_policy, PolicyCtx, PolicyKind, ReplicationDecision};
+use dare_dfs::{BlockId, FileId};
+use dare_simcore::DetRng;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const BLK: u64 = 128;
+
+/// One step of a simulated access sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Map task scheduled for (block, local?).
+    Task { block: u64, local: bool },
+    /// External forget (e.g. failure handling dropped the replica).
+    Forget { block: u64 },
+}
+
+fn op_strategy(blocks: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..blocks, any::<bool>()).prop_map(|(block, local)| Op::Task { block, local }),
+        1 => (0..blocks).prop_map(|block| Op::Forget { block }),
+    ]
+}
+
+fn kinds() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::GreedyLru,
+        PolicyKind::Lfu,
+        PolicyKind::ElephantTrap { p: 1.0, threshold: 1 },
+        PolicyKind::ElephantTrap { p: 0.4, threshold: 2 },
+    ]
+}
+
+/// Drive a policy through `ops`, mirroring what the MapReduce engine does,
+/// and check the shared invariants after every step.
+fn run_policy(kind: PolicyKind, ops: &[Op], budget_blocks: u64, seed: u64) {
+    let budget = budget_blocks * BLK;
+    let mut policy = build_policy(kind, budget);
+    let mut rng = DetRng::new(seed);
+    // The set of blocks the DFS believes are dynamically replicated here.
+    let mut live: HashSet<u64> = HashSet::new();
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Task { block, local } => {
+                let decision = policy.on_map_task(PolicyCtx {
+                    block: BlockId(block),
+                    file: FileId((block / 3) as u32),
+                    block_bytes: BLK,
+                    is_local: local || live.contains(&block),
+                    rng: &mut rng,
+                });
+                if let ReplicationDecision::Replicate { evict } = decision {
+                    let mut seen = HashSet::new();
+                    for v in &evict {
+                        assert!(
+                            live.remove(&v.0),
+                            "step {step}: {kind:?} evicted {v:?} which was not live"
+                        );
+                        assert!(seen.insert(*v), "duplicate eviction of {v:?}");
+                        assert_ne!(
+                            v.0, block,
+                            "step {step}: evicted the block being inserted"
+                        );
+                    }
+                    assert!(
+                        live.insert(block),
+                        "step {step}: {kind:?} re-replicated live block {block}"
+                    );
+                }
+                assert!(
+                    (live.len() as u64) * BLK <= budget,
+                    "step {step}: {kind:?} exceeded budget: {} live blocks",
+                    live.len()
+                );
+            }
+            Op::Forget { block } => {
+                policy.forget(BlockId(block));
+                live.remove(&block);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn policies_respect_budget_and_liveness(
+        ops in prop::collection::vec(op_strategy(40), 1..400),
+        budget_blocks in 1u64..10,
+        seed in 0u64..1000,
+    ) {
+        for kind in kinds() {
+            run_policy(kind, &ops, budget_blocks, seed);
+        }
+    }
+
+    #[test]
+    fn same_file_never_evicted_for_its_own_block(
+        accesses in prop::collection::vec(0u64..12, 1..300),
+        seed in 0u64..1000,
+    ) {
+        // All blocks map to files of 3 blocks; whenever an eviction list
+        // comes back, no victim may share a file with the inserted block.
+        for kind in kinds() {
+            let mut policy = build_policy(kind, 4 * BLK);
+            let mut rng = DetRng::new(seed);
+            for &block in &accesses {
+                let file = FileId((block / 3) as u32);
+                if let ReplicationDecision::Replicate { evict } =
+                    policy.on_map_task(PolicyCtx {
+                        block: BlockId(block),
+                        file,
+                        block_bytes: BLK,
+                        is_local: false,
+                        rng: &mut rng,
+                    })
+                {
+                    for v in evict {
+                        prop_assert_ne!(
+                            (v.0 / 3) as u32, file.0,
+                            "evicted a same-file victim"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_reruns(
+        ops in prop::collection::vec(op_strategy(20), 1..200),
+        seed in 0u64..1000,
+    ) {
+        // Identical seeds and op sequences must produce identical stats —
+        // the reproducibility contract every experiment relies on.
+        for kind in kinds() {
+            let run = |s| {
+                let mut p = build_policy(kind, 5 * BLK);
+                let mut rng = DetRng::new(s);
+                for op in &ops {
+                    if let Op::Task { block, local } = *op {
+                        p.on_map_task(PolicyCtx {
+                            block: BlockId(block),
+                            file: FileId((block / 3) as u32),
+                            block_bytes: BLK,
+                            is_local: local,
+                            rng: &mut rng,
+                        });
+                    } else if let Op::Forget { block } = *op {
+                        p.forget(BlockId(block));
+                    }
+                }
+                p.stats()
+            };
+            prop_assert_eq!(run(seed), run(seed));
+        }
+    }
+}

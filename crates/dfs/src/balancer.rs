@@ -1,0 +1,225 @@
+//! The HDFS balancer analog: migrate primary replicas from over-utilized
+//! to under-utilized data nodes until every node sits within a threshold
+//! of the mean utilization.
+//!
+//! Real clusters run this after adding nodes or after ingest hotspots
+//! (e.g. a loader writing everything writer-local). It complements DARE:
+//! the balancer evens out *bytes*, DARE evens out *popularity* (Fig. 11
+//! measures the latter). The balancer never touches dynamic replicas —
+//! they are owned by the per-node policies.
+
+use crate::dfs::Dfs;
+use crate::ids::BlockId;
+use dare_net::NodeId;
+use dare_simcore::DetRng;
+
+/// Outcome of one balancing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalanceReport {
+    /// Block replicas migrated.
+    pub moves: u64,
+    /// Bytes migrated (network cost of the pass).
+    pub bytes_moved: u64,
+    /// True when the post-state satisfies the threshold.
+    pub balanced: bool,
+}
+
+/// ```
+/// use dare_dfs::{balance, Dfs, DfsConfig, DefaultPlacement};
+/// use dare_net::{NodeId, Topology, MB};
+/// use dare_simcore::{DetRng, SimTime};
+///
+/// let mut rng = DetRng::new(1);
+/// let mut dfs = Dfs::new(DfsConfig::default(), Topology::single_rack(5));
+/// // Hotspot loader: every first replica lands on node 0.
+/// for i in 0..10 {
+///     dfs.create_file(SimTime::ZERO, format!("f{i}"), 128 * MB,
+///         Some(NodeId(0)), &DefaultPlacement, &mut rng, false);
+/// }
+/// let report = balance(&mut dfs, 0.25, 1000, &mut rng);
+/// assert!(report.balanced && report.moves > 0);
+/// ```
+///
+/// Run one balancing pass: while some node's primary bytes exceed
+/// `(1 + threshold) × mean` and another's are below `(1 - threshold) ×
+/// mean`, migrate one eligible block replica from the former to the
+/// latter. `max_moves` caps the pass (the real balancer is bandwidth-
+/// throttled the same way).
+pub fn balance(
+    dfs: &mut Dfs,
+    threshold: f64,
+    max_moves: u64,
+    rng: &mut DetRng,
+) -> BalanceReport {
+    assert!(threshold > 0.0, "zero threshold never converges");
+    let mut moves = 0u64;
+    let mut bytes_moved = 0u64;
+
+    loop {
+        let loads: Vec<u64> = dfs.datanodes().iter().map(|d| d.primary_bytes()).collect();
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        let hi = mean * (1.0 + threshold);
+        let lo = mean * (1.0 - threshold);
+
+        // Most-loaded node above hi, least-loaded below lo.
+        let src = loads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l as f64 > hi)
+            .max_by_key(|&(_, &l)| l)
+            .map(|(i, _)| NodeId(i as u32));
+        let dst = loads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| (l as f64) < lo)
+            .min_by_key(|&(_, &l)| l)
+            .map(|(i, _)| NodeId(i as u32));
+        let (Some(src), Some(dst)) = (src, dst) else {
+            return BalanceReport {
+                moves,
+                bytes_moved,
+                balanced: true,
+            };
+        };
+        if moves >= max_moves {
+            return BalanceReport {
+                moves,
+                bytes_moved,
+                balanced: false,
+            };
+        }
+
+        // Candidate blocks: primaries on src, no replica of any kind on dst.
+        let candidates: Vec<BlockId> = dfs
+            .datanode(src)
+            .all_blocks()
+            .into_iter()
+            .filter(|&b| {
+                dfs.namenode().primary_locations(b).contains(&src)
+                    && !dfs.is_physically_present(dst, b)
+            })
+            .collect();
+        if candidates.is_empty() {
+            // Nothing movable from the most-loaded node: give up cleanly.
+            return BalanceReport {
+                moves,
+                bytes_moved,
+                balanced: false,
+            };
+        }
+        let block = candidates[rng.index(candidates.len())];
+        let bytes = dfs.namenode().block_size(block);
+        dfs.move_primary(block, src, dst);
+        moves += 1;
+        bytes_moved += bytes;
+    }
+}
+
+/// Coefficient of variation of per-node primary bytes — the balancer's
+/// before/after score.
+pub fn utilization_cv(dfs: &Dfs) -> f64 {
+    let loads: Vec<f64> = dfs
+        .datanodes()
+        .iter()
+        .map(|d| d.primary_bytes() as f64)
+        .collect();
+    dare_simcore::stats::coefficient_of_variation(&loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::DfsConfig;
+    use crate::placement::DefaultPlacement;
+    use dare_net::{Topology, MB};
+    use dare_simcore::SimTime;
+
+    /// Ingest with every first replica on node 0 (hotspot loader).
+    fn skewed_dfs(files: u32) -> (Dfs, DetRng) {
+        let mut rng = DetRng::new(42);
+        let mut dfs = Dfs::new(
+            DfsConfig {
+                replication_factor: 2,
+                ..DfsConfig::default()
+            },
+            Topology::single_rack(8),
+        );
+        for i in 0..files {
+            dfs.create_file(
+                SimTime::ZERO,
+                format!("f{i}"),
+                2 * 128 * MB,
+                Some(NodeId(0)),
+                &DefaultPlacement,
+                &mut rng,
+                false,
+            );
+        }
+        (dfs, rng)
+    }
+
+    #[test]
+    fn balancing_reduces_skew_and_preserves_replication() {
+        let (mut dfs, mut rng) = skewed_dfs(24);
+        let before = utilization_cv(&dfs);
+        let replica_counts: Vec<usize> = (0..dfs.namenode().num_blocks())
+            .map(|i| dfs.visible_locations(BlockId(i as u64)).len())
+            .collect();
+
+        let report = balance(&mut dfs, 0.2, 10_000, &mut rng);
+        assert!(report.balanced, "{report:?}");
+        assert!(report.moves > 0);
+        let after = utilization_cv(&dfs);
+        assert!(after < before * 0.5, "cv {before} -> {after}");
+
+        // No block gained or lost replicas; physical state consistent.
+        for (i, &want) in replica_counts.iter().enumerate() {
+            let b = BlockId(i as u64);
+            let locs = dfs.visible_locations(b);
+            assert_eq!(locs.len(), want);
+            let mut sorted = locs.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), locs.len(), "no duplicate locations");
+            for n in locs {
+                assert!(dfs.is_physically_present(n, b));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_cluster_is_a_noop() {
+        let mut rng = DetRng::new(7);
+        let mut dfs = Dfs::new(DfsConfig::default(), Topology::single_rack(6));
+        // Spread ingest: no writer affinity.
+        for i in 0..12 {
+            dfs.create_file(
+                SimTime::ZERO,
+                format!("f{i}"),
+                128 * MB,
+                None,
+                &DefaultPlacement,
+                &mut rng,
+                false,
+            );
+        }
+        let report = balance(&mut dfs, 0.9, 1000, &mut rng);
+        assert!(report.balanced);
+        assert_eq!(report.moves, 0, "wide threshold: nothing to do");
+    }
+
+    #[test]
+    fn move_cap_is_respected() {
+        let (mut dfs, mut rng) = skewed_dfs(24);
+        let report = balance(&mut dfs, 0.1, 3, &mut rng);
+        assert_eq!(report.moves, 3);
+        assert!(!report.balanced, "capped pass reports unfinished");
+    }
+
+    #[test]
+    fn bytes_moved_accounts_block_sizes() {
+        let (mut dfs, mut rng) = skewed_dfs(12);
+        let report = balance(&mut dfs, 0.2, 10_000, &mut rng);
+        assert_eq!(report.bytes_moved, report.moves * 128 * MB);
+    }
+}

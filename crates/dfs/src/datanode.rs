@@ -1,0 +1,167 @@
+//! Data-node state: which blocks are physically present, dynamic-replica
+//! storage accounting, and the disk-write counter the thrashing analysis
+//! uses (Section I claim: ElephantTrap achieves LRU-like locality at ~50 %
+//! of LRU's disk writes).
+
+use crate::ids::BlockId;
+use dare_net::NodeId;
+use std::collections::HashSet;
+
+/// One slave's local storage view.
+#[derive(Debug, Clone)]
+pub struct DataNode {
+    id: NodeId,
+    /// Primary (placement-policy) replicas resident here.
+    primary: HashSet<BlockId>,
+    /// Dynamically replicated blocks resident here (DARE-created).
+    dynamic: HashSet<BlockId>,
+    /// Bytes consumed by primary replicas.
+    primary_bytes: u64,
+    /// Bytes consumed by dynamic replicas (checked against the budget).
+    dynamic_bytes: u64,
+    /// Count of block writes to local disk (primary + dynamic inserts).
+    pub disk_writes: u64,
+    /// Count of dynamic replicas evicted from this node.
+    pub evictions: u64,
+}
+
+impl DataNode {
+    /// Fresh empty data node.
+    pub fn new(id: NodeId) -> Self {
+        DataNode {
+            id,
+            primary: HashSet::new(),
+            dynamic: HashSet::new(),
+            primary_bytes: 0,
+            dynamic_bytes: 0,
+            disk_writes: 0,
+            evictions: 0,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// True when any replica (primary or dynamic) of `b` is resident.
+    pub fn holds(&self, b: BlockId) -> bool {
+        self.primary.contains(&b) || self.dynamic.contains(&b)
+    }
+
+    /// True when a *dynamic* replica of `b` is resident.
+    pub fn holds_dynamic(&self, b: BlockId) -> bool {
+        self.dynamic.contains(&b)
+    }
+
+    /// Store a primary replica. Idempotent (re-registration is a no-op).
+    pub fn add_primary(&mut self, b: BlockId, bytes: u64) {
+        if self.primary.insert(b) {
+            self.primary_bytes += bytes;
+            self.disk_writes += 1;
+        }
+    }
+
+    /// Drop a primary replica (node decommission / rebalancing).
+    pub fn remove_primary(&mut self, b: BlockId, bytes: u64) {
+        if self.primary.remove(&b) {
+            self.primary_bytes -= bytes;
+        }
+    }
+
+    /// Store a dynamic replica. Returns false (and does nothing) if a
+    /// replica of the block is already resident — a node never needs two
+    /// copies of the same block.
+    pub fn add_dynamic(&mut self, b: BlockId, bytes: u64) -> bool {
+        if self.primary.contains(&b) || !self.dynamic.insert(b) {
+            return false;
+        }
+        self.dynamic_bytes += bytes;
+        self.disk_writes += 1;
+        true
+    }
+
+    /// Evict a dynamic replica. Returns false if it was not resident.
+    pub fn remove_dynamic(&mut self, b: BlockId, bytes: u64) -> bool {
+        if self.dynamic.remove(&b) {
+            self.dynamic_bytes -= bytes;
+            self.evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes of dynamic-replica storage in use.
+    pub fn dynamic_bytes(&self) -> u64 {
+        self.dynamic_bytes
+    }
+
+    /// Bytes of primary storage in use.
+    pub fn primary_bytes(&self) -> u64 {
+        self.primary_bytes
+    }
+
+    /// All resident blocks (primary then dynamic; deterministic order).
+    pub fn all_blocks(&self) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = self.primary.iter().chain(self.dynamic.iter()).copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of resident dynamic replicas.
+    pub fn dynamic_count(&self) -> usize {
+        self.dynamic.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_accounting() {
+        let mut dn = DataNode::new(NodeId(0));
+        dn.add_primary(BlockId(1), 100);
+        dn.add_primary(BlockId(1), 100); // idempotent
+        dn.add_primary(BlockId(2), 50);
+        assert_eq!(dn.primary_bytes(), 150);
+        assert_eq!(dn.disk_writes, 2);
+        assert!(dn.holds(BlockId(1)));
+        dn.remove_primary(BlockId(1), 100);
+        assert_eq!(dn.primary_bytes(), 50);
+        assert!(!dn.holds(BlockId(1)));
+    }
+
+    #[test]
+    fn dynamic_accounting_and_eviction() {
+        let mut dn = DataNode::new(NodeId(0));
+        assert!(dn.add_dynamic(BlockId(7), 64));
+        assert!(!dn.add_dynamic(BlockId(7), 64), "duplicate rejected");
+        assert_eq!(dn.dynamic_bytes(), 64);
+        assert!(dn.holds_dynamic(BlockId(7)));
+        assert!(dn.remove_dynamic(BlockId(7), 64));
+        assert!(!dn.remove_dynamic(BlockId(7), 64));
+        assert_eq!(dn.dynamic_bytes(), 0);
+        assert_eq!(dn.evictions, 1);
+        assert_eq!(dn.disk_writes, 1);
+    }
+
+    #[test]
+    fn dynamic_insert_refused_when_primary_resident() {
+        let mut dn = DataNode::new(NodeId(0));
+        dn.add_primary(BlockId(3), 10);
+        assert!(!dn.add_dynamic(BlockId(3), 10));
+        assert_eq!(dn.dynamic_bytes(), 0);
+    }
+
+    #[test]
+    fn all_blocks_lists_both_kinds_sorted() {
+        let mut dn = DataNode::new(NodeId(1));
+        dn.add_primary(BlockId(5), 1);
+        dn.add_dynamic(BlockId(2), 1);
+        dn.add_primary(BlockId(9), 1);
+        assert_eq!(dn.all_blocks(), vec![BlockId(2), BlockId(5), BlockId(9)]);
+        assert_eq!(dn.dynamic_count(), 1);
+    }
+}

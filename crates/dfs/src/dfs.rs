@@ -1,0 +1,484 @@
+//! The `Dfs` facade: name node + data nodes + placement, with the dynamic
+//! replication hooks DARE needs.
+
+use crate::datanode::DataNode;
+use crate::ids::{BlockId, FileId};
+use crate::namenode::NameNode;
+use crate::placement::PlacementPolicy;
+use dare_net::{NodeId, Topology};
+use dare_simcore::{DetRng, SimDuration, SimTime};
+
+/// File-system configuration (the knobs Hadoop exposes in hdfs-site.xml).
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Fixed block size in bytes (64-256 MB in the paper's clusters;
+    /// 128 MB default, matching Fig. 2's caption).
+    pub block_size: u64,
+    /// Primary replicas per block (Hadoop default: 3).
+    pub replication_factor: u32,
+    /// Delay until a dynamic replica's `DNA_DYNREPL` report reaches the
+    /// name node — one heartbeat interval (Hadoop default: 3 s).
+    pub report_delay: SimDuration,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            block_size: 128 * dare_net::MB,
+            replication_factor: 3,
+            report_delay: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// The distributed file system: metadata master plus per-node storage.
+///
+/// ```
+/// use dare_dfs::{Dfs, DfsConfig, DefaultPlacement};
+/// use dare_net::{Topology, NodeId, MB};
+/// use dare_simcore::{DetRng, SimTime};
+///
+/// let mut rng = DetRng::new(7);
+/// let mut dfs = Dfs::new(DfsConfig::default(), Topology::single_rack(6));
+/// let file = dfs.create_file(
+///     SimTime::ZERO, "data/f0".into(), 256 * MB,
+///     None, &DefaultPlacement, &mut rng, false);
+/// let block = dfs.namenode().file(file).blocks[0];
+/// assert_eq!(dfs.visible_locations(block).len(), 3); // default replication
+///
+/// // A node that fetched the block remotely keeps it (the DARE hook):
+/// let outsider = (0..6).map(NodeId)
+///     .find(|&n| !dfs.is_physically_present(n, block)).unwrap();
+/// dfs.insert_dynamic(SimTime::ZERO, outsider, block);
+/// dfs.process_reports(SimTime::from_secs(3)); // next heartbeat
+/// assert!(dfs.visible_locations(block).contains(&outsider));
+/// ```
+#[derive(Debug)]
+pub struct Dfs {
+    cfg: DfsConfig,
+    nn: NameNode,
+    dns: Vec<DataNode>,
+    topo: Topology,
+}
+
+impl Dfs {
+    /// Build an empty file system over `topo`.
+    pub fn new(cfg: DfsConfig, topo: Topology) -> Self {
+        let dns = (0..topo.nodes()).map(|i| DataNode::new(NodeId(i))).collect();
+        Dfs {
+            cfg,
+            nn: NameNode::new(),
+            dns,
+            topo,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &DfsConfig {
+        &self.cfg
+    }
+
+    /// The topology the file system spans.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Read access to the name node.
+    pub fn namenode(&self) -> &NameNode {
+        &self.nn
+    }
+
+    /// Read access to one data node.
+    pub fn datanode(&self, n: NodeId) -> &DataNode {
+        &self.dns[n.idx()]
+    }
+
+    /// Read access to all data nodes.
+    pub fn datanodes(&self) -> &[DataNode] {
+        &self.dns
+    }
+
+    /// Create a file of `size_bytes`, splitting it into blocks and placing
+    /// `replication_factor` primary replicas of each via `placement`.
+    /// Returns the file id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_file(
+        &mut self,
+        now: SimTime,
+        name: String,
+        size_bytes: u64,
+        writer: Option<NodeId>,
+        placement: &dyn PlacementPolicy,
+        rng: &mut DetRng,
+        is_system: bool,
+    ) -> FileId {
+        assert!(size_bytes > 0, "empty files are not modeled");
+        let bs = self.cfg.block_size;
+        let full = (size_bytes / bs) as usize;
+        let rem = size_bytes % bs;
+        let mut sizes = vec![bs; full];
+        if rem > 0 {
+            sizes.push(rem);
+        }
+        let locs: Vec<Vec<NodeId>> = sizes
+            .iter()
+            .map(|_| placement.place(&self.topo, writer, self.cfg.replication_factor, rng))
+            .collect();
+        let fid = self
+            .nn
+            .register_file(name, size_bytes, sizes.clone(), locs, now, is_system);
+        // Mirror placement into the data nodes.
+        let blocks = self.nn.file(fid).blocks.clone();
+        for (b, sz) in blocks.iter().zip(sizes) {
+            for n in self.nn.primary_locations(*b).to_vec() {
+                self.dns[n.idx()].add_primary(*b, sz);
+            }
+        }
+        fid
+    }
+
+    /// True when a replica of `b` is physically on `node` — including a
+    /// dynamic replica whose report hasn't reached the name node yet (the
+    /// node can read its own bytes immediately).
+    pub fn is_physically_present(&self, node: NodeId, b: BlockId) -> bool {
+        self.dns[node.idx()].holds(b)
+    }
+
+    /// Locations the *scheduler* can see (primary + reported dynamic).
+    pub fn visible_locations(&self, b: BlockId) -> Vec<NodeId> {
+        self.nn.locations(b)
+    }
+
+    /// Insert a dynamic replica of `b` at `node` (the `DNA_DYNREPL` path).
+    /// Returns false when the node already holds the block. The replica is
+    /// locally readable at once and scheduler-visible after the report
+    /// delay.
+    pub fn insert_dynamic(&mut self, now: SimTime, node: NodeId, b: BlockId) -> bool {
+        let bytes = self.nn.block_size(b);
+        if !self.dns[node.idx()].add_dynamic(b, bytes) {
+            return false;
+        }
+        self.nn
+            .enqueue_dynamic_report(now + self.cfg.report_delay, b, node);
+        true
+    }
+
+    /// Evict the dynamic replica of `b` at `node` (lazy deletion: the
+    /// scheduling view forgets it immediately; the disk reclaim cost is not
+    /// on any critical path). Returns false if no such replica exists.
+    pub fn evict_dynamic(&mut self, node: NodeId, b: BlockId) -> bool {
+        let bytes = self.nn.block_size(b);
+        if !self.dns[node.idx()].remove_dynamic(b, bytes) {
+            return false;
+        }
+        self.nn.remove_dynamic(b, node);
+        true
+    }
+
+    /// Deliver heartbeats: promote pending dynamic-replica reports.
+    pub fn process_reports(&mut self, now: SimTime) {
+        self.nn.process_reports(now);
+    }
+
+    /// Fail a node: drop all its replicas and re-replicate every block that
+    /// fell below the replication factor onto other live nodes. Returns the
+    /// number of blocks re-replicated. `live` filters candidate targets.
+    pub fn fail_node(&mut self, node: NodeId, live: &[NodeId], rng: &mut DetRng) -> usize {
+        let under = self.nn.fail_node(node, self.cfg.replication_factor);
+        self.dns[node.idx()] = DataNode::new(node);
+        let mut fixed = 0;
+        for b in under {
+            let bytes = self.nn.block_size(b);
+            let existing = self.nn.locations(b);
+            let candidates: Vec<NodeId> = live
+                .iter()
+                .copied()
+                .filter(|n| *n != node && !existing.contains(n))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let target = candidates[rng.index(candidates.len())];
+            self.nn.add_primary_location(b, target);
+            self.dns[target.idx()].add_primary(b, bytes);
+            fixed += 1;
+        }
+        fixed
+    }
+
+    /// Migrate a primary replica of `b` from `src` to `dst` (balancer
+    /// move): the name node and both data nodes are updated atomically.
+    ///
+    /// # Panics
+    /// If `src` does not hold a primary replica of `b` or `dst` already
+    /// holds any replica of it.
+    pub fn move_primary(&mut self, b: BlockId, src: NodeId, dst: NodeId) {
+        assert!(
+            self.nn.primary_locations(b).contains(&src),
+            "source lacks a primary replica of {b}"
+        );
+        assert!(
+            !self.is_physically_present(dst, b),
+            "destination already holds {b}"
+        );
+        let bytes = self.nn.block_size(b);
+        self.nn.remove_primary_location(b, src);
+        self.nn.add_primary_location(b, dst);
+        self.dns[src.idx()].remove_primary(b, bytes);
+        self.dns[dst.idx()].add_primary(b, bytes);
+    }
+
+    /// Gracefully decommission a node: every replica it holds is first
+    /// copied to another live node (dynamic replicas are simply dropped —
+    /// the policies re-create them on demand), then the node is emptied.
+    /// Unlike [`Dfs::fail_node`] no availability window is ever open.
+    /// Returns the number of primary replicas migrated.
+    pub fn decommission_node(
+        &mut self,
+        node: NodeId,
+        live: &[NodeId],
+        rng: &mut DetRng,
+    ) -> usize {
+        let blocks = self.dns[node.idx()].all_blocks();
+        let mut migrated = 0;
+        for b in blocks {
+            if self.dns[node.idx()].holds_dynamic(b) {
+                self.evict_dynamic(node, b);
+                continue;
+            }
+            // Primary replica: copy before removal.
+            let existing = self.nn.locations(b);
+            let candidates: Vec<NodeId> = live
+                .iter()
+                .copied()
+                .filter(|n| *n != node && !existing.contains(n))
+                .collect();
+            if candidates.is_empty() {
+                // Cluster too small to rehome this replica: it stays; the
+                // caller decides whether that blocks the decommission.
+                continue;
+            }
+            let target = candidates[rng.index(candidates.len())];
+            self.move_primary(b, node, target);
+            migrated += 1;
+        }
+        migrated
+    }
+
+    /// Sum of disk writes across data nodes (thrashing metric).
+    pub fn total_disk_writes(&self) -> u64 {
+        self.dns.iter().map(|d| d.disk_writes).sum()
+    }
+
+    /// Sum of dynamic-replica evictions across data nodes.
+    pub fn total_evictions(&self) -> u64 {
+        self.dns.iter().map(|d| d.evictions).sum()
+    }
+
+    /// Total bytes held in dynamic replicas cluster-wide.
+    pub fn total_dynamic_bytes(&self) -> u64 {
+        self.dns.iter().map(|d| d.dynamic_bytes()).sum()
+    }
+
+    /// Total bytes of primary data cluster-wide (all replicas counted).
+    pub fn total_primary_bytes(&self) -> u64 {
+        self.dns.iter().map(|d| d.primary_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DefaultPlacement;
+    use dare_net::MB;
+
+    fn small_dfs() -> (Dfs, DetRng) {
+        let cfg = DfsConfig {
+            block_size: 128 * MB,
+            replication_factor: 3,
+            report_delay: SimDuration::from_secs(3),
+        };
+        let dfs = Dfs::new(cfg, Topology::single_rack(10));
+        (dfs, DetRng::new(77))
+    }
+
+    #[test]
+    fn create_file_splits_into_blocks_with_partial_tail() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "logs/day1".into(),
+            300 * MB,
+            Some(NodeId(2)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let meta = dfs.namenode().file(f);
+        assert_eq!(meta.num_blocks(), 3);
+        let sizes: Vec<u64> = meta
+            .blocks
+            .iter()
+            .map(|&b| dfs.namenode().block_size(b))
+            .collect();
+        assert_eq!(sizes, vec![128 * MB, 128 * MB, 44 * MB]);
+        for &b in &meta.blocks {
+            let locs = dfs.visible_locations(b);
+            assert_eq!(locs.len(), 3);
+            assert_eq!(locs[0], NodeId(2), "writer-local first replica");
+            for n in locs {
+                assert!(dfs.is_physically_present(n, b));
+            }
+        }
+        // 3 blocks x 3 replicas
+        assert_eq!(dfs.total_disk_writes(), 9);
+        assert_eq!(dfs.total_primary_bytes(), 3 * 300 * MB);
+    }
+
+    #[test]
+    fn dynamic_replica_lifecycle() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            Some(NodeId(0)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        let holder = dfs.visible_locations(b)[0];
+        // pick a node without the block
+        let outsider = (0..10)
+            .map(NodeId)
+            .find(|&n| !dfs.is_physically_present(n, b))
+            .expect("7 nodes lack the block");
+
+        let t0 = SimTime::from_secs(100);
+        assert!(dfs.insert_dynamic(t0, outsider, b));
+        // readable locally at once, not yet schedulable
+        assert!(dfs.is_physically_present(outsider, b));
+        assert!(!dfs.visible_locations(b).contains(&outsider));
+        dfs.process_reports(SimTime::from_secs(102));
+        assert!(!dfs.visible_locations(b).contains(&outsider), "3s not up");
+        dfs.process_reports(SimTime::from_secs(103));
+        assert!(dfs.visible_locations(b).contains(&outsider));
+        assert_eq!(dfs.total_dynamic_bytes(), 128 * MB);
+
+        // duplicate insert refused
+        assert!(!dfs.insert_dynamic(t0, outsider, b));
+        // inserting on a primary holder refused
+        assert!(!dfs.insert_dynamic(t0, holder, b));
+
+        assert!(dfs.evict_dynamic(outsider, b));
+        assert!(!dfs.visible_locations(b).contains(&outsider));
+        assert!(!dfs.is_physically_present(outsider, b));
+        assert_eq!(dfs.total_dynamic_bytes(), 0);
+        assert_eq!(dfs.total_evictions(), 1);
+        assert!(!dfs.evict_dynamic(outsider, b));
+    }
+
+    #[test]
+    fn eviction_before_report_cancels_visibility() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            None,
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        let outsider = (0..10)
+            .map(NodeId)
+            .find(|&n| !dfs.is_physically_present(n, b))
+            .expect("some node lacks the block");
+        dfs.insert_dynamic(SimTime::ZERO, outsider, b);
+        dfs.evict_dynamic(outsider, b);
+        dfs.process_reports(SimTime::from_secs(10));
+        assert!(!dfs.visible_locations(b).contains(&outsider));
+    }
+
+    #[test]
+    fn node_failure_triggers_re_replication() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            256 * MB,
+            Some(NodeId(1)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let blocks = dfs.namenode().file(f).blocks.clone();
+        let live: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let fixed = dfs.fail_node(NodeId(1), &live, &mut rng);
+        assert!(fixed >= 1, "node 1 held writer-local replicas");
+        for &b in &blocks {
+            let locs = dfs.visible_locations(b);
+            assert_eq!(locs.len(), 3, "replication factor restored");
+            assert!(!locs.contains(&NodeId(1)));
+            for n in locs {
+                assert!(dfs.is_physically_present(n, b));
+            }
+        }
+    }
+
+    #[test]
+    fn decommission_rehomes_every_replica_without_availability_loss() {
+        let (mut dfs, mut rng) = small_dfs();
+        for i in 0..6 {
+            dfs.create_file(
+                SimTime::ZERO,
+                format!("f{i}"),
+                256 * MB,
+                Some(NodeId(1)),
+                &DefaultPlacement,
+                &mut rng,
+                false,
+            );
+        }
+        // Add a dynamic replica on node 1 too.
+        let b0 = dfs.namenode().file(crate::ids::FileId(0)).blocks[0];
+        let outsider = (0..10)
+            .map(NodeId)
+            .find(|&n| !dfs.is_physically_present(n, b0))
+            .expect("free node");
+        dfs.insert_dynamic(SimTime::ZERO, outsider, b0);
+
+        let live: Vec<NodeId> = (0..10).map(NodeId).filter(|n| *n != NodeId(1)).collect();
+        let migrated = dfs.decommission_node(NodeId(1), &live, &mut rng);
+        assert!(migrated >= 6, "writer-local primaries moved: {migrated}");
+        assert_eq!(dfs.datanode(NodeId(1)).primary_bytes(), 0);
+        assert_eq!(dfs.datanode(NodeId(1)).dynamic_bytes(), 0);
+        // Full replication maintained throughout.
+        for i in 0..dfs.namenode().num_blocks() {
+            let b = BlockId(i as u64);
+            let locs = dfs.visible_locations(b);
+            assert!(locs.len() >= 3, "block {b} under-replicated");
+            assert!(!locs.contains(&NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn tiny_file_single_partial_block() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "job.xml".into(),
+            MB,
+            None,
+            &DefaultPlacement,
+            &mut rng,
+            true,
+        );
+        let meta = dfs.namenode().file(f);
+        assert_eq!(meta.num_blocks(), 1);
+        assert!(meta.is_system);
+        assert_eq!(dfs.namenode().block_size(meta.blocks[0]), MB);
+    }
+}

@@ -1,0 +1,95 @@
+//! Typed identifiers and metadata records for the file system.
+
+use dare_simcore::SimTime;
+
+/// Identifier of a file (the smallest granularity a MapReduce job reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// Index into per-file vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifier of a fixed-size data block. Globally unique, dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// Index into per-block vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Metadata of one file, as the name node holds it.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// File identifier.
+    pub id: FileId,
+    /// Human-readable name (trace analysis groups by it).
+    pub name: String,
+    /// Total logical size in bytes.
+    pub size_bytes: u64,
+    /// Blocks, in file order. The last block may be partial.
+    pub blocks: Vec<BlockId>,
+    /// Creation time (Fig. 3 needs file age at access).
+    pub created: SimTime,
+    /// System/job file (job.jar, job.xml, job.split) — excluded from the
+    /// Section III analyses.
+    pub is_system: bool,
+}
+
+impl FileMeta {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Per-block record: owning file (the paper's INode back-pointer) and size.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockMeta {
+    /// Owning file.
+    pub file: FileId,
+    /// Actual bytes in this block (≤ configured block size).
+    pub size_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FileId(3).to_string(), "f3");
+        assert_eq!(BlockId(17).to_string(), "b17");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(BlockId(1));
+        s.insert(BlockId(1));
+        s.insert(BlockId(2));
+        assert_eq!(s.len(), 2);
+        assert!(FileId(1) < FileId(2));
+    }
+}

@@ -1,0 +1,330 @@
+//! The name node: file and block metadata, replica locations, and the
+//! heartbeat-delayed visibility of dynamic replicas.
+//!
+//! The paper's patch extends the `DataNodeProtocol` with a `DNA_DYNREPL`
+//! operation: a data node that replicated a block informs the name node
+//! during a heartbeat, after which the scheduler can exploit the new
+//! replica. We model that pipeline with a pending-report queue: a dynamic
+//! replica inserted at time *t* becomes *visible* (schedulable) at
+//! *t + report delay*, while the inserting node itself can of course read
+//! it locally right away.
+
+use crate::ids::{BlockId, BlockMeta, FileId, FileMeta};
+use dare_net::NodeId;
+use dare_simcore::SimTime;
+
+/// Pending `DNA_DYNREPL` notification.
+#[derive(Debug, Clone, Copy)]
+struct PendingReport {
+    visible_at: SimTime,
+    block: BlockId,
+    node: NodeId,
+}
+
+/// Master metadata server.
+#[derive(Debug, Default)]
+pub struct NameNode {
+    files: Vec<FileMeta>,
+    blocks: Vec<BlockMeta>,
+    /// Primary replica locations per block (placement-policy output).
+    primary: Vec<Vec<NodeId>>,
+    /// Dynamic replica locations per block, already reported (visible).
+    dynamic: Vec<Vec<NodeId>>,
+    pending: Vec<PendingReport>,
+    /// Total dynamic-replica reports processed (diagnostics).
+    pub reports_processed: u64,
+}
+
+impl NameNode {
+    /// Empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a file and its blocks. `block_locs[i]` holds the primary
+    /// replica targets of block `i`. Returns the new file's id.
+    pub fn register_file(
+        &mut self,
+        name: String,
+        size_bytes: u64,
+        block_sizes: Vec<u64>,
+        block_locs: Vec<Vec<NodeId>>,
+        created: SimTime,
+        is_system: bool,
+    ) -> FileId {
+        assert_eq!(block_sizes.len(), block_locs.len());
+        let fid = FileId(self.files.len() as u32);
+        let mut blocks = Vec::with_capacity(block_sizes.len());
+        for (sz, locs) in block_sizes.into_iter().zip(block_locs) {
+            assert!(!locs.is_empty(), "block with zero replicas");
+            let bid = BlockId(self.blocks.len() as u64);
+            self.blocks.push(BlockMeta {
+                file: fid,
+                size_bytes: sz,
+            });
+            self.primary.push(locs);
+            self.dynamic.push(Vec::new());
+            blocks.push(bid);
+        }
+        self.files.push(FileMeta {
+            id: fid,
+            name,
+            size_bytes,
+            blocks,
+            created,
+            is_system,
+        });
+        fid
+    }
+
+    /// Number of files.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of blocks across all files.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// File metadata.
+    pub fn file(&self, f: FileId) -> &FileMeta {
+        &self.files[f.idx()]
+    }
+
+    /// All files (ascending id).
+    pub fn files(&self) -> &[FileMeta] {
+        &self.files
+    }
+
+    /// Block metadata (owning file + size) — the INode back-pointer.
+    pub fn block(&self, b: BlockId) -> BlockMeta {
+        self.blocks[b.idx()]
+    }
+
+    /// Owning file of a block.
+    pub fn file_of(&self, b: BlockId) -> FileId {
+        self.blocks[b.idx()].file
+    }
+
+    /// Bytes in a block.
+    pub fn block_size(&self, b: BlockId) -> u64 {
+        self.blocks[b.idx()].size_bytes
+    }
+
+    /// Scheduler-visible replica locations: primary plus *reported* dynamic
+    /// replicas, deduplicated, deterministic order.
+    pub fn locations(&self, b: BlockId) -> Vec<NodeId> {
+        let mut v = self.primary[b.idx()].clone();
+        for &n in &self.dynamic[b.idx()] {
+            if !v.contains(&n) {
+                v.push(n);
+            }
+        }
+        v
+    }
+
+    /// Primary locations only.
+    pub fn primary_locations(&self, b: BlockId) -> &[NodeId] {
+        &self.primary[b.idx()]
+    }
+
+    /// Visible dynamic locations only.
+    pub fn dynamic_locations(&self, b: BlockId) -> &[NodeId] {
+        &self.dynamic[b.idx()]
+    }
+
+    /// Total visible replica count of a block.
+    pub fn replica_count(&self, b: BlockId) -> usize {
+        self.locations(b).len()
+    }
+
+    /// Queue a `DNA_DYNREPL` notification: `node` now holds a dynamic
+    /// replica of `block`; the scheduler learns of it at `visible_at`.
+    pub fn enqueue_dynamic_report(&mut self, visible_at: SimTime, block: BlockId, node: NodeId) {
+        self.pending.push(PendingReport {
+            visible_at,
+            block,
+            node,
+        });
+    }
+
+    /// Promote every pending report whose heartbeat has arrived by `now`.
+    pub fn process_reports(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].visible_at <= now {
+                let r = self.pending.swap_remove(i);
+                let d = &mut self.dynamic[r.block.idx()];
+                if !d.contains(&r.node) && !self.primary[r.block.idx()].contains(&r.node) {
+                    d.push(r.node);
+                }
+                self.reports_processed += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Remove a dynamic replica of `block` at `node` from the scheduling
+    /// view (eviction), including any still-pending report for it.
+    pub fn remove_dynamic(&mut self, block: BlockId, node: NodeId) {
+        self.dynamic[block.idx()].retain(|&n| n != node);
+        self.pending
+            .retain(|r| !(r.block == block && r.node == node));
+    }
+
+    /// Number of reports still in flight.
+    pub fn pending_reports(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Remove *all* replicas hosted on a failed node and return the blocks
+    /// that are now under-replicated relative to `target_replicas`
+    /// (availability path; dynamic replicas count as first-order replicas).
+    pub fn fail_node(&mut self, node: NodeId, target_replicas: u32) -> Vec<BlockId> {
+        let mut under = Vec::new();
+        for idx in 0..self.blocks.len() {
+            let had = self.primary[idx].contains(&node)
+                || self.dynamic[idx].contains(&node);
+            self.primary[idx].retain(|&n| n != node);
+            self.dynamic[idx].retain(|&n| n != node);
+            if had {
+                let b = BlockId(idx as u64);
+                if self.replica_count(b) < target_replicas as usize {
+                    under.push(b);
+                }
+            }
+        }
+        self.pending.retain(|r| r.node != node);
+        under
+    }
+
+    /// Add a primary replica location (re-replication after failure).
+    pub fn add_primary_location(&mut self, block: BlockId, node: NodeId) {
+        let p = &mut self.primary[block.idx()];
+        if !p.contains(&node) {
+            p.push(node);
+        }
+    }
+
+    /// Remove a primary replica location (balancer migration source).
+    pub fn remove_primary_location(&mut self, block: BlockId, node: NodeId) {
+        self.primary[block.idx()].retain(|&n| n != node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nn_with_one_file() -> (NameNode, FileId) {
+        let mut nn = NameNode::new();
+        let f = nn.register_file(
+            "data/part-0".into(),
+            300,
+            vec![128, 128, 44],
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(0)],
+            ],
+            SimTime::from_secs(5),
+            false,
+        );
+        (nn, f)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (nn, f) = nn_with_one_file();
+        assert_eq!(nn.num_files(), 1);
+        assert_eq!(nn.num_blocks(), 3);
+        let meta = nn.file(f);
+        assert_eq!(meta.num_blocks(), 3);
+        assert_eq!(meta.created, SimTime::from_secs(5));
+        let b0 = meta.blocks[0];
+        assert_eq!(nn.file_of(b0), f);
+        assert_eq!(nn.block_size(b0), 128);
+        assert_eq!(nn.locations(b0), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(nn.replica_count(b0), 2);
+    }
+
+    #[test]
+    fn dynamic_replica_visible_only_after_report() {
+        let (mut nn, f) = nn_with_one_file();
+        let b = nn.file(f).blocks[0];
+        nn.enqueue_dynamic_report(SimTime::from_secs(10), b, NodeId(5));
+        nn.process_reports(SimTime::from_secs(9));
+        assert_eq!(nn.locations(b).len(), 2, "not visible yet");
+        assert_eq!(nn.pending_reports(), 1);
+        nn.process_reports(SimTime::from_secs(10));
+        assert_eq!(nn.locations(b), vec![NodeId(0), NodeId(1), NodeId(5)]);
+        assert_eq!(nn.dynamic_locations(b), &[NodeId(5)]);
+        assert_eq!(nn.pending_reports(), 0);
+        assert_eq!(nn.reports_processed, 1);
+    }
+
+    #[test]
+    fn duplicate_and_primary_overlapping_reports_are_dropped() {
+        let (mut nn, f) = nn_with_one_file();
+        let b = nn.file(f).blocks[0];
+        nn.enqueue_dynamic_report(SimTime::ZERO, b, NodeId(5));
+        nn.enqueue_dynamic_report(SimTime::ZERO, b, NodeId(5));
+        nn.enqueue_dynamic_report(SimTime::ZERO, b, NodeId(0)); // already primary
+        nn.process_reports(SimTime::ZERO);
+        assert_eq!(nn.dynamic_locations(b), &[NodeId(5)]);
+    }
+
+    #[test]
+    fn eviction_removes_visible_and_pending() {
+        let (mut nn, f) = nn_with_one_file();
+        let b = nn.file(f).blocks[1];
+        nn.enqueue_dynamic_report(SimTime::ZERO, b, NodeId(7));
+        nn.process_reports(SimTime::ZERO);
+        nn.enqueue_dynamic_report(SimTime::from_secs(99), b, NodeId(8));
+        nn.remove_dynamic(b, NodeId(7));
+        nn.remove_dynamic(b, NodeId(8));
+        nn.process_reports(SimTime::from_secs(100));
+        assert!(nn.dynamic_locations(b).is_empty());
+    }
+
+    #[test]
+    fn node_failure_reports_under_replicated_blocks() {
+        let (mut nn, f) = nn_with_one_file();
+        let blocks = nn.file(f).blocks.clone();
+        // Node 1 holds primaries of blocks 0 and 1.
+        let under = nn.fail_node(NodeId(1), 2);
+        assert_eq!(under, vec![blocks[0], blocks[1]]);
+        assert_eq!(nn.locations(blocks[0]), vec![NodeId(0)]);
+        // Re-replicate and verify recovery.
+        nn.add_primary_location(blocks[0], NodeId(3));
+        assert_eq!(nn.replica_count(blocks[0]), 2);
+    }
+
+    #[test]
+    fn dynamic_replica_counts_toward_availability() {
+        let (mut nn, f) = nn_with_one_file();
+        let b = nn.file(f).blocks[0]; // primaries on nodes 0, 1
+        nn.enqueue_dynamic_report(SimTime::ZERO, b, NodeId(9));
+        nn.process_reports(SimTime::ZERO);
+        // Losing node 0 leaves 2 replicas (node 1 primary + node 9 dynamic),
+        // so the block is NOT under-replicated at target 2.
+        let under = nn.fail_node(NodeId(0), 2);
+        assert!(!under.contains(&b));
+    }
+
+    #[test]
+    fn system_file_flag_is_preserved() {
+        let mut nn = NameNode::new();
+        let f = nn.register_file(
+            "job.jar".into(),
+            10,
+            vec![10],
+            vec![vec![NodeId(0)]],
+            SimTime::ZERO,
+            true,
+        );
+        assert!(nn.file(f).is_system);
+    }
+}

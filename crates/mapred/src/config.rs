@@ -1,0 +1,191 @@
+//! Simulation configuration.
+
+use crate::scarlett::ScarlettConfig;
+use dare_core::PolicyKind;
+use dare_dfs::DfsConfig;
+use dare_net::ClusterProfile;
+use dare_sched::fair::FairConfig;
+use dare_simcore::SimDuration;
+
+/// Which scheduler drives the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// Hadoop's default FIFO scheduler.
+    Fifo,
+    /// Fair scheduler with delay scheduling.
+    Fair(FairConfig),
+    /// Simplified Capacity scheduler with this many equal queues.
+    Capacity(u32),
+}
+
+impl SchedulerKind {
+    /// Fair scheduler with default delay thresholds.
+    pub fn fair_default() -> Self {
+        SchedulerKind::Fair(FairConfig::default())
+    }
+
+    /// Label for result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Fair(_) => "fair",
+            SchedulerKind::Capacity(_) => "capacity",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster environment (CCT or EC2 models).
+    pub profile: ClusterProfile,
+    /// File-system knobs (block size, replication factor, report delay).
+    pub dfs: DfsConfig,
+    /// DARE policy (or `Vanilla` baseline).
+    pub policy: PolicyKind,
+    /// Scheduler.
+    pub scheduler: SchedulerKind,
+    /// Dynamic-replica budget per node, as a fraction of the node's share
+    /// of primary data (replicas included) — the paper's `budget` knob.
+    pub budget_frac: f64,
+    /// Heartbeat interval (Hadoop default 3 s).
+    pub heartbeat: SimDuration,
+    /// Experiment seed; every random stream derives from it.
+    pub seed: u64,
+    /// Optional proactive epoch-based replication baseline (Scarlett),
+    /// usually combined with `PolicyKind::Vanilla` so exactly one
+    /// replication scheme is active.
+    pub scarlett: Option<ScarlettConfig>,
+    /// Injected node failures: `(time_secs, node_index)` pairs. Failed
+    /// nodes stop heartbeating, their running tasks re-execute elsewhere,
+    /// and the name node re-replicates their blocks.
+    pub failures: Vec<(u64, u32)>,
+    /// Speculative execution of stragglers (Hadoop-style backup tasks).
+    pub speculation: Option<SpeculationConfig>,
+    /// Record a per-attempt task timeline in the results (adds memory
+    /// proportional to attempt count; off by default).
+    pub record_timeline: bool,
+    /// Injected node degradations ("limplock"): `(time_secs, node, factor)`
+    /// — from that time on, the node's disk reads and map compute run
+    /// `factor`× slower (factor > 1). The node keeps serving; this is the
+    /// failure mode speculation exists for.
+    pub degradations: Vec<(u64, u32, f64)>,
+}
+
+/// Speculative-execution tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Launch a backup when a running attempt has taken more than this
+    /// multiple of the job's average completed map duration.
+    pub slowdown_factor: f64,
+    /// Never speculate before an attempt has run at least this long (s).
+    pub min_elapsed_secs: f64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            slowdown_factor: 1.5,
+            min_elapsed_secs: 5.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's CCT setup with a given policy/scheduler combination and
+    /// the headline parameters (budget 0.2).
+    pub fn cct(policy: PolicyKind, scheduler: SchedulerKind, seed: u64) -> Self {
+        SimConfig {
+            profile: ClusterProfile::cct(),
+            dfs: DfsConfig::default(),
+            policy,
+            scheduler,
+            budget_frac: 0.2,
+            heartbeat: SimDuration::from_secs(3),
+            seed,
+            scarlett: None,
+            failures: Vec::new(),
+            speculation: None,
+            record_timeline: false,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// Schedule node degradations at `(time_secs, node, slowdown_factor)`.
+    pub fn with_degradations(mut self, degradations: Vec<(u64, u32, f64)>) -> Self {
+        assert!(degradations.iter().all(|&(_, _, f)| f >= 1.0));
+        self.degradations = degradations;
+        self
+    }
+
+    /// Enable Hadoop-style speculative execution of straggler maps.
+    pub fn with_speculation(mut self, spec: SpeculationConfig) -> Self {
+        self.speculation = Some(spec);
+        self
+    }
+
+    /// Schedule node failures at `(time_secs, node_index)` points.
+    pub fn with_failures(mut self, failures: Vec<(u64, u32)>) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Enable the proactive Scarlett baseline on this configuration.
+    pub fn with_scarlett(mut self, scarlett: ScarlettConfig) -> Self {
+        self.scarlett = Some(scarlett);
+        self
+    }
+
+    /// The paper's 100-node EC2 setup.
+    pub fn ec2(policy: PolicyKind, scheduler: SchedulerKind, seed: u64) -> Self {
+        SimConfig {
+            profile: ClusterProfile::ec2(),
+            ..Self::cct(policy, scheduler, seed)
+        }
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.budget_frac) {
+            return Err(format!("budget_frac {} out of [0,1]", self.budget_frac));
+        }
+        if self.heartbeat == SimDuration::ZERO {
+            return Err("zero heartbeat interval".into());
+        }
+        if self.profile.nodes == 0 {
+            return Err("empty cluster".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1);
+        assert_eq!(c.profile.nodes, 19);
+        assert_eq!(c.scheduler.label(), "fifo");
+        assert!(c.validate().is_ok());
+        let e = SimConfig::ec2(
+            PolicyKind::elephant_default(),
+            SchedulerKind::fair_default(),
+            1,
+        );
+        assert_eq!(e.profile.nodes, 99);
+        assert_eq!(e.scheduler.label(), "fair");
+        assert!((e.budget_frac - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_budget() {
+        let mut c = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1);
+        c.budget_frac = 1.5;
+        assert!(c.validate().is_err());
+        c.budget_frac = 0.5;
+        c.heartbeat = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

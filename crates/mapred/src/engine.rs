@@ -1,0 +1,1601 @@
+//! The discrete-event simulation engine.
+
+use crate::config::{SchedulerKind, SimConfig};
+use crate::result::{ProactiveStats, SimResult, TaskRecord};
+use crate::scarlett::{ProactiveTransfer, ScarlettState};
+use dare_core::{build_policy, PolicyCtx, ReplicationDecision, ReplicationPolicy};
+use dare_dfs::{BlockId, DefaultPlacement, Dfs};
+use dare_net::flow::{FlowId, FlowSim};
+use dare_net::{NodeId, MB};
+use dare_sched::{
+    locality::classify, FairScheduler, FifoScheduler, JobId, JobQueue, Locality, PendingTask,
+    Scheduler, TaskId,
+};
+use dare_simcore::{DetRng, EventQueue, SimDuration, SimTime};
+use dare_workload::Workload;
+use std::collections::HashMap;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Job `idx` (into the workload) is submitted.
+    JobArrival(u32),
+    /// Node heartbeat; `periodic` heartbeats reschedule themselves,
+    /// out-of-band ones (sent on task completion) do not.
+    Heartbeat { node: u32, periodic: bool },
+    /// A node-local input read finished.
+    LocalReadDone {
+        /// Node running the task.
+        node: u32,
+        /// Job index.
+        job: u32,
+        /// Task index within the job.
+        task: u32,
+        /// Attempt id (stale events from failed attempts are dropped).
+        attempt: u32,
+    },
+    /// Poll the flow simulator for completed fetches.
+    NetCheck,
+    /// A map task's compute phase finished.
+    ComputeDone {
+        /// Node running the task.
+        node: u32,
+        /// Job index.
+        job: u32,
+        /// Task index within the job.
+        task: u32,
+        /// Attempt id (stale events from failed attempts are dropped).
+        attempt: u32,
+    },
+    /// One reduce task of a job finished on a node.
+    ReduceDone { node: u32, job: u32 },
+    /// Epoch boundary of the proactive (Scarlett) replicator.
+    Epoch,
+    /// Injected failure of a node.
+    NodeFail(u32),
+    /// Injected degradation of a node: its work slows by the factor.
+    NodeDegrade(u32, f64),
+}
+
+/// Mutable per-job simulation state.
+#[derive(Debug, Clone)]
+struct JobState {
+    arrival: SimTime,
+    blocks: Vec<BlockId>,
+    map_compute: SimDuration,
+    output_bytes: u64,
+    reduces: u32,
+    reduces_done: u32,
+    /// Current attempt id per task; bumped when a failure aborts a run.
+    attempts: Vec<u32>,
+    /// Locality class of each task's latest attempt (for failure rollback).
+    task_class: Vec<Locality>,
+    /// Task committed (first finishing attempt wins).
+    done: Vec<bool>,
+    /// Start time of each task's most recent attempt.
+    started_at: Vec<SimTime>,
+    /// Live attempts per task (1 normally, 2 with a speculative backup).
+    live_attempts: Vec<u8>,
+    /// Sum of committed map durations, seconds (speculation threshold).
+    completed_secs: f64,
+    maps_done: u32,
+    node_local: u32,
+    rack_local: u32,
+    remote: u32,
+    dedicated: SimDuration,
+}
+
+/// A remote input fetch in flight.
+#[derive(Debug, Clone, Copy)]
+struct Fetch {
+    node: u32,
+    src: u32,
+    job: u32,
+    task: u32,
+    attempt: u32,
+    /// The node's policy asked to keep the bytes as a dynamic replica.
+    replicate: bool,
+    /// Path latency to add before compute starts.
+    latency: SimDuration,
+}
+
+/// The MapReduce cluster simulator. Construct with [`Engine::new`], run
+/// with [`Engine::run`].
+pub struct Engine {
+    cfg: SimConfig,
+    workload_name: String,
+    dfs: Dfs,
+    flows: FlowSim,
+    scheduler: Box<dyn Scheduler>,
+    queue: JobQueue,
+    policies: Vec<Box<dyn ReplicationPolicy>>,
+    policy_rngs: Vec<DetRng>,
+    jobs: Vec<JobState>,
+    events: EventQueue<Ev>,
+    now: SimTime,
+    free_map_slots: Vec<u32>,
+    free_reduce_slots: Vec<u32>,
+    /// Reduce tasks awaiting a slot: (job, per-reducer duration), FIFO.
+    pending_reduces: std::collections::VecDeque<(u32, SimDuration)>,
+    active_local_reads: Vec<u32>,
+    disk_caps_mbps: Vec<f64>,
+    fetches: HashMap<FlowId, Fetch>,
+    next_netcheck: Option<SimTime>,
+    jitter_rng: DetRng,
+    fetch_rng: DetRng,
+    rtt_rng: DetRng,
+    file_popularity: Vec<f64>,
+    finished: usize,
+    outcomes: Vec<dare_metrics::JobOutcome>,
+    cv_before: f64,
+    remote_bytes_fetched: u64,
+    /// Per-node dynamic-replica budget in bytes (shared by DARE and the
+    /// proactive baseline).
+    budget_bytes: u64,
+    /// Bytes of in-flight proactive transfers per node (budget reservation).
+    inflight_proactive: Vec<u64>,
+    scarlett: Option<ScarlettState>,
+    proactive_flows: HashMap<FlowId, ProactiveTransfer>,
+    /// True once the node has been failed; it stops heartbeating and its
+    /// tasks are re-executed elsewhere.
+    dead: Vec<bool>,
+    /// Map tasks currently running (or fetching) per node.
+    running_on: Vec<Vec<(u32, u32)>>,
+    /// Per-node slowdown factor (1.0 = healthy; limplock injection).
+    slow_factor: Vec<f64>,
+    /// Map-task attempts that had to be re-executed due to failures.
+    pub reexecuted_tasks: u64,
+    /// Per-attempt timeline (only populated with `record_timeline`).
+    timeline: Vec<TaskRecord>,
+    timeline_idx: HashMap<(u32, u32, u32), usize>,
+    /// Speculative backup attempts launched.
+    pub speculative_launches: u64,
+    /// Races resolved while a duplicate attempt was still running (the
+    /// committed completion "won"; the duplicate's work is discarded).
+    pub speculative_wins: u64,
+}
+
+impl Engine {
+    /// Build a simulator for `cfg` over `workload`: instantiates topology,
+    /// bandwidth draws, the DFS (with the dataset ingested at t = 0), the
+    /// per-node DARE policies, and the job-arrival events.
+    pub fn new(cfg: SimConfig, workload: &Workload) -> Self {
+        cfg.validate().expect("invalid simulation config");
+        workload.validate().expect("invalid workload");
+        let root = DetRng::new(cfg.seed);
+
+        let mut topo_rng = root.substream("topology");
+        let topo = cfg.profile.build_topology(&mut topo_rng);
+        let n = topo.nodes() as usize;
+
+        let mut cap_rng = root.substream("capacities");
+        let disk_caps_mbps = cfg.profile.sample_disk_capacities(&mut cap_rng);
+        let nic_caps = cfg.profile.sample_nic_capacities(&mut cap_rng);
+        let flows = FlowSim::new(nic_caps, cfg.profile.oversub);
+
+        let mut dfs = Dfs::new(cfg.dfs.clone(), topo);
+
+        // Ingest the dataset at t = 0.
+        let mut ingest_rng = root.substream("ingest");
+        let mut file_ids = Vec::with_capacity(workload.files.len());
+        for f in &workload.files {
+            let fid = dfs.create_file(
+                SimTime::ZERO,
+                f.name.clone(),
+                f.size_bytes,
+                None,
+                &DefaultPlacement,
+                &mut ingest_rng,
+                false,
+            );
+            file_ids.push(fid);
+        }
+
+        // Access popularity per file (fraction of jobs reading it) — the
+        // blockPopularity of the Fig. 11 metric.
+        let mut file_popularity = vec![0.0f64; workload.files.len()];
+        for j in &workload.jobs {
+            file_popularity[j.file] += 1.0 / workload.jobs.len() as f64;
+        }
+
+        // Per-node dynamic-replica budget.
+        let budget_bytes = ((dfs.total_primary_bytes() as f64 / n as f64) * cfg.budget_frac) as u64;
+        let policies: Vec<Box<dyn ReplicationPolicy>> = (0..n)
+            .map(|_| build_policy(cfg.policy, budget_bytes))
+            .collect();
+        let policy_rngs: Vec<DetRng> = (0..n)
+            .map(|i| root.substream_idx("policy-node", i as u64))
+            .collect();
+
+        let scheduler: Box<dyn Scheduler> = match cfg.scheduler {
+            SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+            SchedulerKind::Fair(fc) => Box::new(FairScheduler::with_config(fc)),
+            SchedulerKind::Capacity(q) => Box::new(dare_sched::CapacityScheduler::new(q)),
+        };
+
+        // Job states with analytic dedicated-cluster runtimes.
+        let total_slots = cfg.profile.total_map_slots().max(1);
+        let total_reduce_slots = (cfg.profile.nodes * cfg.profile.reduce_slots_per_node).max(1);
+        let disk_mean = cfg.profile.disk.mean();
+        let net_mean = cfg.profile.network.mean();
+        let jobs: Vec<JobState> = workload
+            .jobs
+            .iter()
+            .map(|j| {
+                let blocks = dfs.namenode().file(file_ids[j.file]).blocks.clone();
+                let maps = blocks.len() as u64;
+                let waves = maps.div_ceil(total_slots as u64);
+                let read_secs = cfg.dfs.block_size as f64 / (disk_mean * MB as f64);
+                let per_map = SimDuration::from_secs_f64(read_secs) + j.map_compute;
+                let per_reducer = reduce_duration(
+                    j.output_bytes,
+                    j.reduces,
+                    j.map_compute,
+                    net_mean,
+                    disk_mean,
+                    cfg.dfs.replication_factor,
+                );
+                let reduce_waves = (j.reduces as u64).div_ceil(total_reduce_slots as u64);
+                let dedicated =
+                    per_map.mul_f64(waves as f64) + per_reducer.mul_f64(reduce_waves as f64);
+                JobState {
+                    arrival: j.arrival,
+                    attempts: vec![0; blocks.len()],
+                    task_class: vec![Locality::Remote; blocks.len()],
+                    done: vec![false; blocks.len()],
+                    started_at: vec![SimTime::ZERO; blocks.len()],
+                    live_attempts: vec![0; blocks.len()],
+                    completed_secs: 0.0,
+                    blocks,
+                    map_compute: j.map_compute,
+                    output_bytes: j.output_bytes,
+                    reduces: j.reduces,
+                    reduces_done: 0,
+                    maps_done: 0,
+                    node_local: 0,
+                    rack_local: 0,
+                    remote: 0,
+                    dedicated,
+                }
+            })
+            .collect();
+
+        let mut events = EventQueue::with_capacity(jobs.len() * 4 + n * 2);
+        for (i, j) in jobs.iter().enumerate() {
+            events.push(j.arrival, Ev::JobArrival(i as u32));
+        }
+        // Staggered periodic heartbeats.
+        let hb = cfg.heartbeat;
+        for i in 0..n {
+            let offset = SimDuration::from_micros(hb.as_micros() * i as u64 / n as u64);
+            events.push(
+                SimTime::ZERO + offset,
+                Ev::Heartbeat {
+                    node: i as u32,
+                    periodic: true,
+                },
+            );
+        }
+
+        let cv_before = popularity_cv_of(&dfs, &file_popularity);
+        let slots = cfg.profile.map_slots_per_node;
+
+        let scarlett = cfg.scarlett.map(|sc| {
+            events.push(SimTime::ZERO + sc.epoch, Ev::Epoch);
+            ScarlettState::new(sc, workload.files.len())
+        });
+        for &(secs, node) in &cfg.failures {
+            assert!((node as usize) < n, "failure of unknown node {node}");
+            events.push(SimTime::from_secs(secs), Ev::NodeFail(node));
+        }
+        for &(secs, node, factor) in &cfg.degradations {
+            assert!((node as usize) < n, "degradation of unknown node {node}");
+            events.push(SimTime::from_secs(secs), Ev::NodeDegrade(node, factor));
+        }
+
+        Engine {
+            workload_name: workload.name.clone(),
+            dfs,
+            flows,
+            scheduler,
+            queue: JobQueue::new(),
+            policies,
+            policy_rngs,
+            jobs,
+            events,
+            now: SimTime::ZERO,
+            free_map_slots: vec![slots; n],
+            free_reduce_slots: vec![cfg.profile.reduce_slots_per_node; n],
+            pending_reduces: std::collections::VecDeque::new(),
+            active_local_reads: vec![0; n],
+            disk_caps_mbps,
+            fetches: HashMap::new(),
+            next_netcheck: None,
+            jitter_rng: root.substream("task-jitter"),
+            fetch_rng: root.substream("fetch-pick"),
+            rtt_rng: root.substream("rtt"),
+            file_popularity,
+            finished: 0,
+            outcomes: Vec::new(),
+            cv_before,
+            remote_bytes_fetched: 0,
+            budget_bytes,
+            inflight_proactive: vec![0; n],
+            scarlett,
+            proactive_flows: HashMap::new(),
+            dead: vec![false; n],
+            running_on: vec![Vec::new(); n],
+            slow_factor: vec![1.0; n],
+            timeline: Vec::new(),
+            timeline_idx: HashMap::new(),
+            reexecuted_tasks: 0,
+            speculative_launches: 0,
+            speculative_wins: 0,
+            cfg,
+        }
+    }
+
+    /// Run to completion and summarize.
+    pub fn run(mut self) -> SimResult {
+        let total_jobs = self.jobs.len();
+        while self.finished < total_jobs {
+            let (t, ev) = self
+                .events
+                .pop()
+                .expect("event queue drained before all jobs finished");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+        }
+        self.finish()
+    }
+
+    /// Route one event to its handler (also used by white-box tests).
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::JobArrival(j) => self.on_job_arrival(j),
+            Ev::Heartbeat { node, periodic } => self.on_heartbeat(node, periodic),
+            Ev::LocalReadDone {
+                node,
+                job,
+                task,
+                attempt,
+            } => self.on_local_read_done(node, job, task, attempt),
+            Ev::NetCheck => self.on_net_check(),
+            Ev::ComputeDone {
+                node,
+                job,
+                task,
+                attempt,
+            } => self.on_compute_done(node, job, task, attempt),
+            Ev::ReduceDone { node, job } => self.on_reduce_done(node, job),
+            Ev::Epoch => self.on_epoch(),
+            Ev::NodeFail(node) => self.on_node_fail(node),
+            Ev::NodeDegrade(node, factor) => {
+                self.slow_factor[node as usize] = factor.max(1.0);
+            }
+        }
+    }
+
+    fn on_job_arrival(&mut self, j: u32) {
+        let job = &self.jobs[j as usize];
+        let tasks: Vec<PendingTask> = job
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| PendingTask {
+                task: TaskId(i as u32),
+                block: b,
+            })
+            .collect();
+        self.queue.add_job(JobId(j), job.arrival, tasks);
+    }
+
+    fn on_heartbeat(&mut self, node: u32, periodic: bool) {
+        if self.dead[node as usize] {
+            return;
+        }
+        self.dfs.process_reports(self.now);
+        // Fill every free slot the scheduler can use.
+        while self.free_map_slots[node as usize] > 0 {
+            let assignment = {
+                let dfs = &self.dfs;
+                let lookup = |b: BlockId| dfs.visible_locations(b);
+                self.scheduler.pick_map(
+                    &mut self.queue,
+                    NodeId(node),
+                    &lookup,
+                    self.dfs.topology(),
+                    self.now,
+                )
+            };
+            match assignment {
+                Some(a) => self.launch_map(node, a.job.0, a.task.0, a.block, false),
+                None => {
+                    // No regular work: consider a speculative backup for a
+                    // straggling attempt before giving the slot up.
+                    if !self.try_speculate(node) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.fill_reduce_slots();
+        if periodic {
+            // Heartbeat intervals drift a few percent in real clusters; the
+            // jitter also prevents the simulator from phase-locking job
+            // arrivals to a fixed node rotation.
+            let interval = self
+                .cfg
+                .heartbeat
+                .mul_f64(self.jitter_rng.uniform_range(0.95, 1.05));
+            self.events.push(
+                self.now + interval,
+                Ev::Heartbeat {
+                    node,
+                    periodic: true,
+                },
+            );
+        }
+    }
+
+    /// Start a map task on `node` reading `block`. `speculative` marks a
+    /// backup attempt: it skips locality accounting (the original attempt
+    /// already recorded the task) but still drives the DARE policy, since
+    /// a backup is a genuinely scheduled map task.
+    fn launch_map(&mut self, node: u32, job: u32, task: u32, block: BlockId, speculative: bool) {
+        let node_id = NodeId(node);
+        {
+            let js = &mut self.jobs[job as usize];
+            js.started_at[task as usize] = self.now;
+            js.live_attempts[task as usize] += 1;
+        }
+        let attempt = self.jobs[job as usize].attempts[task as usize];
+        self.running_on[node as usize].push((job, task));
+        let present = self.dfs.is_physically_present(node_id, block);
+        if self.cfg.record_timeline {
+            self.timeline_idx
+                .insert((job, task, attempt), self.timeline.len());
+            self.timeline.push(TaskRecord {
+                job,
+                task,
+                attempt,
+                node,
+                speculative,
+                local_read: present,
+                launched: self.now,
+                read_done: None,
+                finished: None,
+            });
+        }
+        let bytes = self.dfs.namenode().block_size(block);
+        let file = self.dfs.namenode().file_of(block);
+        if let Some(sc) = self.scarlett.as_mut() {
+            sc.record_access(file);
+        }
+
+        // Metrics: actual read locality (an unreported local replica counts
+        // as node-local because the bytes are read from local disk).
+        // Backup attempts don't re-count their task.
+        if !speculative {
+            let dfs = &self.dfs;
+            let lookup = |b: BlockId| dfs.visible_locations(b);
+            let level = if present {
+                Locality::NodeLocal
+            } else {
+                classify(block, node_id, &lookup, dfs.topology())
+            };
+            let js = &mut self.jobs[job as usize];
+            js.task_class[task as usize] = level;
+            match level {
+                Locality::NodeLocal => js.node_local += 1,
+                Locality::RackLocal => js.rack_local += 1,
+                Locality::Remote => js.remote += 1,
+            }
+        }
+
+        // DARE hook: the node's policy sees every scheduled map task.
+        let decision = self.policies[node as usize].on_map_task(PolicyCtx {
+            block,
+            file,
+            block_bytes: bytes,
+            is_local: present,
+            rng: &mut self.policy_rngs[node as usize],
+        });
+        let mut replicate = false;
+        if let ReplicationDecision::Replicate { evict } = decision {
+            for v in evict {
+                self.dfs.evict_dynamic(node_id, v);
+            }
+            replicate = true;
+        }
+
+        self.free_map_slots[node as usize] -= 1;
+
+        if present {
+            // Local read: disk capacity shared among concurrent readers.
+            let readers = self.active_local_reads[node as usize] + 1;
+            self.active_local_reads[node as usize] = readers;
+            let share = self.disk_caps_mbps[node as usize]
+                / readers as f64
+                / self.slow_factor[node as usize];
+            let dur = SimDuration::from_secs_f64(bytes as f64 / (share * MB as f64));
+            self.events.push(
+                self.now + dur,
+                Ev::LocalReadDone {
+                    node,
+                    job,
+                    task,
+                    attempt,
+                },
+            );
+        } else {
+            // Remote fetch through the flow simulator.
+            let src = self.pick_source(block, node_id);
+            let cross = self.dfs.topology().crosses_racks(src, node_id);
+            let hops = self.dfs.topology().base_hops(src, node_id).max(1);
+            let latency = SimDuration::from_secs_f64(
+                self.cfg.profile.rtt.sample_secs(&mut self.rtt_rng) * hops as f64 / 2.0,
+            );
+            let fid = self.flows.start(self.now, src, node_id, bytes, cross);
+            self.fetches.insert(
+                fid,
+                Fetch {
+                    node,
+                    src: src.0,
+                    job,
+                    task,
+                    attempt,
+                    replicate,
+                    latency,
+                },
+            );
+            self.remote_bytes_fetched += bytes;
+            self.schedule_netcheck();
+        }
+    }
+
+    /// Choose the replica a remote reader fetches from: same-rack replicas
+    /// preferred, ties broken uniformly at random.
+    fn pick_source(&mut self, block: BlockId, reader: NodeId) -> NodeId {
+        let locs = self.dfs.visible_locations(block);
+        assert!(!locs.is_empty(), "block {block} has no replicas");
+        let topo = self.dfs.topology();
+        let same_rack: Vec<NodeId> = locs
+            .iter()
+            .copied()
+            .filter(|&l| l != reader && topo.same_rack(l, reader))
+            .collect();
+        let pool = if same_rack.is_empty() {
+            locs.iter().copied().filter(|&l| l != reader).collect()
+        } else {
+            same_rack
+        };
+        if pool.is_empty() {
+            // Every replica is on the reader itself (can happen transiently
+            // after failures) — read "remotely" from itself at NIC speed.
+            return reader;
+        }
+        pool[self.fetch_rng.index(pool.len())]
+    }
+
+    fn schedule_netcheck(&mut self) {
+        if let Some((t, _)) = self.flows.next_completion() {
+            let t = t.max(self.now);
+            if self.next_netcheck.is_none_or(|cur| t < cur) {
+                self.events.push(t, Ev::NetCheck);
+                self.next_netcheck = Some(t);
+            }
+        }
+    }
+
+    fn on_net_check(&mut self) {
+        self.next_netcheck = None;
+        let done = self.flows.collect_completed(self.now);
+        for fid in done {
+            if let Some(pt) = self.proactive_flows.remove(&fid) {
+                self.on_proactive_done(pt);
+                continue;
+            }
+            let f = self
+                .fetches
+                .remove(&fid)
+                .expect("completed flow has a fetch record");
+            let js = &self.jobs[f.job as usize];
+            let block = js.blocks[f.task as usize];
+            if f.replicate {
+                // The bytes are here; keep them (DNA_DYNREPL). On failure
+                // (e.g. the block arrived by another path meanwhile) roll
+                // back the policy's bookkeeping.
+                if !self.dfs.insert_dynamic(self.now, NodeId(f.node), block) {
+                    self.policies[f.node as usize].forget(block);
+                }
+            }
+            if self.jobs[f.job as usize].attempts[f.task as usize] != f.attempt {
+                continue; // attempt aborted by a failure while fetching
+            }
+            self.mark_timeline(f.job, f.task, f.attempt, true, false);
+            let compute = self.task_compute(f.job, f.node);
+            self.events.push(
+                self.now + f.latency + compute,
+                Ev::ComputeDone {
+                    node: f.node,
+                    job: f.job,
+                    task: f.task,
+                    attempt: f.attempt,
+                },
+            );
+        }
+        self.schedule_netcheck();
+    }
+
+    fn on_local_read_done(&mut self, node: u32, job: u32, task: u32, attempt: u32) {
+        if self.jobs[job as usize].attempts[task as usize] != attempt {
+            return; // attempt aborted by a failure mid-read
+        }
+        debug_assert!(self.active_local_reads[node as usize] > 0);
+        self.active_local_reads[node as usize] -= 1;
+        self.mark_timeline(job, task, attempt, true, false);
+        let compute = self.task_compute(job, node);
+        self.events.push(
+            self.now + compute,
+            Ev::ComputeDone {
+                node,
+                job,
+                task,
+                attempt,
+            },
+        );
+    }
+
+    /// Record a timeline milestone for an attempt (no-op unless tracing).
+    fn mark_timeline(&mut self, job: u32, task: u32, attempt: u32, read: bool, finish: bool) {
+        if !self.cfg.record_timeline {
+            return;
+        }
+        if let Some(&i) = self.timeline_idx.get(&(job, task, attempt)) {
+            if read {
+                self.timeline[i].read_done = Some(self.now);
+            }
+            if finish {
+                self.timeline[i].finished = Some(self.now);
+            }
+        }
+    }
+
+    /// Per-task compute time: the job's base compute ±10 % jitter, scaled
+    /// by the running node's health factor.
+    fn task_compute(&mut self, job: u32, node: u32) -> SimDuration {
+        let base = self.jobs[job as usize].map_compute;
+        base.mul_f64(self.jitter_rng.uniform_range(0.9, 1.1) * self.slow_factor[node as usize])
+    }
+
+    /// Try to launch one speculative backup attempt on `node`. Returns true
+    /// when a backup was launched (the caller may offer the slot again).
+    fn try_speculate(&mut self, node: u32) -> bool {
+        let Some(spec) = self.cfg.speculation else {
+            return false;
+        };
+        if self.dead[node as usize] || self.free_map_slots[node as usize] == 0 {
+            return false;
+        }
+        // A job is speculation-eligible when all its maps are handed out
+        // but some attempts straggle well past the job's average.
+        let candidates: Vec<u32> = self
+            .queue
+            .jobs()
+            .iter()
+            .filter(|j| j.pending.is_empty() && j.running_maps > 0)
+            .map(|j| j.id.0)
+            .collect();
+        for job in candidates {
+            let js = &self.jobs[job as usize];
+            if js.maps_done == 0 {
+                continue; // no baseline duration yet
+            }
+            let avg = js.completed_secs / js.maps_done as f64;
+            let threshold = (avg * spec.slowdown_factor).max(spec.min_elapsed_secs);
+            let straggler = (0..js.blocks.len()).find(|&t| {
+                !js.done[t]
+                    && js.live_attempts[t] == 1
+                    && self.now.saturating_since(js.started_at[t]).as_secs_f64() > threshold
+                    // never co-locate the backup with the straggler
+                    && !self.running_on[node as usize].contains(&(job, t as u32))
+            });
+            if let Some(task) = straggler {
+                let block = js.blocks[task];
+                self.speculative_launches += 1;
+                self.launch_map(node, job, task as u32, block, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn on_compute_done(&mut self, node: u32, job: u32, task: u32, attempt: u32) {
+        if self.jobs[job as usize].attempts[task as usize] != attempt {
+            return; // stale completion from an aborted attempt
+        }
+        self.running_on[node as usize].retain(|&(j, t)| !(j == job && t == task));
+        self.free_map_slots[node as usize] += 1;
+        self.mark_timeline(job, task, attempt, false, true);
+        {
+            let js = &mut self.jobs[job as usize];
+            js.live_attempts[task as usize] = js.live_attempts[task as usize].saturating_sub(1);
+            if js.done[task as usize] {
+                // The other attempt already committed; this one is wasted
+                // work (Hadoop would have killed it).
+                return;
+            }
+            js.done[task as usize] = true;
+            if js.live_attempts[task as usize] > 0 {
+                // The straggler is still running somewhere: the backup (or
+                // the original) just won the race.
+                self.speculative_wins += 1;
+            }
+        }
+        self.queue.on_map_complete(JobId(job));
+        let js = &mut self.jobs[job as usize];
+        js.completed_secs += self
+            .now
+            .saturating_since(js.started_at[task as usize])
+            .as_secs_f64();
+        js.maps_done += 1;
+        if js.maps_done as usize == js.blocks.len() {
+            let per_reducer = reduce_duration(
+                js.output_bytes,
+                js.reduces,
+                js.map_compute,
+                self.cfg.profile.network.mean(),
+                self.cfg.profile.disk.mean(),
+                self.cfg.dfs.replication_factor,
+            );
+            self.queue.retire_job(JobId(job));
+            for _ in 0..js.reduces {
+                self.pending_reduces.push_back((job, per_reducer));
+            }
+            self.fill_reduce_slots();
+        }
+        // Out-of-band heartbeat: the freed slot is offered immediately.
+        self.events.push(
+            self.now,
+            Ev::Heartbeat {
+                node,
+                periodic: false,
+            },
+        );
+    }
+
+    /// Hand pending reduce tasks to free reduce slots (FIFO, any node —
+    /// reducers pull from every map output, so placement has no locality).
+    fn fill_reduce_slots(&mut self) {
+        while let Some(&(job, dur)) = self.pending_reduces.front() {
+            let Some(node) = (0..self.free_reduce_slots.len())
+                .find(|&i| !self.dead[i] && self.free_reduce_slots[i] > 0)
+            else {
+                return;
+            };
+            self.pending_reduces.pop_front();
+            self.free_reduce_slots[node] -= 1;
+            self.events.push(
+                self.now + dur,
+                Ev::ReduceDone {
+                    node: node as u32,
+                    job,
+                },
+            );
+        }
+    }
+
+    fn on_reduce_done(&mut self, node: u32, job: u32) {
+        if !self.dead[node as usize] {
+            self.free_reduce_slots[node as usize] += 1;
+        }
+        let js = &mut self.jobs[job as usize];
+        js.reduces_done += 1;
+        if js.reduces_done == js.reduces {
+            let js = &self.jobs[job as usize];
+            self.outcomes.push(dare_metrics::JobOutcome {
+                id: job,
+                arrival: js.arrival,
+                completed: self.now,
+                maps: js.blocks.len() as u32,
+                node_local: js.node_local,
+                rack_local: js.rack_local,
+                remote: js.remote,
+                dedicated: js.dedicated,
+            });
+            self.finished += 1;
+        }
+        self.fill_reduce_slots();
+    }
+
+    /// Injected node failure: the node stops heartbeating forever, its
+    /// running/fetching map attempts are aborted and re-queued, transfers
+    /// touching it are cancelled, and the name node re-replicates the
+    /// blocks it held (dynamic replicas participate like primaries).
+    fn on_node_fail(&mut self, node: u32) {
+        if self.dead[node as usize] {
+            return;
+        }
+        self.dead[node as usize] = true;
+        self.free_map_slots[node as usize] = 0;
+        self.free_reduce_slots[node as usize] = 0;
+        self.active_local_reads[node as usize] = 0;
+
+        // Abort every attempt running (or fetching) on the dead node.
+        let victims: Vec<(u32, u32)> = std::mem::take(&mut self.running_on[node as usize]);
+        for (job, task) in victims {
+            self.abort_attempt(job, task);
+        }
+
+        // Fetches *sourced* from the dead node but running elsewhere: abort
+        // those attempts too (their stream broke mid-read); the freed slot
+        // comes back to the running node.
+        let broken: Vec<FlowId> = self
+            .fetches
+            .iter()
+            .filter(|(_, f)| f.src == node)
+            .map(|(&fid, _)| fid)
+            .collect();
+        for fid in broken {
+            let f = self.fetches[&fid];
+            self.abort_attempt(f.job, f.task);
+        }
+
+        // Proactive pushes to or from the dead node are cancelled; the next
+        // epoch reconciles.
+        let dead_pro: Vec<FlowId> = self
+            .proactive_flows
+            .iter()
+            .filter(|(_, t)| t.dst == node)
+            .map(|(&fid, _)| fid)
+            .collect();
+        for fid in dead_pro {
+            let t = self.proactive_flows.remove(&fid).expect("listed");
+            let bytes = self.dfs.namenode().block_size(t.block);
+            self.inflight_proactive[t.dst as usize] =
+                self.inflight_proactive[t.dst as usize].saturating_sub(bytes);
+            self.flows.cancel(self.now, fid);
+        }
+
+        // Name-node failure handling with instant re-replication onto live
+        // nodes (the repair traffic is off the experiment's critical path).
+        let live: Vec<NodeId> = (0..self.dead.len() as u32)
+            .filter(|&i| !self.dead[i as usize])
+            .map(NodeId)
+            .collect();
+        assert!(!live.is_empty(), "entire cluster failed");
+        self.dfs.fail_node(NodeId(node), &live, &mut self.fetch_rng);
+    }
+
+    /// Abort one task attempt (node failure): bump its attempt id so
+    /// in-flight events go stale, cancel its fetch flow if any, give the
+    /// slot back to a surviving runner, and re-queue the task.
+    fn abort_attempt(&mut self, job: u32, task: u32) {
+        let js = &mut self.jobs[job as usize];
+        js.attempts[task as usize] += 1;
+        let block = js.blocks[task as usize];
+        // Undo the aborted attempt's locality accounting; the re-execution
+        // records its own class when it launches.
+        match js.task_class[task as usize] {
+            Locality::NodeLocal => js.node_local -= 1,
+            Locality::RackLocal => js.rack_local -= 1,
+            Locality::Remote => js.remote -= 1,
+        }
+        self.reexecuted_tasks += 1;
+
+        // Cancel every in-flight fetch of this task (the original and any
+        // speculative duplicate), refunding surviving runners' slots.
+        let fetch_fids: Vec<FlowId> = self
+            .fetches
+            .iter()
+            .filter(|(_, f)| f.job == job && f.task == task)
+            .map(|(&fid, _)| fid)
+            .collect();
+        for fid in fetch_fids {
+            let f = self.fetches.remove(&fid).expect("listed fetch");
+            self.flows.cancel(self.now, fid);
+            self.running_on[f.node as usize].retain(|&(j, t)| !(j == job && t == task));
+            if !self.dead[f.node as usize] {
+                self.free_map_slots[f.node as usize] += 1;
+            }
+        }
+        // Attempts in their read/compute phase: clear every registry entry.
+        for n in 0..self.running_on.len() {
+            let before = self.running_on[n].len();
+            self.running_on[n].retain(|&(j, t)| !(j == job && t == task));
+            let removed = before - self.running_on[n].len();
+            if removed > 0 && !self.dead[n] {
+                self.free_map_slots[n] += removed as u32;
+            }
+        }
+        self.jobs[job as usize].live_attempts[task as usize] = 0;
+
+        // Put the task back in the scheduler's pending set.
+        let q = self
+            .queue
+            .job_mut(JobId(job))
+            .expect("job with a running attempt is still queued");
+        q.running_maps = q.running_maps.saturating_sub(1);
+        q.pending.push(PendingTask {
+            task: TaskId(task),
+            block,
+        });
+    }
+
+    /// Epoch boundary of the proactive baseline: re-derive desired extra
+    /// replica counts from the epoch's accesses, push missing replicas over
+    /// the network, and age out replicas of files that cooled down.
+    fn on_epoch(&mut self) {
+        let Some(mut sc) = self.scarlett.take() else {
+            return;
+        };
+        sc.close_epoch();
+        let num_files = self.dfs.namenode().num_files();
+        for fi in 0..num_files {
+            let file = dare_dfs::FileId(fi as u32);
+            let desired = sc.desired_for(file);
+            let blocks = self.dfs.namenode().file(file).blocks.clone();
+            for b in blocks {
+                self.reconcile_block(&mut sc, b, desired);
+            }
+        }
+        self.events.push(self.now + sc.cfg.epoch, Ev::Epoch);
+        self.scarlett = Some(sc);
+        self.schedule_netcheck();
+    }
+
+    /// Bring one block's dynamic-replica count toward `desired`: push
+    /// missing copies to the least-loaded nodes with budget headroom, or
+    /// evict surplus copies from the most-loaded ones.
+    fn reconcile_block(&mut self, sc: &mut ScarlettState, b: BlockId, desired: u32) {
+        let bytes = self.dfs.namenode().block_size(b);
+        let n = self.dfs.datanodes().len();
+        let holders: Vec<u32> = (0..n as u32)
+            .filter(|&i| self.dfs.datanode(NodeId(i)).holds_dynamic(b))
+            .collect();
+        let inflight_for_block = self
+            .proactive_flows
+            .values()
+            .filter(|t| t.block == b)
+            .count() as u32;
+        let current = holders.len() as u32 + inflight_for_block;
+
+        if current < desired {
+            // Targets: nodes without the block, enough budget headroom,
+            // least dynamic bytes first (load smoothing).
+            let mut candidates: Vec<(u64, u32)> = (0..n as u32)
+                .filter(|&i| {
+                    let node = NodeId(i);
+                    !self.dfs.is_physically_present(node, b)
+                        && self.dfs.datanode(node).dynamic_bytes()
+                            + self.inflight_proactive[i as usize]
+                            + bytes
+                            <= self.budget_bytes
+                })
+                .map(|i| {
+                    (
+                        self.dfs.datanode(NodeId(i)).dynamic_bytes()
+                            + self.inflight_proactive[i as usize],
+                        i,
+                    )
+                })
+                .collect();
+            candidates.sort_unstable();
+            for &(_, dst) in candidates.iter().take((desired - current) as usize) {
+                let src = self.pick_source(b, NodeId(dst));
+                let cross = self.dfs.topology().crosses_racks(src, NodeId(dst));
+                let fid = self.flows.start(self.now, src, NodeId(dst), bytes, cross);
+                self.proactive_flows
+                    .insert(fid, ProactiveTransfer { block: b, dst });
+                self.inflight_proactive[dst as usize] += bytes;
+                sc.bytes_moved += bytes;
+            }
+        } else if current > desired {
+            // Age out surplus replicas from the most-loaded holders.
+            let mut by_load: Vec<(u64, u32)> = holders
+                .iter()
+                .map(|&i| (self.dfs.datanode(NodeId(i)).dynamic_bytes(), i))
+                .collect();
+            by_load.sort_unstable_by(|a, b| b.cmp(a));
+            let surplus = (holders.len() as u32).saturating_sub(desired) as usize;
+            for &(_, node) in by_load.iter().take(surplus) {
+                if self.dfs.evict_dynamic(NodeId(node), b) {
+                    sc.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// A proactive push finished: commit the replica.
+    fn on_proactive_done(&mut self, pt: ProactiveTransfer) {
+        let bytes = self.dfs.namenode().block_size(pt.block);
+        self.inflight_proactive[pt.dst as usize] =
+            self.inflight_proactive[pt.dst as usize].saturating_sub(bytes);
+        if self.dfs.insert_dynamic(self.now, NodeId(pt.dst), pt.block) {
+            if let Some(sc) = self.scarlett.as_mut() {
+                sc.replicas_created += 1;
+            }
+        }
+    }
+
+    fn finish(mut self) -> SimResult {
+        self.outcomes.sort_by_key(|o| o.id);
+        let run = dare_metrics::summarize(&self.outcomes);
+        let mut replicas_created = 0;
+        let mut evictions = 0;
+        let mut skipped_by_sampling = 0;
+        let mut skipped_no_victim = 0;
+        for p in &self.policies {
+            let s = p.stats();
+            replicas_created += s.replicas_created;
+            evictions += s.evictions;
+            skipped_by_sampling += s.skipped_by_sampling;
+            skipped_no_victim += s.skipped_no_victim;
+        }
+        let cv_after = popularity_cv_of(&self.dfs, &self.file_popularity);
+        let proactive = self.scarlett.as_ref().map(|sc| ProactiveStats {
+            bytes_moved: sc.bytes_moved,
+            replicas_created: sc.replicas_created,
+            evictions: sc.evictions,
+        });
+        let _ = &self.workload_name;
+        SimResult {
+            blocks_per_job: dare_metrics::blocks_created_per_job(
+                replicas_created,
+                self.outcomes.len(),
+            ),
+            run,
+            outcomes: self.outcomes,
+            replicas_created,
+            evictions,
+            skipped_by_sampling,
+            skipped_no_victim,
+            cv_before: self.cv_before,
+            cv_after,
+            final_dynamic_bytes: self.dfs.total_dynamic_bytes(),
+            remote_bytes_fetched: self.remote_bytes_fetched,
+            proactive,
+            reexecuted_tasks: self.reexecuted_tasks,
+            speculative_launches: self.speculative_launches,
+            speculative_wins: self.speculative_wins,
+            timeline: if self.cfg.record_timeline {
+                Some(self.timeline)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Modeled shuffle + reduce duration: each of the `reduces` reducers pulls
+/// its share of the job's output over the fabric (at roughly half the mean
+/// NIC rate, reflecting the many-to-many shuffle), spends half a map's
+/// compute merging it, then commits its partition through an HDFS write
+/// pipeline whose steady-state rate is the min of mean disk and NIC rates
+/// (see `dare_dfs::pipeline`; the replication chain re-sends the bytes
+/// `replication - 1` times through NICs of that rate).
+fn reduce_duration(
+    output_bytes: u64,
+    reduces: u32,
+    map_compute: SimDuration,
+    net_mean_mbps: f64,
+    disk_mean_mbps: f64,
+    replication: u32,
+) -> SimDuration {
+    let per_reducer = output_bytes as f64 / reduces.max(1) as f64;
+    let shuffle_secs = per_reducer / (net_mean_mbps * 0.5 * MB as f64);
+    // First replica is a local write; each further replica adds a network
+    // hop, so the chain rate is min(disk, nic) and hops are pipelined —
+    // duration stays bytes/chain_rate regardless of replica count >= 2.
+    let chain_rate = if replication <= 1 {
+        disk_mean_mbps
+    } else {
+        disk_mean_mbps.min(net_mean_mbps)
+    };
+    let write_secs = per_reducer / (chain_rate * MB as f64);
+    SimDuration::from_secs_f64(shuffle_secs + write_secs) + map_compute.mul_f64(0.5)
+}
+
+/// Fig. 11's uniformity score over the current DFS placement.
+fn popularity_cv_of(dfs: &Dfs, file_popularity: &[f64]) -> f64 {
+    let per_node: Vec<Vec<(u64, f64)>> = dfs
+        .datanodes()
+        .iter()
+        .map(|dn| {
+            dn.all_blocks()
+                .into_iter()
+                .map(|b| {
+                    let meta = dfs.namenode().block(b);
+                    (meta.size_bytes, file_popularity[meta.file.idx()])
+                })
+                .collect()
+        })
+        .collect();
+    dare_metrics::popularity_cv(&per_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dare_core::PolicyKind;
+    use dare_workload::{FileSpec, JobSpec};
+
+    /// A small deterministic workload: `files` files of `blocks` blocks,
+    /// `jobs` jobs hammering file 0 mostly (high skew).
+    fn tiny_workload(files: usize, blocks: u64, jobs: u32) -> Workload {
+        let bs = 128 * MB;
+        let file_specs: Vec<FileSpec> = (0..files)
+            .map(|i| FileSpec {
+                name: format!("f{i}"),
+                size_bytes: blocks * bs,
+            })
+            .collect();
+        let job_specs: Vec<JobSpec> = (0..jobs)
+            .map(|id| JobSpec {
+                id,
+                arrival: SimTime::from_secs(id as u64 * 10),
+                file: if id % 4 == 0 { (id as usize / 4) % files } else { 0 },
+                map_compute: SimDuration::from_secs(20),
+                reduces: 1,
+                output_bytes: 10 * MB,
+            })
+            .collect();
+        Workload {
+            name: "tiny".into(),
+            files: file_specs,
+            jobs: job_specs,
+        }
+    }
+
+    fn run_cfg(policy: PolicyKind, sched: SchedulerKind, seed: u64) -> SimResult {
+        let mut cfg = SimConfig::cct(policy, sched, seed);
+        // The test dataset is tiny (24 blocks over 19 nodes); at the paper's
+        // 0.2 budget a node's budget would be smaller than one block, so use
+        // a full-share budget to exercise the replication paths.
+        cfg.budget_frac = 1.0;
+        crate::run(cfg, &tiny_workload(8, 3, 40))
+    }
+
+    #[test]
+    fn all_jobs_complete_and_metrics_sane() {
+        let r = run_cfg(PolicyKind::Vanilla, SchedulerKind::Fifo, 1);
+        assert_eq!(r.run.jobs, 40);
+        assert_eq!(r.run.maps, 120);
+        assert!((0.0..=1.0).contains(&r.run.locality));
+        assert!(r.run.gmtt_secs > 0.0);
+        assert!(r.run.mean_slowdown >= 0.99, "slowdown {}", r.run.mean_slowdown);
+        assert!(r.run.makespan_secs > 0.0);
+        // locality counters per job sum to maps
+        for o in &r.outcomes {
+            assert_eq!(o.node_local + o.rack_local + o.remote, o.maps);
+        }
+    }
+
+    #[test]
+    fn vanilla_creates_no_replicas() {
+        let r = run_cfg(PolicyKind::Vanilla, SchedulerKind::Fifo, 2);
+        assert_eq!(r.replicas_created, 0);
+        assert_eq!(r.final_dynamic_bytes, 0);
+        assert_eq!(r.blocks_per_job, 0.0);
+    }
+
+    #[test]
+    fn greedy_replicates_and_improves_locality() {
+        let v = run_cfg(PolicyKind::Vanilla, SchedulerKind::Fifo, 3);
+        let d = run_cfg(PolicyKind::GreedyLru, SchedulerKind::Fifo, 3);
+        assert!(d.replicas_created > 0, "greedy must replicate");
+        assert!(
+            d.run.locality > v.run.locality + 0.1,
+            "DARE {} vs vanilla {}",
+            d.run.locality,
+            v.run.locality
+        );
+    }
+
+    #[test]
+    fn elephant_trap_replicates_less_than_greedy() {
+        let g = run_cfg(PolicyKind::GreedyLru, SchedulerKind::Fifo, 4);
+        let e = run_cfg(
+            PolicyKind::ElephantTrap { p: 0.3, threshold: 1 },
+            SchedulerKind::Fifo,
+            4,
+        );
+        assert!(e.replicas_created > 0);
+        assert!(
+            e.replicas_created < g.replicas_created,
+            "sampling cuts writes: et={} lru={}",
+            e.replicas_created,
+            g.replicas_created
+        );
+    }
+
+    #[test]
+    fn fair_scheduler_beats_fifo_locality_on_vanilla() {
+        let f = run_cfg(PolicyKind::Vanilla, SchedulerKind::Fifo, 5);
+        let d = run_cfg(PolicyKind::Vanilla, SchedulerKind::fair_default(), 5);
+        assert!(
+            d.run.locality > f.run.locality,
+            "delay scheduling helps: fair={} fifo={}",
+            d.run.locality,
+            f.run.locality
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_cfg(PolicyKind::elephant_default(), SchedulerKind::Fifo, 7);
+        let b = run_cfg(PolicyKind::elephant_default(), SchedulerKind::Fifo, 7);
+        assert_eq!(a.run.locality, b.run.locality);
+        assert_eq!(a.run.gmtt_secs, b.run.gmtt_secs);
+        assert_eq!(a.replicas_created, b.replicas_created);
+        let c = run_cfg(PolicyKind::elephant_default(), SchedulerKind::Fifo, 8);
+        assert!(
+            a.run.gmtt_secs != c.run.gmtt_secs || a.replicas_created != c.replicas_created,
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn ec2_profile_runs() {
+        let cfg = SimConfig::ec2(PolicyKind::elephant_default(), SchedulerKind::Fifo, 9);
+        let r = crate::run(cfg, &tiny_workload(8, 3, 20));
+        assert_eq!(r.run.jobs, 20);
+        assert!((0.0..=1.0).contains(&r.run.locality));
+    }
+
+    #[test]
+    fn turnaround_improves_with_replication_under_load() {
+        // Heavier load so remote-read contention matters.
+        let w = tiny_workload(6, 4, 60);
+        let v = crate::run(
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 10),
+            &w,
+        );
+        let d = crate::run(
+            SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, 10),
+            &w,
+        );
+        assert!(
+            d.run.gmtt_secs <= v.run.gmtt_secs * 1.02,
+            "replication shouldn't hurt turnaround: dare {} vanilla {}",
+            d.run.gmtt_secs,
+            v.run.gmtt_secs
+        );
+    }
+
+    #[test]
+    fn node_failures_reexecute_tasks_and_finish_all_jobs() {
+        let wl = tiny_workload(8, 3, 40);
+        // Fail three nodes while the trace is in full swing.
+        let cfg = SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, 31)
+            .with_failures(vec![(40, 2), (90, 7), (150, 11)]);
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs, 40, "every job completes despite failures");
+        for o in &r.outcomes {
+            assert_eq!(o.node_local + o.rack_local + o.remote, o.maps);
+        }
+        assert!((0.0..=1.0).contains(&r.run.locality));
+    }
+
+    #[test]
+    fn failures_are_deterministic_too() {
+        let wl = tiny_workload(8, 3, 30);
+        let run = || {
+            let cfg = SimConfig::cct(
+                PolicyKind::elephant_default(),
+                SchedulerKind::fair_default(),
+                77,
+            )
+            .with_failures(vec![(30, 0), (60, 5)]);
+            crate::run(cfg, &wl)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.run.gmtt_secs, b.run.gmtt_secs);
+        assert_eq!(a.replicas_created, b.replicas_created);
+    }
+
+    #[test]
+    fn failed_node_serves_no_further_tasks() {
+        let wl = tiny_workload(6, 2, 30);
+        let cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 13)
+            .with_failures(vec![(1, 4)]);
+        let mut engine = Engine::new(cfg, &wl);
+        let total_jobs = engine.jobs.len();
+        while engine.finished < total_jobs {
+            let (t, ev) = engine.events.pop().expect("events pending");
+            engine.now = t;
+            let was_heartbeat = matches!(ev, Ev::Heartbeat { .. });
+            engine.dispatch(ev);
+            if was_heartbeat && t > SimTime::from_secs(1) {
+                assert!(
+                    engine.running_on[4].is_empty(),
+                    "dead node must not run tasks after failing"
+                );
+            }
+        }
+        assert!(engine.reexecuted_tasks <= wl.jobs.len() as u64 * 3);
+    }
+
+    #[test]
+    fn failure_with_scarlett_stays_consistent() {
+        let wl = tiny_workload(8, 3, 40);
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 15)
+            .with_scarlett(crate::scarlett::ScarlettConfig {
+                epoch: SimDuration::from_secs(30),
+                accesses_per_replica: 2.0,
+                max_extra_replicas: 8,
+            })
+            .with_failures(vec![(45, 3), (100, 9)]);
+        cfg.budget_frac = 1.0;
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs, 40);
+        assert!(r.proactive.expect("scarlett ran").replicas_created > 0);
+    }
+
+    #[test]
+    fn degraded_node_slows_and_speculation_rescues() {
+        let wl = tiny_workload(8, 3, 40);
+        // Node 3 limps at 8x from t=10s.
+        let degraded = crate::run(
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 51)
+                .with_degradations(vec![(10, 3, 8.0)]),
+            &wl,
+        );
+        let healthy = crate::run(
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 51),
+            &wl,
+        );
+        assert!(
+            degraded.run.gmtt_secs > healthy.run.gmtt_secs * 1.02,
+            "limplock must hurt: degraded {} healthy {}",
+            degraded.run.gmtt_secs,
+            healthy.run.gmtt_secs
+        );
+        // Speculation claws most of it back.
+        let rescued = crate::run(
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 51)
+                .with_degradations(vec![(10, 3, 8.0)])
+                .with_speculation(crate::config::SpeculationConfig {
+                    slowdown_factor: 1.5,
+                    min_elapsed_secs: 3.0,
+                }),
+            &wl,
+        );
+        assert!(rescued.speculative_launches > 0);
+        assert!(
+            rescued.run.gmtt_secs < degraded.run.gmtt_secs,
+            "speculation helps: rescued {} degraded {}",
+            rescued.run.gmtt_secs,
+            degraded.run.gmtt_secs
+        );
+    }
+
+    #[test]
+    fn degradation_rejects_bad_factor() {
+        let result = std::panic::catch_unwind(|| {
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1)
+                .with_degradations(vec![(10, 0, 0.5)])
+        });
+        assert!(result.is_err(), "factor < 1 must be rejected");
+    }
+
+    #[test]
+    fn speculation_launches_backups_on_straggling_cluster() {
+        // EC2 profile: per-node disk bandwidth varies 67-358 MB/s, so slow
+        // nodes straggle and speculation fires.
+        let wl = tiny_workload(8, 4, 40);
+        let cfg = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::Fifo, 41)
+            .with_speculation(crate::config::SpeculationConfig {
+                slowdown_factor: 1.2,
+                min_elapsed_secs: 2.0,
+            });
+        let mut engine = Engine::new(cfg, &wl);
+        let total = engine.jobs.len();
+        while engine.finished < total {
+            let (t, ev) = engine.events.pop().expect("events pending");
+            engine.now = t;
+            engine.dispatch(ev);
+        }
+        assert!(
+            engine.speculative_launches > 0,
+            "heterogeneous disks must trigger backups"
+        );
+        // Slots never leak: every node ends with its full slot count.
+        for (i, &slots) in engine.free_map_slots.iter().enumerate() {
+            assert_eq!(
+                slots,
+                engine.cfg.profile.map_slots_per_node,
+                "node {i} leaked slots"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_does_not_change_job_counts_or_violate_invariants() {
+        let wl = tiny_workload(6, 3, 30);
+        let base = crate::run(
+            SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, 43),
+            &wl,
+        );
+        let spec = crate::run(
+            SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, 43)
+                .with_speculation(Default::default()),
+            &wl,
+        );
+        assert_eq!(base.run.jobs, spec.run.jobs);
+        for o in &spec.outcomes {
+            assert_eq!(o.node_local + o.rack_local + o.remote, o.maps);
+        }
+        // Backups can only help or match turnaround on a deterministic rig.
+        assert!(spec.run.gmtt_secs <= base.run.gmtt_secs * 1.10);
+    }
+
+    #[test]
+    fn speculation_with_failures_is_stable() {
+        let wl = tiny_workload(8, 3, 40);
+        let cfg = SimConfig::ec2(PolicyKind::elephant_default(), SchedulerKind::fair_default(), 47)
+            .with_speculation(Default::default())
+            .with_failures(vec![(30, 1), (70, 8), (110, 42)]);
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs, 40);
+        for o in &r.outcomes {
+            assert_eq!(o.node_local + o.rack_local + o.remote, o.maps);
+        }
+    }
+
+    #[test]
+    fn timeline_records_every_attempt_with_monotone_milestones() {
+        let wl = tiny_workload(8, 3, 30);
+        let mut cfg = SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, 61);
+        cfg.record_timeline = true;
+        let r = crate::run(cfg, &wl);
+        let tl = r.timeline.as_ref().expect("timeline recorded");
+        // No failures/speculation: exactly one attempt per map task.
+        assert_eq!(tl.len() as u64, r.run.maps);
+        for rec in tl {
+            assert!(!rec.speculative);
+            assert_eq!(rec.attempt, 0);
+            let read = rec.read_done.expect("attempt finished its read");
+            let fin = rec.finished.expect("attempt completed");
+            assert!(rec.launched <= read && read <= fin);
+        }
+        // Local-read attempts in the timeline match the locality metric.
+        let local = tl.iter().filter(|t| t.local_read).count() as u64;
+        let metric_local: u64 = r.outcomes.iter().map(|o| o.node_local as u64).sum();
+        assert_eq!(local, metric_local);
+        // CSV export is well-formed.
+        let csv = crate::result::timeline_csv(tl);
+        assert_eq!(csv.lines().count(), tl.len() + 1);
+        assert!(csv.starts_with("job,task,attempt,node"));
+    }
+
+    #[test]
+    fn timeline_includes_failed_and_speculative_attempts() {
+        let wl = tiny_workload(8, 3, 30);
+        let mut cfg = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::Fifo, 62)
+            .with_failures(vec![(25, 5)])
+            .with_speculation(crate::config::SpeculationConfig {
+                slowdown_factor: 1.2,
+                min_elapsed_secs: 2.0,
+            });
+        cfg.record_timeline = true;
+        let r = crate::run(cfg, &wl);
+        let tl = r.timeline.as_ref().expect("timeline recorded");
+        assert!(
+            tl.len() as u64 >= r.run.maps,
+            "extra attempts appear in the timeline"
+        );
+        let aborted = tl.iter().filter(|t| t.finished.is_none()).count() as u64;
+        assert!(
+            aborted <= r.reexecuted_tasks + r.speculative_launches,
+            "unfinished rows only from aborts/races"
+        );
+        if r.speculative_launches > 0 {
+            assert!(tl.iter().any(|t| t.speculative));
+        }
+        // By default the timeline is absent.
+        let plain = crate::run(SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1), &wl);
+        assert!(plain.timeline.is_none());
+    }
+
+    #[test]
+    fn scarlett_replicates_proactively_and_improves_locality() {
+        let wl = tiny_workload(8, 3, 40);
+        let vanilla = crate::run(
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 21),
+            &wl,
+        );
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 21)
+            .with_scarlett(crate::scarlett::ScarlettConfig {
+                epoch: SimDuration::from_secs(30),
+                accesses_per_replica: 2.0,
+                max_extra_replicas: 12,
+            });
+        cfg.budget_frac = 1.0;
+        let scar = crate::run(cfg, &wl);
+        let stats = scar.proactive.expect("scarlett stats present");
+        assert!(stats.replicas_created > 0, "proactive replication happened");
+        assert!(stats.bytes_moved > 0, "proactive replication costs network");
+        assert!(
+            scar.run.job_locality > vanilla.run.job_locality,
+            "scarlett {} vs vanilla {}",
+            scar.run.job_locality,
+            vanilla.run.job_locality
+        );
+        // DARE's counters stay at zero: only the proactive scheme ran.
+        assert_eq!(scar.replicas_created, 0);
+        assert!(vanilla.proactive.is_none());
+    }
+
+    #[test]
+    fn scarlett_ages_out_cooled_files() {
+        // Hot phase on file 0, then a quiet tail: desired counts fall to
+        // zero at the next epoch and the replicas get evicted.
+        let bs = 128 * MB;
+        let files: Vec<dare_workload::FileSpec> = (0..4)
+            .map(|i| dare_workload::FileSpec {
+                name: format!("f{i}"),
+                size_bytes: 2 * bs,
+            })
+            .collect();
+        let mut jobs: Vec<dare_workload::JobSpec> = (0..30u32)
+            .map(|id| dare_workload::JobSpec {
+                id,
+                arrival: SimTime::from_secs(id as u64 * 3),
+                file: 0,
+                map_compute: SimDuration::from_secs(5),
+                reduces: 1,
+                output_bytes: MB,
+            })
+            .collect();
+        // Long-delayed closing job so several quiet epochs elapse.
+        jobs.push(dare_workload::JobSpec {
+            id: 30,
+            arrival: SimTime::from_secs(1200),
+            file: 1,
+            map_compute: SimDuration::from_secs(5),
+            reduces: 1,
+            output_bytes: MB,
+        });
+        let wl = Workload {
+            name: "cooling".into(),
+            files,
+            jobs,
+        };
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 5)
+            .with_scarlett(crate::scarlett::ScarlettConfig {
+                epoch: SimDuration::from_secs(60),
+                accesses_per_replica: 2.0,
+                max_extra_replicas: 8,
+            });
+        cfg.budget_frac = 1.0;
+        let r = crate::run(cfg, &wl);
+        let stats = r.proactive.expect("scarlett stats");
+        assert!(stats.replicas_created > 0);
+        assert!(
+            stats.evictions > 0,
+            "cooled file's replicas must be aged out"
+        );
+        assert!(
+            r.final_dynamic_bytes < stats.replicas_created * 2 * bs,
+            "not all proactive replicas survive to the end"
+        );
+    }
+
+    #[test]
+    fn cv_after_not_worse_with_dare() {
+        // Greedy converges fastest on 40 jobs; the sampled policy needs the
+        // full 500-job traces (Fig. 11) to spread the hot file everywhere.
+        let r = run_cfg(PolicyKind::GreedyLru, SchedulerKind::Fifo, 11);
+        assert!(r.cv_before > 0.0);
+        assert!(
+            r.cv_after <= r.cv_before * 1.05,
+            "placement uniformity: before {} after {}",
+            r.cv_before,
+            r.cv_after
+        );
+    }
+}

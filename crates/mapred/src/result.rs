@@ -1,0 +1,122 @@
+//! Results of one simulation run.
+
+use dare_metrics::{JobOutcome, RunMetrics};
+use dare_simcore::SimTime;
+
+/// Everything the experiments read out of a finished run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Aggregate run metrics (locality, GMTT, slowdown, ...).
+    pub run: RunMetrics,
+    /// Per-job outcomes (for CDFs and significance checks).
+    pub outcomes: Vec<JobOutcome>,
+    /// Dynamic replicas created across all nodes — each one is a disk
+    /// write, so this is also the thrashing cost axis.
+    pub replicas_created: u64,
+    /// Dynamic replicas evicted across all nodes.
+    pub evictions: u64,
+    /// Non-local tasks the sampling coin ignored (ElephantTrap only).
+    pub skipped_by_sampling: u64,
+    /// Replications abandoned for lack of an eviction victim.
+    pub skipped_no_victim: u64,
+    /// Average dynamically replicated blocks per job (Figs. 8-9).
+    pub blocks_per_job: f64,
+    /// Popularity-index coefficient of variation after ingest, before any
+    /// job ran ("Before DARE" in Fig. 11).
+    pub cv_before: f64,
+    /// Popularity-index coefficient of variation at the end of the run
+    /// ("After DARE").
+    pub cv_after: f64,
+    /// Bytes held in dynamic replicas at the end of the run.
+    pub final_dynamic_bytes: u64,
+    /// Remote bytes moved over the network for map input fetches.
+    pub remote_bytes_fetched: u64,
+    /// Stats of the proactive (Scarlett) baseline, when enabled.
+    pub proactive: Option<ProactiveStats>,
+    /// Map attempts re-executed because their node (or fetch source) died.
+    pub reexecuted_tasks: u64,
+    /// Speculative backup attempts launched.
+    pub speculative_launches: u64,
+    /// Task races resolved while a duplicate attempt was still running.
+    pub speculative_wins: u64,
+    /// Per-attempt timeline, when `SimConfig::record_timeline` is set.
+    pub timeline: Option<Vec<TaskRecord>>,
+}
+
+/// One map-task attempt's lifecycle (timeline tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Job index.
+    pub job: u32,
+    /// Task index within the job.
+    pub task: u32,
+    /// Attempt id.
+    pub attempt: u32,
+    /// Node the attempt ran on.
+    pub node: u32,
+    /// True for a speculative backup attempt.
+    pub speculative: bool,
+    /// True when the input was read from local disk.
+    pub local_read: bool,
+    /// Launch time.
+    pub launched: SimTime,
+    /// Input-read completion (None if the attempt was aborted mid-read).
+    pub read_done: Option<SimTime>,
+    /// Completion (None if aborted or if it lost a speculation race and
+    /// its result was discarded before finishing).
+    pub finished: Option<SimTime>,
+}
+
+/// Render a timeline as CSV (one row per attempt).
+pub fn timeline_csv(records: &[TaskRecord]) -> String {
+    let mut s = String::from(
+        "job,task,attempt,node,speculative,local_read,launched_s,read_done_s,finished_s\n",
+    );
+    for r in records {
+        let opt = |t: Option<SimTime>| {
+            t.map(|t| format!("{:.3}", t.as_secs_f64()))
+                .unwrap_or_default()
+        };
+        s.push_str(&format!(
+            "{},{},{},{},{},{},{:.3},{},{}\n",
+            r.job,
+            r.task,
+            r.attempt,
+            r.node,
+            r.speculative,
+            r.local_read,
+            r.launched.as_secs_f64(),
+            opt(r.read_done),
+            opt(r.finished),
+        ));
+    }
+    s
+}
+
+/// Counters of the epoch-based proactive replicator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProactiveStats {
+    /// Bytes pushed over the network for proactive replication — the
+    /// explicit cost DARE avoids by piggybacking on existing fetches.
+    pub bytes_moved: u64,
+    /// Proactive replicas created.
+    pub replicas_created: u64,
+    /// Replicas aged out at epoch boundaries.
+    pub evictions: u64,
+}
+
+impl SimResult {
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "jobs={} locality={:.3} gmtt={:.1}s slowdown={:.2} replicas={} evictions={} blocks/job={:.2}",
+            self.run.jobs,
+            self.run.locality,
+            self.run.gmtt_secs,
+            self.run.mean_slowdown,
+            self.replicas_created,
+            self.evictions,
+            self.blocks_per_job,
+        )
+    }
+}

@@ -1,0 +1,228 @@
+//! # dare-metrics — the paper's evaluation metrics
+//!
+//! Pure functions from simulation outcomes to the numbers Section V
+//! reports:
+//!
+//! * **data locality** — fraction of map tasks that ran node-local
+//!   (Figs. 7a, 8, 9, 10a);
+//! * **GMTT** — geometric mean of job turnaround times, Eq. 1 (Figs. 7b,
+//!   10b), plus the vanilla-normalized form the figures actually plot;
+//! * **slowdown** — turnaround on the loaded cluster divided by the
+//!   runtime on a dedicated, 100 %-local cluster (Figs. 7c, 10c);
+//! * **popularity-index coefficient of variation** — the replica-placement
+//!   uniformity score of Fig. 11;
+//! * **blocks created per job** — the replication-cost axis of Figs. 8-9.
+
+#![warn(missing_docs)]
+
+use dare_simcore::stats::{coefficient_of_variation, geometric_mean, quantile};
+use dare_simcore::{SimDuration, SimTime};
+
+/// Everything recorded about one finished job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: u32,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Completion time (last reduce done).
+    pub completed: SimTime,
+    /// Total map tasks.
+    pub maps: u32,
+    /// Map tasks that ran node-local.
+    pub node_local: u32,
+    /// Map tasks that ran rack-local (not node-local).
+    pub rack_local: u32,
+    /// Map tasks that read off-rack.
+    pub remote: u32,
+    /// Analytic runtime on a dedicated cluster with 100 % locality
+    /// (the paper's slowdown denominator).
+    pub dedicated: SimDuration,
+}
+
+impl JobOutcome {
+    /// Turnaround time: completion − arrival.
+    pub fn turnaround(&self) -> SimDuration {
+        self.completed.saturating_since(self.arrival)
+    }
+
+    /// Slowdown: turnaround / dedicated runtime (≥ 1 in a well-formed sim).
+    pub fn slowdown(&self) -> f64 {
+        let d = self.dedicated.as_secs_f64();
+        if d <= 0.0 {
+            1.0
+        } else {
+            self.turnaround().as_secs_f64() / d
+        }
+    }
+}
+
+/// Aggregate metrics over one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMetrics {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Map tasks executed.
+    pub maps: u64,
+    /// Fraction of map tasks that ran node-local ∈ [0, 1] (task-weighted).
+    pub locality: f64,
+    /// Mean over jobs of each job's node-local fraction — the paper's
+    /// "data locality of jobs" (Fig. 7a): small jobs count as much as
+    /// whales, which is exactly why FIFO scores so poorly on small-job
+    /// workloads.
+    pub job_locality: f64,
+    /// Fraction of map tasks at least rack-local.
+    pub rack_or_better: f64,
+    /// Geometric mean turnaround time, seconds (Eq. 1).
+    pub gmtt_secs: f64,
+    /// Mean slowdown.
+    pub mean_slowdown: f64,
+    /// Median job slowdown.
+    pub p50_slowdown: f64,
+    /// 95th-percentile job slowdown (the straggler tail DARE shortens).
+    pub p95_slowdown: f64,
+    /// Makespan: last completion, seconds.
+    pub makespan_secs: f64,
+}
+
+/// Reduce a set of job outcomes to run-level metrics.
+pub fn summarize(outcomes: &[JobOutcome]) -> RunMetrics {
+    assert!(!outcomes.is_empty(), "no jobs completed");
+    let maps: u64 = outcomes.iter().map(|o| o.maps as u64).sum();
+    let local: u64 = outcomes.iter().map(|o| o.node_local as u64).sum();
+    let rack: u64 = outcomes.iter().map(|o| o.rack_local as u64).sum();
+    let tts: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.turnaround().as_secs_f64())
+        .collect();
+    let slowdowns: Vec<f64> = outcomes.iter().map(|o| o.slowdown()).collect();
+    let job_locality = outcomes
+        .iter()
+        .map(|o| o.node_local as f64 / o.maps.max(1) as f64)
+        .sum::<f64>()
+        / outcomes.len() as f64;
+    RunMetrics {
+        jobs: outcomes.len(),
+        maps,
+        locality: local as f64 / maps.max(1) as f64,
+        job_locality,
+        rack_or_better: (local + rack) as f64 / maps.max(1) as f64,
+        gmtt_secs: geometric_mean(&tts),
+        mean_slowdown: slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
+        p50_slowdown: quantile(&slowdowns, 0.5),
+        p95_slowdown: quantile(&slowdowns, 0.95),
+        makespan_secs: outcomes
+            .iter()
+            .map(|o| o.completed.as_secs_f64())
+            .fold(0.0, f64::max),
+    }
+}
+
+/// GMTT of `run` normalized by the vanilla baseline (what Figs. 7b and 10b
+/// plot: vanilla = 1.0, smaller is better).
+pub fn normalized_gmtt(run: &RunMetrics, vanilla: &RunMetrics) -> f64 {
+    if vanilla.gmtt_secs <= 0.0 {
+        return 1.0;
+    }
+    run.gmtt_secs / vanilla.gmtt_secs
+}
+
+/// Popularity index of one data node:
+/// `PI_i = Σ_j blockSize_j × blockPopularity_j` over the blocks `j`
+/// resident on node `i` (Section V-A).
+pub fn popularity_index(blocks: &[(u64, f64)]) -> f64 {
+    blocks
+        .iter()
+        .map(|&(bytes, pop)| bytes as f64 * pop)
+        .sum()
+}
+
+/// Coefficient of variation of the per-node popularity indices — Fig. 11's
+/// uniformity measure (smaller = more uniform placement).
+pub fn popularity_cv(per_node_blocks: &[Vec<(u64, f64)>]) -> f64 {
+    let pis: Vec<f64> = per_node_blocks
+        .iter()
+        .map(|b| popularity_index(b))
+        .collect();
+    coefficient_of_variation(&pis)
+}
+
+/// Average dynamically replicated blocks per job (Figs. 8-9 bottom panels).
+pub fn blocks_created_per_job(replicas_created: u64, jobs: usize) -> f64 {
+    replicas_created as f64 / jobs.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u32, arr: u64, done: u64, maps: u32, local: u32, ded: u64) -> JobOutcome {
+        JobOutcome {
+            id,
+            arrival: SimTime::from_secs(arr),
+            completed: SimTime::from_secs(done),
+            maps,
+            node_local: local,
+            rack_local: maps - local,
+            remote: 0,
+            dedicated: SimDuration::from_secs(ded),
+        }
+    }
+
+    #[test]
+    fn turnaround_and_slowdown() {
+        let o = outcome(0, 10, 40, 4, 2, 15);
+        assert_eq!(o.turnaround(), SimDuration::from_secs(30));
+        assert!((o.slowdown() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_aggregates() {
+        let outs = vec![outcome(0, 0, 10, 4, 4, 10), outcome(1, 0, 40, 4, 0, 10)];
+        let m = summarize(&outs);
+        assert_eq!(m.jobs, 2);
+        assert_eq!(m.maps, 8);
+        assert!((m.locality - 0.5).abs() < 1e-12);
+        assert!((m.job_locality - 0.5).abs() < 1e-12);
+        assert!((m.rack_or_better - 1.0).abs() < 1e-12);
+        assert!((m.gmtt_secs - 20.0).abs() < 1e-9, "gm(10,40)=20");
+        assert!((m.mean_slowdown - 2.5).abs() < 1e-12);
+        assert!(m.p50_slowdown <= m.p95_slowdown);
+        assert!((m.p95_slowdown - 3.85).abs() < 1e-9, "p95 {}", m.p95_slowdown);
+        assert_eq!(m.makespan_secs, 40.0);
+    }
+
+    #[test]
+    fn normalization_against_vanilla() {
+        let v = summarize(&[outcome(0, 0, 100, 1, 0, 50)]);
+        let d = summarize(&[outcome(0, 0, 80, 1, 1, 50)]);
+        assert!((normalized_gmtt(&d, &v) - 0.8).abs() < 1e-12);
+        assert!((normalized_gmtt(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_index_and_cv() {
+        // Two nodes with identical popularity mass: cv = 0.
+        let uniform = vec![vec![(100u64, 1.0)], vec![(50, 2.0)]];
+        assert!(popularity_cv(&uniform) < 1e-12);
+        // One hot node, one cold: cv large.
+        let skewed = vec![vec![(100u64, 10.0)], vec![(100, 0.1)]];
+        assert!(popularity_cv(&skewed) > 0.9);
+        assert_eq!(popularity_index(&[(10, 0.5), (20, 0.25)]), 10.0);
+    }
+
+    #[test]
+    fn zero_dedicated_slowdown_is_one() {
+        let o = JobOutcome {
+            dedicated: SimDuration::ZERO,
+            ..outcome(0, 0, 5, 1, 1, 1)
+        };
+        assert_eq!(o.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn blocks_per_job() {
+        assert!((blocks_created_per_job(100, 50) - 2.0).abs() < 1e-12);
+        assert_eq!(blocks_created_per_job(5, 0), 5.0);
+    }
+}

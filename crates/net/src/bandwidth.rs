@@ -1,0 +1,158 @@
+//! Disk and network bandwidth models (Table II).
+//!
+//! Table II of the paper (hdparm / iperf measurements, MB/s):
+//!
+//! | row | min | mean | max | std |
+//! |---|---|---|---|---|
+//! | CCT disk | 145.3 | 157.8 | 167.0 | 8.02 |
+//! | CCT network | 115.4 | 117.7 | 118.0 | 0.65 |
+//! | EC2 disk | 67.1 | 141.5 | 357.9 | 74.2 |
+//! | EC2 network | 5.8 | 73.2 | 109.9 | 16.9 |
+//!
+//! The paper's key observation: the network/disk bandwidth *ratio* is 74.6 %
+//! on CCT but only 51.75 % on EC2, so local reads buy more on EC2 — which is
+//! why DARE's turnaround gains are larger there (Section V-E).
+//!
+//! Disk bandwidth varies **across nodes** (hardware and noisy neighbours)
+//! but is stable per node over a run; network bandwidth varies **per
+//! transfer** (congestion, hypervisor scheduling). The models expose both
+//! sampling axes.
+
+use dare_simcore::dist::BoundedNormal;
+use dare_simcore::DetRng;
+
+/// A bandwidth distribution in MB/s: bounded normal per Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthModel {
+    dist: BoundedNormal,
+}
+
+impl BandwidthModel {
+    /// Construct from Table II-style statistics.
+    pub fn new(mean: f64, std: f64, min: f64, max: f64) -> Self {
+        BandwidthModel {
+            dist: BoundedNormal::new(mean, std, min, max),
+        }
+    }
+
+    /// CCT disk-read bandwidth.
+    pub fn cct_disk() -> Self {
+        Self::new(157.8, 8.02, 145.3, 167.0)
+    }
+
+    /// CCT node-to-node network bandwidth.
+    pub fn cct_network() -> Self {
+        Self::new(117.7, 0.65, 115.4, 118.0)
+    }
+
+    /// EC2 disk-read bandwidth (huge spread: idle vs contended hosts).
+    pub fn ec2_disk() -> Self {
+        Self::new(141.5, 74.2, 67.1, 357.9)
+    }
+
+    /// EC2 instance-to-instance network bandwidth.
+    pub fn ec2_network() -> Self {
+        Self::new(73.2, 16.9, 5.8, 109.9)
+    }
+
+    /// Mean of the underlying model, MB/s.
+    pub fn mean(&self) -> f64 {
+        self.dist.mean
+    }
+
+    /// One sample, MB/s.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.dist.sample(rng)
+    }
+
+    /// Sample a persistent per-node capacity vector (one draw per node) —
+    /// how disk bandwidth is assigned at cluster construction.
+    pub fn sample_per_node(&self, nodes: u32, rng: &mut DetRng) -> Vec<f64> {
+        (0..nodes).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Summary row of a bandwidth measurement campaign (what Table II prints).
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthSummary {
+    /// Minimum, MB/s.
+    pub min: f64,
+    /// Mean, MB/s.
+    pub mean: f64,
+    /// Maximum, MB/s.
+    pub max: f64,
+    /// Standard deviation, MB/s.
+    pub std: f64,
+}
+
+/// Run a measurement campaign of `samples` draws and summarize.
+pub fn campaign(model: &BandwidthModel, samples: u32, rng: &mut DetRng) -> BandwidthSummary {
+    let mut st = dare_simcore::stats::OnlineStats::new();
+    for _ in 0..samples {
+        st.push(model.sample(rng));
+    }
+    BandwidthSummary {
+        min: st.min(),
+        mean: st.mean(),
+        max: st.max(),
+        std: st.std(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaigns_match_table2_means() {
+        let mut rng = DetRng::new(11);
+        let rows = [
+            (BandwidthModel::cct_disk(), 157.8),
+            (BandwidthModel::cct_network(), 117.7),
+            (BandwidthModel::ec2_disk(), 141.5),
+            (BandwidthModel::ec2_network(), 73.2),
+        ];
+        for (model, want_mean) in rows {
+            let s = campaign(&model, 20_000, &mut rng);
+            assert!(
+                (s.mean - want_mean).abs() / want_mean < 0.05,
+                "mean {} vs {}",
+                s.mean,
+                want_mean
+            );
+            assert!(s.min >= model.dist.min && s.max <= model.dist.max);
+        }
+    }
+
+    #[test]
+    fn net_to_disk_ratio_lower_on_ec2() {
+        // The paper's Section II-B insight, which drives Section V-E.
+        let cct = BandwidthModel::cct_network().mean() / BandwidthModel::cct_disk().mean();
+        let ec2 = BandwidthModel::ec2_network().mean() / BandwidthModel::ec2_disk().mean();
+        assert!((cct - 0.746).abs() < 0.01, "cct ratio {cct}");
+        assert!((ec2 - 0.5175).abs() < 0.01, "ec2 ratio {ec2}");
+        assert!(cct > ec2);
+    }
+
+    #[test]
+    fn per_node_sampling_gives_stable_heterogeneous_capacities() {
+        let mut rng = DetRng::new(3);
+        let caps = BandwidthModel::ec2_disk().sample_per_node(100, &mut rng);
+        assert_eq!(caps.len(), 100);
+        let mut st = dare_simcore::stats::OnlineStats::new();
+        for &c in &caps {
+            assert!((67.1..=357.9).contains(&c));
+            st.push(c);
+        }
+        // EC2 disk is strongly heterogeneous across nodes.
+        assert!(st.std() > 30.0, "std {}", st.std());
+    }
+
+    #[test]
+    fn ec2_network_spread_wider_than_cct() {
+        let mut rng = DetRng::new(5);
+        let cct = campaign(&BandwidthModel::cct_network(), 10_000, &mut rng);
+        let ec2 = campaign(&BandwidthModel::ec2_network(), 10_000, &mut rng);
+        assert!(ec2.std > 10.0 * cct.std);
+    }
+}

@@ -1,0 +1,398 @@
+//! Flow-level network simulation with per-endpoint fair sharing.
+//!
+//! Remote block fetches (the thing DARE piggybacks on) contend for NIC
+//! bandwidth: when five map tasks on one node all read remote data, each
+//! fetch gets a fraction of the NIC. Packet-level simulation would be
+//! overkill; we use the classic *flow-level* model:
+//!
+//! * each active flow has a rate = `min(tx_share at src, rx_share at dst)`,
+//!   where a node's tx (rx) share is its NIC capacity divided by the number
+//!   of flows transmitting (receiving) there — full-duplex NICs, so tx and
+//!   rx pools are independent;
+//! * cross-rack flows are additionally divided by the fabric
+//!   **oversubscription factor** (Section V-B notes fabrics are frequently
+//!   oversubscribed across racks);
+//! * rates are piecewise-constant between flow arrivals/departures; on each
+//!   change the simulator advances all residual byte counts and recomputes.
+//!
+//! The MapReduce engine drives this by scheduling a "network check" event at
+//! [`FlowSim::next_completion`] and re-checking whenever flows start.
+
+use crate::topology::NodeId;
+use dare_simcore::SimTime;
+use std::collections::HashMap;
+
+/// Identifier of an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// Residual bytes below which a flow counts as finished (guards against
+/// floating-point dust after rate integration).
+const EPSILON_BYTES: f64 = 1e-3;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    src: NodeId,
+    dst: NodeId,
+    bytes_remaining: f64,
+    rate_bytes_per_sec: f64,
+    cross_rack: bool,
+}
+
+impl Flow {
+    /// Finished, allowing for clock-resolution dust: anything the flow
+    /// would move in under ~3 µs at its current rate counts as done.
+    fn is_done(&self) -> bool {
+        self.bytes_remaining <= EPSILON_BYTES
+            || self.bytes_remaining <= self.rate_bytes_per_sec * 3e-6
+    }
+}
+
+/// The flow-level simulator. All bandwidth in MB/s, sizes in bytes.
+///
+/// ```
+/// use dare_net::flow::FlowSim;
+/// use dare_net::{NodeId, MB};
+/// use dare_simcore::SimTime;
+///
+/// let mut sim = FlowSim::new(vec![100.0; 3], 1.0);
+/// // Two 100 MB fetches into the same receiver share its NIC:
+/// sim.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+/// sim.start(SimTime::ZERO, NodeId(1), NodeId(2), 100 * MB, false);
+/// let (t, _) = sim.next_completion().unwrap();
+/// assert!((t.as_secs_f64() - 2.0).abs() < 1e-3); // 50 MB/s each
+/// ```
+#[derive(Debug)]
+pub struct FlowSim {
+    /// Per-node NIC capacity, bytes/s (converted from MB/s at construction).
+    nic_bytes_per_sec: Vec<f64>,
+    /// Cross-rack flows see `capacity / oversub`.
+    oversub: f64,
+    flows: HashMap<u64, Flow>,
+    next_id: u64,
+    last_advance: SimTime,
+    /// Flows ever started (diagnostics).
+    total_started: u64,
+}
+
+impl FlowSim {
+    /// Build over per-node NIC capacities (MB/s) and a cross-rack
+    /// oversubscription factor (`>= 1`).
+    pub fn new(nic_capacity_mbps: Vec<f64>, oversub: f64) -> Self {
+        assert!(!nic_capacity_mbps.is_empty());
+        assert!(oversub >= 1.0, "oversubscription factor must be >= 1");
+        assert!(nic_capacity_mbps.iter().all(|&c| c > 0.0));
+        FlowSim {
+            nic_bytes_per_sec: nic_capacity_mbps
+                .iter()
+                .map(|c| c * crate::MB as f64)
+                .collect(),
+            oversub,
+            flows: HashMap::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            total_started: 0,
+        }
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows ever started.
+    pub fn total_started(&self) -> u64 {
+        self.total_started
+    }
+
+    /// Start a flow of `bytes` from `src` to `dst` at time `now`.
+    /// `cross_rack` flags whether the path pays the oversubscription tax.
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cross_rack: bool,
+    ) -> FlowId {
+        assert!(src.idx() < self.nic_bytes_per_sec.len());
+        assert!(dst.idx() < self.nic_bytes_per_sec.len());
+        self.advance(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.total_started += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                bytes_remaining: bytes as f64,
+                rate_bytes_per_sec: 0.0,
+                cross_rack,
+            },
+        );
+        self.recompute_rates();
+        FlowId(id)
+    }
+
+    /// Advance residual bytes to `now` (piecewise-constant rates).
+    pub fn advance(&mut self, now: SimTime) {
+        if now <= self.last_advance {
+            return;
+        }
+        let dt = now.saturating_since(self.last_advance).as_secs_f64();
+        for f in self.flows.values_mut() {
+            f.bytes_remaining = (f.bytes_remaining - f.rate_bytes_per_sec * dt).max(0.0);
+        }
+        self.last_advance = now;
+    }
+
+    /// Earliest predicted completion across active flows, assuming rates
+    /// stay as they are. Returns `None` when no flow is active.
+    ///
+    /// The prediction carries a +2 µs margin: the simulated clock has
+    /// microsecond resolution, so an un-margined prediction can round down
+    /// and leave a sliver of bytes unfinished at the predicted instant —
+    /// which would make a caller polling at that instant spin forever.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.rate_bytes_per_sec > 0.0 || f.is_done())
+            .map(|(&id, f)| {
+                let secs = if f.is_done() {
+                    0.0
+                } else {
+                    f.bytes_remaining / f.rate_bytes_per_sec + 2e-6
+                };
+                (
+                    self.last_advance + dare_simcore::SimDuration::from_secs_f64(secs),
+                    FlowId(id),
+                )
+            })
+            .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
+    }
+
+    /// Advance to `now` and drain every flow whose bytes are exhausted.
+    /// Returns the completed flow ids (deterministic ascending order).
+    pub fn collect_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        let mut done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.is_done())
+            .map(|(&id, _)| id)
+            .collect();
+        done.sort_unstable();
+        for id in &done {
+            self.flows.remove(id);
+        }
+        if !done.is_empty() {
+            self.recompute_rates();
+        }
+        done.into_iter().map(FlowId).collect()
+    }
+
+    /// Abort an active flow (task killed / node failed). No-op if already
+    /// completed.
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) {
+        self.advance(now);
+        if self.flows.remove(&id.0).is_some() {
+            self.recompute_rates();
+        }
+    }
+
+    /// Current rate of a flow in bytes/s (None if finished/unknown).
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).map(|f| f.rate_bytes_per_sec)
+    }
+
+    /// Recompute every flow's rate from per-endpoint fair shares.
+    fn recompute_rates(&mut self) {
+        let n = self.nic_bytes_per_sec.len();
+        let mut tx_count = vec![0u32; n];
+        let mut rx_count = vec![0u32; n];
+        for f in self.flows.values() {
+            tx_count[f.src.idx()] += 1;
+            rx_count[f.dst.idx()] += 1;
+        }
+        for f in self.flows.values_mut() {
+            let tx_share = self.nic_bytes_per_sec[f.src.idx()] / tx_count[f.src.idx()] as f64;
+            let rx_share = self.nic_bytes_per_sec[f.dst.idx()] / rx_count[f.dst.idx()] as f64;
+            let mut rate = tx_share.min(rx_share);
+            if f.cross_rack {
+                rate /= self.oversub;
+            }
+            f.rate_bytes_per_sec = rate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MB;
+    
+
+    fn sim(nodes: usize, mbps: f64) -> FlowSim {
+        FlowSim::new(vec![mbps; nodes], 1.0)
+    }
+
+    #[test]
+    fn lone_flow_runs_at_full_capacity() {
+        let mut s = sim(2, 100.0);
+        let id = s.start(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MB, false);
+        let (t, fid) = s.next_completion().expect("one active flow");
+        assert_eq!(fid, id);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-5, "100MB @100MB/s = 1s");
+        let done = s.collect_completed(t);
+        assert_eq!(done, vec![id]);
+        assert_eq!(s.active(), 0);
+    }
+
+    #[test]
+    fn two_flows_into_one_destination_halve() {
+        let mut s = sim(3, 100.0);
+        s.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+        s.start(SimTime::ZERO, NodeId(1), NodeId(2), 100 * MB, false);
+        let (t, _) = s.next_completion().expect("flows active");
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-5, "rx shared => 2s");
+    }
+
+    #[test]
+    fn two_flows_out_of_one_source_halve() {
+        let mut s = sim(3, 100.0);
+        s.start(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MB, false);
+        s.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+        let (t, _) = s.next_completion().expect("flows active");
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-5, "tx shared => 2s");
+    }
+
+    #[test]
+    fn full_duplex_tx_and_rx_do_not_interfere() {
+        let mut s = sim(2, 100.0);
+        s.start(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MB, false);
+        s.start(SimTime::ZERO, NodeId(1), NodeId(0), 100 * MB, false);
+        let (t, _) = s.next_completion().expect("flows active");
+        assert!(
+            (t.as_secs_f64() - 1.0).abs() < 1e-5,
+            "opposite directions share nothing"
+        );
+    }
+
+    #[test]
+    fn cross_rack_pays_oversubscription() {
+        let mut s = FlowSim::new(vec![100.0; 2], 2.5);
+        s.start(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MB, true);
+        let (t, _) = s.next_completion().expect("flow active");
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn late_joiner_slows_existing_flow() {
+        let mut s = sim(3, 100.0);
+        let a = s.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+        // After 0.5 s flow a has moved 50 MB. Then b joins at the same dst.
+        let t1 = SimTime::from_secs_f64(0.5);
+        let _b = s.start(t1, NodeId(1), NodeId(2), 100 * MB, false);
+        // a now has 50 MB left at 50 MB/s => finishes at t = 1.5.
+        let (t, fid) = s.next_completion().expect("flows active");
+        assert_eq!(fid, a);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-5, "got {t}");
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut s = sim(3, 100.0);
+        let a = s.start(SimTime::ZERO, NodeId(0), NodeId(2), 50 * MB, false);
+        let b = s.start(SimTime::ZERO, NodeId(1), NodeId(2), 100 * MB, false);
+        // Both at 50 MB/s. a finishes at t=1 with b holding 50 MB.
+        let (t_a, fid) = s.next_completion().expect("flows active");
+        assert_eq!(fid, a);
+        assert!((t_a.as_secs_f64() - 1.0).abs() < 1e-5);
+        s.collect_completed(t_a);
+        // b now alone at 100 MB/s: 50 MB left => finishes at t=1.5.
+        let (t_b, fid) = s.next_completion().expect("b still active");
+        assert_eq!(fid, b);
+        assert!((t_b.as_secs_f64() - 1.5).abs() < 1e-5, "got {t_b}");
+    }
+
+    #[test]
+    fn heterogeneous_capacity_bottleneck_is_min_endpoint() {
+        let mut s = FlowSim::new(vec![100.0, 20.0], 1.0);
+        s.start(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MB, false);
+        let (t, _) = s.next_completion().expect("flow active");
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-5, "rx NIC of 20 MB/s");
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut s = sim(2, 100.0);
+        let id = s.start(SimTime::ZERO, NodeId(0), NodeId(1), 0, false);
+        let (t, fid) = s.next_completion().expect("flow active");
+        assert_eq!((t, fid), (SimTime::ZERO, id));
+        assert_eq!(s.collect_completed(SimTime::ZERO), vec![id]);
+    }
+
+    #[test]
+    fn cancel_removes_and_rebalances() {
+        let mut s = sim(3, 100.0);
+        let a = s.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+        let b = s.start(SimTime::ZERO, NodeId(1), NodeId(2), 100 * MB, false);
+        s.cancel(SimTime::from_secs_f64(0.5), a);
+        assert_eq!(s.active(), 1);
+        // b moved 25 MB in the shared phase; 75 MB left at full rate.
+        let (t, fid) = s.next_completion().expect("b active");
+        assert_eq!(fid, b);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-5, "got {t}");
+        // cancelling an unknown flow is a no-op
+        s.cancel(SimTime::from_secs_f64(0.6), a);
+        assert_eq!(s.active(), 1);
+    }
+
+    #[test]
+    fn advance_is_idempotent_and_monotone() {
+        let mut s = sim(2, 100.0);
+        let id = s.start(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MB, false);
+        let t = SimTime::from_secs_f64(0.25);
+        s.advance(t);
+        s.advance(t); // no double-decrement
+        s.advance(SimTime::from_secs_f64(0.1)); // going backwards: no-op
+        let (tc, _) = s.next_completion().expect("flow active");
+        assert!((tc.as_secs_f64() - 1.0).abs() < 1e-5);
+        s.collect_completed(tc);
+        assert!(s.rate_of(id).is_none());
+    }
+
+    #[test]
+    fn stale_completion_check_is_safe() {
+        // The engine may pop a completion event scheduled before a new flow
+        // slowed everything down; collect_completed must return empty then.
+        let mut s = sim(3, 100.0);
+        s.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+        let (t_pred, _) = s.next_completion().expect("flow active");
+        s.start(SimTime::from_secs_f64(0.5), NodeId(1), NodeId(2), 100 * MB, false);
+        let done = s.collect_completed(t_pred);
+        assert!(done.is_empty(), "prediction went stale; nothing finished");
+        let (t_new, _) = s.next_completion().expect("flows active");
+        assert!(t_new > t_pred);
+        assert_eq!(s.total_started(), 2);
+    }
+
+    #[test]
+    fn many_flows_conserve_reasonable_aggregate() {
+        // 10 senders into one receiver: aggregate completion = sum of bytes
+        // over rx capacity.
+        let mut s = sim(11, 100.0);
+        for i in 0..10u32 {
+            s.start(SimTime::ZERO, NodeId(i), NodeId(10), 10 * MB, false);
+        }
+        let mut last = SimTime::ZERO;
+        let mut completed = 0;
+        while let Some((t, _)) = s.next_completion() {
+            last = t;
+            completed += s.collect_completed(t).len();
+        }
+        assert_eq!(completed, 10);
+        assert!((last.as_secs_f64() - 1.0).abs() < 1e-3, "100MB @ 100MB/s");
+    }
+}

@@ -1,0 +1,33 @@
+//! # dare-net — cluster network and storage-bandwidth models
+//!
+//! Models the two evaluation environments of the DARE paper (Section II-B,
+//! Tables I-II, Fig. 1):
+//!
+//! * a **dedicated single-rack cluster** (Illinois CCT: GigE, uniform
+//!   low-variance disk and network bandwidth, sub-millisecond RTTs), and
+//! * a **virtualized public-cloud cluster** (EC2 m1.small: multi-rack
+//!   placement with ~4-hop median paths, high-variance disk and network
+//!   bandwidth, heavy-tailed RTTs up to tens of milliseconds).
+//!
+//! Modules:
+//! * [`topology`] — node/rack placement and the hop metric (Fig. 1);
+//! * [`rtt`] — round-trip-time models (Table I);
+//! * [`bandwidth`] — disk and NIC bandwidth models (Table II);
+//! * [`profile`] — bundles of the above as [`profile::ClusterProfile`];
+//! * [`flow`] — a flow-level network simulator with per-endpoint fair
+//!   sharing, used by the MapReduce engine to time remote block fetches
+//!   under contention.
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod flow;
+pub mod profile;
+pub mod rtt;
+pub mod topology;
+
+pub use profile::ClusterProfile;
+pub use topology::{NodeId, RackId, Topology};
+
+/// One mebibyte in bytes; all bandwidths in this workspace are MB/s (MiB/s).
+pub const MB: u64 = 1 << 20;

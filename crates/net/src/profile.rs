@@ -1,0 +1,180 @@
+//! Cluster environment profiles (Table III of the paper).
+//!
+//! A [`ClusterProfile`] bundles everything environment-specific: worker
+//! count, slot counts, the disk/network bandwidth models of Table II, the
+//! RTT model of Table I, the topology generator, and the cross-rack
+//! oversubscription factor. The two constructors mirror the paper's
+//! clusters:
+//!
+//! * [`ClusterProfile::cct`] — 19 slaves (1 master + 19 slaves in Table
+//!   III), dedicated single rack, 2× quad-core per node;
+//! * [`ClusterProfile::ec2`] — 99 slaves of m1.small, virtual, multi-rack.
+
+use crate::bandwidth::BandwidthModel;
+use crate::rtt::RttModel;
+use crate::topology::Topology;
+use dare_simcore::DetRng;
+
+/// Which topology generator a profile uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Everything in one rack (dedicated cluster).
+    SingleRack,
+    /// Instances scattered over `racks` racks grouped in pods of
+    /// `racks_per_pod` (virtualized cluster).
+    MultiRack {
+        /// Total racks the provider spread the allocation across.
+        racks: u32,
+        /// Racks per aggregation pod.
+        racks_per_pod: u32,
+    },
+}
+
+/// An evaluation environment: worker nodes, slots, and performance models.
+#[derive(Debug, Clone)]
+pub struct ClusterProfile {
+    /// Human-readable name ("cct", "ec2").
+    pub name: &'static str,
+    /// Number of worker (slave) nodes; the master is not simulated as a
+    /// compute resource.
+    pub nodes: u32,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: u32,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: u32,
+    /// Disk read-bandwidth model (per-node persistent draw).
+    pub disk: BandwidthModel,
+    /// NIC bandwidth model (per-node persistent draw).
+    pub network: BandwidthModel,
+    /// Round-trip-time model (per-transfer draw).
+    pub rtt: RttModel,
+    /// Cross-rack capacity divisor for the flow simulator.
+    pub oversub: f64,
+    /// Topology generator.
+    pub topology: TopologyKind,
+}
+
+impl ClusterProfile {
+    /// The dedicated 20-node CCT cluster (Table III, left column): one
+    /// master plus 19 slaves on a single gigabit rack, 2× quad-core CPUs.
+    /// Slot counts follow the Hadoop 0.21 defaults the paper's runs used
+    /// (2 map slots, 2 reduce slots per task tracker).
+    pub fn cct() -> Self {
+        ClusterProfile {
+            name: "cct",
+            nodes: 19,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 2,
+            disk: BandwidthModel::cct_disk(),
+            network: BandwidthModel::cct_network(),
+            rtt: RttModel::cct(),
+            // dedicated single rack: no oversubscription tax inside the rack
+            oversub: 1.0,
+            topology: TopologyKind::SingleRack,
+        }
+    }
+
+    /// The virtualized 100-node EC2 cluster (Table III, right column): one
+    /// master plus 99 m1.small slaves (1 virtual core → 2 map slots, 1
+    /// reduce slot), scattered across racks.
+    pub fn ec2() -> Self {
+        ClusterProfile {
+            name: "ec2",
+            nodes: 99,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 1,
+            disk: BandwidthModel::ec2_disk(),
+            network: BandwidthModel::ec2_network(),
+            rtt: RttModel::ec2(),
+            // moderate cross-rack oversubscription, per Kandula et al. [30]
+            oversub: 1.3,
+            topology: TopologyKind::MultiRack {
+                racks: 40,
+                racks_per_pod: 5,
+            },
+        }
+    }
+
+    /// A 20-node EC2 allocation (used by the Section II measurements and
+    /// Fig. 1's hop-count distribution).
+    pub fn ec2_small() -> Self {
+        ClusterProfile {
+            nodes: 20,
+            topology: TopologyKind::MultiRack {
+                racks: 10,
+                racks_per_pod: 5,
+            },
+            ..Self::ec2()
+        }
+    }
+
+    /// Instantiate the topology for this profile.
+    pub fn build_topology(&self, rng: &mut DetRng) -> Topology {
+        match self.topology {
+            TopologyKind::SingleRack => Topology::single_rack(self.nodes),
+            TopologyKind::MultiRack {
+                racks,
+                racks_per_pod,
+            } => Topology::virtualized(self.nodes, racks, racks_per_pod, rng),
+        }
+    }
+
+    /// Persistent per-node disk bandwidths (MB/s).
+    pub fn sample_disk_capacities(&self, rng: &mut DetRng) -> Vec<f64> {
+        self.disk.sample_per_node(self.nodes, rng)
+    }
+
+    /// Persistent per-node NIC bandwidths (MB/s).
+    pub fn sample_nic_capacities(&self, rng: &mut DetRng) -> Vec<f64> {
+        self.network.sample_per_node(self.nodes, rng)
+    }
+
+    /// Total map slots in the cluster.
+    pub fn total_map_slots(&self) -> u32 {
+        self.nodes * self.map_slots_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cct_shape_matches_table3() {
+        let p = ClusterProfile::cct();
+        assert_eq!(p.nodes, 19);
+        assert_eq!(p.topology, TopologyKind::SingleRack);
+        assert_eq!(p.total_map_slots(), 38);
+        let mut rng = DetRng::new(1);
+        let t = p.build_topology(&mut rng);
+        assert_eq!(t.racks(), 1);
+        assert_eq!(t.nodes(), 19);
+    }
+
+    #[test]
+    fn ec2_shape_matches_table3() {
+        let p = ClusterProfile::ec2();
+        assert_eq!(p.nodes, 99);
+        assert!(p.oversub > 1.0);
+        let mut rng = DetRng::new(1);
+        let t = p.build_topology(&mut rng);
+        assert_eq!(t.nodes(), 99);
+        assert!(t.racks() > 1);
+    }
+
+    #[test]
+    fn ec2_small_is_20_nodes_with_ec2_models() {
+        let p = ClusterProfile::ec2_small();
+        assert_eq!(p.nodes, 20);
+        assert_eq!(p.name, "ec2");
+        assert!((p.network.mean() - 73.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_vectors_sized_to_cluster() {
+        let p = ClusterProfile::ec2();
+        let mut rng = DetRng::new(2);
+        assert_eq!(p.sample_disk_capacities(&mut rng).len(), 99);
+        assert_eq!(p.sample_nic_capacities(&mut rng).len(), 99);
+    }
+}

@@ -1,0 +1,182 @@
+//! Round-trip-time models (Table I).
+//!
+//! Table I of the paper reports all-to-all ping statistics:
+//!
+//! | cluster | min | mean | max | std |
+//! |---|---|---|---|---|
+//! | CCT | 0.01 ms | 0.18 ms | 2.17 ms | 0.34 ms |
+//! | EC2 | 0.02 ms | 0.77 ms | 75.1 ms | 3.36 ms |
+//!
+//! Both are far from normal: CCT has a tight sub-millisecond body with rare
+//! switch-queueing spikes; EC2 adds a genuinely heavy tail from hypervisor
+//! scheduling (Wang & Ng, INFOCOM 2010). We model each as a lognormal body
+//! mixed with a Pareto spike component, with parameters fitted so the
+//! sampled min/mean/max/std land near the published row (checked by the
+//! `table1` experiment and the tests below).
+
+use dare_simcore::dist::{LogNormal, Pareto};
+use dare_simcore::DetRng;
+
+/// A two-component RTT model: lognormal body + rare Pareto spikes, clamped
+/// to a floor. All values in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct RttModel {
+    /// Lognormal body of typical RTTs.
+    pub body: LogNormal,
+    /// Probability that a measurement is a spike instead of a body draw.
+    pub spike_prob: f64,
+    /// Spike distribution.
+    pub spike: Pareto,
+    /// Minimum representable RTT (ping clock resolution floor), ms.
+    pub floor_ms: f64,
+    /// Ceiling (timeouts clip anything larger), ms.
+    pub ceil_ms: f64,
+}
+
+impl RttModel {
+    /// Dedicated-cluster model fitted to Table I's CCT row.
+    pub fn cct() -> Self {
+        RttModel {
+            // median ~0.10 ms, moderate spread
+            body: LogNormal::from_median(0.10, 0.75),
+            spike_prob: 0.012,
+            // spikes from ~0.8 ms, fairly shallow tail, capped at 2.2 ms
+            spike: Pareto::new(0.8, 2.2),
+            floor_ms: 0.01,
+            ceil_ms: 2.17,
+        }
+    }
+
+    /// Virtualized-cloud model fitted to Table I's EC2 row.
+    pub fn ec2() -> Self {
+        RttModel {
+            // median ~0.45 ms, wider spread
+            body: LogNormal::from_median(0.45, 0.65),
+            spike_prob: 0.006,
+            // hypervisor-delay spikes: heavy tail up to the 75 ms max
+            spike: Pareto::new(4.0, 0.9),
+            floor_ms: 0.02,
+            ceil_ms: 75.1,
+        }
+    }
+
+    /// Draw one RTT in milliseconds.
+    pub fn sample_ms(&self, rng: &mut DetRng) -> f64 {
+        let raw = if rng.coin(self.spike_prob) {
+            self.spike.sample(rng)
+        } else {
+            self.body.sample(rng)
+        };
+        raw.clamp(self.floor_ms, self.ceil_ms)
+    }
+
+    /// Draw one RTT in seconds (what the flow simulator consumes).
+    pub fn sample_secs(&self, rng: &mut DetRng) -> f64 {
+        self.sample_ms(rng) / 1_000.0
+    }
+}
+
+/// Summary row of an RTT sampling campaign (what Table I prints).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttSummary {
+    /// Minimum observed RTT, ms.
+    pub min_ms: f64,
+    /// Mean RTT, ms.
+    pub mean_ms: f64,
+    /// Maximum observed RTT, ms.
+    pub max_ms: f64,
+    /// Standard deviation, ms.
+    pub std_ms: f64,
+}
+
+/// Run an all-to-all ping campaign: `pings` probes per ordered node pair
+/// over `nodes` nodes, returning the Table I row.
+pub fn all_to_all_campaign(
+    model: &RttModel,
+    nodes: u32,
+    pings: u32,
+    rng: &mut DetRng,
+) -> RttSummary {
+    let mut st = dare_simcore::stats::OnlineStats::new();
+    for a in 0..nodes {
+        for b in 0..nodes {
+            if a == b {
+                continue;
+            }
+            for _ in 0..pings {
+                st.push(model.sample_ms(rng));
+            }
+        }
+    }
+    RttSummary {
+        min_ms: st.min(),
+        mean_ms: st.mean(),
+        max_ms: st.max(),
+        std_ms: st.std(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign(model: &RttModel, seed: u64) -> RttSummary {
+        let mut rng = DetRng::new(seed);
+        all_to_all_campaign(model, 20, 10, &mut rng)
+    }
+
+    #[test]
+    fn cct_matches_table1_row() {
+        let s = campaign(&RttModel::cct(), 42);
+        // Published: min 0.01, mean 0.18, max 2.17, std 0.34.
+        assert!(s.min_ms >= 0.01 && s.min_ms < 0.05, "min {}", s.min_ms);
+        assert!((s.mean_ms - 0.18).abs() < 0.08, "mean {}", s.mean_ms);
+        assert!(s.max_ms > 1.0 && s.max_ms <= 2.17, "max {}", s.max_ms);
+        assert!(s.std_ms > 0.05 && s.std_ms < 0.6, "std {}", s.std_ms);
+    }
+
+    #[test]
+    fn ec2_matches_table1_row() {
+        let s = campaign(&RttModel::ec2(), 42);
+        // Published: min 0.02, mean 0.77, max 75.1, std 3.36.
+        assert!(s.min_ms >= 0.02 && s.min_ms < 0.15, "min {}", s.min_ms);
+        assert!((s.mean_ms - 0.77).abs() < 0.4, "mean {}", s.mean_ms);
+        assert!(s.max_ms > 20.0 && s.max_ms <= 75.1, "max {}", s.max_ms);
+        assert!(s.std_ms > 1.0 && s.std_ms < 6.0, "std {}", s.std_ms);
+    }
+
+    #[test]
+    fn ec2_tail_heavier_than_cct() {
+        let mut rng = DetRng::new(7);
+        let cct = RttModel::cct();
+        let ec2 = RttModel::ec2();
+        let n = 100_000;
+        let cct_over_2ms = (0..n).filter(|_| cct.sample_ms(&mut rng) > 2.0).count();
+        let ec2_over_2ms = (0..n).filter(|_| ec2.sample_ms(&mut rng) > 2.0).count();
+        assert!(
+            ec2_over_2ms > 4 * cct_over_2ms.max(1),
+            "cct {cct_over_2ms} vs ec2 {ec2_over_2ms}"
+        );
+    }
+
+    #[test]
+    fn samples_respect_floor_and_ceiling() {
+        let mut rng = DetRng::new(9);
+        for model in [RttModel::cct(), RttModel::ec2()] {
+            for _ in 0..50_000 {
+                let x = model.sample_ms(&mut rng);
+                assert!(x >= model.floor_ms && x <= model.ceil_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let mut rng = DetRng::new(1);
+        let m = RttModel::cct();
+        let mut r2 = DetRng::new(1);
+        let ms = m.sample_ms(&mut rng);
+        let s = m.sample_secs(&mut r2);
+        assert!((s * 1000.0 - ms).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based flow-simulator tests: byte conservation, monotone
+//! completion times, and rate sanity under arbitrary start/drain schedules.
+
+use dare_net::flow::FlowSim;
+use dare_net::{NodeId, MB};
+use dare_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct FlowSpec {
+    src: u32,
+    dst: u32,
+    mb: u64,
+    gap_ms: u64,
+    cross: bool,
+}
+
+fn flows_strategy(nodes: u32) -> impl Strategy<Value = Vec<FlowSpec>> {
+    prop::collection::vec(
+        (0..nodes, 0..nodes, 1u64..64, 0u64..2000, any::<bool>()).prop_map(
+            |(src, dst, mb, gap_ms, cross)| FlowSpec {
+                src,
+                dst,
+                mb,
+                gap_ms,
+                cross,
+            },
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_flows_complete_in_monotone_order(
+        specs in flows_strategy(6),
+        oversub in 1.0f64..3.0,
+    ) {
+        let mut sim = FlowSim::new(vec![100.0; 6], oversub);
+        let mut now = SimTime::ZERO;
+        let mut started = 0u64;
+        let mut completed = 0u64;
+        for s in &specs {
+            now += SimDuration::from_millis(s.gap_ms);
+            let dst = if s.src == s.dst { (s.dst + 1) % 6 } else { s.dst };
+            sim.start(now, NodeId(s.src), NodeId(dst), s.mb * MB, s.cross);
+            started += 1;
+            // Opportunistically drain anything already done.
+            completed += sim.collect_completed(now).len() as u64;
+        }
+        // Drain to the end; completion times must never go backwards.
+        let mut last = now;
+        let mut guard = 0;
+        while let Some((t, _)) = sim.next_completion() {
+            prop_assert!(t >= last, "completion time went backwards");
+            last = t;
+            completed += sim.collect_completed(t).len() as u64;
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not converge");
+        }
+        prop_assert_eq!(completed, started, "byte conservation: every flow finishes");
+        prop_assert_eq!(sim.active(), 0);
+        prop_assert_eq!(sim.total_started(), started);
+    }
+
+    #[test]
+    fn rates_never_exceed_nic_capacity(
+        specs in flows_strategy(4),
+    ) {
+        let cap = 100.0 * MB as f64;
+        let mut sim = FlowSim::new(vec![100.0; 4], 1.0);
+        let mut now = SimTime::ZERO;
+        let mut ids = Vec::new();
+        for s in &specs {
+            now += SimDuration::from_millis(s.gap_ms);
+            let dst = if s.src == s.dst { (s.dst + 1) % 4 } else { s.dst };
+            ids.push(sim.start(now, NodeId(s.src), NodeId(dst), s.mb * MB, false));
+            for &id in &ids {
+                if let Some(r) = sim.rate_of(id) {
+                    prop_assert!(r <= cap * (1.0 + 1e-9), "rate {r} exceeds NIC");
+                    prop_assert!(r > 0.0, "active flow starved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lone_flow_duration_is_exact(mb in 1u64..512, cap in 10.0f64..200.0) {
+        let mut sim = FlowSim::new(vec![cap; 2], 1.0);
+        sim.start(SimTime::ZERO, NodeId(0), NodeId(1), mb * MB, false);
+        let (t, _) = sim.next_completion().expect("one flow");
+        let want = mb as f64 / cap;
+        prop_assert!((t.as_secs_f64() - want).abs() < 1e-4,
+            "duration {} vs {}", t.as_secs_f64(), want);
+    }
+
+    #[test]
+    fn cancel_is_always_safe(
+        specs in flows_strategy(5),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut sim = FlowSim::new(vec![100.0; 5], 1.5);
+        let mut now = SimTime::ZERO;
+        let mut live = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            now += SimDuration::from_millis(s.gap_ms);
+            let dst = if s.src == s.dst { (s.dst + 1) % 5 } else { s.dst };
+            let id = sim.start(now, NodeId(s.src), NodeId(dst), s.mb * MB, s.cross);
+            live.push(id);
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                if let Some(&victim) = live.first() {
+                    sim.cancel(now, victim);
+                    live.remove(0);
+                }
+            }
+        }
+        // Whatever was cancelled, the rest still drains.
+        let mut guard = 0;
+        while let Some((t, _)) = sim.next_completion() {
+            sim.collect_completed(t);
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        prop_assert_eq!(sim.active(), 0);
+    }
+}

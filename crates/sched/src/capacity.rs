@@ -1,0 +1,216 @@
+//! A simplified Hadoop Capacity scheduler — the third classic Hadoop
+//! scheduler, included to stress the paper's claim that DARE is
+//! *scheduler-agnostic* beyond the two schedulers the paper evaluates.
+//!
+//! Model: jobs hash into `queues` organizational queues, each entitled to
+//! an equal share of the cluster's map slots. When a slot frees up the
+//! scheduler serves the **most underserved** queue (lowest
+//! running/capacity ratio, ties to the lower queue id), FIFO within the
+//! queue, with the same node-local > rack-local > any preference as FIFO.
+//! Queues are *elastic*: an empty queue's share is usable by the others
+//! (no hard caps), matching the Hadoop scheduler's default behaviour.
+
+use crate::locality::{classify, Locality};
+use crate::queue::{Assignment, JobId, JobQueue};
+use crate::{LocationLookup, Scheduler};
+use dare_net::{NodeId, Topology};
+use dare_simcore::SimTime;
+
+/// The Capacity scheduler.
+#[derive(Debug)]
+pub struct CapacityScheduler {
+    queues: u32,
+}
+
+impl CapacityScheduler {
+    /// Scheduler with `queues` equal-capacity queues (≥ 1).
+    pub fn new(queues: u32) -> Self {
+        assert!(queues >= 1, "need at least one queue");
+        CapacityScheduler { queues }
+    }
+
+    /// Which queue a job belongs to.
+    pub fn queue_of(&self, job: JobId) -> u32 {
+        job.0 % self.queues
+    }
+
+    /// Number of configured queues.
+    pub fn queues(&self) -> u32 {
+        self.queues
+    }
+}
+
+impl Scheduler for CapacityScheduler {
+    fn pick_map(
+        &mut self,
+        queue: &mut JobQueue,
+        node: NodeId,
+        lookup: &dyn LocationLookup,
+        topo: &Topology,
+        _now: SimTime,
+    ) -> Option<Assignment> {
+        // Usage per organizational queue (running maps).
+        let mut running = vec![0u32; self.queues as usize];
+        let mut has_pending = vec![false; self.queues as usize];
+        for j in queue.jobs() {
+            let q = self.queue_of(j.id) as usize;
+            running[q] += j.running_maps;
+            has_pending[q] |= !j.pending.is_empty();
+        }
+        // Queues with pending work, most underserved first (equal
+        // capacities, so raw running count orders them), ties by queue id.
+        let mut order: Vec<u32> = (0..self.queues).filter(|&q| has_pending[q as usize]).collect();
+        order.sort_by_key(|&q| (running[q as usize], q));
+
+        // The most underserved queue with pending work gets the slot; like
+        // FIFO, the capacity scheduler never declines an offer, so only the
+        // first candidate queue is ever consulted.
+        let q = *order.first()?;
+        {
+            // FIFO within the queue.
+            let job_id = queue
+                .jobs()
+                .iter()
+                .find(|j| self.queue_of(j.id) == q && !j.pending.is_empty())
+                .map(|j| j.id)
+                .expect("queues in `order` have pending work");
+            let (idx, loc) = {
+                let job = queue.job(job_id).expect("job listed");
+                let mut best: Option<(usize, Locality)> = None;
+                for (i, t) in job.pending.iter().enumerate() {
+                    let l = classify(t.block, node, lookup, topo);
+                    match best {
+                        Some((_, b)) if b <= l => {}
+                        _ => best = Some((i, l)),
+                    }
+                    if l == Locality::NodeLocal {
+                        break;
+                    }
+                }
+                best.expect("pending non-empty")
+            };
+            let t = queue.take_task(job_id, idx);
+            Some(Assignment {
+                job: job_id,
+                task: t.task,
+                block: t.block,
+                locality: loc,
+            })
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{PendingTask, TaskId};
+    use dare_dfs::BlockId;
+
+    fn tasks(blocks: &[u64]) -> Vec<PendingTask> {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| PendingTask {
+                task: TaskId(i as u32),
+                block: BlockId(b),
+            })
+            .collect()
+    }
+
+    fn anywhere(_: BlockId) -> Vec<NodeId> {
+        (0..4).map(NodeId).collect()
+    }
+
+    #[test]
+    fn serves_underserved_queue_first() {
+        let topo = Topology::single_rack(4);
+        let mut q = JobQueue::new();
+        // jobs 0 and 2 hash to queue 0; job 1 to queue 1 (2 queues).
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2, 3]));
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[4, 5]));
+        let mut s = CapacityScheduler::new(2);
+        // First slot: both queues at 0 running; tie -> queue 0 -> job 0.
+        let a = s
+            .pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+            .expect("slot filled");
+        assert_eq!(a.job, JobId(0));
+        // Queue 0 now has 1 running; queue 1 is underserved -> job 1.
+        let b = s
+            .pick_map(&mut q, NodeId(1), &anywhere, &topo, SimTime::ZERO)
+            .expect("slot filled");
+        assert_eq!(b.job, JobId(1));
+        // Even again: back to queue 0.
+        let c = s
+            .pick_map(&mut q, NodeId(2), &anywhere, &topo, SimTime::ZERO)
+            .expect("slot filled");
+        assert_eq!(c.job, JobId(0));
+    }
+
+    #[test]
+    fn elastic_when_other_queue_is_empty() {
+        let topo = Topology::single_rack(4);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2, 3, 4]));
+        let mut s = CapacityScheduler::new(3);
+        // Only queue 0 has work: it may use every slot.
+        for _ in 0..4 {
+            let a = s
+                .pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+                .expect("elastic capacity");
+            assert_eq!(a.job, JobId(0));
+        }
+        assert!(s
+            .pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn prefers_node_local_within_chosen_job() {
+        let topo = Topology::single_rack(4);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]));
+        let lookup = |b: BlockId| -> Vec<NodeId> {
+            if b.0 == 11 {
+                vec![NodeId(2)]
+            } else {
+                vec![NodeId(0)]
+            }
+        };
+        let mut s = CapacityScheduler::new(2);
+        let a = s
+            .pick_map(&mut q, NodeId(2), &lookup, &topo, SimTime::ZERO)
+            .expect("slot filled");
+        assert_eq!(a.block, BlockId(11));
+        assert_eq!(a.locality, Locality::NodeLocal);
+    }
+
+    #[test]
+    fn fifo_within_queue() {
+        let topo = Topology::single_rack(4);
+        let mut q = JobQueue::new();
+        // jobs 0, 2, 4 all in queue 0 (2 queues)
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1]));
+        q.add_job(JobId(2), SimTime::from_secs(1), tasks(&[2]));
+        q.add_job(JobId(4), SimTime::from_secs(2), tasks(&[3]));
+        let mut s = CapacityScheduler::new(2);
+        let order: Vec<u32> = (0..3)
+            .map(|_| {
+                s.pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+                    .expect("slot filled")
+                    .job
+                    .0
+            })
+            .collect();
+        assert_eq!(order, vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_queues_rejected() {
+        let _ = CapacityScheduler::new(0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Hadoop's default FIFO scheduler.
+//!
+//! Jobs are served strictly in arrival order. Within the job at the head of
+//! the queue the scheduler prefers, for the heartbeating node, a node-local
+//! map task, then a rack-local one, then any pending task. If the head job
+//! has no pending maps (all handed out, some still running) the scheduler
+//! falls through to the next job — Hadoop behaves the same way so slots
+//! aren't wasted during a job's tail.
+//!
+//! Crucially, FIFO never *declines* a slot to wait for locality: the first
+//! job with pending work always launches something. That head-of-line
+//! behaviour is what caps vanilla FIFO locality near
+//! `replication_factor / cluster_size` for small jobs.
+
+use crate::locality::{classify, Locality};
+use crate::queue::{Assignment, JobQueue};
+use crate::{LocationLookup, Scheduler};
+use dare_net::{NodeId, Topology};
+use dare_simcore::SimTime;
+
+/// The FIFO scheduler (no configuration).
+#[derive(Debug, Default)]
+pub struct FifoScheduler;
+
+impl FifoScheduler {
+    /// Construct.
+    pub fn new() -> Self {
+        FifoScheduler
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn pick_map(
+        &mut self,
+        queue: &mut JobQueue,
+        node: NodeId,
+        lookup: &dyn LocationLookup,
+        topo: &Topology,
+        _now: SimTime,
+    ) -> Option<Assignment> {
+        // First job (arrival order) with pending maps gets the slot.
+        let (job_id, pick_idx, locality) = {
+            let job = queue.jobs().iter().find(|j| !j.pending.is_empty())?;
+            // Best-locality pending task for this node; ties broken by
+            // pending order (deterministic).
+            let mut best: Option<(usize, Locality)> = None;
+            for (idx, t) in job.pending.iter().enumerate() {
+                let loc = classify(t.block, node, lookup, topo);
+                match best {
+                    Some((_, b)) if b <= loc => {}
+                    _ => best = Some((idx, loc)),
+                }
+                if loc == Locality::NodeLocal {
+                    break; // can't do better
+                }
+            }
+            let (idx, loc) = best.expect("job had pending tasks");
+            (job.id, idx, loc)
+        };
+        let t = queue.take_task(job_id, pick_idx);
+        Some(Assignment {
+            job: job_id,
+            task: t.task,
+            block: t.block,
+            locality,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{JobId, PendingTask, TaskId};
+    use dare_dfs::BlockId;
+    use std::collections::HashMap;
+
+    fn lookup_from(map: &[(u64, Vec<u32>)]) -> impl Fn(BlockId) -> Vec<NodeId> + '_ {
+        let m: HashMap<u64, Vec<u32>> = map.iter().cloned().collect();
+        move |b: BlockId| {
+            m.get(&b.0)
+                .map(|v| v.iter().map(|&n| NodeId(n)).collect())
+                .unwrap_or_default()
+        }
+    }
+
+    fn tasks(blocks: &[u64]) -> Vec<PendingTask> {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| PendingTask {
+                task: TaskId(i as u32),
+                block: BlockId(b),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefers_node_local_within_head_job() {
+        let topo = Topology::single_rack(4);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]));
+        let locs = [(10u64, vec![1u32]), (11, vec![2])];
+        let lookup = lookup_from(&locs);
+        let mut s = FifoScheduler::new();
+        let a = s
+            .pick_map(&mut q, NodeId(2), &lookup, &topo, SimTime::ZERO)
+            .expect("slot filled");
+        assert_eq!(a.block, BlockId(11));
+        assert_eq!(a.locality, Locality::NodeLocal);
+    }
+
+    #[test]
+    fn head_job_launches_remote_rather_than_waiting() {
+        let topo = Topology::single_rack(4);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]));
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]));
+        // Job 1's block is local to node 3, job 0's is not — FIFO must still
+        // serve job 0 (remotely).
+        let locs = [(10u64, vec![0u32]), (11, vec![3])];
+        let lookup = lookup_from(&locs);
+        let mut s = FifoScheduler::new();
+        let a = s
+            .pick_map(&mut q, NodeId(3), &lookup, &topo, SimTime::ZERO)
+            .expect("slot filled");
+        assert_eq!(a.job, JobId(0), "strict arrival order");
+        // single rack: non-local means rack-local here
+        assert_eq!(a.locality, Locality::RackLocal);
+    }
+
+    #[test]
+    fn falls_through_when_head_job_drained() {
+        let topo = Topology::single_rack(4);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]));
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]));
+        let locs = [(10u64, vec![0u32]), (11, vec![1])];
+        let lookup = lookup_from(&locs);
+        let mut s = FifoScheduler::new();
+        // Drain job 0's only task.
+        s.pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
+            .expect("job 0 task");
+        // Job 0 still running but has nothing pending: job 1 gets the slot.
+        let a = s
+            .pick_map(&mut q, NodeId(1), &lookup, &topo, SimTime::ZERO)
+            .expect("job 1 task");
+        assert_eq!(a.job, JobId(1));
+        assert_eq!(a.locality, Locality::NodeLocal);
+    }
+
+    #[test]
+    fn returns_none_when_nothing_pending() {
+        let topo = Topology::single_rack(2);
+        let mut q = JobQueue::new();
+        let lookup = |_: BlockId| Vec::<NodeId>::new();
+        let mut s = FifoScheduler::new();
+        assert!(s
+            .pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn rack_local_beats_remote_on_multirack() {
+        // node0+node1 in rack0; node2 in rack1
+        let topo = Topology::explicit(vec![0, 0, 1], 10);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]));
+        // block 10 off-rack (node 2); block 11 rack-local to node 0 (node 1)
+        let locs = [(10u64, vec![2u32]), (11, vec![1])];
+        let lookup = lookup_from(&locs);
+        let mut s = FifoScheduler::new();
+        let a = s
+            .pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
+            .expect("slot filled");
+        assert_eq!(a.block, BlockId(11));
+        assert_eq!(a.locality, Locality::RackLocal);
+    }
+}

@@ -1,0 +1,221 @@
+//! The shared job queue both schedulers operate on.
+//!
+//! The MapReduce engine owns job lifecycle (arrival, task completion, job
+//! teardown); schedulers only *select* pending tasks. Keeping the pending
+//! bookkeeping here lets the two schedulers share it and keeps the engine
+//! agnostic of scheduling policy.
+
+use crate::locality::Locality;
+use dare_dfs::BlockId;
+use dare_simcore::SimTime;
+
+/// Identifier of a job (dense, in submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Index into per-job vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a map task within its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+/// One not-yet-scheduled map task.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingTask {
+    /// Task index within the job.
+    pub task: TaskId,
+    /// Input block the task reads.
+    pub block: BlockId,
+}
+
+/// The outcome of a successful slot offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Job the task belongs to.
+    pub job: JobId,
+    /// Task within the job.
+    pub task: TaskId,
+    /// Input block.
+    pub block: BlockId,
+    /// Locality achieved by this placement.
+    pub locality: Locality,
+}
+
+/// Scheduler-visible state of one active job.
+#[derive(Debug, Clone)]
+pub struct JobEntry {
+    /// Job identifier.
+    pub id: JobId,
+    /// Submission time (FIFO order, GMTT baseline).
+    pub arrival: SimTime,
+    /// Unscheduled map tasks.
+    pub pending: Vec<PendingTask>,
+    /// Currently running map tasks.
+    pub running_maps: u32,
+    /// Delay-scheduling state: consecutive scheduling opportunities this
+    /// job declined for lack of a node-local task.
+    pub skip_count: u32,
+}
+
+impl JobEntry {
+    /// True when every map task has been handed out.
+    pub fn maps_exhausted(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Active jobs in arrival order.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    jobs: Vec<JobEntry>,
+}
+
+impl JobQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a job with its map tasks. Jobs must be added in
+    /// non-decreasing arrival order (the engine's event loop guarantees it).
+    pub fn add_job(&mut self, id: JobId, arrival: SimTime, tasks: Vec<PendingTask>) {
+        if let Some(last) = self.jobs.last() {
+            debug_assert!(last.arrival <= arrival, "jobs must arrive in order");
+        }
+        self.jobs.push(JobEntry {
+            id,
+            arrival,
+            pending: tasks,
+            running_maps: 0,
+            skip_count: 0,
+        });
+    }
+
+    /// All active jobs, in arrival order.
+    pub fn jobs(&self) -> &[JobEntry] {
+        &self.jobs
+    }
+
+    /// Mutable access by job id (linear scan; active-job counts are small).
+    pub fn job_mut(&mut self, id: JobId) -> Option<&mut JobEntry> {
+        self.jobs.iter_mut().find(|j| j.id == id)
+    }
+
+    /// Shared access by job id.
+    pub fn job(&self, id: JobId) -> Option<&JobEntry> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Take the pending task at `pending_idx` from job `id`, marking it
+    /// running. Callers got `pending_idx` from an immutable scan.
+    pub fn take_task(&mut self, id: JobId, pending_idx: usize) -> PendingTask {
+        let job = self.job_mut(id).expect("taking task from unknown job");
+        let t = job.pending.swap_remove(pending_idx);
+        job.running_maps += 1;
+        t
+    }
+
+    /// A running map task of `id` finished.
+    pub fn on_map_complete(&mut self, id: JobId) {
+        if let Some(job) = self.job_mut(id) {
+            debug_assert!(job.running_maps > 0);
+            job.running_maps -= 1;
+        }
+    }
+
+    /// Drop a job whose map phase is fully done (no pending, no running).
+    /// The engine calls this when the job leaves the map phase; reduces are
+    /// tracked by the engine.
+    pub fn retire_job(&mut self, id: JobId) {
+        if let Some(pos) = self.jobs.iter().position(|j| j.id == id) {
+            let j = &self.jobs[pos];
+            debug_assert!(j.pending.is_empty() && j.running_maps == 0);
+            self.jobs.remove(pos);
+        }
+    }
+
+    /// True when any job still has unscheduled map tasks.
+    pub fn has_pending(&self) -> bool {
+        self.jobs.iter().any(|j| !j.pending.is_empty())
+    }
+
+    /// Total unscheduled map tasks across jobs.
+    pub fn total_pending(&self) -> usize {
+        self.jobs.iter().map(|j| j.pending.len()).sum()
+    }
+
+    /// Number of active jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are active.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(blocks: &[u64]) -> Vec<PendingTask> {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| PendingTask {
+                task: TaskId(i as u32),
+                block: BlockId(b),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_take_complete_retire() {
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2]));
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[3]));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_pending(), 3);
+        assert!(q.has_pending());
+
+        let t = q.take_task(JobId(0), 0);
+        assert_eq!(t.block, BlockId(1));
+        assert_eq!(q.job(JobId(0)).expect("active").running_maps, 1);
+        assert_eq!(q.total_pending(), 2);
+
+        let t2 = q.take_task(JobId(0), 0);
+        assert_eq!(t2.block, BlockId(2));
+        assert!(q.job(JobId(0)).expect("active").maps_exhausted());
+
+        q.on_map_complete(JobId(0));
+        q.on_map_complete(JobId(0));
+        q.retire_job(JobId(0));
+        assert_eq!(q.len(), 1);
+        assert!(q.job(JobId(0)).is_none());
+        assert!(q.has_pending(), "job 1 still pending");
+    }
+
+    #[test]
+    fn retire_unknown_job_is_noop() {
+        let mut q = JobQueue::new();
+        q.retire_job(JobId(9));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn jobs_keep_arrival_order() {
+        let mut q = JobQueue::new();
+        for i in 0..5 {
+            q.add_job(JobId(i), SimTime::from_secs(i as u64), tasks(&[i as u64]));
+        }
+        let order: Vec<u32> = q.jobs().iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based scheduler tests: whatever the job mix and offer
+//! sequence, every scheduler hands out each task exactly once, reports
+//! the locality that the oracle would compute, and never invents work.
+
+use dare_dfs::BlockId;
+use dare_net::{NodeId, Topology};
+use dare_sched::locality::classify;
+use dare_sched::{
+    CapacityScheduler, FairScheduler, FifoScheduler, JobId, JobQueue, PendingTask, Scheduler,
+    TaskId,
+};
+use dare_simcore::SimTime;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const NODES: u32 = 8;
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    tasks: Vec<u64>, // block ids
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        prop::collection::vec(0u64..64, 1..12).prop_map(|tasks| JobSpec { tasks }),
+        1..8,
+    )
+}
+
+/// Deterministic pseudo-random replica locations per block.
+fn locations(b: BlockId) -> Vec<NodeId> {
+    let k = 1 + (b.0 % 3) as usize; // 1-3 replicas
+    (0..k)
+        .map(|i| NodeId(((b.0 * 7 + i as u64 * 13) % NODES as u64) as u32))
+        .collect()
+}
+
+fn build_queue(jobs: &[JobSpec]) -> JobQueue {
+    let mut q = JobQueue::new();
+    for (j, spec) in jobs.iter().enumerate() {
+        let tasks: Vec<PendingTask> = spec
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(t, &b)| PendingTask {
+                task: TaskId(t as u32),
+                block: BlockId(b),
+            })
+            .collect();
+        q.add_job(JobId(j as u32), SimTime::from_secs(j as u64), tasks);
+    }
+    q
+}
+
+/// Drain the queue by offering slots round-robin; returns assignments.
+fn drain(
+    sched: &mut dyn Scheduler,
+    q: &mut JobQueue,
+    topo: &Topology,
+    offers: &[u32],
+) -> Vec<(JobId, TaskId, BlockId, dare_sched::Locality)> {
+    let mut out = Vec::new();
+    let mut idle_rounds = 0;
+    let mut i = 0;
+    // Fair can decline offers; completing tasks clears running counts so
+    // its deficit ordering keeps moving. Simulate instant completion.
+    while q.has_pending() && idle_rounds < 10_000 {
+        let node = NodeId(offers[i % offers.len()]);
+        i += 1;
+        match sched.pick_map(q, node, &locations, topo, SimTime::ZERO) {
+            Some(a) => {
+                out.push((a.job, a.task, a.block, a.locality));
+                q.on_map_complete(a.job);
+                idle_rounds = 0;
+            }
+            None => idle_rounds += 1,
+        }
+    }
+    out
+}
+
+fn check_all(jobs: Vec<JobSpec>, offers: Vec<u32>) -> Result<(), TestCaseError> {
+    let topo = Topology::explicit(vec![0, 0, 1, 1, 2, 2, 3, 3], 2);
+    let total: usize = jobs.iter().map(|j| j.tasks.len()).sum();
+
+    type MkSched = fn() -> Box<dyn Scheduler>;
+    let schedulers: [(&str, MkSched); 3] = [
+        ("fifo", || Box::new(FifoScheduler::new())),
+        ("fair", || Box::new(FairScheduler::new())),
+        ("capacity", || Box::new(CapacityScheduler::new(3))),
+    ];
+    for (name, mk) in schedulers {
+        let mut q = build_queue(&jobs);
+        let mut sched = mk();
+        let out = drain(sched.as_mut(), &mut q, &topo, &offers);
+
+        // Every task assigned exactly once.
+        prop_assert_eq!(out.len(), total, "{}: task conservation", name);
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for (j, t, _, _) in &out {
+            prop_assert!(seen.insert((j.0, t.0)), "{}: duplicate assignment", name);
+        }
+        // Blocks match the original specs.
+        let mut per_job: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
+        for (j, t, b, _) in &out {
+            per_job.entry(j.0).or_default().push((t.0, b.0));
+        }
+        for (j, spec) in jobs.iter().enumerate() {
+            let mut got = per_job.remove(&(j as u32)).unwrap_or_default();
+            got.sort_unstable();
+            let want: Vec<(u32, u64)> = spec
+                .tasks
+                .iter()
+                .enumerate()
+                .map(|(t, &b)| (t as u32, b))
+                .collect();
+            prop_assert_eq!(got, want, "{}: job {} task/block mapping", name, j);
+        }
+        // Queue is fully drained.
+        prop_assert_eq!(q.total_pending(), 0, "{}: queue drained", name);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedulers_conserve_tasks(
+        jobs in jobs_strategy(),
+        offers in prop::collection::vec(0u32..NODES, 1..16),
+    ) {
+        check_all(jobs, offers)?;
+    }
+
+    #[test]
+    fn reported_locality_matches_oracle(
+        jobs in jobs_strategy(),
+        offers in prop::collection::vec(0u32..NODES, 1..16),
+    ) {
+        let topo = Topology::explicit(vec![0, 0, 1, 1, 2, 2, 3, 3], 2);
+        let mut q = build_queue(&jobs);
+        let mut sched = FifoScheduler::new();
+        let mut i = 0;
+        while q.has_pending() {
+            let node = NodeId(offers[i % offers.len()]);
+            i += 1;
+            if let Some(a) = sched.pick_map(&mut q, node, &locations, &topo, SimTime::ZERO) {
+                let want = classify(a.block, node, &locations, &topo);
+                prop_assert_eq!(a.locality, want, "locality class mismatch");
+                q.on_map_complete(a.job);
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Probability distributions used by the DARE models.
+//!
+//! Implemented from scratch on top of the [`DetRng`] uniform source because
+//! `rand_distr` is not in the offline dependency set. Each distribution is a
+//! small immutable value; sampling takes `&mut DetRng` so one distribution
+//! can be shared across substreams.
+//!
+//! The simulator uses:
+//! * [`Zipf`] — heavy-tailed file popularity (Figs. 2 and 6);
+//! * [`LogNormal`] — job input sizes and task compute times (SWIM traces are
+//!   classically fit with lognormals);
+//! * [`Exponential`] — job inter-arrival times;
+//! * [`BoundedNormal`] — disk/network bandwidth per Tables I-II (normal with
+//!   the published mean/std, clamped to the published min/max);
+//! * [`Pareto`] — long-tail RTT outliers on EC2 (Table I max of 75 ms).
+
+use crate::rng::DetRng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / k^s`.
+///
+/// Sampling uses the precomputed CDF and binary search — O(log n) per draw,
+/// exact, and fast enough for millions of draws in the workload synthesizer.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf law over `n` ranks with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point round-down at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len());
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Cumulative probability of ranks `1..=k`.
+    pub fn cdf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len());
+        self.cdf[k - 1]
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.uniform();
+        // partition_point returns the count of entries < u, i.e. the 0-based
+        // index of the first cdf entry >= u; +1 converts to 1-based rank.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+}
+
+/// Lognormal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (log-space).
+    pub mu: f64,
+    /// Std-dev of the underlying normal (log-space).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from log-space parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct a lognormal whose *linear-space* median is `median` and
+    /// whose log-space spread is `sigma`. (`median = exp(mu)`.)
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Linear-space mean: `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    /// Rate parameter (events per unit time).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Construct from a rate. Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0);
+        Exponential { lambda }
+    }
+
+    /// Construct from the mean inter-event time.
+    pub fn from_mean(mean: f64) -> Self {
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Draw one sample by inversion.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        // 1 - uniform() is in (0, 1]; ln of it is finite.
+        -(1.0 - rng.uniform()).ln() / self.lambda
+    }
+}
+
+/// Normal distribution clamped to `[min, max]` — how Tables I-II report
+/// bandwidth/RTT (mean, std, min, max).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedNormal {
+    /// Mean of the unclamped normal.
+    pub mean: f64,
+    /// Std-dev of the unclamped normal.
+    pub std: f64,
+    /// Lower clamp.
+    pub min: f64,
+    /// Upper clamp.
+    pub max: f64,
+}
+
+impl BoundedNormal {
+    /// Construct; panics if the bounds are inverted or the mean lies outside.
+    pub fn new(mean: f64, std: f64, min: f64, max: f64) -> Self {
+        assert!(min <= max, "inverted bounds");
+        assert!(std >= 0.0);
+        assert!(
+            (min..=max).contains(&mean),
+            "mean {mean} outside [{min}, {max}]"
+        );
+        BoundedNormal {
+            mean,
+            std,
+            min,
+            max,
+        }
+    }
+
+    /// Draw one sample (normal draw, then clamp).
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        (self.mean + self.std * standard_normal(rng)).clamp(self.min, self.max)
+    }
+}
+
+/// Pareto (type I) distribution with scale `xm > 0` and shape `alpha > 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Scale (minimum value).
+    pub xm: f64,
+    /// Shape (tail index; smaller = heavier tail).
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Construct; panics unless both parameters are positive.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && alpha > 0.0);
+        Pareto { xm, alpha }
+    }
+
+    /// Draw one sample by inversion.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        let u = 1.0 - rng.uniform(); // in (0, 1]
+        self.xm / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+///
+/// We deliberately use the non-cached variant (one draw per call, two
+/// uniforms consumed) so a distribution carries no hidden state — important
+/// for substream reproducibility.
+pub fn standard_normal(rng: &mut DetRng) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1 = 1.0 - rng.uniform();
+    let u2 = rng.uniform();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+
+    fn rng() -> DetRng {
+        DetRng::new(20110926) // CLUSTER 2011 conference date
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) >= z.pmf(k + 1), "pmf must decay with rank");
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mut counts = vec![0usize; 51];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for k in [1usize, 2, 5, 10] {
+            let emp = counts[k] as f64 / n as f64;
+            let want = z.pmf(k);
+            assert!(
+                (emp - want).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {want}"
+            );
+        }
+        assert_eq!(counts[0], 0, "rank 0 must never occur");
+    }
+
+    #[test]
+    fn zipf_single_rank_always_returns_one() {
+        let z = Zipf::new(1, 2.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let d = LogNormal::from_median(10.0, 0.5);
+        let mut r = rng();
+        let mut st = OnlineStats::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for _ in 0..100_000 {
+            let x = d.sample(&mut r);
+            assert!(x > 0.0);
+            st.push(x);
+            vals.push(x);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = vals[vals.len() / 2];
+        assert!((med - 10.0).abs() / 10.0 < 0.03, "median {med}");
+        assert!((st.mean() - d.mean()).abs() / d.mean() < 0.03);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::from_mean(4.0);
+        let mut r = rng();
+        let mut st = OnlineStats::new();
+        for _ in 0..100_000 {
+            let x = d.sample(&mut r);
+            assert!(x >= 0.0);
+            st.push(x);
+        }
+        assert!((st.mean() - 4.0).abs() < 0.1, "mean {}", st.mean());
+    }
+
+    #[test]
+    fn bounded_normal_respects_bounds_and_mean() {
+        // CCT disk bandwidth row of Table II.
+        let d = BoundedNormal::new(157.8, 8.02, 145.3, 167.0);
+        let mut r = rng();
+        let mut st = OnlineStats::new();
+        for _ in 0..50_000 {
+            let x = d.sample(&mut r);
+            assert!((145.3..=167.0).contains(&x));
+            st.push(x);
+        }
+        assert!((st.mean() - 157.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_above_scale() {
+        let d = Pareto::new(1.0, 1.5);
+        let mut r = rng();
+        let n = 100_000;
+        let mut above10 = 0usize;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!(x >= 1.0);
+            if x > 10.0 {
+                above10 += 1;
+            }
+        }
+        // P(X > 10) = 10^-1.5 ≈ 0.0316
+        let emp = above10 as f64 / n as f64;
+        assert!((emp - 0.0316).abs() < 0.005, "tail mass {emp}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let mut st = OnlineStats::new();
+        for _ in 0..100_000 {
+            st.push(standard_normal(&mut r));
+        }
+        assert!(st.mean().abs() < 0.02);
+        assert!((st.std() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bounded_normal_rejects_mean_outside_bounds() {
+        let _ = BoundedNormal::new(5.0, 1.0, 10.0, 20.0);
+    }
+}

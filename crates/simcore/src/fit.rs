@@ -1,0 +1,165 @@
+//! Distribution fitting — calibrate the simulator's models from data.
+//!
+//! The reproduction ships models fitted to the paper's published
+//! statistics, but anyone pointing the pipeline at *their own* traces
+//! (via `dare_workload::audit::parse_log`) needs the reverse direction:
+//! estimate Zipf/lognormal/exponential parameters from samples. Methods:
+//!
+//! * [`fit_lognormal`] — exact MLE (mean/std of log-samples);
+//! * [`fit_exponential`] — exact MLE (1 / sample mean);
+//! * [`fit_zipf`] — least-squares slope of the log-log rank-frequency
+//!   line (the standard eyeball method for Fig. 2-style data, done
+//!   properly);
+//! * [`fit_pareto_tail`] — the Hill estimator of the tail index over the
+//!   top-k order statistics.
+
+use crate::dist::{Exponential, LogNormal, Pareto};
+
+/// MLE lognormal fit. Requires strictly positive samples.
+pub fn fit_lognormal(samples: &[f64]) -> Result<LogNormal, String> {
+    if samples.len() < 2 {
+        return Err("need at least 2 samples".into());
+    }
+    if samples.iter().any(|&x| x <= 0.0) {
+        return Err("lognormal requires positive samples".into());
+    }
+    let n = samples.len() as f64;
+    let mu = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x.ln() - mu).powi(2)).sum::<f64>() / n;
+    Ok(LogNormal::new(mu, var.sqrt()))
+}
+
+/// MLE exponential fit. Requires non-negative samples with positive mean.
+pub fn fit_exponential(samples: &[f64]) -> Result<Exponential, String> {
+    if samples.is_empty() {
+        return Err("need at least 1 sample".into());
+    }
+    if samples.iter().any(|&x| x < 0.0) {
+        return Err("exponential requires non-negative samples".into());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    if mean <= 0.0 {
+        return Err("zero mean".into());
+    }
+    Ok(Exponential::from_mean(mean))
+}
+
+/// Fit the Zipf exponent `s` from per-item counts (unsorted): ordinary
+/// least squares of `ln(count)` on `ln(rank)`; the negated slope is `s`.
+/// Zero counts are dropped; at least 3 distinct positive counts required.
+pub fn fit_zipf(counts: &[u64]) -> Result<f64, String> {
+    let mut c: Vec<u64> = counts.iter().copied().filter(|&x| x > 0).collect();
+    if c.len() < 3 {
+        return Err("need at least 3 positive counts".into());
+    }
+    c.sort_unstable_by(|a, b| b.cmp(a));
+    let pts: Vec<(f64, f64)> = c
+        .iter()
+        .enumerate()
+        .map(|(i, &cnt)| (((i + 1) as f64).ln(), (cnt as f64).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return Err("degenerate rank axis".into());
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Ok(-slope)
+}
+
+/// Hill estimator of the Pareto tail index over the largest `k` samples.
+/// Returns the fitted [`Pareto`] anchored at the (k+1)-th order statistic.
+pub fn fit_pareto_tail(samples: &[f64], k: usize) -> Result<Pareto, String> {
+    if k < 2 || samples.len() <= k {
+        return Err(format!(
+            "need k >= 2 and more than k samples (k={k}, n={})",
+            samples.len()
+        ));
+    }
+    if samples.iter().any(|&x| x <= 0.0) {
+        return Err("Pareto tail requires positive samples".into());
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let xk = v[k]; // (k+1)-th largest: the tail threshold
+    let hill: f64 = v[..k].iter().map(|&x| (x / xk).ln()).sum::<f64>() / k as f64;
+    if hill <= 0.0 {
+        return Err("non-positive Hill estimate".into());
+    }
+    Ok(Pareto::new(xk, 1.0 / hill))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Zipf;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn lognormal_parameters_are_recovered() {
+        let truth = LogNormal::from_median(12.0, 0.7);
+        let mut rng = DetRng::new(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = fit_lognormal(&samples).expect("fits");
+        assert!((fitted.mu - truth.mu).abs() < 0.02, "mu {}", fitted.mu);
+        assert!(
+            (fitted.sigma - truth.sigma).abs() < 0.02,
+            "sigma {}",
+            fitted.sigma
+        );
+    }
+
+    #[test]
+    fn exponential_rate_is_recovered() {
+        let truth = Exponential::new(0.25);
+        let mut rng = DetRng::new(2);
+        let samples: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = fit_exponential(&samples).expect("fits");
+        assert!(
+            (fitted.lambda - 0.25).abs() < 0.01,
+            "lambda {}",
+            fitted.lambda
+        );
+    }
+
+    #[test]
+    fn zipf_exponent_is_recovered() {
+        let truth = Zipf::new(500, 1.1);
+        let mut rng = DetRng::new(3);
+        let mut counts = vec![0u64; 500];
+        for _ in 0..2_000_000 {
+            counts[truth.sample(&mut rng) - 1] += 1;
+        }
+        let s = fit_zipf(&counts).expect("fits");
+        assert!((s - 1.1).abs() < 0.15, "s {s}");
+    }
+
+    #[test]
+    fn pareto_tail_index_is_recovered() {
+        let truth = Pareto::new(1.0, 1.5);
+        let mut rng = DetRng::new(4);
+        let samples: Vec<f64> = (0..100_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = fit_pareto_tail(&samples, 2_000).expect("fits");
+        assert!((fitted.alpha - 1.5).abs() < 0.15, "alpha {}", fitted.alpha);
+        assert!(fitted.xm > 1.0, "threshold above the scale");
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(fit_lognormal(&[1.0]).is_err());
+        assert!(fit_lognormal(&[1.0, -2.0]).is_err());
+        assert!(fit_exponential(&[]).is_err());
+        assert!(fit_exponential(&[-1.0]).is_err());
+        assert!(fit_exponential(&[0.0, 0.0]).is_err());
+        assert!(fit_zipf(&[5, 3]).is_err());
+        assert!(fit_zipf(&[0, 0, 0]).is_err());
+        assert!(fit_pareto_tail(&[1.0, 2.0], 2).is_err());
+        assert!(fit_zipf(&[7, 7, 7]).is_ok(), "flat counts fit s ~ 0");
+        let s = fit_zipf(&[7, 7, 7]).expect("flat");
+        assert!(s.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dare-simcore — discrete-event simulation kernel
+//!
+//! Foundation crate for the DARE reproduction. Provides the building blocks
+//! every other crate in the workspace leans on:
+//!
+//! * [`time`] — a fixed-point simulated clock ([`SimTime`], [`SimDuration`])
+//!   with microsecond resolution, so event ordering is exact and runs are
+//!   bit-reproducible (no floating-point clock drift).
+//! * [`events`] — a generic [`events::EventQueue`] (binary heap keyed by
+//!   `(time, sequence)`) with stable FIFO ordering for simultaneous events.
+//! * [`rng`] — deterministic random-number generation with hierarchical
+//!   substream derivation, so adding a consumer of randomness in one
+//!   subsystem does not perturb another subsystem's stream.
+//! * [`dist`] — the probability distributions the paper's models need
+//!   (Zipf, lognormal, exponential, bounded normal, Pareto), implemented
+//!   from scratch on top of `rand` because `rand_distr` is not in the
+//!   offline dependency set.
+//! * [`stats`] — descriptive statistics used by the evaluation: streaming
+//!   mean/variance/min/max, percentiles, histograms and CDFs, geometric
+//!   mean, and the coefficient of variation used by Fig. 11.
+//! * [`quantile`] — the P² streaming quantile estimator (O(1) memory
+//!   percentiles for long runs).
+//! * [`fit`] — parameter estimation (lognormal/exponential MLE, Zipf
+//!   log-log regression, Hill tail estimator) for calibrating the models
+//!   against real traces.
+//! * [`parallel`] — a crossbeam-free scoped-threads `parallel_map` used to
+//!   fan parameter sweeps across cores while each simulation run stays
+//!   single-threaded and deterministic.
+//!
+//! Each simulation run in this workspace is a single-threaded DES driven by
+//! one seeded RNG; parallelism lives *between* runs (sweeps), never inside
+//! one, which is what makes results reproducible to the event.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod events;
+pub mod fit;
+pub mod parallel;
+pub mod quantile;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

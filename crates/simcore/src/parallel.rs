@@ -1,0 +1,151 @@
+//! Parallel execution of independent simulation runs.
+//!
+//! Parameter sweeps (Figs. 8, 9, 11) run dozens of full simulations. Each
+//! run is single-threaded and deterministic; this module fans independent
+//! runs across OS threads with [`std::thread::scope`], preserving output
+//! order. Work is handed out through an atomic cursor so long runs don't
+//! straggle behind a static partition — the same work-stealing-lite shape
+//! rayon would give us, without needing rayon in the offline crate set.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` using up to `threads` worker threads, returning
+/// results in input order.
+///
+/// `f` must be `Sync` (shared by reference across workers) and the item and
+/// result types must be `Send`. Panics in `f` propagate to the caller after
+/// all workers stop (scope join semantics).
+///
+/// ```
+/// let squares = dare_simcore::parallel::parallel_map_threads(
+///     (0u64..100).collect(), 4, |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// ```
+pub fn parallel_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Wrap each item in a Mutex<Option<T>> slot so workers can *take* items
+    // by index without requiring T: Sync or cloning.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item taken twice");
+                let r = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited before finishing its item")
+        })
+        .collect()
+}
+
+/// [`parallel_map_threads`] with the thread count taken from available
+/// parallelism (capped at the number of items).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    parallel_map_threads(items, threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map_threads((0..1000u64).collect(), 8, |x| x * 2);
+        assert_eq!(out, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = parallel_map_threads(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map_threads(vec![10, 20], 64, |x| x / 10);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = parallel_map_threads((0..500u64).collect(), 7, |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn non_clone_items_work() {
+        struct NoClone(u64);
+        let items: Vec<NoClone> = (0..50).map(NoClone).collect();
+        let out = parallel_map_threads(items, 4, |x| x.0 * 3);
+        assert_eq!(out[10], 30);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still all complete.
+        let out = parallel_map_threads((0..64u64).collect(), 8, |x| {
+            let spin = if x % 8 == 0 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            // prevent the loop from being optimized out entirely
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+    }
+}

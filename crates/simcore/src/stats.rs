@@ -1,0 +1,490 @@
+//! Descriptive statistics for the evaluation.
+//!
+//! Everything the paper's tables and figures report is computed here:
+//! min/mean/max/std (Tables I-II), percentiles and CDFs (Figs. 3-6),
+//! geometric mean (GMTT, Eq. 1), and the coefficient of variation used to
+//! score replica-placement uniformity (Fig. 11).
+
+use std::collections::BTreeMap;
+
+/// Streaming mean/variance/min/max using Welford's algorithm.
+///
+/// Numerically stable (no sum-of-squares cancellation) and O(1) per sample,
+/// which matters when a 500-job simulation feeds hundreds of thousands of
+/// task durations through it.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (NaN-free input assumed); 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Coefficient of variation `σ / |μ|` (Fig. 11's uniformity measure).
+    /// Returns 0 for an empty accumulator and infinity for a zero mean with
+    /// nonzero spread.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let m = self.mean.abs();
+        if m == 0.0 {
+            if self.std() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.std() / m
+        }
+    }
+}
+
+/// Geometric mean of strictly positive values — the paper's GMTT (Eq. 1).
+///
+/// Computed in log space to avoid overflow on long products. Non-positive
+/// inputs are clamped to `f64::MIN_POSITIVE` (a zero-duration job would
+/// otherwise annihilate the metric; the paper's jobs always take > 0 s).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| x.max(f64::MIN_POSITIVE).ln())
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Coefficient of variation of a slice (convenience over [`OnlineStats`]).
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let mut st = OnlineStats::new();
+    for &x in xs {
+        st.push(x);
+    }
+    st.coefficient_of_variation()
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) of unsorted data, by linear interpolation
+/// between closest ranks (the "R-7" definition used by numpy's default).
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    assert!(!xs.is_empty(), "quantile of empty data");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// Used to emit the CDF figures (Figs. 3 and 6) and to answer inverse
+/// queries like "at what age have 50 % of accesses happened?" (the paper's
+/// 9h45m annotation in Fig. 3).
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs rejected by debug assertion).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        debug_assert!(samples.iter().all(|x| !x.is_nan()));
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let cnt = self.sorted.partition_point(|&s| s <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest sample value `v` with `fraction_leq(v) ≥ q` (inverse CDF).
+    pub fn inverse(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty());
+        assert!((0.0..=1.0).contains(&q));
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// Evaluate the CDF at each of `points`, yielding `(x, F(x))` pairs —
+    /// ready to print as a figure series.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.fraction_leq(x))).collect()
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets plus
+/// underflow/overflow counters. Used for Fig. 1 (hop counts) and diagnostic
+/// distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram spanning `[lo, hi)` with `bins` equal buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // Floating-point rounding can nudge the index to len on x ≈ hi.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bin_center, fraction_of_total)` pairs — the normalized series the
+    /// figures plot.
+    pub fn proportions(&self) -> Vec<(f64, f64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * w;
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
+                (center, frac)
+            })
+            .collect()
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+}
+
+/// Rank-frequency table: counts per key, sorted descending — the shape of
+/// Fig. 2 (file popularity vs rank).
+#[derive(Debug, Clone, Default)]
+pub struct RankFrequency {
+    counts: BTreeMap<u64, f64>,
+}
+
+impl RankFrequency {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `weight` occurrences of `key`.
+    pub fn add(&mut self, key: u64, weight: f64) {
+        *self.counts.entry(key).or_insert(0.0) += weight;
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `(rank, weight)` series sorted by descending weight; rank is 1-based.
+    /// Ties broken by key for determinism.
+    pub fn ranked(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(&u64, &f64)> = self.counts.iter().collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(a.1)
+                .expect("NaN weight")
+                .then_with(|| a.0.cmp(b.0))
+        });
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (_, &w))| (i + 1, w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.coefficient_of_variation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_empty_is_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+        let mut empty = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(1.0);
+        b.push(3.0);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean(), 2.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_definition() {
+        assert!((geometric_mean(&[1.0, 8.0]) - 8.0f64.sqrt()).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        // GM is dominated less by outliers than the arithmetic mean —
+        // the reason the paper uses it for turnaround times.
+        let gm = geometric_mean(&[1.0, 1.0, 1.0, 1000.0]);
+        assert!(gm < 10.0);
+    }
+
+    #[test]
+    fn geometric_mean_no_overflow_on_many_large_values() {
+        let xs = vec![1e300; 10_000];
+        let gm = geometric_mean(&xs);
+        assert!((gm / 1e300 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_fraction_and_inverse() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(e.fraction_leq(0.5), 0.0);
+        assert_eq!(e.fraction_leq(3.0), 0.6);
+        assert_eq!(e.fraction_leq(100.0), 1.0);
+        assert_eq!(e.inverse(0.5), 3.0);
+        assert_eq!(e.inverse(1.0), 5.0);
+        assert_eq!(e.inverse(0.0), 1.0);
+        let s = e.series(&[0.0, 2.5, 5.0]);
+        assert_eq!(s, vec![(0.0, 0.0), (2.5, 0.4), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_leq(1.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.99, -1.0, 10.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.out_of_range(), (1, 2));
+        let props = h.proportions();
+        assert_eq!(props.len(), 10);
+        assert!((props[1].1 - 2.0 / 7.0).abs() < 1e-12);
+        assert!((props[0].0 - 0.5).abs() < 1e-12, "bin centers");
+    }
+
+    #[test]
+    fn rank_frequency_orders_descending() {
+        let mut rf = RankFrequency::new();
+        rf.add(1, 5.0);
+        rf.add(2, 50.0);
+        rf.add(3, 1.0);
+        rf.add(2, 0.5);
+        let ranked = rf.ranked();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0], (1, 50.5));
+        assert_eq!(ranked[1], (2, 5.0));
+        assert_eq!(ranked[2], (3, 1.0));
+        assert_eq!(rf.distinct(), 3);
+    }
+}

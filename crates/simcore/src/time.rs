@@ -1,0 +1,259 @@
+//! Fixed-point simulated time.
+//!
+//! The simulator clock is a `u64` count of microseconds since simulation
+//! start. Fixed-point time makes event ordering exact: two events scheduled
+//! from the same computation always compare the same way on every run and
+//! every platform, which floating-point seconds cannot guarantee.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the simulated clock (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (rounds to the nearest microsecond).
+    ///
+    /// Negative inputs clamp to zero: simulated time never precedes the epoch.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimTime(0)
+        } else {
+            SimTime((s * MICROS_PER_SEC as f64).round() as u64)
+        }
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Time as fractional hours (used by the trace-analysis figures).
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier`
+    /// is actually later (callers comparing heartbeats against job arrival
+    /// rely on the saturation rather than a panic).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of another instant, yielding a duration.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (rounds; clamps negatives to zero).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+        }
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3600 * MICROS_PER_SEC)
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Duration as fractional hours.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Multiply the duration by a non-negative scalar.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Self {
+        debug_assert!(k >= 0.0, "durations cannot be negative");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimTime::from_secs_f64(0.000001).as_micros(), 1);
+        assert_eq!(SimDuration::from_hours(2).as_hours_f64(), 2.0);
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(12)),
+            SimDuration::from_secs(3)
+        );
+        // saturates instead of underflowing
+        assert_eq!(
+            SimTime::from_secs(1).saturating_since(SimTime::from_secs(2)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::from_secs(1).checked_since(SimTime::from_secs(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn duration_scaling_and_sum() {
+        assert_eq!(
+            SimDuration::from_secs(4).mul_f64(0.25),
+            SimDuration::from_secs(1)
+        );
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn ordering_is_total_and_exact() {
+        let a = SimTime::from_micros(1);
+        let b = SimTime::from_micros(2);
+        assert!(a < b);
+        assert!(SimTime::MAX > SimTime::from_secs(u32::MAX as u64));
+    }
+}

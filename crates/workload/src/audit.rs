@@ -1,0 +1,304 @@
+//! HDFS audit-log text format — emit and parse logs shaped like the
+//! `ydata-hdfs-audit-logs-v1_0` data set the paper analyzed.
+//!
+//! Real HDFS name nodes log one line per metadata operation:
+//!
+//! ```text
+//! 2010-01-11 00:03:17,123 INFO FSNamesystem.audit: ugi=griduser ip=/10.1.2.3 cmd=open src=/data/part-0042 dst=null perm=null
+//! ```
+//!
+//! [`to_log`] renders a synthetic [`AccessLog`] in that shape (`cmd=create`
+//! for file creations — annotated with a `blocks=N` field standing in for
+//! the fsimage block counts the paper joined in — and `cmd=open` for
+//! reads). [`parse_log`] inverts it, so the Section III analysis pipeline
+//! can be pointed at *real* audit logs too. System files (`job.jar`,
+//! `job.xml`, `job.split`) are recognized **by path**, exactly the
+//! exclusion methodology the paper describes.
+
+use crate::yahoo::{AccessEvent, AccessLog, AccessPattern, LogFile};
+use dare_simcore::SimTime;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Render a timestamp as the audit-log clock (day offset from epoch 0).
+fn fmt_time(t: SimTime) -> String {
+    let total_ms = t.as_micros() / 1_000;
+    let (ms, total_s) = (total_ms % 1_000, total_ms / 1_000);
+    let (s, total_m) = (total_s % 60, total_s / 60);
+    let (m, total_h) = (total_m % 60, total_m / 60);
+    let (h, d) = (total_h % 24, total_h / 24);
+    format!("2010-01-{:02} {h:02}:{m:02}:{s:02},{ms:03}", 11 + d)
+}
+
+/// Parse the audit-log clock back into simulated time.
+fn parse_time(date: &str, clock: &str) -> Result<SimTime, String> {
+    let day: u64 = date
+        .rsplit('-')
+        .next()
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| format!("bad date {date}"))?;
+    let (hms, ms) = clock
+        .split_once(',')
+        .ok_or_else(|| format!("bad clock {clock}"))?;
+    let parts: Vec<&str> = hms.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("bad clock {clock}"));
+    }
+    let h: u64 = parts[0].parse().map_err(|_| "bad hour")?;
+    let m: u64 = parts[1].parse().map_err(|_| "bad minute")?;
+    let s: u64 = parts[2].parse().map_err(|_| "bad second")?;
+    let ms: u64 = ms.parse().map_err(|_| "bad millis")?;
+    let days = day.checked_sub(11).ok_or("date before epoch")?;
+    Ok(SimTime::from_micros(
+        (((days * 24 + h) * 60 + m) * 60 + s) * 1_000_000 + ms * 1_000,
+    ))
+}
+
+/// Path used for a file in the rendered log.
+fn path_of(f: &LogFile) -> String {
+    if f.is_system {
+        // Trios of framework files per job: jar/xml/split round-robin.
+        let kind = ["job.jar", "job.xml", "job.split"][(f.id % 3) as usize];
+        format!("/mapredsystem/job_{:06}/{kind}", f.id / 3)
+    } else {
+        format!("/data/part-{:05}", f.id)
+    }
+}
+
+/// True when a path denotes a framework (system) file — the paper's
+/// exclusion rule.
+pub fn is_system_path(path: &str) -> bool {
+    path.ends_with("job.jar") || path.ends_with("job.xml") || path.ends_with("job.split")
+}
+
+/// Render an [`AccessLog`] as audit-log text (create lines first at their
+/// creation times, then opens, all in timestamp order).
+pub fn to_log(log: &AccessLog) -> String {
+    #[derive(Clone)]
+    enum Line {
+        Create { t: SimTime, file: u32 },
+        Open { t: SimTime, file: u32 },
+    }
+    let mut lines: Vec<Line> = Vec::with_capacity(log.files.len() + log.events.len());
+    for f in &log.files {
+        lines.push(Line::Create {
+            t: f.created,
+            file: f.id,
+        });
+    }
+    for e in &log.events {
+        lines.push(Line::Open {
+            t: e.time,
+            file: e.file,
+        });
+    }
+    lines.sort_by_key(|l| match l {
+        Line::Create { t, file } => (*t, 0u8, *file),
+        Line::Open { t, file } => (*t, 1, *file),
+    });
+
+    let mut out = String::new();
+    for l in lines {
+        match l {
+            Line::Create { t, file } => {
+                let f = &log.files[file as usize];
+                let _ = writeln!(
+                    out,
+                    "{} INFO FSNamesystem.audit: ugi=griduser ip=/10.0.0.1 cmd=create src={} dst=null perm=rw-r--r-- blocks={}",
+                    fmt_time(t),
+                    path_of(f),
+                    f.num_blocks
+                );
+            }
+            Line::Open { t, file } => {
+                let f = &log.files[file as usize];
+                let _ = writeln!(
+                    out,
+                    "{} INFO FSNamesystem.audit: ugi=griduser ip=/10.0.0.1 cmd=open src={} dst=null perm=null",
+                    fmt_time(t),
+                    path_of(f)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parse audit-log text back into an [`AccessLog`].
+///
+/// Files are keyed by `src` path; `cmd=create` lines establish creation
+/// time and block count (defaulting to 1 when the annotation is absent,
+/// as with real logs lacking the fsimage join); files first seen via
+/// `cmd=open` get their creation time from that first open. System files
+/// are detected by path. Unknown commands are ignored (real logs carry
+/// mkdirs/listStatus/... noise).
+pub fn parse_log(text: &str) -> Result<AccessLog, String> {
+    let mut by_path: HashMap<String, u32> = HashMap::new();
+    let mut files: Vec<LogFile> = Vec::new();
+    let mut events: Vec<AccessEvent> = Vec::new();
+    let mut max_t = SimTime::ZERO;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ctx = |m: &str| format!("line {}: {m}", lineno + 1);
+        let mut tokens = line.split_whitespace();
+        let date = tokens.next().ok_or_else(|| ctx("missing date"))?;
+        let clock = tokens.next().ok_or_else(|| ctx("missing time"))?;
+        let t = parse_time(date, clock).map_err(|e| ctx(&e))?;
+
+        let mut cmd = None;
+        let mut src = None;
+        let mut blocks = 1u32;
+        for tok in tokens {
+            if let Some(v) = tok.strip_prefix("cmd=") {
+                cmd = Some(v);
+            } else if let Some(v) = tok.strip_prefix("src=") {
+                src = Some(v);
+            } else if let Some(v) = tok.strip_prefix("blocks=") {
+                blocks = v.parse().map_err(|_| ctx("bad blocks="))?;
+            }
+        }
+        let (Some(cmd), Some(src)) = (cmd, src) else {
+            continue; // not an audit record we care about
+        };
+        max_t = max_t.max(t);
+
+        match cmd {
+            "create" => {
+                let id = *by_path.entry(src.to_string()).or_insert_with(|| {
+                    let id = files.len() as u32;
+                    files.push(LogFile {
+                        id,
+                        created: t,
+                        num_blocks: blocks,
+                        is_system: is_system_path(src),
+                        pattern: AccessPattern::Spread,
+                    });
+                    id
+                });
+                // A later create of a known path refreshes metadata
+                // (overwrite semantics).
+                let f = &mut files[id as usize];
+                f.created = f.created.min(t);
+                f.num_blocks = blocks;
+            }
+            "open" => {
+                let id = *by_path.entry(src.to_string()).or_insert_with(|| {
+                    let id = files.len() as u32;
+                    files.push(LogFile {
+                        id,
+                        created: t, // first sighting stands in for creation
+                        num_blocks: blocks,
+                        is_system: is_system_path(src),
+                        pattern: AccessPattern::Spread,
+                    });
+                    id
+                });
+                events.push(AccessEvent { time: t, file: id });
+            }
+            _ => {} // mkdirs, listStatus, delete, ... — ignored
+        }
+    }
+
+    events.sort_by_key(|e| (e.time, e.file));
+    let window_hours = (max_t.as_hours_f64().ceil() as u64).max(1);
+    Ok(AccessLog {
+        files,
+        events,
+        window_hours,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{age_at_access_cdf, rank_frequency, AnalysisOpts};
+    use crate::yahoo::{generate, YahooParams};
+
+    fn small() -> AccessLog {
+        generate(
+            &YahooParams {
+                files: 100,
+                total_accesses: 5_000,
+                system_jobs: 20,
+                ..YahooParams::default()
+            },
+            13,
+        )
+    }
+
+    #[test]
+    fn time_format_round_trips() {
+        for us in [0u64, 999_000, 59_999_000, 3_600_000_000, 90_061_123_000] {
+            let t = SimTime::from_micros(us);
+            let s = fmt_time(t);
+            let (date, rest) = s.split_once(' ').expect("two fields");
+            let back = parse_time(date, rest).expect("parses");
+            // millisecond resolution round trip
+            assert_eq!(back.as_micros() / 1_000, us / 1_000, "for {s}");
+        }
+    }
+
+    #[test]
+    fn log_round_trip_preserves_analysis_results() {
+        let log = small();
+        let text = to_log(&log);
+        assert!(text.contains("cmd=open"));
+        assert!(text.contains("cmd=create"));
+        assert!(text.contains("job.jar"));
+        let back = parse_log(&text).expect("parses");
+
+        assert_eq!(back.events.len(), log.events.len());
+        assert_eq!(back.files.len(), log.files.len());
+        assert_eq!(back.num_data_files(), log.num_data_files());
+
+        // The Section III analyses agree between original and round trip.
+        let rf_a = rank_frequency(&log, AnalysisOpts::default());
+        let rf_b = rank_frequency(&back, AnalysisOpts::default());
+        assert_eq!(rf_a.len(), rf_b.len());
+        for (a, b) in rf_a.iter().zip(&rf_b) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+        let cdf_a = age_at_access_cdf(&log, true);
+        let cdf_b = age_at_access_cdf(&back, true);
+        assert!((cdf_a.inverse(0.5) - cdf_b.inverse(0.5)).abs() < 0.01);
+    }
+
+    #[test]
+    fn system_files_detected_by_path() {
+        assert!(is_system_path("/mapredsystem/job_000001/job.jar"));
+        assert!(is_system_path("/x/job.xml"));
+        assert!(is_system_path("/x/job.split"));
+        assert!(!is_system_path("/data/part-00001"));
+        assert!(!is_system_path("/x/jobs.log"));
+    }
+
+    #[test]
+    fn parser_tolerates_foreign_records_and_noise() {
+        let text = "\
+2010-01-11 00:00:01,000 INFO FSNamesystem.audit: ugi=u ip=/1 cmd=mkdirs src=/tmp dst=null perm=rwx
+2010-01-11 00:00:02,000 INFO FSNamesystem.audit: ugi=u ip=/1 cmd=create src=/data/a dst=null perm=rw blocks=3
+
+2010-01-11 00:00:03,000 INFO FSNamesystem.audit: ugi=u ip=/1 cmd=open src=/data/a dst=null perm=null
+2010-01-11 00:00:04,000 INFO FSNamesystem.audit: ugi=u ip=/1 cmd=listStatus src=/data dst=null perm=null
+2010-01-12 05:00:00,000 INFO FSNamesystem.audit: ugi=u ip=/1 cmd=open src=/data/b dst=null perm=null
+";
+        let log = parse_log(text).expect("parses");
+        assert_eq!(log.files.len(), 2);
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.files[0].num_blocks, 3);
+        // /data/b first seen at open: creation = first open.
+        assert_eq!(log.files[1].created, log.events[1].time);
+        assert_eq!(log.window_hours, 29);
+    }
+
+    #[test]
+    fn parser_rejects_garbage_timestamps() {
+        assert!(parse_log("not-a-date xx INFO cmd=open src=/a").is_err());
+        assert!(parse_log("2010-01-11 99:99 INFO cmd=open src=/a").is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Plain-text workload trace format (save/replay).
+//!
+//! Synthesized workloads can be exported so a run is exactly replayable
+//! elsewhere (or edited by hand), in the spirit of SWIM's published trace
+//! files. The format is line-oriented and versioned:
+//!
+//! ```text
+//! # dare-workload v1
+//! name wl1
+//! file <name> <size_bytes>
+//! ...
+//! job <id> <arrival_us> <file_index> <map_compute_us> <reduces> <output_bytes>
+//! ...
+//! ```
+//!
+//! Hand-rolled (no serialization dependency): the format is trivial and
+//! the parser doubles as validation of foreign traces.
+
+use crate::spec::{FileSpec, JobSpec, Workload};
+use dare_simcore::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// Magic first line; bump the version when the format changes.
+const HEADER: &str = "# dare-workload v1";
+
+/// Serialize a workload to the trace format.
+pub fn to_string(w: &Workload) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{HEADER}");
+    let _ = writeln!(s, "name {}", w.name);
+    for f in &w.files {
+        let _ = writeln!(s, "file {} {}", f.name, f.size_bytes);
+    }
+    for j in &w.jobs {
+        let _ = writeln!(
+            s,
+            "job {} {} {} {} {} {}",
+            j.id,
+            j.arrival.as_micros(),
+            j.file,
+            j.map_compute.as_micros(),
+            j.reduces,
+            j.output_bytes
+        );
+    }
+    s
+}
+
+/// Parse a workload from the trace format.
+pub fn from_str(input: &str) -> Result<Workload, String> {
+    let mut lines = input.lines().enumerate();
+    let (_, first) = lines.next().ok_or("empty trace")?;
+    if first.trim() != HEADER {
+        return Err(format!("bad header: expected '{HEADER}', got '{first}'"));
+    }
+    let mut name = String::new();
+    let mut files = Vec::new();
+    let mut jobs: Vec<JobSpec> = Vec::new();
+
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line has a token");
+        let ctx = |m: &str| format!("line {}: {m}", lineno + 1);
+        match kind {
+            "name" => {
+                name = parts.next().ok_or_else(|| ctx("name missing"))?.to_string();
+            }
+            "file" => {
+                let fname = parts.next().ok_or_else(|| ctx("file name missing"))?;
+                let size: u64 = parts
+                    .next()
+                    .ok_or_else(|| ctx("file size missing"))?
+                    .parse()
+                    .map_err(|_| ctx("bad file size"))?;
+                files.push(FileSpec {
+                    name: fname.to_string(),
+                    size_bytes: size,
+                });
+            }
+            "job" => {
+                let mut num = |what: &str| -> Result<u64, String> {
+                    parts
+                        .next()
+                        .ok_or_else(|| ctx(&format!("{what} missing")))?
+                        .parse()
+                        .map_err(|_| ctx(&format!("bad {what}")))
+                };
+                let id = num("id")? as u32;
+                let arrival = SimTime::from_micros(num("arrival")?);
+                let file = num("file index")? as usize;
+                let map_compute = SimDuration::from_micros(num("map compute")?);
+                let reduces = num("reduces")? as u32;
+                let output_bytes = num("output bytes")?;
+                jobs.push(JobSpec {
+                    id,
+                    arrival,
+                    file,
+                    map_compute,
+                    reduces,
+                    output_bytes,
+                });
+            }
+            other => return Err(ctx(&format!("unknown record kind '{other}'"))),
+        }
+    }
+
+    let w = Workload { name, files, jobs };
+    w.validate()?;
+    Ok(w)
+}
+
+/// Write a workload to a file.
+pub fn save(w: &Workload, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_string(w))
+}
+
+/// Load a workload from a file.
+pub fn load(path: &std::path::Path) -> Result<Workload, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let w = crate::wl2(77);
+        let text = to_string(&w);
+        let back = from_str(&text).expect("round trip parses");
+        assert_eq!(back.name, w.name);
+        assert_eq!(back.files.len(), w.files.len());
+        assert_eq!(back.jobs.len(), w.jobs.len());
+        for (a, b) in w.files.iter().zip(&back.files) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.size_bytes, b.size_bytes);
+        }
+        for (a, b) in w.jobs.iter().zip(&back.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.file, b.file);
+            assert_eq!(a.map_compute, b.map_compute);
+            assert_eq!(a.reduces, b.reduces);
+            assert_eq!(a.output_bytes, b.output_bytes);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_str("").is_err());
+        assert!(from_str("# other format\nname x").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let base = format!("{HEADER}\nname t\nfile a 100\n");
+        assert!(from_str(&format!("{base}job 0"))
+            .unwrap_err()
+            .contains("missing"));
+        assert!(from_str(&format!("{base}job 0 0 0 10 x 5"))
+            .unwrap_err()
+            .contains("bad reduces"));
+        assert!(from_str(&format!("{base}blob 1 2")).is_err());
+        assert!(from_str(&format!("{base}file b"))
+            .unwrap_err()
+            .contains("file size missing"));
+    }
+
+    #[test]
+    fn rejects_semantically_invalid_traces() {
+        // job references unknown file -> Workload::validate catches it
+        let text = format!("{HEADER}\nname t\nfile a 100\njob 0 0 5 1000 1 10\n");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!(
+            "{HEADER}\n\n# dataset\nname t\nfile a 100\n\n# one job\njob 0 0 0 1000 1 10\n"
+        );
+        let w = from_str(&text).expect("parses");
+        assert_eq!(w.jobs.len(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dare-io-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.txt");
+        let w = crate::wl1(3);
+        save(&w, &path).expect("save");
+        let back = load(&path).expect("load");
+        assert_eq!(back.jobs.len(), w.jobs.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

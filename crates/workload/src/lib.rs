@@ -1,0 +1,39 @@
+//! # dare-workload — workload synthesis and trace analysis
+//!
+//! The paper evaluates DARE with jobs replayed from a Facebook 600-machine
+//! SWIM trace and motivates the design with an analysis of a Yahoo! HDFS
+//! audit log. Neither proprietary artifact is available, so this crate
+//! synthesizes statistically equivalent stand-ins (see DESIGN.md's
+//! substitution table) and implements the analysis code of Section III:
+//!
+//! * [`popularity`] — the heavy-tailed file-access distribution of Fig. 6
+//!   (the CDF actually used in the experiments);
+//! * [`spec`] — file/job specifications consumed by the simulator;
+//! * [`swim`] — the two SWIM-derived workloads: `wl1` (a long sequence of
+//!   small jobs, favouring FIFO) and `wl2` (small jobs after large jobs,
+//!   favouring the Fair scheduler), 500 jobs each;
+//! * [`yahoo`] — a generative model of a week of HDFS audit-log accesses
+//!   with the published properties (Zipf popularity, ~80 % of accesses in
+//!   the first day of a file's life with median age ≈ 9h45m, hour-scale
+//!   bursts, daily periodicity);
+//! * [`analysis`] — rank-frequency tables (Fig. 2), age-at-access CDF
+//!   (Fig. 3), and the 80 %-coverage burst-window statistic (Figs. 4-5);
+//! * [`io`] — a plain-text trace format so synthesized workloads can be
+//!   exported, edited, and replayed exactly;
+//! * [`audit`] — HDFS audit-log text emit/parse (the `ydata` format), so
+//!   the analyses can be pointed at real name-node logs.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod audit;
+pub mod io;
+pub mod popularity;
+pub mod spec;
+pub mod swim;
+pub mod yahoo;
+
+pub use popularity::FilePopularity;
+pub use spec::{FileSpec, JobSpec, Workload};
+pub use swim::{wl1, wl2, SwimParams};
+pub use yahoo::{AccessEvent, AccessLog, LogFile, YahooParams};

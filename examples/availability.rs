@@ -1,0 +1,96 @@
+//! Dynamic replicas are first-order replicas (Section IV-B): they count
+//! toward availability and survive the failure-handling path. This example
+//! drives the DFS substrate directly: place a dataset, add DARE-style
+//! dynamic replicas, fail nodes, and watch re-replication keep every block
+//! readable — including blocks that would have been lost without the
+//! dynamic copies.
+//!
+//! ```text
+//! cargo run --release --example availability
+//! ```
+
+use dare_repro::dfs::{DefaultPlacement, Dfs, DfsConfig};
+use dare_repro::net::{NodeId, Topology, MB};
+use dare_repro::simcore::{DetRng, SimTime};
+
+fn main() {
+    let mut rng = DetRng::new(99);
+    let nodes = 12u32;
+    let cfg = DfsConfig {
+        replication_factor: 2, // deliberately fragile baseline
+        ..DfsConfig::default()
+    };
+    let mut dfs = Dfs::new(cfg, Topology::single_rack(nodes));
+
+    // Ingest 8 files of 4 blocks each.
+    let mut files = Vec::new();
+    for i in 0..8 {
+        files.push(dfs.create_file(
+            SimTime::ZERO,
+            format!("data/f{i}"),
+            4 * 128 * MB,
+            None,
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        ));
+    }
+    let all_blocks: Vec<_> = files
+        .iter()
+        .flat_map(|&f| dfs.namenode().file(f).blocks.clone())
+        .collect();
+    println!(
+        "ingested {} blocks at replication factor 2 across {nodes} nodes",
+        all_blocks.len()
+    );
+
+    // DARE-style: spread a dynamic replica of every block of the two
+    // hottest files onto extra nodes (as remote map tasks would have).
+    let hot_blocks: Vec<_> = files[..2]
+        .iter()
+        .flat_map(|&f| dfs.namenode().file(f).blocks.clone())
+        .collect();
+    let mut added = 0;
+    for &b in &hot_blocks {
+        for n in 0..nodes {
+            if !dfs.is_physically_present(NodeId(n), b) {
+                if dfs.insert_dynamic(SimTime::from_secs(10), NodeId(n), b) {
+                    added += 1;
+                }
+                break;
+            }
+        }
+    }
+    dfs.process_reports(SimTime::from_secs(20));
+    println!("DARE added {added} dynamic replicas of the hot files");
+
+    // Fail a third of the cluster, one node at a time, re-replicating
+    // after each failure exactly as the name node would.
+    let mut live: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+    for victim_idx in [0usize, 3, 7, 2] {
+        let victim = live[victim_idx % live.len()];
+        live.retain(|&n| n != victim);
+        let live_now = live.clone();
+        let fixed = dfs.fail_node(victim, &live_now, &mut rng);
+        let lost = all_blocks
+            .iter()
+            .filter(|&&b| dfs.visible_locations(b).is_empty())
+            .count();
+        println!(
+            "failed {victim}: re-replicated {fixed} under-replicated blocks, {lost} blocks lost"
+        );
+        assert_eq!(lost, 0, "no data loss with timely re-replication");
+    }
+
+    // Every block is still fully replicated on live nodes.
+    for &b in &all_blocks {
+        let locs = dfs.visible_locations(b);
+        assert!(locs.len() >= 2, "block {b} back at target replication");
+        assert!(locs.iter().all(|n| live.contains(n)));
+    }
+    println!(
+        "\nafter losing 4/12 nodes every block is readable and back at its\n\
+         replication target; dynamic replicas took part in recovery like any\n\
+         primary copy (the paper's 'first-order replicas' property)."
+    );
+}

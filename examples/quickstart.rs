@@ -1,0 +1,67 @@
+//! Quickstart: run one simulated MapReduce workload with and without DARE
+//! and print the headline comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dare_repro::core::PolicyKind;
+use dare_repro::mapred::{self, SchedulerKind, SimConfig};
+use dare_repro::workload;
+
+fn main() {
+    let seed = 42;
+
+    // 1. Synthesize a 500-job Facebook-like workload (the paper's wl1:
+    //    a long sequence of small jobs, heavy-tailed file popularity).
+    let wl = workload::wl1(seed);
+    println!(
+        "workload {}: {} jobs over {} files, {:.1} GB dataset",
+        wl.name,
+        wl.num_jobs(),
+        wl.files.len(),
+        wl.dataset_bytes() as f64 / (1u64 << 30) as f64,
+    );
+
+    // 2. Baseline: vanilla Hadoop (static 3-replica placement) on the
+    //    paper's 20-node dedicated cluster, FIFO scheduler.
+    let vanilla = mapred::run(
+        SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, seed),
+        &wl,
+    );
+
+    // 3. DARE: probabilistic adaptive replication (ElephantTrap eviction,
+    //    p = 0.3, threshold = 1, budget = 20 % of a node's primary share).
+    let dare = mapred::run(
+        SimConfig::cct(PolicyKind::elephant_default(), SchedulerKind::Fifo, seed),
+        &wl,
+    );
+
+    println!("\n                       vanilla      DARE");
+    println!(
+        "job data locality      {:>7.1}%  {:>7.1}%   ({:.1}x)",
+        vanilla.run.job_locality * 100.0,
+        dare.run.job_locality * 100.0,
+        dare.run.job_locality / vanilla.run.job_locality.max(1e-9),
+    );
+    println!(
+        "geo-mean turnaround    {:>7.1}s  {:>7.1}s   ({:+.1}%)",
+        vanilla.run.gmtt_secs,
+        dare.run.gmtt_secs,
+        (dare.run.gmtt_secs / vanilla.run.gmtt_secs - 1.0) * 100.0,
+    );
+    println!(
+        "mean slowdown          {:>8.2}  {:>8.2}   ({:+.1}%)",
+        vanilla.run.mean_slowdown,
+        dare.run.mean_slowdown,
+        (dare.run.mean_slowdown / vanilla.run.mean_slowdown - 1.0) * 100.0,
+    );
+    println!(
+        "dynamic replicas created: {} ({:.2} blocks/job), evictions: {}",
+        dare.replicas_created, dare.blocks_per_job, dare.evictions,
+    );
+    println!(
+        "replica-placement uniformity (cv, smaller=better): {:.2} -> {:.2}",
+        dare.cv_before, dare.cv_after,
+    );
+}

@@ -1,0 +1,377 @@
+//! `dare-sim` — run one cluster simulation from the command line.
+//!
+//! ```text
+//! dare-sim --workload wl2 --scheduler fair --policy elephant --p 0.3 \
+//!          --budget 0.2 --seed 7
+//! dare-sim --cluster ec2 --policy lru --fail 60:3 --fail 120:9 --speculation
+//! dare-sim --policy vanilla --scarlett-epoch 60
+//! ```
+//!
+//! Prints the run's metrics; `--csv` emits a single CSV row instead
+//! (header with `--csv-header`).
+
+use dare_repro::core::PolicyKind;
+use dare_repro::mapred::config::SpeculationConfig;
+use dare_repro::mapred::scarlett::ScarlettConfig;
+use dare_repro::mapred::{self, SchedulerKind, SimConfig};
+use dare_repro::simcore::SimDuration;
+use dare_repro::workload::swim::{synthesize, SwimParams};
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+struct Args {
+    cluster: String,
+    workload: String,
+    jobs: Option<u32>,
+    scheduler: String,
+    policy: String,
+    p: f64,
+    threshold: u64,
+    budget: f64,
+    seed: u64,
+    failures: Vec<(u64, u32)>,
+    degradations: Vec<(u64, u32, f64)>,
+    capacity_queues: Option<u32>,
+    speculation: bool,
+    scarlett_epoch: Option<u64>,
+    trace_in: Option<String>,
+    trace_out: Option<String>,
+    csv: bool,
+    csv_header: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            cluster: "cct".into(),
+            workload: "wl1".into(),
+            jobs: None,
+            scheduler: "fifo".into(),
+            policy: "elephant".into(),
+            p: 0.3,
+            threshold: 1,
+            budget: 0.2,
+            seed: 20110926,
+            failures: Vec::new(),
+            degradations: Vec::new(),
+            capacity_queues: None,
+            speculation: false,
+            scarlett_epoch: None,
+            trace_in: None,
+            trace_out: None,
+            csv: false,
+            csv_header: false,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut a = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cluster" => a.cluster = value("--cluster")?.clone(),
+            "--workload" => a.workload = value("--workload")?.clone(),
+            "--jobs" => a.jobs = Some(parse_num(value("--jobs")?)?),
+            "--scheduler" => a.scheduler = value("--scheduler")?.clone(),
+            "--policy" => a.policy = value("--policy")?.clone(),
+            "--p" => a.p = parse_num(value("--p")?)?,
+            "--threshold" => a.threshold = parse_num(value("--threshold")?)?,
+            "--budget" => a.budget = parse_num(value("--budget")?)?,
+            "--seed" => a.seed = parse_num(value("--seed")?)?,
+            "--fail" => {
+                let v = value("--fail")?;
+                let (t, n) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--fail expects SECS:NODE, got {v}"))?;
+                a.failures.push((parse_num(t)?, parse_num(n)?));
+            }
+            "--degrade" => {
+                let v = value("--degrade")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--degrade expects SECS:NODE:FACTOR, got {v}"));
+                }
+                a.degradations
+                    .push((parse_num(parts[0])?, parse_num(parts[1])?, parse_num(parts[2])?));
+            }
+            "--capacity-queues" => a.capacity_queues = Some(parse_num(value("--capacity-queues")?)?),
+            "--speculation" => a.speculation = true,
+            "--scarlett-epoch" => a.scarlett_epoch = Some(parse_num(value("--scarlett-epoch")?)?),
+            "--trace" => a.trace_in = Some(value("--trace")?.clone()),
+            "--save-trace" => a.trace_out = Some(value("--save-trace")?.clone()),
+            "--csv" => a.csv = true,
+            "--csv-header" => {
+                a.csv = true;
+                a.csv_header = true;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(0.0..=1.0).contains(&a.p) {
+        return Err(format!("--p {} out of [0,1]", a.p));
+    }
+    if !(0.0..=1.0).contains(&a.budget) {
+        return Err(format!("--budget {} out of [0,1]", a.budget));
+    }
+    Ok(a)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+fn build_config(a: &Args) -> Result<SimConfig, String> {
+    let policy = match a.policy.as_str() {
+        "vanilla" => PolicyKind::Vanilla,
+        "lru" => PolicyKind::GreedyLru,
+        "lfu" => PolicyKind::Lfu,
+        "elephant" | "et" => PolicyKind::ElephantTrap {
+            p: a.p,
+            threshold: a.threshold,
+        },
+        other => return Err(format!("unknown policy {other} (vanilla|lru|lfu|elephant)")),
+    };
+    let scheduler = match a.scheduler.as_str() {
+        "fifo" => SchedulerKind::Fifo,
+        "fair" => SchedulerKind::fair_default(),
+        "capacity" => SchedulerKind::Capacity(a.capacity_queues.unwrap_or(3)),
+        other => return Err(format!("unknown scheduler {other} (fifo|fair|capacity)")),
+    };
+    let mut cfg = match a.cluster.as_str() {
+        "cct" => SimConfig::cct(policy, scheduler, a.seed),
+        "ec2" => SimConfig::ec2(policy, scheduler, a.seed),
+        other => return Err(format!("unknown cluster {other} (cct|ec2)")),
+    };
+    cfg.budget_frac = a.budget;
+    if !a.failures.is_empty() {
+        cfg = cfg.with_failures(a.failures.clone());
+    }
+    if !a.degradations.is_empty() {
+        cfg = cfg.with_degradations(a.degradations.clone());
+    }
+    if a.speculation {
+        cfg = cfg.with_speculation(SpeculationConfig::default());
+    }
+    if let Some(epoch) = a.scarlett_epoch {
+        cfg = cfg.with_scarlett(ScarlettConfig {
+            epoch: SimDuration::from_secs(epoch),
+            ..ScarlettConfig::default()
+        });
+    }
+    Ok(cfg)
+}
+
+fn build_workload(a: &Args) -> Result<dare_repro::workload::Workload, String> {
+    if let Some(path) = &a.trace_in {
+        return dare_repro::workload::io::load(std::path::Path::new(path));
+    }
+    let mut params = match a.workload.as_str() {
+        "wl1" => SwimParams::wl1(),
+        "wl2" => SwimParams::wl2(),
+        other => return Err(format!("unknown workload {other} (wl1|wl2)")),
+    };
+    if let Some(jobs) = a.jobs {
+        params.jobs = jobs;
+    }
+    Ok(synthesize(&a.workload, &params, a.seed))
+}
+
+fn usage() -> String {
+    "usage: dare-sim [flags]\n\
+     --cluster cct|ec2           evaluation environment (default cct)\n\
+     --workload wl1|wl2          trace to synthesize (default wl1)\n\
+     --jobs N                    override job count (default 500)\n\
+     --scheduler fifo|fair|capacity   (default fifo)\n\
+     --capacity-queues N         queues for the capacity scheduler (default 3)\n\
+     --policy vanilla|lru|lfu|elephant   (default elephant)\n\
+     --p F                       ElephantTrap sampling probability (default 0.3)\n\
+     --threshold N               ElephantTrap aging threshold (default 1)\n\
+     --budget F                  replication budget fraction (default 0.2)\n\
+     --seed N                    experiment seed\n\
+     --fail SECS:NODE            inject a node failure (repeatable)\n\
+     --degrade SECS:NODE:FACTOR  inject a node slowdown (repeatable)\n\
+     --speculation               enable speculative execution\n\
+     --scarlett-epoch SECS       run the proactive Scarlett baseline\n\
+     --trace PATH                replay a saved trace instead of synthesizing\n\
+     --save-trace PATH           export the synthesized trace before running\n\
+     --csv / --csv-header        machine-readable one-row output"
+        .into()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            if e.is_empty() {
+                println!("{}", usage());
+                return;
+            }
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let cfg = build_config(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let wl = build_workload(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = dare_repro::workload::io::save(&wl, std::path::Path::new(path)) {
+            eprintln!("error: could not save trace to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("[dare-sim] trace saved to {path}");
+    }
+
+    let t0 = std::time::Instant::now();
+    let r = mapred::run(cfg, &wl);
+    let wall = t0.elapsed().as_secs_f64();
+
+    if args.csv {
+        if args.csv_header {
+            println!(
+                "cluster,workload,scheduler,policy,p,budget,seed,job_locality,task_locality,\
+                 gmtt_s,slowdown,blocks_per_job,replicas,evictions,reexecuted,spec_launches"
+            );
+        }
+        println!(
+            "{},{},{},{},{},{},{},{:.4},{:.4},{:.2},{:.3},{:.3},{},{},{},{}",
+            args.cluster,
+            args.workload,
+            args.scheduler,
+            args.policy,
+            args.p,
+            args.budget,
+            args.seed,
+            r.run.job_locality,
+            r.run.locality,
+            r.run.gmtt_secs,
+            r.run.mean_slowdown,
+            r.blocks_per_job,
+            r.replicas_created,
+            r.evictions,
+            r.reexecuted_tasks,
+            r.speculative_launches,
+        );
+        return;
+    }
+
+    println!(
+        "cluster={} workload={} ({} jobs) scheduler={} policy={}",
+        args.cluster,
+        wl.name,
+        wl.num_jobs(),
+        args.scheduler,
+        args.policy
+    );
+    println!("simulated in {wall:.2}s wall clock\n");
+    println!("job data locality   {:>8.1}%", r.run.job_locality * 100.0);
+    println!("task data locality  {:>8.1}%", r.run.locality * 100.0);
+    println!("geo-mean turnaround {:>8.1}s", r.run.gmtt_secs);
+    println!("mean slowdown       {:>8.2}", r.run.mean_slowdown);
+    println!("makespan            {:>8.1}s", r.run.makespan_secs);
+    println!("replicas created    {:>8}", r.replicas_created);
+    println!("replica evictions   {:>8}", r.evictions);
+    println!("blocks per job      {:>8.2}", r.blocks_per_job);
+    println!(
+        "placement cv        {:>8.2} -> {:.2}",
+        r.cv_before, r.cv_after
+    );
+    if !args.failures.is_empty() {
+        println!("re-executed tasks   {:>8}", r.reexecuted_tasks);
+    }
+    if args.speculation {
+        println!(
+            "speculation         {:>8} launched, {} won",
+            r.speculative_launches, r.speculative_wins
+        );
+    }
+    if let Some(p) = r.proactive {
+        println!(
+            "scarlett            {:>8} replicas, {:.1} GB pushed, {} aged out",
+            p.replicas_created,
+            p.bytes_moved as f64 / (1u64 << 30) as f64,
+            p.evictions
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let a = parse_args(&[]).expect("empty argv is valid");
+        assert_eq!(a.cluster, "cct");
+        assert_eq!(a.policy, "elephant");
+        assert!(build_config(&a).is_ok());
+        assert!(build_workload(&a).is_ok());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let a = parse_args(&argv(
+            "--cluster ec2 --workload wl2 --jobs 50 --scheduler fair --policy lru \
+             --budget 0.4 --seed 9 --fail 60:3 --fail 120:9 --speculation",
+        ))
+        .expect("valid argv");
+        assert_eq!(a.cluster, "ec2");
+        assert_eq!(a.jobs, Some(50));
+        assert_eq!(a.failures, vec![(60, 3), (120, 9)]);
+        assert!(a.speculation);
+        let cfg = build_config(&a).expect("valid config");
+        assert_eq!(cfg.profile.nodes, 99);
+        assert!(cfg.speculation.is_some());
+        let wl = build_workload(&a).expect("valid workload");
+        assert_eq!(wl.num_jobs(), 50);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("--p 1.5")).is_err());
+        assert!(parse_args(&argv("--budget -0.1")).is_err());
+        assert!(parse_args(&argv("--fail 60")).is_err());
+        assert!(parse_args(&argv("--bogus 1")).is_err());
+        assert!(parse_args(&argv("--seed")).is_err());
+        let a = parse_args(&argv("--policy nope")).expect("parses");
+        assert!(build_config(&a).is_err());
+        let a = parse_args(&argv("--cluster moon")).expect("parses");
+        assert!(build_config(&a).is_err());
+        let a = parse_args(&argv("--workload wl9")).expect("parses");
+        assert!(build_workload(&a).is_err());
+    }
+
+    #[test]
+    fn degrade_and_capacity_flags() {
+        let a = parse_args(&argv(
+            "--scheduler capacity --capacity-queues 4 --degrade 30:2:5.0",
+        ))
+        .expect("valid");
+        let cfg = build_config(&a).expect("valid");
+        assert_eq!(cfg.scheduler, SchedulerKind::Capacity(4));
+        assert_eq!(cfg.degradations, vec![(30, 2, 5.0)]);
+        assert!(parse_args(&argv("--degrade 30:2")).is_err());
+    }
+
+    #[test]
+    fn scarlett_flag_builds_config() {
+        let a = parse_args(&argv("--policy vanilla --scarlett-epoch 45")).expect("valid");
+        let cfg = build_config(&a).expect("valid");
+        let sc = cfg.scarlett.expect("scarlett enabled");
+        assert_eq!(sc.epoch, SimDuration::from_secs(45));
+    }
+}

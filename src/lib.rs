@@ -1,0 +1,14 @@
+//! # dare-repro — facade crate
+//!
+//! Re-exports the public API of the DARE reproduction workspace so examples
+//! and downstream users can depend on one crate. See the workspace README
+//! for the architecture overview and DESIGN.md for the per-experiment index.
+
+pub use dare_core as core;
+pub use dare_dfs as dfs;
+pub use dare_mapred as mapred;
+pub use dare_metrics as metrics;
+pub use dare_net as net;
+pub use dare_sched as sched;
+pub use dare_simcore as simcore;
+pub use dare_workload as workload;
