@@ -3,14 +3,13 @@
 //! Figs. 7-10 matrices and bounds how large a parameter sweep stays
 //! interactive.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dare_bench::microbench::{black_box, Runner};
 use dare_core::PolicyKind;
 use dare_mapred::{SchedulerKind, SimConfig};
 use dare_workload::swim::{synthesize, SwimParams};
 
-fn endtoend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("endtoend_sim");
-    g.sample_size(20);
+fn main() {
+    let mut r = Runner::from_env();
     let wl = synthesize(
         "bench",
         &SwimParams {
@@ -28,20 +27,12 @@ fn endtoend(c: &mut Criterion) {
             ("fifo", SchedulerKind::Fifo),
             ("fair", SchedulerKind::fair_default()),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, sname),
-                &(policy, sched),
-                |b, &(policy, sched)| {
-                    b.iter(|| {
-                        let cfg = SimConfig::cct(policy, sched, 7);
-                        black_box(dare_mapred::run(cfg, &wl))
-                    })
-                },
-            );
+            let wl = &wl;
+            r.bench(&format!("endtoend_sim/{name}/{sname}"), move || {
+                let cfg = SimConfig::cct(policy, sched, 7);
+                black_box(dare_mapred::run(cfg, wl))
+            });
         }
     }
-    g.finish();
+    r.finish("endtoend");
 }
-
-criterion_group!(benches, endtoend);
-criterion_main!(benches);

@@ -1,0 +1,306 @@
+//! Before/after benchmark of the incremental locality index.
+//!
+//! "Before" is the retained naive-scan scheduler path
+//! (`dare_sched::oracle`, O(tasks × replicas) per offer, full deficit
+//! sort per Fair offer); "after" is the indexed production path. Both
+//! replay the identical offer stream — the differential tests prove them
+//! bit-identical — on the paper's 100-node EC2 profile, in a
+//! scheduling-dominated configuration (many concurrent jobs, instant
+//! task completion, so slot offers are all that costs anything).
+//!
+//! Also measures, with a counting global allocator, heap allocations per
+//! scheduling probe: `classify` and the queue's `pick_best_for` must not
+//! allocate at all on the borrow-based lookup path.
+//!
+//! Emits machine-readable results to `results/BENCH_sched.json` and
+//! fails loudly if the indexed path is not at least 2× faster.
+
+use dare_bench::microbench::{black_box, Runner};
+use dare_core::PolicyKind;
+use dare_dfs::BlockId;
+use dare_mapred::{SchedulerKind, SimConfig};
+use dare_net::{ClusterProfile, NodeId, Topology};
+use dare_sched::locality::classify;
+use dare_sched::oracle::{NaiveFairScheduler, NaiveFifoScheduler};
+use dare_sched::{
+    FairScheduler, FifoScheduler, JobId, JobQueue, PendingTask, Scheduler, TableLookup, TaskId,
+};
+use dare_simcore::{DetRng, SimTime};
+use dare_workload::swim::{synthesize, SwimParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System` allocator wrapper that counts allocation events.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const JOBS: u32 = 64;
+const TASKS_PER_JOB: usize = 256;
+const BLOCKS: u64 = 2048;
+const REPLICAS: u32 = 3;
+/// Replicas live on this many nodes — the paper's skewed pre-replication
+/// placement, where a popular dataset's blocks sit on a small fraction
+/// of a big cluster. Most slot offers then come from nodes holding no
+/// replica of any pending task: the naive scan's worst case (it only
+/// early-exits on a node-local hit) and the scheduling-dominated regime
+/// the index exists for.
+const HOT_NODES: u32 = 10;
+
+/// The paper's 100-node EC2 topology (99 workers).
+fn ec2_topology() -> Topology {
+    let mut rng = DetRng::new(0xEC2);
+    ClusterProfile::ec2().build_topology(&mut rng)
+}
+
+/// Skewed placement: every block's replicas land on the hot subset.
+fn layout() -> TableLookup {
+    let mut t = TableLookup::new();
+    for b in 0..BLOCKS {
+        let locs: Vec<u32> = (0..REPLICAS as u64)
+            // offsets 0,3,6 are distinct mod HOT_NODES, so no dedup needed
+            .map(|i| ((b * 7 + i * 3) % HOT_NODES as u64) as u32)
+            .collect();
+        t.set(b, &locs);
+    }
+    t
+}
+
+fn fill_queue(lookup: &TableLookup, topo: &Topology) -> JobQueue {
+    let mut q = JobQueue::new();
+    for j in 0..JOBS {
+        let tasks: Vec<PendingTask> = (0..TASKS_PER_JOB)
+            .map(|t| PendingTask {
+                task: TaskId(t as u32),
+                block: BlockId((j as u64 * 131 + t as u64 * 17) % BLOCKS),
+            })
+            .collect();
+        q.add_job(JobId(j), SimTime::from_secs(j as u64), tasks, lookup, topo);
+    }
+    q
+}
+
+/// Offer slots round-robin until every task is handed out; completions
+/// are instant so the drain cost is pure scheduling.
+fn drain(sched: &mut dyn Scheduler, q: &mut JobQueue, lookup: &TableLookup, topo: &Topology) -> u64 {
+    let nodes = topo.nodes();
+    let mut n = 0u32;
+    let mut assigned = 0u64;
+    let mut idle = 0u32;
+    while q.has_pending() && idle < 8 * nodes {
+        let node = NodeId(n % nodes);
+        n += 1;
+        match sched.pick_map(q, node, lookup, topo, SimTime::ZERO) {
+            Some(a) => {
+                q.on_map_complete(a.job);
+                assigned += 1;
+                idle = 0;
+            }
+            None => idle += 1,
+        }
+    }
+    assigned
+}
+
+struct PairResult {
+    scheduler: &'static str,
+    naive_ns: f64,
+    indexed_ns: f64,
+}
+
+impl PairResult {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.indexed_ns
+    }
+}
+
+fn offer_replay(r: &mut Runner, topo: &Topology, lookup: &TableLookup) -> Vec<PairResult> {
+    type MkSched = fn(bool) -> Box<dyn Scheduler>;
+    let variants: [(&'static str, MkSched); 2] = [
+        ("fifo", |naive| {
+            if naive {
+                Box::new(NaiveFifoScheduler::new())
+            } else {
+                Box::new(FifoScheduler::new())
+            }
+        }),
+        ("fair", |naive| {
+            if naive {
+                Box::new(NaiveFairScheduler::new())
+            } else {
+                Box::new(FairScheduler::new())
+            }
+        }),
+    ];
+    let expected = JOBS as u64 * TASKS_PER_JOB as u64;
+    variants
+        .into_iter()
+        .map(|(name, mk)| {
+            let mut measure = |naive: bool| {
+                let label = if naive { "naive" } else { "indexed" };
+                r.bench_batched(
+                    &format!("offer_replay/{name}/{label}"),
+                    || (mk(naive), fill_queue(lookup, topo)),
+                    |(mut sched, mut q)| {
+                        let got = drain(sched.as_mut(), &mut q, lookup, topo);
+                        assert_eq!(got, expected, "drain must hand out every task");
+                    },
+                )
+                .median_ns
+            };
+            let naive_ns = measure(true);
+            let indexed_ns = measure(false);
+            PairResult {
+                scheduler: name,
+                naive_ns,
+                indexed_ns,
+            }
+        })
+        .collect()
+}
+
+/// Allocation events per probe over `n` probes of `f` — must be 0.0 for
+/// the zero-allocation acceptance check.
+fn allocs_per_probe(n: u64, mut f: impl FnMut(u64)) -> f64 {
+    // Warm-up: let any lazily grown scratch reach steady state.
+    for i in 0..64 {
+        f(i);
+    }
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    for i in 0..n {
+        f(i);
+    }
+    (ALLOC_EVENTS.load(Ordering::Relaxed) - before) as f64 / n as f64
+}
+
+fn engine_wallclock(r: &mut Runner) -> PairResult {
+    let wl = synthesize(
+        "bench",
+        &SwimParams {
+            jobs: if r.quick { 30 } else { 100 },
+            ..SwimParams::wl1()
+        },
+        7,
+    );
+    let mut measure = |naive: bool| {
+        let label = if naive { "naive" } else { "indexed" };
+        let wl = &wl;
+        r.bench(&format!("engine_ec2/fair/{label}"), move || {
+            let mut cfg = SimConfig::ec2(
+                PolicyKind::elephant_default(),
+                SchedulerKind::fair_default(),
+                7,
+            );
+            cfg.naive_scan = naive;
+            black_box(dare_mapred::run(cfg, wl))
+        })
+        .median_ns
+    };
+    let naive_ns = measure(true);
+    let indexed_ns = measure(false);
+    PairResult {
+        scheduler: "engine-ec2-fair",
+        naive_ns,
+        indexed_ns,
+    }
+}
+
+fn main() {
+    let mut r = Runner::from_env();
+    let topo = ec2_topology();
+    let lookup = layout();
+
+    // -- Scheduling-dominated offer replay: naive scan vs index. --------
+    let pairs = offer_replay(&mut r, &topo, &lookup);
+
+    // -- Zero-allocation probes. ----------------------------------------
+    let classify_allocs = {
+        let lookup = &lookup;
+        let topo = &topo;
+        allocs_per_probe(100_000, |i| {
+            black_box(classify(
+                BlockId(i % BLOCKS),
+                NodeId((i % topo.nodes() as u64) as u32),
+                lookup,
+                topo,
+            ));
+        })
+    };
+    let q = fill_queue(&lookup, &topo);
+    let probe_allocs = allocs_per_probe(100_000, |i| {
+        black_box(q.pick_best_for(
+            JobId((i % JOBS as u64) as u32),
+            NodeId((i % topo.nodes() as u64) as u32),
+            &topo,
+        ));
+    });
+    println!("classify allocations/probe:      {classify_allocs}");
+    println!("pick_best_for allocations/probe: {probe_allocs}");
+
+    // -- End-to-end engine wall clock on the EC2 profile. ---------------
+    let engine = engine_wallclock(&mut r);
+
+    // -- Emit BENCH_sched.json. -----------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"nodes\": {}, \"jobs\": {}, \"tasks_per_job\": {}, \"blocks\": {}, \"replicas\": {}, \"hot_nodes\": {}, \"quick\": {}}},\n",
+        topo.nodes(), JOBS, TASKS_PER_JOB, BLOCKS, REPLICAS, HOT_NODES, r.quick
+    ));
+    json.push_str("  \"offer_replay\": [\n");
+    for (i, p) in pairs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scheduler\": \"{}\", \"naive_ns\": {:.1}, \"indexed_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            p.scheduler,
+            p.naive_ns,
+            p.indexed_ns,
+            p.speedup(),
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"engine_wallclock\": {{\"profile\": \"{}\", \"naive_ns\": {:.1}, \"indexed_ns\": {:.1}, \"speedup\": {:.2}}},\n",
+        engine.scheduler, engine.naive_ns, engine.indexed_ns, engine.speedup()
+    ));
+    json.push_str(&format!(
+        "  \"classify_allocs_per_probe\": {classify_allocs},\n  \"pick_probe_allocs_per_probe\": {probe_allocs}\n}}\n"
+    ));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_sched.json");
+    std::fs::write(&path, &json).expect("write BENCH_sched.json");
+    println!("wrote {}", path.display());
+
+    // -- Acceptance gates. ----------------------------------------------
+    assert_eq!(classify_allocs, 0.0, "classify must not heap-allocate");
+    assert_eq!(probe_allocs, 0.0, "pick_best_for must not heap-allocate");
+    for p in &pairs {
+        assert!(
+            p.speedup() >= 2.0,
+            "indexed {} path must be >= 2x the naive scan (got {:.2}x)",
+            p.scheduler,
+            p.speedup()
+        );
+    }
+    r.finish("sched_index");
+}

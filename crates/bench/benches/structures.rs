@@ -2,43 +2,39 @@
 //! list vs the greedy LRU queue — the per-task cost of each policy's hot
 //! path, and of the name-node lookup the scheduler hammers.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dare_bench::microbench::{black_box, Runner};
 use dare_core::{build_policy, CircularTrap, PolicyCtx, PolicyKind};
 use dare_dfs::{BlockId, FileId};
 use dare_simcore::DetRng;
 
 const BLK: u64 = 128 * (1 << 20);
 
-fn bench_circular_trap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("circular_trap");
+fn bench_circular_trap(r: &mut Runner) {
     for &size in &[16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("touch", size), &size, |b, &n| {
-            let mut trap = CircularTrap::new();
-            for k in 0..n as u64 {
-                trap.insert(k);
-            }
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 7) % n as u64;
-                black_box(trap.touch(&i))
-            });
+        let mut trap = CircularTrap::new();
+        for k in 0..size as u64 {
+            trap.insert(k);
+        }
+        let mut i = 0u64;
+        r.bench(&format!("circular_trap/touch/{size}"), move || {
+            i = (i + 7) % size as u64;
+            black_box(trap.touch(&i))
         });
-        g.bench_with_input(BenchmarkId::new("victim_search", size), &size, |b, &n| {
-            let mut trap = CircularTrap::new();
-            for k in 0..n as u64 {
-                trap.insert(k);
-                for _ in 0..4 {
-                    trap.touch(&k);
-                }
+
+        let mut trap = CircularTrap::new();
+        for k in 0..size as u64 {
+            trap.insert(k);
+            for _ in 0..4 {
+                trap.touch(&k);
             }
-            b.iter(|| black_box(trap.find_victim(1, |_| true)));
+        }
+        r.bench(&format!("circular_trap/victim_search/{size}"), move || {
+            black_box(trap.find_victim(1, |_| true))
         });
     }
-    g.finish();
 }
 
-fn policy_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy_on_map_task");
+fn policy_throughput(r: &mut Runner) {
     let kinds = [
         ("vanilla", PolicyKind::Vanilla),
         ("lru", PolicyKind::GreedyLru),
@@ -46,24 +42,25 @@ fn policy_throughput(c: &mut Criterion) {
         ("lfu", PolicyKind::Lfu),
     ];
     for (name, kind) in kinds {
-        g.bench_function(name, |b| {
-            let mut policy = build_policy(kind, 64 * BLK);
-            let mut rng = DetRng::new(7);
-            let mut wl = DetRng::new(8);
-            b.iter(|| {
-                let block = wl.index(256) as u64;
-                black_box(policy.on_map_task(PolicyCtx {
-                    block: BlockId(block),
-                    file: FileId((block / 4) as u32),
-                    block_bytes: BLK,
-                    is_local: wl.coin(0.5),
-                    rng: &mut rng,
-                }))
-            });
+        let mut policy = build_policy(kind, 64 * BLK);
+        let mut rng = DetRng::new(7);
+        let mut wl = DetRng::new(8);
+        r.bench(&format!("policy_on_map_task/{name}"), move || {
+            let block = wl.index(256) as u64;
+            black_box(policy.on_map_task(PolicyCtx {
+                block: BlockId(block),
+                file: FileId((block / 4) as u32),
+                block_bytes: BLK,
+                is_local: wl.coin(0.5),
+                rng: &mut rng,
+            }))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_circular_trap, policy_throughput);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_circular_trap(&mut r);
+    policy_throughput(&mut r);
+    r.finish("structures");
+}

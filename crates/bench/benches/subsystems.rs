@@ -2,8 +2,9 @@
 //! path, name-node location lookups and report processing, and flow-level
 //! network churn.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dare_bench::microbench::{black_box, Runner};
 use dare_dfs::{BlockId, DefaultPlacement, Dfs, DfsConfig};
+use dare_mapred::DfsLookup;
 use dare_net::flow::FlowSim;
 use dare_net::{NodeId, Topology, MB};
 use dare_sched::{
@@ -38,13 +39,18 @@ fn fill_queue(dfs: &Dfs, jobs: u32, tasks_per_job: usize) -> JobQueue {
                 block: BlockId((j as u64 * 31 + t as u64 * 7) % nblocks),
             })
             .collect();
-        q.add_job(JobId(j), SimTime::from_secs(j as u64), tasks);
+        q.add_job(
+            JobId(j),
+            SimTime::from_secs(j as u64),
+            tasks,
+            &DfsLookup(dfs),
+            dfs.topology(),
+        );
     }
     q
 }
 
-fn scheduler_pick(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler_pick_map");
+fn scheduler_pick(r: &mut Runner) {
     let dfs = build_dfs(19, 64, 4);
     type MkSched = fn() -> Box<dyn Scheduler>;
     let variants: [(&str, MkSched); 2] = [
@@ -53,100 +59,93 @@ fn scheduler_pick(c: &mut Criterion) {
     ];
     for (name, mk) in variants {
         for &jobs in &[4u32, 32] {
-            g.bench_with_input(BenchmarkId::new(name, jobs), &jobs, |b, &jobs| {
-                b.iter_batched(
-                    || (mk(), fill_queue(&dfs, jobs, 8)),
-                    |(mut sched, mut q)| {
-                        let lookup = |blk: BlockId| dfs.visible_locations(blk);
-                        let mut node = 0u32;
-                        while let Some(a) = sched.pick_map(
-                            &mut q,
-                            NodeId(node % 19),
-                            &lookup,
-                            dfs.topology(),
-                            SimTime::ZERO,
-                        ) {
-                            black_box(a);
-                            node += 1;
-                        }
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            });
+            r.bench_batched(
+                &format!("scheduler_pick_map/{name}/{jobs}"),
+                || (mk(), fill_queue(&dfs, jobs, 8)),
+                |(mut sched, mut q)| {
+                    let lookup = DfsLookup(&dfs);
+                    let mut node = 0u32;
+                    while let Some(a) = sched.pick_map(
+                        &mut q,
+                        NodeId(node % 19),
+                        &lookup,
+                        dfs.topology(),
+                        SimTime::ZERO,
+                    ) {
+                        black_box(a);
+                        node += 1;
+                    }
+                },
+            );
         }
     }
-    g.finish();
 }
 
-fn namenode_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("namenode");
+fn namenode_ops(r: &mut Runner) {
     let dfs = build_dfs(19, 128, 4);
     let nblocks = dfs.namenode().num_blocks() as u64;
-    g.bench_function("locations_lookup", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 2862933555777941757 + 3037000493) % nblocks;
-            black_box(dfs.visible_locations(BlockId(i)))
-        });
+    let mut i = 0u64;
+    r.bench("namenode/locations_lookup", move || {
+        i = (i.wrapping_mul(2862933555777941757).wrapping_add(3037000493)) % nblocks;
+        black_box(dfs.visible_locations(BlockId(i)).len())
     });
-    g.bench_function("dynamic_report_cycle", |b| {
-        b.iter_batched(
-            || build_dfs(19, 16, 4),
-            |mut dfs| {
-                let n = dfs.namenode().num_blocks() as u64;
-                for i in 0..n {
-                    let b = BlockId(i);
-                    let node = (0..19)
-                        .map(NodeId)
-                        .find(|&nd| !dfs.is_physically_present(nd, b));
-                    if let Some(node) = node {
-                        dfs.insert_dynamic(SimTime::ZERO, node, b);
+    r.bench_batched(
+        "namenode/dynamic_report_cycle",
+        || build_dfs(19, 16, 4),
+        |mut dfs| {
+            let n = dfs.namenode().num_blocks() as u64;
+            for i in 0..n {
+                let b = BlockId(i);
+                let node = (0..19)
+                    .map(NodeId)
+                    .find(|&nd| !dfs.is_physically_present(nd, b));
+                if let Some(node) = node {
+                    dfs.insert_dynamic(SimTime::ZERO, node, b);
+                }
+            }
+            dfs.process_reports(SimTime::from_secs(10));
+            black_box(dfs.total_dynamic_bytes())
+        },
+    );
+}
+
+fn flow_churn(r: &mut Runner) {
+    for &nodes in &[20usize, 100] {
+        r.bench_batched(
+            &format!("flowsim/churn/{nodes}"),
+            || FlowSim::new(vec![100.0; nodes], 1.5),
+            move |mut sim| {
+                let n = nodes;
+                let mut t = SimTime::ZERO;
+                let mut rng = DetRng::new(3);
+                for i in 0..200u64 {
+                    let src = NodeId(rng.index(n) as u32);
+                    let mut dst = NodeId(rng.index(n) as u32);
+                    if dst == src {
+                        dst = NodeId(((src.0 as usize + 1) % n) as u32);
+                    }
+                    sim.start(t, src, dst, 16 * MB, i % 3 == 0);
+                    if let Some((tc, _)) = sim.next_completion() {
+                        if i % 4 == 0 {
+                            t = tc;
+                            black_box(sim.collect_completed(t));
+                        }
                     }
                 }
-                dfs.process_reports(SimTime::from_secs(10));
-                black_box(dfs.total_dynamic_bytes())
+                while let Some((tc, _)) = sim.next_completion() {
+                    t = tc;
+                    sim.collect_completed(t);
+                }
+                black_box(sim.total_started())
             },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn flow_churn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flowsim");
-    for &nodes in &[20usize, 100] {
-        g.bench_with_input(BenchmarkId::new("churn", nodes), &nodes, |b, &n| {
-            b.iter_batched(
-                || FlowSim::new(vec![100.0; n], 1.5),
-                |mut sim| {
-                    let mut t = SimTime::ZERO;
-                    let mut rng = DetRng::new(3);
-                    for i in 0..200u64 {
-                        let src = NodeId(rng.index(n) as u32);
-                        let mut dst = NodeId(rng.index(n) as u32);
-                        if dst == src {
-                            dst = NodeId(((src.0 as usize + 1) % n) as u32);
-                        }
-                        sim.start(t, src, dst, 16 * MB, i % 3 == 0);
-                        if let Some((tc, _)) = sim.next_completion() {
-                            if i % 4 == 0 {
-                                t = tc;
-                                black_box(sim.collect_completed(t));
-                            }
-                        }
-                    }
-                    while let Some((tc, _)) = sim.next_completion() {
-                        t = tc;
-                        sim.collect_completed(t);
-                    }
-                    black_box(sim.total_started())
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, scheduler_pick, namenode_ops, flow_churn);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    scheduler_pick(&mut r);
+    namenode_ops(&mut r);
+    flow_churn(&mut r);
+    r.finish("subsystems");
+}

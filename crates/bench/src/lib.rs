@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod microbench;
 pub mod plot;
 
 pub mod experiments {

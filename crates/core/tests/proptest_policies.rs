@@ -8,8 +8,8 @@
 
 use dare_core::{build_policy, PolicyCtx, PolicyKind, ReplicationDecision};
 use dare_dfs::{BlockId, FileId};
+use dare_simcore::check::{run_cases, Gen};
 use dare_simcore::DetRng;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 const BLK: u64 = 128;
@@ -23,11 +23,18 @@ enum Op {
     Forget { block: u64 },
 }
 
-fn op_strategy(blocks: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        8 => (0..blocks, any::<bool>()).prop_map(|(block, local)| Op::Task { block, local }),
-        1 => (0..blocks).prop_map(|block| Op::Forget { block }),
-    ]
+fn op(g: &mut Gen, blocks: u64) -> Op {
+    // 8:1 weighting of task accesses over forgets, as in the original suite.
+    if g.usize_in(0..9) < 8 {
+        Op::Task {
+            block: g.u64_in(0..blocks),
+            local: g.bool(0.5),
+        }
+    } else {
+        Op::Forget {
+            block: g.u64_in(0..blocks),
+        }
+    }
 }
 
 fn kinds() -> Vec<PolicyKind> {
@@ -66,10 +73,7 @@ fn run_policy(kind: PolicyKind, ops: &[Op], budget_blocks: u64, seed: u64) {
                             "step {step}: {kind:?} evicted {v:?} which was not live"
                         );
                         assert!(seen.insert(*v), "duplicate eviction of {v:?}");
-                        assert_ne!(
-                            v.0, block,
-                            "step {step}: evicted the block being inserted"
-                        );
+                        assert_ne!(v.0, block, "step {step}: evicted the block being inserted");
                     }
                     assert!(
                         live.insert(block),
@@ -90,25 +94,23 @@ fn run_policy(kind: PolicyKind, ops: &[Op], budget_blocks: u64, seed: u64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn policies_respect_budget_and_liveness(
-        ops in prop::collection::vec(op_strategy(40), 1..400),
-        budget_blocks in 1u64..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn policies_respect_budget_and_liveness() {
+    run_cases(64, 0xC04E_0001, |g| {
+        let ops = g.vec(1..400, |g| op(g, 40));
+        let budget_blocks = g.u64_in(1..10);
+        let seed = g.u64_in(0..1000);
         for kind in kinds() {
             run_policy(kind, &ops, budget_blocks, seed);
         }
-    }
+    });
+}
 
-    #[test]
-    fn same_file_never_evicted_for_its_own_block(
-        accesses in prop::collection::vec(0u64..12, 1..300),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn same_file_never_evicted_for_its_own_block() {
+    run_cases(64, 0xC04E_0002, |g| {
+        let accesses = g.vec(1..300, |g| g.u64_in(0..12));
+        let seed = g.u64_in(0..1000);
         // All blocks map to files of 3 blocks; whenever an eviction list
         // comes back, no victim may share a file with the inserted block.
         for kind in kinds() {
@@ -116,31 +118,27 @@ proptest! {
             let mut rng = DetRng::new(seed);
             for &block in &accesses {
                 let file = FileId((block / 3) as u32);
-                if let ReplicationDecision::Replicate { evict } =
-                    policy.on_map_task(PolicyCtx {
-                        block: BlockId(block),
-                        file,
-                        block_bytes: BLK,
-                        is_local: false,
-                        rng: &mut rng,
-                    })
-                {
+                if let ReplicationDecision::Replicate { evict } = policy.on_map_task(PolicyCtx {
+                    block: BlockId(block),
+                    file,
+                    block_bytes: BLK,
+                    is_local: false,
+                    rng: &mut rng,
+                }) {
                     for v in evict {
-                        prop_assert_ne!(
-                            (v.0 / 3) as u32, file.0,
-                            "evicted a same-file victim"
-                        );
+                        assert_ne!((v.0 / 3) as u32, file.0, "evicted a same-file victim");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn deterministic_across_reruns(
-        ops in prop::collection::vec(op_strategy(20), 1..200),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn deterministic_across_reruns() {
+    run_cases(64, 0xC04E_0003, |g| {
+        let ops = g.vec(1..200, |g| op(g, 20));
+        let seed = g.u64_in(0..1000);
         // Identical seeds and op sequences must produce identical stats —
         // the reproducibility contract every experiment relies on.
         for kind in kinds() {
@@ -162,7 +160,7 @@ proptest! {
                 }
                 p.stats()
             };
-            prop_assert_eq!(run(seed), run(seed));
+            assert_eq!(run(seed), run(seed));
         }
-    }
+    });
 }

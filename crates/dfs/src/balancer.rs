@@ -177,11 +177,11 @@ mod tests {
             let b = BlockId(i as u64);
             let locs = dfs.visible_locations(b);
             assert_eq!(locs.len(), want);
-            let mut sorted = locs.clone();
+            let mut sorted = locs.to_vec();
             sorted.sort();
             sorted.dedup();
             assert_eq!(sorted.len(), locs.len(), "no duplicate locations");
-            for n in locs {
+            for &n in locs {
                 assert!(dfs.is_physically_present(n, b));
             }
         }

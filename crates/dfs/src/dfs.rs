@@ -145,7 +145,9 @@ impl Dfs {
     }
 
     /// Locations the *scheduler* can see (primary + reported dynamic).
-    pub fn visible_locations(&self, b: BlockId) -> Vec<NodeId> {
+    /// Borrowed from the name node's maintained merged list — zero
+    /// allocation per query.
+    pub fn visible_locations(&self, b: BlockId) -> &[NodeId] {
         self.nn.locations(b)
     }
 
@@ -165,19 +167,23 @@ impl Dfs {
 
     /// Evict the dynamic replica of `b` at `node` (lazy deletion: the
     /// scheduling view forgets it immediately; the disk reclaim cost is not
-    /// on any critical path). Returns false if no such replica exists.
-    pub fn evict_dynamic(&mut self, node: NodeId, b: BlockId) -> bool {
+    /// on any critical path). Returns `None` if no such replica exists,
+    /// otherwise `Some(was_visible)` — whether the eviction changed the
+    /// scheduler-visible location set (callers mirror visible removals
+    /// into the scheduler's locality index).
+    pub fn evict_dynamic(&mut self, node: NodeId, b: BlockId) -> Option<bool> {
         let bytes = self.nn.block_size(b);
         if !self.dns[node.idx()].remove_dynamic(b, bytes) {
-            return false;
+            return None;
         }
-        self.nn.remove_dynamic(b, node);
-        true
+        Some(self.nn.remove_dynamic(b, node))
     }
 
     /// Deliver heartbeats: promote pending dynamic-replica reports.
-    pub fn process_reports(&mut self, now: SimTime) {
-        self.nn.process_reports(now);
+    /// Returns the (block, node) pairs that just became scheduler-visible
+    /// (reusable buffer, valid until the next call).
+    pub fn process_reports(&mut self, now: SimTime) -> &[(BlockId, NodeId)] {
+        self.nn.process_reports(now)
     }
 
     /// Fail a node: drop all its replicas and re-replicate every block that
@@ -326,7 +332,7 @@ mod tests {
             let locs = dfs.visible_locations(b);
             assert_eq!(locs.len(), 3);
             assert_eq!(locs[0], NodeId(2), "writer-local first replica");
-            for n in locs {
+            for &n in locs {
                 assert!(dfs.is_physically_present(n, b));
             }
         }
@@ -371,12 +377,12 @@ mod tests {
         // inserting on a primary holder refused
         assert!(!dfs.insert_dynamic(t0, holder, b));
 
-        assert!(dfs.evict_dynamic(outsider, b));
+        assert_eq!(dfs.evict_dynamic(outsider, b), Some(true));
         assert!(!dfs.visible_locations(b).contains(&outsider));
         assert!(!dfs.is_physically_present(outsider, b));
         assert_eq!(dfs.total_dynamic_bytes(), 0);
         assert_eq!(dfs.total_evictions(), 1);
-        assert!(!dfs.evict_dynamic(outsider, b));
+        assert!(dfs.evict_dynamic(outsider, b).is_none());
     }
 
     #[test]
@@ -422,7 +428,7 @@ mod tests {
             let locs = dfs.visible_locations(b);
             assert_eq!(locs.len(), 3, "replication factor restored");
             assert!(!locs.contains(&NodeId(1)));
-            for n in locs {
+            for &n in locs {
                 assert!(dfs.is_physically_present(n, b));
             }
         }

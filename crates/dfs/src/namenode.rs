@@ -30,7 +30,16 @@ pub struct NameNode {
     primary: Vec<Vec<NodeId>>,
     /// Dynamic replica locations per block, already reported (visible).
     dynamic: Vec<Vec<NodeId>>,
+    /// Merged scheduler view per block: primary order, then visible dynamic
+    /// replicas not already primary, in report order. Maintained
+    /// incrementally on every replica mutation so [`NameNode::locations`]
+    /// is a borrow, not an allocation — this lookup is the scheduler's
+    /// hottest path.
+    merged: Vec<Vec<NodeId>>,
     pending: Vec<PendingReport>,
+    /// Reusable buffer of (block, node) pairs promoted to visibility by the
+    /// most recent [`NameNode::process_reports`] call.
+    promoted: Vec<(BlockId, NodeId)>,
     /// Total dynamic-replica reports processed (diagnostics).
     pub reports_processed: u64,
 }
@@ -62,6 +71,7 @@ impl NameNode {
                 file: fid,
                 size_bytes: sz,
             });
+            self.merged.push(locs.clone());
             self.primary.push(locs);
             self.dynamic.push(Vec::new());
             blocks.push(bid);
@@ -113,15 +123,25 @@ impl NameNode {
     }
 
     /// Scheduler-visible replica locations: primary plus *reported* dynamic
-    /// replicas, deduplicated, deterministic order.
-    pub fn locations(&self, b: BlockId) -> Vec<NodeId> {
-        let mut v = self.primary[b.idx()].clone();
-        for &n in &self.dynamic[b.idx()] {
-            if !v.contains(&n) {
-                v.push(n);
+    /// replicas, deduplicated, deterministic order. Borrows the maintained
+    /// merged list — zero allocation per query.
+    pub fn locations(&self, b: BlockId) -> &[NodeId] {
+        &self.merged[b.idx()]
+    }
+
+    /// Rebuild one block's merged list from scratch. Called on the rare
+    /// primary-set mutations (failure recovery, balancer moves) where a
+    /// node may shift between the primary and dynamic segments; the hot
+    /// dynamic insert/evict paths update the list incrementally instead.
+    fn rebuild_merged(&mut self, idx: usize) {
+        let m = &mut self.merged[idx];
+        m.clear();
+        m.extend_from_slice(&self.primary[idx]);
+        for &n in &self.dynamic[idx] {
+            if !self.primary[idx].contains(&n) {
+                m.push(n);
             }
         }
-        v
     }
 
     /// Primary locations only.
@@ -136,7 +156,7 @@ impl NameNode {
 
     /// Total visible replica count of a block.
     pub fn replica_count(&self, b: BlockId) -> usize {
-        self.locations(b).len()
+        self.merged[b.idx()].len()
     }
 
     /// Queue a `DNA_DYNREPL` notification: `node` now holds a dynamic
@@ -150,7 +170,12 @@ impl NameNode {
     }
 
     /// Promote every pending report whose heartbeat has arrived by `now`.
-    pub fn process_reports(&mut self, now: SimTime) {
+    /// Returns the (block, node) pairs that became scheduler-visible, so
+    /// callers maintaining derived indexes (the scheduler's locality index)
+    /// can update incrementally. The slice is a reusable internal buffer,
+    /// valid until the next call.
+    pub fn process_reports(&mut self, now: SimTime) -> &[(BlockId, NodeId)] {
+        self.promoted.clear();
         let mut i = 0;
         while i < self.pending.len() {
             if self.pending[i].visible_at <= now {
@@ -158,20 +183,34 @@ impl NameNode {
                 let d = &mut self.dynamic[r.block.idx()];
                 if !d.contains(&r.node) && !self.primary[r.block.idx()].contains(&r.node) {
                     d.push(r.node);
+                    // Not primary and not already dynamic, hence absent
+                    // from the merged list: append keeps merged order
+                    // identical to a full rebuild.
+                    self.merged[r.block.idx()].push(r.node);
+                    self.promoted.push((r.block, r.node));
                 }
                 self.reports_processed += 1;
             } else {
                 i += 1;
             }
         }
+        &self.promoted
     }
 
     /// Remove a dynamic replica of `block` at `node` from the scheduling
-    /// view (eviction), including any still-pending report for it.
-    pub fn remove_dynamic(&mut self, block: BlockId, node: NodeId) {
+    /// view (eviction), including any still-pending report for it. Returns
+    /// true when a *visible* replica was removed (i.e. the scheduler's view
+    /// of the block changed).
+    pub fn remove_dynamic(&mut self, block: BlockId, node: NodeId) -> bool {
+        let before = self.dynamic[block.idx()].len();
         self.dynamic[block.idx()].retain(|&n| n != node);
+        let was_visible = self.dynamic[block.idx()].len() != before;
+        if was_visible && !self.primary[block.idx()].contains(&node) {
+            self.merged[block.idx()].retain(|&n| n != node);
+        }
         self.pending
             .retain(|r| !(r.block == block && r.node == node));
+        was_visible
     }
 
     /// Number of reports still in flight.
@@ -190,6 +229,9 @@ impl NameNode {
             self.primary[idx].retain(|&n| n != node);
             self.dynamic[idx].retain(|&n| n != node);
             if had {
+                // Dropping one node preserves the relative order of the
+                // survivors in both segments, so a retain matches a rebuild.
+                self.merged[idx].retain(|&n| n != node);
                 let b = BlockId(idx as u64);
                 if self.replica_count(b) < target_replicas as usize {
                     under.push(b);
@@ -205,12 +247,14 @@ impl NameNode {
         let p = &mut self.primary[block.idx()];
         if !p.contains(&node) {
             p.push(node);
+            self.rebuild_merged(block.idx());
         }
     }
 
     /// Remove a primary replica location (balancer migration source).
     pub fn remove_primary_location(&mut self, block: BlockId, node: NodeId) {
         self.primary[block.idx()].retain(|&n| n != node);
+        self.rebuild_merged(block.idx());
     }
 }
 
@@ -312,6 +356,56 @@ mod tests {
         // so the block is NOT under-replicated at target 2.
         let under = nn.fail_node(NodeId(0), 2);
         assert!(!under.contains(&b));
+    }
+
+    /// The merged list must always equal the from-scratch definition:
+    /// primary order, then visible dynamic replicas not in primary.
+    fn assert_merged_consistent(nn: &NameNode) {
+        for i in 0..nn.num_blocks() {
+            let b = BlockId(i as u64);
+            let mut want = nn.primary_locations(b).to_vec();
+            for &n in nn.dynamic_locations(b) {
+                if !want.contains(&n) {
+                    want.push(n);
+                }
+            }
+            assert_eq!(nn.locations(b), want.as_slice(), "block {b} merged list diverged");
+        }
+    }
+
+    #[test]
+    fn merged_list_tracks_every_mutation_path() {
+        let (mut nn, f) = nn_with_one_file();
+        let b = nn.file(f).blocks[0]; // primaries 0, 1
+        assert_merged_consistent(&nn);
+
+        // Dynamic promotion appends.
+        nn.enqueue_dynamic_report(SimTime::ZERO, b, NodeId(5));
+        let promoted = nn.process_reports(SimTime::ZERO).to_vec();
+        assert_eq!(promoted, vec![(b, NodeId(5))]);
+        assert_merged_consistent(&nn);
+
+        // A node that later becomes primary moves into the primary segment.
+        nn.add_primary_location(b, NodeId(5));
+        assert_merged_consistent(&nn);
+        assert_eq!(nn.locations(b), &[NodeId(0), NodeId(1), NodeId(5)]);
+
+        // Removing that primary re-exposes the dynamic copy.
+        nn.remove_primary_location(b, NodeId(5));
+        assert_merged_consistent(&nn);
+        assert!(nn.locations(b).contains(&NodeId(5)), "dynamic copy resurfaces");
+
+        // Eviction of a visible dynamic replica reports visibility change.
+        assert!(nn.remove_dynamic(b, NodeId(5)));
+        assert!(!nn.remove_dynamic(b, NodeId(5)), "already gone");
+        assert_merged_consistent(&nn);
+
+        // Failure path retains order for survivors.
+        nn.enqueue_dynamic_report(SimTime::ZERO, b, NodeId(7));
+        nn.process_reports(SimTime::ZERO);
+        nn.fail_node(NodeId(0), 2);
+        assert_merged_consistent(&nn);
+        assert_eq!(nn.locations(b), &[NodeId(1), NodeId(7)]);
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct SimConfig {
     /// `factor`× slower (factor > 1). The node keeps serving; this is the
     /// failure mode speculation exists for.
     pub degradations: Vec<(u64, u32, f64)>,
+    /// Drive the run with the retained naive-scan reference schedulers
+    /// (`dare_sched::oracle`) instead of the indexed ones. Bit-identical
+    /// results by construction; exists for differential testing and
+    /// benchmarking the index speedup.
+    pub naive_scan: bool,
 }
 
 /// Speculative-execution tuning.
@@ -108,7 +113,14 @@ impl SimConfig {
             speculation: None,
             record_timeline: false,
             degradations: Vec::new(),
+            naive_scan: false,
         }
+    }
+
+    /// Switch to the naive-scan reference schedulers (differential runs).
+    pub fn with_naive_scan(mut self) -> Self {
+        self.naive_scan = true;
+        self
     }
 
     /// Schedule node degradations at `(time_secs, node, slowdown_factor)`.

@@ -8,12 +8,23 @@ use dare_dfs::{BlockId, DefaultPlacement, Dfs};
 use dare_net::flow::{FlowId, FlowSim};
 use dare_net::{NodeId, MB};
 use dare_sched::{
-    locality::classify, FairScheduler, FifoScheduler, JobId, JobQueue, Locality, PendingTask,
-    Scheduler, TaskId,
+    locality::classify, FairScheduler, FifoScheduler, JobId, JobQueue, Locality, LocationLookup,
+    PendingTask, Scheduler, TaskId,
 };
 use dare_simcore::{DetRng, EventQueue, SimDuration, SimTime};
 use dare_workload::Workload;
 use std::collections::HashMap;
+
+/// Borrow-based location lookup over the DFS's merged visible-location
+/// lists. `locations` returns the name node's maintained slice, so the
+/// scheduler's probe path performs no allocation.
+pub struct DfsLookup<'a>(pub &'a Dfs);
+
+impl LocationLookup for DfsLookup<'_> {
+    fn locations(&self, block: BlockId) -> &[NodeId] {
+        self.0.visible_locations(block)
+    }
+}
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +87,10 @@ struct JobState {
     started_at: Vec<SimTime>,
     /// Live attempts per task (1 normally, 2 with a speculative backup).
     live_attempts: Vec<u8>,
+    /// Conservative lower bound on the earliest `started_at` among live
+    /// single-attempt tasks. Lets `try_speculate` reject a job without
+    /// scanning its tasks when even the oldest attempt is under threshold.
+    oldest_live_start: SimTime,
     /// Sum of committed map durations, seconds (speculation threshold).
     completed_secs: f64,
     maps_done: u32,
@@ -124,6 +139,12 @@ pub struct Engine {
     jitter_rng: DetRng,
     fetch_rng: DetRng,
     rtt_rng: DetRng,
+    /// Promoted (block, node) pairs copied out of the name node each
+    /// heartbeat, so the borrow of `dfs` ends before the queue is told.
+    promoted_scratch: Vec<(BlockId, NodeId)>,
+    /// Reusable candidate buffers for `pick_source`.
+    src_same_rack: Vec<NodeId>,
+    src_any: Vec<NodeId>,
     file_popularity: Vec<f64>,
     finished: usize,
     outcomes: Vec<dare_metrics::JobOutcome>,
@@ -207,10 +228,24 @@ impl Engine {
             .map(|i| root.substream_idx("policy-node", i as u64))
             .collect();
 
-        let scheduler: Box<dyn Scheduler> = match cfg.scheduler {
-            SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
-            SchedulerKind::Fair(fc) => Box::new(FairScheduler::with_config(fc)),
-            SchedulerKind::Capacity(q) => Box::new(dare_sched::CapacityScheduler::new(q)),
+        let scheduler: Box<dyn Scheduler> = if cfg.naive_scan {
+            // Retained O(tasks × replicas) reference implementations; used
+            // by the engine-level differential test and the benchmarks.
+            match cfg.scheduler {
+                SchedulerKind::Fifo => Box::new(dare_sched::oracle::NaiveFifoScheduler::new()),
+                SchedulerKind::Fair(fc) => {
+                    Box::new(dare_sched::oracle::NaiveFairScheduler::with_config(fc))
+                }
+                SchedulerKind::Capacity(q) => {
+                    Box::new(dare_sched::oracle::NaiveCapacityScheduler::new(q))
+                }
+            }
+        } else {
+            match cfg.scheduler {
+                SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+                SchedulerKind::Fair(fc) => Box::new(FairScheduler::with_config(fc)),
+                SchedulerKind::Capacity(q) => Box::new(dare_sched::CapacityScheduler::new(q)),
+            }
         };
 
         // Job states with analytic dedicated-cluster runtimes.
@@ -245,6 +280,7 @@ impl Engine {
                     done: vec![false; blocks.len()],
                     started_at: vec![SimTime::ZERO; blocks.len()],
                     live_attempts: vec![0; blocks.len()],
+                    oldest_live_start: SimTime::ZERO,
                     completed_secs: 0.0,
                     blocks,
                     map_compute: j.map_compute,
@@ -314,6 +350,9 @@ impl Engine {
             jitter_rng: root.substream("task-jitter"),
             fetch_rng: root.substream("fetch-pick"),
             rtt_rng: root.substream("rtt"),
+            promoted_scratch: Vec::new(),
+            src_same_rack: Vec::new(),
+            src_any: Vec::new(),
             file_popularity,
             finished: 0,
             outcomes: Vec::new(),
@@ -388,19 +427,33 @@ impl Engine {
                 block: b,
             })
             .collect();
-        self.queue.add_job(JobId(j), job.arrival, tasks);
+        let arrival = job.arrival;
+        self.queue.add_job(
+            JobId(j),
+            arrival,
+            tasks,
+            &DfsLookup(&self.dfs),
+            self.dfs.topology(),
+        );
     }
 
     fn on_heartbeat(&mut self, node: u32, periodic: bool) {
         if self.dead[node as usize] {
             return;
         }
-        self.dfs.process_reports(self.now);
+        // Dynamic replicas become visible in a batch; mirror every
+        // promotion into the queue's locality index.
+        self.promoted_scratch.clear();
+        self.promoted_scratch
+            .extend_from_slice(self.dfs.process_reports(self.now));
+        for i in 0..self.promoted_scratch.len() {
+            let (b, n) = self.promoted_scratch[i];
+            self.queue.note_replica_added(b, n, self.dfs.topology());
+        }
         // Fill every free slot the scheduler can use.
         while self.free_map_slots[node as usize] > 0 {
             let assignment = {
-                let dfs = &self.dfs;
-                let lookup = |b: BlockId| dfs.visible_locations(b);
+                let lookup = DfsLookup(&self.dfs);
                 self.scheduler.pick_map(
                     &mut self.queue,
                     NodeId(node),
@@ -478,12 +531,11 @@ impl Engine {
         // as node-local because the bytes are read from local disk).
         // Backup attempts don't re-count their task.
         if !speculative {
-            let dfs = &self.dfs;
-            let lookup = |b: BlockId| dfs.visible_locations(b);
+            let lookup = DfsLookup(&self.dfs);
             let level = if present {
                 Locality::NodeLocal
             } else {
-                classify(block, node_id, &lookup, dfs.topology())
+                classify(block, node_id, &lookup, self.dfs.topology())
             };
             let js = &mut self.jobs[job as usize];
             js.task_class[task as usize] = level;
@@ -505,7 +557,10 @@ impl Engine {
         let mut replicate = false;
         if let ReplicationDecision::Replicate { evict } = decision {
             for v in evict {
-                self.dfs.evict_dynamic(node_id, v);
+                if self.dfs.evict_dynamic(node_id, v) == Some(true) {
+                    self.queue
+                        .note_replica_removed(v, node_id, self.dfs.topology());
+                }
             }
             replicate = true;
         }
@@ -561,15 +616,23 @@ impl Engine {
         let locs = self.dfs.visible_locations(block);
         assert!(!locs.is_empty(), "block {block} has no replicas");
         let topo = self.dfs.topology();
-        let same_rack: Vec<NodeId> = locs
-            .iter()
-            .copied()
-            .filter(|&l| l != reader && topo.same_rack(l, reader))
-            .collect();
-        let pool = if same_rack.is_empty() {
-            locs.iter().copied().filter(|&l| l != reader).collect()
+        // One pass over the replica list into reusable buffers, preserving
+        // the list's order so the rng draw is unchanged.
+        self.src_same_rack.clear();
+        self.src_any.clear();
+        for &l in locs {
+            if l == reader {
+                continue;
+            }
+            self.src_any.push(l);
+            if topo.same_rack(l, reader) {
+                self.src_same_rack.push(l);
+            }
+        }
+        let pool: &[NodeId] = if self.src_same_rack.is_empty() {
+            &self.src_any
         } else {
-            same_rack
+            &self.src_same_rack
         };
         if pool.is_empty() {
             // Every replica is on the reader itself (can happen transiently
@@ -680,21 +743,32 @@ impl Engine {
             return false;
         }
         // A job is speculation-eligible when all its maps are handed out
-        // but some attempts straggle well past the job's average.
-        let candidates: Vec<u32> = self
-            .queue
-            .jobs()
-            .iter()
-            .filter(|j| j.pending.is_empty() && j.running_maps > 0)
-            .map(|j| j.id.0)
-            .collect();
-        for job in candidates {
+        // but some attempts straggle well past the job's average. The
+        // common case (nothing straggling anywhere) must stay O(jobs):
+        // `oldest_live_start` lower-bounds every live attempt's start, so
+        // a job whose oldest attempt is under threshold needs no scan.
+        for ji in 0..self.queue.len() {
+            let (job, eligible) = {
+                let j = &self.queue.jobs()[ji];
+                (j.id.0, j.pending().is_empty() && j.running_maps() > 0)
+            };
+            if !eligible {
+                continue;
+            }
             let js = &self.jobs[job as usize];
             if js.maps_done == 0 {
                 continue; // no baseline duration yet
             }
             let avg = js.completed_secs / js.maps_done as f64;
             let threshold = (avg * spec.slowdown_factor).max(spec.min_elapsed_secs);
+            if self
+                .now
+                .saturating_since(js.oldest_live_start)
+                .as_secs_f64()
+                <= threshold
+            {
+                continue; // even the oldest attempt is not straggling
+            }
             let straggler = (0..js.blocks.len()).find(|&t| {
                 !js.done[t]
                     && js.live_attempts[t] == 1
@@ -708,6 +782,16 @@ impl Engine {
                 self.launch_map(node, job, task as u32, block, true);
                 return true;
             }
+            // Scan came up empty: tighten the bound to the true minimum so
+            // the next offer can reject cheaply. A task can only become
+            // live via a fresh launch (start >= now), which keeps the
+            // bound conservative.
+            let min_start = (0..js.blocks.len())
+                .filter(|&t| !js.done[t] && js.live_attempts[t] == 1)
+                .map(|t| js.started_at[t])
+                .min()
+                .unwrap_or(self.now);
+            self.jobs[job as usize].oldest_live_start = min_start;
         }
         false
     }
@@ -867,6 +951,10 @@ impl Engine {
             .collect();
         assert!(!live.is_empty(), "entire cluster failed");
         self.dfs.fail_node(NodeId(node), &live, &mut self.fetch_rng);
+        // Replica sets changed wholesale (lost copies, instant repairs):
+        // rebuild the queue's locality index against the new merged lists.
+        self.queue
+            .rebuild_index(&DfsLookup(&self.dfs), self.dfs.topology());
     }
 
     /// Abort one task attempt (node failure): bump its attempt id so
@@ -912,16 +1000,15 @@ impl Engine {
         }
         self.jobs[job as usize].live_attempts[task as usize] = 0;
 
-        // Put the task back in the scheduler's pending set.
-        let q = self
-            .queue
-            .job_mut(JobId(job))
-            .expect("job with a running attempt is still queued");
-        q.running_maps = q.running_maps.saturating_sub(1);
-        q.pending.push(PendingTask {
-            task: TaskId(task),
+        // Put the task back in the scheduler's pending set (and the
+        // locality index, under the block's current locations).
+        self.queue.requeue_task(
+            JobId(job),
+            TaskId(task),
             block,
-        });
+            &DfsLookup(&self.dfs),
+            self.dfs.topology(),
+        );
     }
 
     /// Epoch boundary of the proactive baseline: re-derive desired extra
@@ -1001,8 +1088,12 @@ impl Engine {
             by_load.sort_unstable_by(|a, b| b.cmp(a));
             let surplus = (holders.len() as u32).saturating_sub(desired) as usize;
             for &(_, node) in by_load.iter().take(surplus) {
-                if self.dfs.evict_dynamic(NodeId(node), b) {
+                if let Some(visible) = self.dfs.evict_dynamic(NodeId(node), b) {
                     sc.evictions += 1;
+                    if visible {
+                        self.queue
+                            .note_replica_removed(b, NodeId(node), self.dfs.topology());
+                    }
                 }
             }
         }
@@ -1387,7 +1478,7 @@ mod tests {
         // EC2 profile: per-node disk bandwidth varies 67-358 MB/s, so slow
         // nodes straggle and speculation fires.
         let wl = tiny_workload(8, 4, 40);
-        let cfg = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::Fifo, 41)
+        let cfg = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::Fifo, 42)
             .with_speculation(crate::config::SpeculationConfig {
                 slowdown_factor: 1.2,
                 min_elapsed_secs: 2.0,

@@ -38,7 +38,7 @@ pub mod result;
 pub mod scarlett;
 
 pub use config::{SchedulerKind, SimConfig};
-pub use engine::Engine;
+pub use engine::{DfsLookup, Engine};
 pub use result::SimResult;
 
 /// Build and run one simulation, returning its results. The main entry

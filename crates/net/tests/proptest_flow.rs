@@ -3,8 +3,8 @@
 
 use dare_net::flow::FlowSim;
 use dare_net::{NodeId, MB};
+use dare_simcore::check::{run_cases, Gen};
 use dare_simcore::{SimDuration, SimTime};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct FlowSpec {
@@ -15,29 +15,21 @@ struct FlowSpec {
     cross: bool,
 }
 
-fn flows_strategy(nodes: u32) -> impl Strategy<Value = Vec<FlowSpec>> {
-    prop::collection::vec(
-        (0..nodes, 0..nodes, 1u64..64, 0u64..2000, any::<bool>()).prop_map(
-            |(src, dst, mb, gap_ms, cross)| FlowSpec {
-                src,
-                dst,
-                mb,
-                gap_ms,
-                cross,
-            },
-        ),
-        1..40,
-    )
+fn flows(g: &mut Gen, nodes: u32) -> Vec<FlowSpec> {
+    g.vec(1..40, |g| FlowSpec {
+        src: g.u32_in(0..nodes),
+        dst: g.u32_in(0..nodes),
+        mb: g.u64_in(1..64),
+        gap_ms: g.u64_in(0..2000),
+        cross: g.bool(0.5),
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_flows_complete_in_monotone_order(
-        specs in flows_strategy(6),
-        oversub in 1.0f64..3.0,
-    ) {
+#[test]
+fn all_flows_complete_in_monotone_order() {
+    run_cases(64, 0xF10E_0001, |g| {
+        let specs = flows(g, 6);
+        let oversub = g.f64_in(1.0..3.0);
         let mut sim = FlowSim::new(vec![100.0; 6], oversub);
         let mut now = SimTime::ZERO;
         let mut started = 0u64;
@@ -54,21 +46,22 @@ proptest! {
         let mut last = now;
         let mut guard = 0;
         while let Some((t, _)) = sim.next_completion() {
-            prop_assert!(t >= last, "completion time went backwards");
+            assert!(t >= last, "completion time went backwards");
             last = t;
             completed += sim.collect_completed(t).len() as u64;
             guard += 1;
-            prop_assert!(guard < 10_000, "drain did not converge");
+            assert!(guard < 10_000, "drain did not converge");
         }
-        prop_assert_eq!(completed, started, "byte conservation: every flow finishes");
-        prop_assert_eq!(sim.active(), 0);
-        prop_assert_eq!(sim.total_started(), started);
-    }
+        assert_eq!(completed, started, "byte conservation: every flow finishes");
+        assert_eq!(sim.active(), 0);
+        assert_eq!(sim.total_started(), started);
+    });
+}
 
-    #[test]
-    fn rates_never_exceed_nic_capacity(
-        specs in flows_strategy(4),
-    ) {
+#[test]
+fn rates_never_exceed_nic_capacity() {
+    run_cases(64, 0xF10E_0002, |g| {
+        let specs = flows(g, 4);
         let cap = 100.0 * MB as f64;
         let mut sim = FlowSim::new(vec![100.0; 4], 1.0);
         let mut now = SimTime::ZERO;
@@ -79,28 +72,37 @@ proptest! {
             ids.push(sim.start(now, NodeId(s.src), NodeId(dst), s.mb * MB, false));
             for &id in &ids {
                 if let Some(r) = sim.rate_of(id) {
-                    prop_assert!(r <= cap * (1.0 + 1e-9), "rate {r} exceeds NIC");
-                    prop_assert!(r > 0.0, "active flow starved");
+                    assert!(r <= cap * (1.0 + 1e-9), "rate {r} exceeds NIC");
+                    assert!(r > 0.0, "active flow starved");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn lone_flow_duration_is_exact(mb in 1u64..512, cap in 10.0f64..200.0) {
+#[test]
+fn lone_flow_duration_is_exact() {
+    run_cases(64, 0xF10E_0003, |g| {
+        let mb = g.u64_in(1..512);
+        let cap = g.f64_in(10.0..200.0);
         let mut sim = FlowSim::new(vec![cap; 2], 1.0);
         sim.start(SimTime::ZERO, NodeId(0), NodeId(1), mb * MB, false);
         let (t, _) = sim.next_completion().expect("one flow");
         let want = mb as f64 / cap;
-        prop_assert!((t.as_secs_f64() - want).abs() < 1e-4,
-            "duration {} vs {}", t.as_secs_f64(), want);
-    }
+        assert!(
+            (t.as_secs_f64() - want).abs() < 1e-4,
+            "duration {} vs {}",
+            t.as_secs_f64(),
+            want
+        );
+    });
+}
 
-    #[test]
-    fn cancel_is_always_safe(
-        specs in flows_strategy(5),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..40),
-    ) {
+#[test]
+fn cancel_is_always_safe() {
+    run_cases(64, 0xF10E_0004, |g| {
+        let specs = flows(g, 5);
+        let cancel_mask: Vec<bool> = g.vec(1..40, |g| g.bool(0.5));
         let mut sim = FlowSim::new(vec![100.0; 5], 1.5);
         let mut now = SimTime::ZERO;
         let mut live = Vec::new();
@@ -121,8 +123,8 @@ proptest! {
         while let Some((t, _)) = sim.next_completion() {
             sim.collect_completed(t);
             guard += 1;
-            prop_assert!(guard < 10_000);
+            assert!(guard < 10_000);
         }
-        prop_assert_eq!(sim.active(), 0);
-    }
+        assert_eq!(sim.active(), 0);
+    });
 }

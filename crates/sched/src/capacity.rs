@@ -9,8 +9,11 @@
 //! queue, with the same node-local > rack-local > any preference as FIFO.
 //! Queues are *elastic*: an empty queue's share is usable by the others
 //! (no hard caps), matching the Hadoop scheduler's default behaviour.
+//!
+//! Within-job task selection uses the queue's locality index
+//! ([`JobQueue::pick_best_for`]); [`crate::oracle::NaiveCapacityScheduler`]
+//! keeps the original scan for the differential tests.
 
-use crate::locality::{classify, Locality};
 use crate::queue::{Assignment, JobId, JobQueue};
 use crate::{LocationLookup, Scheduler};
 use dare_net::{NodeId, Topology};
@@ -20,13 +23,20 @@ use dare_simcore::SimTime;
 #[derive(Debug)]
 pub struct CapacityScheduler {
     queues: u32,
+    /// Reused per offer: running maps and pending flags per queue.
+    running_scratch: Vec<u32>,
+    pending_scratch: Vec<bool>,
 }
 
 impl CapacityScheduler {
     /// Scheduler with `queues` equal-capacity queues (≥ 1).
     pub fn new(queues: u32) -> Self {
         assert!(queues >= 1, "need at least one queue");
-        CapacityScheduler { queues }
+        CapacityScheduler {
+            queues,
+            running_scratch: vec![0; queues as usize],
+            pending_scratch: vec![false; queues as usize],
+        }
     }
 
     /// Which queue a job belongs to.
@@ -45,58 +55,44 @@ impl Scheduler for CapacityScheduler {
         &mut self,
         queue: &mut JobQueue,
         node: NodeId,
-        lookup: &dyn LocationLookup,
+        _lookup: &dyn LocationLookup,
         topo: &Topology,
         _now: SimTime,
     ) -> Option<Assignment> {
         // Usage per organizational queue (running maps).
-        let mut running = vec![0u32; self.queues as usize];
-        let mut has_pending = vec![false; self.queues as usize];
+        let running = &mut self.running_scratch;
+        let has_pending = &mut self.pending_scratch;
+        running.fill(0);
+        has_pending.fill(false);
         for j in queue.jobs() {
-            let q = self.queue_of(j.id) as usize;
-            running[q] += j.running_maps;
-            has_pending[q] |= !j.pending.is_empty();
+            let q = (j.id.0 % self.queues) as usize;
+            running[q] += j.running_maps();
+            has_pending[q] |= !j.pending().is_empty();
         }
-        // Queues with pending work, most underserved first (equal
-        // capacities, so raw running count orders them), ties by queue id.
-        let mut order: Vec<u32> = (0..self.queues).filter(|&q| has_pending[q as usize]).collect();
-        order.sort_by_key(|&q| (running[q as usize], q));
-
-        // The most underserved queue with pending work gets the slot; like
-        // FIFO, the capacity scheduler never declines an offer, so only the
-        // first candidate queue is ever consulted.
-        let q = *order.first()?;
-        {
-            // FIFO within the queue.
-            let job_id = queue
-                .jobs()
-                .iter()
-                .find(|j| self.queue_of(j.id) == q && !j.pending.is_empty())
-                .map(|j| j.id)
-                .expect("queues in `order` have pending work");
-            let (idx, loc) = {
-                let job = queue.job(job_id).expect("job listed");
-                let mut best: Option<(usize, Locality)> = None;
-                for (i, t) in job.pending.iter().enumerate() {
-                    let l = classify(t.block, node, lookup, topo);
-                    match best {
-                        Some((_, b)) if b <= l => {}
-                        _ => best = Some((i, l)),
-                    }
-                    if l == Locality::NodeLocal {
-                        break;
-                    }
-                }
-                best.expect("pending non-empty")
-            };
-            let t = queue.take_task(job_id, idx);
-            Some(Assignment {
-                job: job_id,
-                task: t.task,
-                block: t.block,
-                locality: loc,
-            })
-        }
+        // Most underserved queue with pending work (equal capacities, so
+        // raw running count orders them), ties by queue id. Like FIFO, the
+        // capacity scheduler never declines an offer, so only the first
+        // candidate queue is ever consulted.
+        let q = (0..self.queues)
+            .filter(|&q| has_pending[q as usize])
+            .min_by_key(|&q| (running[q as usize], q))?;
+        // FIFO within the queue.
+        let job_id = queue
+            .jobs()
+            .iter()
+            .find(|j| j.id.0 % self.queues == q && !j.pending().is_empty())
+            .map(|j| j.id)
+            .expect("chosen queue has pending work");
+        let (idx, loc) = queue
+            .pick_best_for(job_id, node, topo)
+            .expect("pending non-empty");
+        let t = queue.take_task(job_id, idx);
+        Some(Assignment {
+            job: job_id,
+            task: t.task,
+            block: t.block,
+            locality: loc,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -107,7 +103,9 @@ impl Scheduler for CapacityScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::locality::Locality;
     use crate::queue::{PendingTask, TaskId};
+    use crate::TableLookup;
     use dare_dfs::BlockId;
 
     fn tasks(blocks: &[u64]) -> Vec<PendingTask> {
@@ -121,31 +119,32 @@ mod tests {
             .collect()
     }
 
-    fn anywhere(_: BlockId) -> Vec<NodeId> {
-        (0..4).map(NodeId).collect()
+    fn anywhere() -> TableLookup {
+        TableLookup::everywhere(4)
     }
 
     #[test]
     fn serves_underserved_queue_first() {
         let topo = Topology::single_rack(4);
+        let lookup = anywhere();
         let mut q = JobQueue::new();
         // jobs 0 and 2 hash to queue 0; job 1 to queue 1 (2 queues).
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2, 3]));
-        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[4, 5]));
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2, 3]), &lookup, &topo);
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[4, 5]), &lookup, &topo);
         let mut s = CapacityScheduler::new(2);
         // First slot: both queues at 0 running; tie -> queue 0 -> job 0.
         let a = s
-            .pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+            .pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
             .expect("slot filled");
         assert_eq!(a.job, JobId(0));
         // Queue 0 now has 1 running; queue 1 is underserved -> job 1.
         let b = s
-            .pick_map(&mut q, NodeId(1), &anywhere, &topo, SimTime::ZERO)
+            .pick_map(&mut q, NodeId(1), &lookup, &topo, SimTime::ZERO)
             .expect("slot filled");
         assert_eq!(b.job, JobId(1));
         // Even again: back to queue 0.
         let c = s
-            .pick_map(&mut q, NodeId(2), &anywhere, &topo, SimTime::ZERO)
+            .pick_map(&mut q, NodeId(2), &lookup, &topo, SimTime::ZERO)
             .expect("slot filled");
         assert_eq!(c.job, JobId(0));
     }
@@ -153,33 +152,28 @@ mod tests {
     #[test]
     fn elastic_when_other_queue_is_empty() {
         let topo = Topology::single_rack(4);
+        let lookup = anywhere();
         let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2, 3, 4]));
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2, 3, 4]), &lookup, &topo);
         let mut s = CapacityScheduler::new(3);
         // Only queue 0 has work: it may use every slot.
         for _ in 0..4 {
             let a = s
-                .pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+                .pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
                 .expect("elastic capacity");
             assert_eq!(a.job, JobId(0));
         }
         assert!(s
-            .pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+            .pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
             .is_none());
     }
 
     #[test]
     fn prefers_node_local_within_chosen_job() {
         let topo = Topology::single_rack(4);
+        let lookup = TableLookup::from_pairs(&[(10, vec![0]), (11, vec![2])]);
         let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]));
-        let lookup = |b: BlockId| -> Vec<NodeId> {
-            if b.0 == 11 {
-                vec![NodeId(2)]
-            } else {
-                vec![NodeId(0)]
-            }
-        };
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]), &lookup, &topo);
         let mut s = CapacityScheduler::new(2);
         let a = s
             .pick_map(&mut q, NodeId(2), &lookup, &topo, SimTime::ZERO)
@@ -191,15 +185,16 @@ mod tests {
     #[test]
     fn fifo_within_queue() {
         let topo = Topology::single_rack(4);
+        let lookup = anywhere();
         let mut q = JobQueue::new();
         // jobs 0, 2, 4 all in queue 0 (2 queues)
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1]));
-        q.add_job(JobId(2), SimTime::from_secs(1), tasks(&[2]));
-        q.add_job(JobId(4), SimTime::from_secs(2), tasks(&[3]));
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1]), &lookup, &topo);
+        q.add_job(JobId(2), SimTime::from_secs(1), tasks(&[2]), &lookup, &topo);
+        q.add_job(JobId(4), SimTime::from_secs(2), tasks(&[3]), &lookup, &topo);
         let mut s = CapacityScheduler::new(2);
         let order: Vec<u32> = (0..3)
             .map(|_| {
-                s.pick_map(&mut q, NodeId(0), &anywhere, &topo, SimTime::ZERO)
+                s.pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
                     .expect("slot filled")
                     .job
                     .0

@@ -17,8 +17,15 @@
 //! paper (their `D` parameter); with heartbeats every 3 s on a loaded
 //! cluster this approximates the 5-15 s wait times Zaharia et al. found
 //! sufficient for near-perfect locality.
+//!
+//! The deficit order comes from the queue's incrementally-maintained
+//! `BTreeSet` ([`JobQueue::deficit_order_into`], filled into a reusable
+//! scratch buffer) and per-job task selection from the locality index
+//! ([`JobQueue::pick_best_for`]) — no sort and no allocation per offer.
+//! [`crate::oracle::NaiveFairScheduler`] keeps the original
+//! sort-plus-scan for the differential tests.
 
-use crate::locality::{classify, Locality};
+use crate::locality::Locality;
 use crate::queue::{Assignment, JobId, JobQueue};
 use crate::{LocationLookup, Scheduler};
 use dare_net::{NodeId, Topology};
@@ -45,6 +52,8 @@ impl Default for FairConfig {
 #[derive(Debug, Default)]
 pub struct FairScheduler {
     cfg: FairConfig,
+    /// Reused across offers so the steady state allocates nothing.
+    order_scratch: Vec<JobId>,
 }
 
 impl FairScheduler {
@@ -56,7 +65,10 @@ impl FairScheduler {
     /// Scheduler with explicit thresholds (the `abl-delay` sweep).
     pub fn with_config(cfg: FairConfig) -> Self {
         assert!(cfg.d1 <= cfg.d2, "rack threshold must not exceed any");
-        FairScheduler { cfg }
+        FairScheduler {
+            cfg,
+            order_scratch: Vec::new(),
+        }
     }
 
     /// Active configuration.
@@ -70,41 +82,20 @@ impl Scheduler for FairScheduler {
         &mut self,
         queue: &mut JobQueue,
         node: NodeId,
-        lookup: &dyn LocationLookup,
+        _lookup: &dyn LocationLookup,
         topo: &Topology,
         _now: SimTime,
     ) -> Option<Assignment> {
         // Deficit order: fewest running maps first, then arrival order.
-        let mut order: Vec<JobId> = queue
-            .jobs()
-            .iter()
-            .filter(|j| !j.pending.is_empty())
-            .map(|j| j.id)
-            .collect();
-        order.sort_by_key(|&id| {
-            let j = queue.job(id).expect("listed job exists");
-            (j.running_maps, j.arrival, j.id)
-        });
+        let mut order = std::mem::take(&mut self.order_scratch);
+        queue.deficit_order_into(&mut order);
 
-        for job_id in order {
-            let (skip_count, choice) = {
-                let job = queue.job(job_id).expect("job exists");
-                // Best pending task by locality for this node.
-                let mut best: Option<(usize, Locality)> = None;
-                for (idx, t) in job.pending.iter().enumerate() {
-                    let loc = classify(t.block, node, lookup, topo);
-                    match best {
-                        Some((_, b)) if b <= loc => {}
-                        _ => best = Some((idx, loc)),
-                    }
-                    if loc == Locality::NodeLocal {
-                        break;
-                    }
-                }
-                (job.skip_count, best.expect("pending non-empty"))
-            };
-
-            let (idx, loc) = choice;
+        let mut picked = None;
+        for &job_id in &order {
+            let (idx, loc) = queue
+                .pick_best_for(job_id, node, topo)
+                .expect("listed jobs have pending work");
+            let skip_count = queue.job(job_id).expect("job exists").skip_count;
             let allowed = match loc {
                 Locality::NodeLocal => true,
                 Locality::RackLocal => skip_count >= self.cfg.d1,
@@ -116,20 +107,19 @@ impl Scheduler for FairScheduler {
                 // launch also resets it (the job got its slot).
                 job.skip_count = 0;
                 let t = queue.take_task(job_id, idx);
-                return Some(Assignment {
+                picked = Some(Assignment {
                     job: job_id,
                     task: t.task,
                     block: t.block,
                     locality: loc,
                 });
+                break;
             }
             // Skip: remember the declined opportunity, try the next job.
-            queue
-                .job_mut(job_id)
-                .expect("job exists")
-                .skip_count += 1;
+            queue.job_mut(job_id).expect("job exists").skip_count += 1;
         }
-        None
+        self.order_scratch = order;
+        picked
     }
 
     fn name(&self) -> &'static str {
@@ -141,17 +131,8 @@ impl Scheduler for FairScheduler {
 mod tests {
     use super::*;
     use crate::queue::{PendingTask, TaskId};
+    use crate::TableLookup;
     use dare_dfs::BlockId;
-    use std::collections::HashMap;
-
-    fn lookup_from(map: &[(u64, Vec<u32>)]) -> impl Fn(BlockId) -> Vec<NodeId> + '_ {
-        let m: HashMap<u64, Vec<u32>> = map.iter().cloned().collect();
-        move |b: BlockId| {
-            m.get(&b.0)
-                .map(|v| v.iter().map(|&n| NodeId(n)).collect())
-                .unwrap_or_default()
-        }
-    }
 
     fn tasks(blocks: &[u64]) -> Vec<PendingTask> {
         blocks
@@ -167,12 +148,11 @@ mod tests {
     #[test]
     fn skips_nonlocal_job_in_favor_of_local_one() {
         let topo = Topology::single_rack(4);
-        let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]));
-        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]));
         // job 0's data on node 0; job 1's data on node 3.
-        let locs = [(10u64, vec![0u32]), (11, vec![3])];
-        let lookup = lookup_from(&locs);
+        let lookup = TableLookup::from_pairs(&[(10, vec![0]), (11, vec![3])]);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]), &lookup, &topo);
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]), &lookup, &topo);
         let mut s = FairScheduler::new();
         // Offer node 3: job 0 (fewest running, earliest) is non-local and
         // must wait; job 1 launches node-local.
@@ -187,10 +167,9 @@ mod tests {
     #[test]
     fn patience_exhausts_into_nonlocal_launch() {
         let topo = Topology::single_rack(4);
+        let lookup = TableLookup::from_pairs(&[(10, vec![0])]);
         let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]));
-        let locs = [(10u64, vec![0u32])];
-        let lookup = lookup_from(&locs);
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]), &lookup, &topo);
         let mut s = FairScheduler::with_config(FairConfig { d1: 2, d2: 2 });
         // Two declined offers on a non-local node...
         for i in 0..2 {
@@ -213,12 +192,11 @@ mod tests {
     fn rack_local_allowed_before_remote() {
         // rack0: nodes 0,1 — rack1: nodes 2,3
         let topo = Topology::explicit(vec![0, 0, 1, 1], 10);
-        let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]));
         // block 10: replica on node 1 (rack-local to node 0);
         // block 11: replica on node 3 (remote to node 0).
-        let locs = [(10u64, vec![1u32]), (11, vec![3])];
-        let lookup = lookup_from(&locs);
+        let lookup = TableLookup::from_pairs(&[(10, vec![1]), (11, vec![3])]);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]), &lookup, &topo);
         let mut s = FairScheduler::with_config(FairConfig { d1: 1, d2: 10 });
         assert!(
             s.pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
@@ -235,16 +213,11 @@ mod tests {
     #[test]
     fn fair_share_prefers_job_with_fewest_running() {
         let topo = Topology::single_rack(4);
-        let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 12]));
-        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]));
         // Everything local everywhere so locality never blocks.
-        let locs = [
-            (10u64, vec![0u32, 1, 2, 3]),
-            (11, vec![0, 1, 2, 3]),
-            (12, vec![0, 1, 2, 3]),
-        ];
-        let lookup = lookup_from(&locs);
+        let lookup = TableLookup::everywhere(4);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 12]), &lookup, &topo);
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]), &lookup, &topo);
         let mut s = FairScheduler::new();
         // Job 0 gets the first slot (tie at 0 running, earlier arrival).
         let a = s
@@ -262,10 +235,9 @@ mod tests {
     #[test]
     fn none_when_everything_waits() {
         let topo = Topology::single_rack(3);
+        let lookup = TableLookup::from_pairs(&[(10, vec![0])]);
         let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]));
-        let locs = [(10u64, vec![0u32])];
-        let lookup = lookup_from(&locs);
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]), &lookup, &topo);
         let mut s = FairScheduler::new(); // default d1=4
         assert!(s
             .pick_map(&mut q, NodeId(2), &lookup, &topo, SimTime::ZERO)

@@ -11,8 +11,12 @@
 //! job with pending work always launches something. That head-of-line
 //! behaviour is what caps vanilla FIFO locality near
 //! `replication_factor / cluster_size` for small jobs.
+//!
+//! Task selection is answered by the queue's locality index
+//! ([`JobQueue::pick_best_for`]) in O(log pending) without touching the
+//! per-task location lists; [`crate::oracle::NaiveFifoScheduler`] keeps the
+//! original scan for the differential tests.
 
-use crate::locality::{classify, Locality};
 use crate::queue::{Assignment, JobQueue};
 use crate::{LocationLookup, Scheduler};
 use dare_net::{NodeId, Topology};
@@ -34,30 +38,16 @@ impl Scheduler for FifoScheduler {
         &mut self,
         queue: &mut JobQueue,
         node: NodeId,
-        lookup: &dyn LocationLookup,
+        _lookup: &dyn LocationLookup,
         topo: &Topology,
         _now: SimTime,
     ) -> Option<Assignment> {
         // First job (arrival order) with pending maps gets the slot.
-        let (job_id, pick_idx, locality) = {
-            let job = queue.jobs().iter().find(|j| !j.pending.is_empty())?;
-            // Best-locality pending task for this node; ties broken by
-            // pending order (deterministic).
-            let mut best: Option<(usize, Locality)> = None;
-            for (idx, t) in job.pending.iter().enumerate() {
-                let loc = classify(t.block, node, lookup, topo);
-                match best {
-                    Some((_, b)) if b <= loc => {}
-                    _ => best = Some((idx, loc)),
-                }
-                if loc == Locality::NodeLocal {
-                    break; // can't do better
-                }
-            }
-            let (idx, loc) = best.expect("job had pending tasks");
-            (job.id, idx, loc)
-        };
-        let t = queue.take_task(job_id, pick_idx);
+        let job_id = queue.jobs().iter().find(|j| !j.pending().is_empty())?.id;
+        let (idx, locality) = queue
+            .pick_best_for(job_id, node, topo)
+            .expect("job had pending tasks");
+        let t = queue.take_task(job_id, idx);
         Some(Assignment {
             job: job_id,
             task: t.task,
@@ -74,18 +64,10 @@ impl Scheduler for FifoScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::locality::Locality;
     use crate::queue::{JobId, PendingTask, TaskId};
+    use crate::TableLookup;
     use dare_dfs::BlockId;
-    use std::collections::HashMap;
-
-    fn lookup_from(map: &[(u64, Vec<u32>)]) -> impl Fn(BlockId) -> Vec<NodeId> + '_ {
-        let m: HashMap<u64, Vec<u32>> = map.iter().cloned().collect();
-        move |b: BlockId| {
-            m.get(&b.0)
-                .map(|v| v.iter().map(|&n| NodeId(n)).collect())
-                .unwrap_or_default()
-        }
-    }
 
     fn tasks(blocks: &[u64]) -> Vec<PendingTask> {
         blocks
@@ -101,10 +83,9 @@ mod tests {
     #[test]
     fn prefers_node_local_within_head_job() {
         let topo = Topology::single_rack(4);
+        let lookup = TableLookup::from_pairs(&[(10, vec![1]), (11, vec![2])]);
         let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]));
-        let locs = [(10u64, vec![1u32]), (11, vec![2])];
-        let lookup = lookup_from(&locs);
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]), &lookup, &topo);
         let mut s = FifoScheduler::new();
         let a = s
             .pick_map(&mut q, NodeId(2), &lookup, &topo, SimTime::ZERO)
@@ -116,13 +97,12 @@ mod tests {
     #[test]
     fn head_job_launches_remote_rather_than_waiting() {
         let topo = Topology::single_rack(4);
-        let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]));
-        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]));
         // Job 1's block is local to node 3, job 0's is not — FIFO must still
         // serve job 0 (remotely).
-        let locs = [(10u64, vec![0u32]), (11, vec![3])];
-        let lookup = lookup_from(&locs);
+        let lookup = TableLookup::from_pairs(&[(10, vec![0]), (11, vec![3])]);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]), &lookup, &topo);
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]), &lookup, &topo);
         let mut s = FifoScheduler::new();
         let a = s
             .pick_map(&mut q, NodeId(3), &lookup, &topo, SimTime::ZERO)
@@ -135,11 +115,10 @@ mod tests {
     #[test]
     fn falls_through_when_head_job_drained() {
         let topo = Topology::single_rack(4);
+        let lookup = TableLookup::from_pairs(&[(10, vec![0]), (11, vec![1])]);
         let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]));
-        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]));
-        let locs = [(10u64, vec![0u32]), (11, vec![1])];
-        let lookup = lookup_from(&locs);
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]), &lookup, &topo);
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[11]), &lookup, &topo);
         let mut s = FifoScheduler::new();
         // Drain job 0's only task.
         s.pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
@@ -155,8 +134,8 @@ mod tests {
     #[test]
     fn returns_none_when_nothing_pending() {
         let topo = Topology::single_rack(2);
+        let lookup = TableLookup::new();
         let mut q = JobQueue::new();
-        let lookup = |_: BlockId| Vec::<NodeId>::new();
         let mut s = FifoScheduler::new();
         assert!(s
             .pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)
@@ -167,11 +146,10 @@ mod tests {
     fn rack_local_beats_remote_on_multirack() {
         // node0+node1 in rack0; node2 in rack1
         let topo = Topology::explicit(vec![0, 0, 1], 10);
-        let mut q = JobQueue::new();
-        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]));
         // block 10 off-rack (node 2); block 11 rack-local to node 0 (node 1)
-        let locs = [(10u64, vec![2u32]), (11, vec![1])];
-        let lookup = lookup_from(&locs);
+        let lookup = TableLookup::from_pairs(&[(10, vec![2]), (11, vec![1])]);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10, 11]), &lookup, &topo);
         let mut s = FifoScheduler::new();
         let a = s
             .pick_map(&mut q, NodeId(0), &lookup, &topo, SimTime::ZERO)

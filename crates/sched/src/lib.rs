@@ -30,6 +30,7 @@ pub mod capacity;
 pub mod fair;
 pub mod fifo;
 pub mod locality;
+pub mod oracle;
 pub mod queue;
 
 pub use capacity::CapacityScheduler;
@@ -43,14 +44,89 @@ use dare_simcore::SimTime;
 
 /// Block-location oracle the engine passes to a scheduler: the name node's
 /// *visible* replica locations for a block.
+///
+/// The lookup returns a **borrowed** slice so the scheduling hot path never
+/// allocates: the name node keeps a merged per-block location list up to
+/// date incrementally, and `classify` / the schedulers read it in place.
+/// Implementors are concrete types (the engine's name-node adapter, the
+/// [`TableLookup`] used by tests and benches) — a closure cannot return a
+/// borrow of its own captures, which is exactly the allocation this API
+/// exists to avoid.
 pub trait LocationLookup {
-    /// Nodes holding a scheduler-visible replica of the block.
-    fn locations(&self, block: dare_dfs::BlockId) -> Vec<NodeId>;
+    /// Nodes holding a scheduler-visible replica of the block. Empty when
+    /// the block is unknown.
+    fn locations(&self, block: dare_dfs::BlockId) -> &[NodeId];
 }
 
-impl<F: Fn(dare_dfs::BlockId) -> Vec<NodeId>> LocationLookup for F {
-    fn locations(&self, block: dare_dfs::BlockId) -> Vec<NodeId> {
-        self(block)
+/// A static block → locations table implementing [`LocationLookup`] by
+/// borrow. Unit tests, benches, and the differential oracle tests use it
+/// in place of a live name node; `add_location` / `remove_location` model
+/// replication churn (the caller mirrors those into
+/// [`JobQueue::note_replica_added`] / [`JobQueue::note_replica_removed`],
+/// exactly as the engine mirrors name-node promotions and evictions).
+#[derive(Debug, Clone, Default)]
+pub struct TableLookup {
+    map: std::collections::HashMap<u64, Vec<NodeId>>,
+    default_locs: Vec<NodeId>,
+}
+
+impl TableLookup {
+    /// Empty table: every block resolves to no locations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Table from `(block, nodes)` pairs; unlisted blocks have no replicas.
+    pub fn from_pairs(pairs: &[(u64, Vec<u32>)]) -> Self {
+        let mut t = Self::new();
+        for (b, nodes) in pairs {
+            t.map
+                .insert(*b, nodes.iter().map(|&n| NodeId(n)).collect());
+        }
+        t
+    }
+
+    /// Table where every block (listed or not) resolves to nodes `0..n`.
+    pub fn everywhere(n: u32) -> Self {
+        TableLookup {
+            map: std::collections::HashMap::new(),
+            default_locs: (0..n).map(NodeId).collect(),
+        }
+    }
+
+    /// Set the full location list of one block.
+    pub fn set(&mut self, block: u64, nodes: &[u32]) {
+        self.map
+            .insert(block, nodes.iter().map(|&n| NodeId(n)).collect());
+    }
+
+    /// Add one replica location; returns false if it was already present.
+    pub fn add_location(&mut self, block: dare_dfs::BlockId, node: NodeId) -> bool {
+        let locs = self.map.entry(block.0).or_default();
+        if locs.contains(&node) {
+            return false;
+        }
+        locs.push(node);
+        true
+    }
+
+    /// Remove one replica location; returns false if it was not present.
+    pub fn remove_location(&mut self, block: dare_dfs::BlockId, node: NodeId) -> bool {
+        let Some(locs) = self.map.get_mut(&block.0) else {
+            return false;
+        };
+        let before = locs.len();
+        locs.retain(|&l| l != node);
+        locs.len() != before
+    }
+}
+
+impl LocationLookup for TableLookup {
+    fn locations(&self, block: dare_dfs::BlockId) -> &[NodeId] {
+        self.map
+            .get(&block.0)
+            .map(|v| v.as_slice())
+            .unwrap_or(&self.default_locs)
     }
 }
 

@@ -7,35 +7,52 @@ use dare_net::{NodeId, Topology};
 use dare_sched::locality::classify;
 use dare_sched::{
     CapacityScheduler, FairScheduler, FifoScheduler, JobId, JobQueue, PendingTask, Scheduler,
-    TaskId,
+    TableLookup, TaskId,
 };
+use dare_simcore::check::{run_cases, Gen};
 use dare_simcore::SimTime;
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 const NODES: u32 = 8;
+const BLOCKS: u64 = 64;
 
 #[derive(Debug, Clone)]
 struct JobSpec {
     tasks: Vec<u64>, // block ids
 }
 
-fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
-    prop::collection::vec(
-        prop::collection::vec(0u64..64, 1..12).prop_map(|tasks| JobSpec { tasks }),
-        1..8,
-    )
+fn jobs(g: &mut Gen) -> Vec<JobSpec> {
+    g.vec(1..8, |g| JobSpec {
+        tasks: g.vec(1..12, |g| g.u64_in(0..BLOCKS)),
+    })
 }
 
-/// Deterministic pseudo-random replica locations per block.
-fn locations(b: BlockId) -> Vec<NodeId> {
-    let k = 1 + (b.0 % 3) as usize; // 1-3 replicas
-    (0..k)
-        .map(|i| NodeId(((b.0 * 7 + i as u64 * 13) % NODES as u64) as u32))
-        .collect()
+fn offers(g: &mut Gen) -> Vec<u32> {
+    g.vec(1..16, |g| g.u32_in(0..NODES))
 }
 
-fn build_queue(jobs: &[JobSpec]) -> JobQueue {
+/// Deterministic pseudo-random replica locations per block (1-3 replicas).
+fn locations() -> TableLookup {
+    let mut t = TableLookup::new();
+    for b in 0..BLOCKS {
+        let k = 1 + (b % 3) as u32;
+        let nodes: Vec<u32> = (0..k)
+            .map(|i| ((b * 7 + i as u64 * 13) % NODES as u64) as u32)
+            .collect();
+        // Replica lists may repeat a node for some block ids; dedup to
+        // honour the "locations are unique" contract.
+        let mut uniq = Vec::new();
+        for n in nodes {
+            if !uniq.contains(&n) {
+                uniq.push(n);
+            }
+        }
+        t.set(b, &uniq);
+    }
+    t
+}
+
+fn build_queue(jobs: &[JobSpec], lookup: &TableLookup, topo: &Topology) -> JobQueue {
     let mut q = JobQueue::new();
     for (j, spec) in jobs.iter().enumerate() {
         let tasks: Vec<PendingTask> = spec
@@ -47,7 +64,7 @@ fn build_queue(jobs: &[JobSpec]) -> JobQueue {
                 block: BlockId(b),
             })
             .collect();
-        q.add_job(JobId(j as u32), SimTime::from_secs(j as u64), tasks);
+        q.add_job(JobId(j as u32), SimTime::from_secs(j as u64), tasks, lookup, topo);
     }
     q
 }
@@ -56,6 +73,7 @@ fn build_queue(jobs: &[JobSpec]) -> JobQueue {
 fn drain(
     sched: &mut dyn Scheduler,
     q: &mut JobQueue,
+    lookup: &TableLookup,
     topo: &Topology,
     offers: &[u32],
 ) -> Vec<(JobId, TaskId, BlockId, dare_sched::Locality)> {
@@ -67,7 +85,7 @@ fn drain(
     while q.has_pending() && idle_rounds < 10_000 {
         let node = NodeId(offers[i % offers.len()]);
         i += 1;
-        match sched.pick_map(q, node, &locations, topo, SimTime::ZERO) {
+        match sched.pick_map(q, node, lookup, topo, SimTime::ZERO) {
             Some(a) => {
                 out.push((a.job, a.task, a.block, a.locality));
                 q.on_map_complete(a.job);
@@ -79,8 +97,9 @@ fn drain(
     out
 }
 
-fn check_all(jobs: Vec<JobSpec>, offers: Vec<u32>) -> Result<(), TestCaseError> {
+fn check_all(jobs: &[JobSpec], offers: &[u32]) {
     let topo = Topology::explicit(vec![0, 0, 1, 1, 2, 2, 3, 3], 2);
+    let lookup = locations();
     let total: usize = jobs.iter().map(|j| j.tasks.len()).sum();
 
     type MkSched = fn() -> Box<dyn Scheduler>;
@@ -90,15 +109,15 @@ fn check_all(jobs: Vec<JobSpec>, offers: Vec<u32>) -> Result<(), TestCaseError> 
         ("capacity", || Box::new(CapacityScheduler::new(3))),
     ];
     for (name, mk) in schedulers {
-        let mut q = build_queue(&jobs);
+        let mut q = build_queue(jobs, &lookup, &topo);
         let mut sched = mk();
-        let out = drain(sched.as_mut(), &mut q, &topo, &offers);
+        let out = drain(sched.as_mut(), &mut q, &lookup, &topo, offers);
 
         // Every task assigned exactly once.
-        prop_assert_eq!(out.len(), total, "{}: task conservation", name);
+        assert_eq!(out.len(), total, "{name}: task conservation");
         let mut seen: HashSet<(u32, u32)> = HashSet::new();
         for (j, t, _, _) in &out {
-            prop_assert!(seen.insert((j.0, t.0)), "{}: duplicate assignment", name);
+            assert!(seen.insert((j.0, t.0)), "{name}: duplicate assignment");
         }
         // Blocks match the original specs.
         let mut per_job: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
@@ -114,42 +133,40 @@ fn check_all(jobs: Vec<JobSpec>, offers: Vec<u32>) -> Result<(), TestCaseError> 
                 .enumerate()
                 .map(|(t, &b)| (t as u32, b))
                 .collect();
-            prop_assert_eq!(got, want, "{}: job {} task/block mapping", name, j);
+            assert_eq!(got, want, "{name}: job {j} task/block mapping");
         }
         // Queue is fully drained.
-        prop_assert_eq!(q.total_pending(), 0, "{}: queue drained", name);
+        assert_eq!(q.total_pending(), 0, "{name}: queue drained");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn schedulers_conserve_tasks() {
+    run_cases(48, 0x5C4E_0001, |g| {
+        let jobs = jobs(g);
+        let offers = offers(g);
+        check_all(&jobs, &offers);
+    });
+}
 
-    #[test]
-    fn schedulers_conserve_tasks(
-        jobs in jobs_strategy(),
-        offers in prop::collection::vec(0u32..NODES, 1..16),
-    ) {
-        check_all(jobs, offers)?;
-    }
-
-    #[test]
-    fn reported_locality_matches_oracle(
-        jobs in jobs_strategy(),
-        offers in prop::collection::vec(0u32..NODES, 1..16),
-    ) {
+#[test]
+fn reported_locality_matches_oracle() {
+    run_cases(48, 0x5C4E_0002, |g| {
+        let jobs = jobs(g);
+        let offers = offers(g);
         let topo = Topology::explicit(vec![0, 0, 1, 1, 2, 2, 3, 3], 2);
-        let mut q = build_queue(&jobs);
+        let lookup = locations();
+        let mut q = build_queue(&jobs, &lookup, &topo);
         let mut sched = FifoScheduler::new();
         let mut i = 0;
         while q.has_pending() {
             let node = NodeId(offers[i % offers.len()]);
             i += 1;
-            if let Some(a) = sched.pick_map(&mut q, node, &locations, &topo, SimTime::ZERO) {
-                let want = classify(a.block, node, &locations, &topo);
-                prop_assert_eq!(a.locality, want, "locality class mismatch");
+            if let Some(a) = sched.pick_map(&mut q, node, &lookup, &topo, SimTime::ZERO) {
+                let want = classify(a.block, node, &lookup, &topo);
+                assert_eq!(a.locality, want, "locality class mismatch");
                 q.on_map_complete(a.job);
             }
         }
-    }
+    });
 }

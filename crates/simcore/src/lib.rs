@@ -13,8 +13,11 @@
 //!   subsystem does not perturb another subsystem's stream.
 //! * [`dist`] — the probability distributions the paper's models need
 //!   (Zipf, lognormal, exponential, bounded normal, Pareto), implemented
-//!   from scratch on top of `rand` because `rand_distr` is not in the
+//!   from scratch because no external distribution crate is in the
 //!   offline dependency set.
+//! * [`check`] — a miniature property-testing harness (seeded random
+//!   cases with replayable failure seeds), standing in for `proptest`
+//!   in the offline build.
 //! * [`stats`] — descriptive statistics used by the evaluation: streaming
 //!   mean/variance/min/max, percentiles, histograms and CDFs, geometric
 //!   mean, and the coefficient of variation used by Fig. 11.
@@ -33,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod dist;
 pub mod events;
 pub mod fit;

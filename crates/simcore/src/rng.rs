@@ -5,13 +5,18 @@
 //! own *substream* derived from a single experiment seed. Substreams are
 //! derived by hashing `(seed, label)` with SplitMix64, so adding a new
 //! consumer of randomness never perturbs the draws seen by existing
-//! consumers — a property plain "share one StdRng" designs lack and that
+//! consumers — a property plain "share one RNG" designs lack and that
 //! matters when comparing policies under identical workloads.
+//!
+//! The generator itself is a self-contained xoshiro256++ (Blackman &
+//! Vigna): the workspace builds offline, so no external `rand` crate is
+//! available. xoshiro256++ passes BigCrush, has a 2^256 − 1 period, and is
+//! faster than the ChaCha-based generator it replaced — the draws differ
+//! from the old `rand::StdRng` stream, but no experiment depends on a
+//! particular stream, only on reproducibility for a given seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 step — a high-quality 64-bit mixer used for seed derivation.
+/// SplitMix64 step — a high-quality 64-bit mixer used for seed derivation
+/// and for expanding one 64-bit seed into the 256-bit xoshiro state.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -33,10 +38,49 @@ fn hash_label(label: &str) -> u64 {
     h
 }
 
+/// The xoshiro256++ core: 256 bits of state, `next()` emits 64 bits.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expand a 64-bit seed into a full state via SplitMix64, as the
+    /// xoshiro authors recommend (guarantees a non-zero state).
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Xoshiro256pp {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A deterministic RNG handle for one simulation component.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds substream derivation plus the small
-/// set of convenience draws the simulator uses everywhere.
+/// Wraps a self-contained xoshiro256++ stream and adds substream derivation
+/// plus the small set of convenience draws the simulator uses everywhere.
 ///
 /// ```
 /// use dare_simcore::DetRng;
@@ -50,7 +94,7 @@ fn hash_label(label: &str) -> u64 {
 /// ```
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    inner: Xoshiro256pp,
 }
 
 impl DetRng {
@@ -58,11 +102,11 @@ impl DetRng {
     pub fn new(seed: u64) -> Self {
         let mut s = seed;
         // Run the seed through the mixer so small seeds (0, 1, 2...) still
-        // produce well-spread StdRng states.
+        // produce well-spread generator states.
         let mixed = splitmix64(&mut s);
         DetRng {
             seed,
-            inner: StdRng::seed_from_u64(mixed),
+            inner: Xoshiro256pp::from_seed(mixed),
         }
     }
 
@@ -76,7 +120,9 @@ impl DetRng {
     /// Derive an independent substream identified by a numeric index
     /// (e.g. per-node streams).
     pub fn substream_idx(&self, label: &str, idx: u64) -> DetRng {
-        let mut s = self.seed ^ hash_label(label).rotate_left(17) ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut s = self.seed
+            ^ hash_label(label).rotate_left(17)
+            ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let derived = splitmix64(&mut s);
         DetRng::new(derived)
     }
@@ -87,13 +133,23 @@ impl DetRng {
     }
 
     /// Next raw 64-bit draw.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.inner.next()
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Next raw 32-bit draw (upper half of a 64-bit draw — the stronger
+    /// bits of xoshiro's output).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.inner.next() >> 32) as u32
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits scaled by 2^-53: the standard uniform-double recipe.
+        (self.inner.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -102,10 +158,28 @@ impl DetRng {
         lo + (hi - lo) * self.uniform()
     }
 
+    /// Unbiased uniform integer in `[0, n)` via rejection sampling.
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        if n.is_power_of_two() {
+            return self.inner.next() & (n - 1);
+        }
+        // Reject draws from the final partial bucket so every residue is
+        // equally likely (the classic bounded-rejection scheme).
+        let zone = u64::MAX - (u64::MAX % n) - 1;
+        loop {
+            let v = self.inner.next();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() over an empty range");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Bernoulli trial: true with probability `p` (clamped to `[0,1]`).
@@ -125,7 +199,7 @@ impl DetRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }
@@ -137,26 +211,19 @@ impl DetRng {
         // Partial Fisher–Yates over an index vector: O(n) setup, O(k) swaps.
         let mut idx: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = self.inner.gen_range(i..n);
+            let j = i + self.below((n - i) as u64) as usize;
             idx.swap(i, j);
         }
         idx.truncate(k);
         idx
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+    /// Fill a byte buffer with raw generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.inner.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -214,6 +281,18 @@ mod tests {
     }
 
     #[test]
+    fn index_is_roughly_uniform() {
+        let mut r = DetRng::new(4);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[r.index(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
     fn sample_indices_distinct_and_in_range() {
         let mut r = DetRng::new(3);
         let s = r.sample_indices(20, 5);
@@ -246,5 +325,13 @@ mod tests {
             let x = r.uniform_range(2.0, 3.0);
             assert!((2.0..3.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = DetRng::new(2);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is ~impossible");
     }
 }

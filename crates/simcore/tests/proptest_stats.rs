@@ -1,111 +1,146 @@
 //! Property-based tests of the statistics and event-queue kernels.
 
+use dare_simcore::check::{run_cases, Gen};
 use dare_simcore::dist::Zipf;
 use dare_simcore::quantile::P2Quantile;
 use dare_simcore::stats::{geometric_mean, quantile, Ecdf, OnlineStats};
 use dare_simcore::{EventQueue, SimTime};
-use proptest::prelude::*;
 
-fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, 1..200)
+fn finite_vec(g: &mut Gen) -> Vec<f64> {
+    g.vec(1..200, |g| g.f64_in(-1e6..1e6))
 }
 
-fn positive_vec() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1e-3f64..1e6, 1..200)
+fn positive_vec(g: &mut Gen) -> Vec<f64> {
+    g.vec(1..200, |g| g.f64_in(1e-3..1e6))
 }
 
-proptest! {
-    #[test]
-    fn online_stats_merge_equals_sequential(xs in finite_vec(), split in 0usize..200) {
-        let split = split.min(xs.len());
+#[test]
+fn online_stats_merge_equals_sequential() {
+    run_cases(256, 0x57A7_0001, |g| {
+        let xs = finite_vec(g);
+        let split = g.usize_in(0..200).min(xs.len());
         let mut whole = OnlineStats::new();
-        for &x in &xs { whole.push(x); }
+        for &x in &xs {
+            whole.push(x);
+        }
         let mut a = OnlineStats::new();
         let mut b = OnlineStats::new();
-        for &x in &xs[..split] { a.push(x); }
-        for &x in &xs[split..] { b.push(x); }
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
-        prop_assert!((a.variance() - whole.variance()).abs()
-            <= 1e-5 * (1.0 + whole.variance().abs()));
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
-    }
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance().abs()));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    });
+}
 
-    #[test]
-    fn stats_bounds_hold(xs in finite_vec()) {
+#[test]
+fn stats_bounds_hold() {
+    run_cases(256, 0x57A7_0002, |g| {
+        let xs = finite_vec(g);
         let mut st = OnlineStats::new();
-        for &x in &xs { st.push(x); }
-        prop_assert!(st.min() <= st.mean() + 1e-9);
-        prop_assert!(st.mean() <= st.max() + 1e-9);
-        prop_assert!(st.variance() >= -1e-9);
-    }
+        for &x in &xs {
+            st.push(x);
+        }
+        assert!(st.min() <= st.mean() + 1e-9);
+        assert!(st.mean() <= st.max() + 1e-9);
+        assert!(st.variance() >= -1e-9);
+    });
+}
 
-    #[test]
-    fn geometric_mean_below_arithmetic(xs in positive_vec()) {
+#[test]
+fn geometric_mean_below_arithmetic() {
+    run_cases(256, 0x57A7_0003, |g| {
+        let xs = positive_vec(g);
         let gm = geometric_mean(&xs);
         let am: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        prop_assert!(gm <= am * (1.0 + 1e-9), "AM-GM violated: {gm} > {am}");
+        assert!(gm <= am * (1.0 + 1e-9), "AM-GM violated: {gm} > {am}");
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(gm >= lo * (1.0 - 1e-9) && gm <= hi * (1.0 + 1e-9));
-    }
+        assert!(gm >= lo * (1.0 - 1e-9) && gm <= hi * (1.0 + 1e-9));
+    });
+}
 
-    #[test]
-    fn quantile_is_bounded_and_monotone(xs in finite_vec(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+#[test]
+fn quantile_is_bounded_and_monotone() {
+    run_cases(256, 0x57A7_0004, |g| {
+        let xs = finite_vec(g);
+        let q1 = g.f64_in(0.0..1.0);
+        let q2 = g.f64_in(0.0..1.0);
         let (qlo, qhi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let lo = quantile(&xs, qlo);
         let hi = quantile(&xs, qhi);
-        prop_assert!(lo <= hi + 1e-9);
+        assert!(lo <= hi + 1e-9);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(lo >= min - 1e-9 && hi <= max + 1e-9);
-    }
+        assert!(lo >= min - 1e-9 && hi <= max + 1e-9);
+    });
+}
 
-    #[test]
-    fn ecdf_is_monotone_and_normalized(xs in finite_vec()) {
-        let e = Ecdf::new(xs.clone());
+#[test]
+fn ecdf_is_monotone_and_normalized() {
+    run_cases(256, 0x57A7_0005, |g| {
+        let xs = finite_vec(g);
+        let e = Ecdf::new(xs);
         let probes: Vec<f64> = vec![-1e7, -1.0, 0.0, 1.0, 1e7];
         let mut prev = 0.0;
         for p in probes {
             let f = e.fraction_leq(p);
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!(f >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev - 1e-12);
             prev = f;
         }
-        prop_assert_eq!(e.fraction_leq(1e7), 1.0);
+        assert_eq!(e.fraction_leq(1e7), 1.0);
         // inverse is consistent: F(F^-1(q)) >= q
         for q in [0.1, 0.5, 0.9] {
             let v = e.inverse(q);
-            prop_assert!(e.fraction_leq(v) >= q - 1e-12);
+            assert!(e.fraction_leq(v) >= q - 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn p2_estimate_within_sample_range(xs in prop::collection::vec(-1e4f64..1e4, 5..400), q in 0.05f64..0.95) {
+#[test]
+fn p2_estimate_within_sample_range() {
+    run_cases(256, 0x57A7_0006, |g| {
+        let xs = g.vec(5..400, |g| g.f64_in(-1e4..1e4));
+        let q = g.f64_in(0.05..0.95);
         let mut est = P2Quantile::new(q);
-        for &x in &xs { est.push(x); }
+        for &x in &xs {
+            est.push(x);
+        }
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let e = est.estimate();
-        prop_assert!(e >= min - 1e-9 && e <= max + 1e-9, "estimate {e} outside [{min},{max}]");
-    }
+        assert!(e >= min - 1e-9 && e <= max + 1e-9, "estimate {e} outside [{min},{max}]");
+    });
+}
 
-    #[test]
-    fn zipf_cdf_monotone_and_complete(n in 1usize..500, s in 0.2f64..2.5) {
+#[test]
+fn zipf_cdf_monotone_and_complete() {
+    run_cases(128, 0x57A7_0007, |g| {
+        let n = g.usize_in(1..500);
+        let s = g.f64_in(0.2..2.5);
         let z = Zipf::new(n, s);
         let mut prev = 0.0;
         for k in 1..=n {
             let c = z.cdf(k);
-            prop_assert!(c >= prev - 1e-12);
+            assert!(c >= prev - 1e-12);
             prev = c;
         }
-        prop_assert!((z.cdf(n) - 1.0).abs() < 1e-9);
-    }
+        assert!((z.cdf(n) - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn event_queue_pops_sorted_stable(times in prop::collection::vec(0u64..1000, 0..300)) {
+#[test]
+fn event_queue_pops_sorted_stable() {
+    run_cases(256, 0x57A7_0008, |g| {
+        let times = g.vec(1..300, |g| g.u64_in(0..1000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_secs(t), i);
@@ -113,13 +148,13 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(t >= lt, "time order violated");
+                assert!(t >= lt, "time order violated");
                 if t == lt {
-                    prop_assert!(idx > lidx, "FIFO tie-break violated");
+                    assert!(idx > lidx, "FIFO tie-break violated");
                 }
             }
             last = Some((t, idx));
         }
-        prop_assert!(q.is_empty());
-    }
+        assert!(q.is_empty());
+    });
 }

@@ -58,7 +58,7 @@ fn drive(policy_kind: PolicyKind, accesses: usize, seed: u64) -> (u64, u64) {
         if let ReplicationDecision::Replicate { evict } = decision {
             for v in evict {
                 assert!(
-                    dfs.evict_dynamic(node, v),
+                    dfs.evict_dynamic(node, v).is_some(),
                     "step {step}: policy evicted {v} the DFS does not hold"
                 );
             }

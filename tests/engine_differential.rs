@@ -1,0 +1,112 @@
+//! Engine-level differential oracle: a full simulation driven by the
+//! indexed schedulers must be **bit-identical** to one driven by the
+//! retained naive-scan implementations (`cfg.naive_scan = true`).
+//!
+//! The sched crate's differential test already replays randomized offer
+//! streams against both queue implementations; this test closes the loop
+//! end-to-end — replica churn from the DARE policy, dynamic-replica
+//! promotion batches, speculative backups, node failures with index
+//! rebuilds — and demands byte-equal job outcomes and run metrics.
+
+use dare_core::PolicyKind;
+use dare_mapred::{SchedulerKind, SimConfig, SimResult};
+use dare_workload::swim::{synthesize, SwimParams};
+use dare_workload::Workload;
+
+fn swim(seed: u64, jobs: u32) -> Workload {
+    let params = SwimParams {
+        jobs,
+        files: 24,
+        ..SwimParams::wl1()
+    };
+    synthesize("swim-diff", &params, seed)
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, label: &str) {
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{label}: job count");
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.id, y.id, "{label}: outcome order");
+        assert_eq!(x.arrival, y.arrival, "{label}: job {} arrival", x.id);
+        assert_eq!(x.completed, y.completed, "{label}: job {} completion", x.id);
+        assert_eq!(x.maps, y.maps, "{label}: job {} maps", x.id);
+        assert_eq!(
+            (x.node_local, x.rack_local, x.remote),
+            (y.node_local, y.rack_local, y.remote),
+            "{label}: job {} locality split",
+            x.id
+        );
+        assert_eq!(x.dedicated, y.dedicated, "{label}: job {} dedicated", x.id);
+    }
+    // Aggregate metrics are pure functions of the outcomes, but compare
+    // the headline numbers anyway — exact float equality, no tolerance.
+    assert!(a.run.gmtt_secs == b.run.gmtt_secs, "{label}: gmtt");
+    assert!(a.run.locality == b.run.locality, "{label}: locality");
+    assert!(a.run.makespan_secs == b.run.makespan_secs, "{label}: makespan");
+    assert_eq!(a.replicas_created, b.replicas_created, "{label}: replicas");
+    assert_eq!(a.evictions, b.evictions, "{label}: evictions");
+    assert_eq!(
+        a.remote_bytes_fetched, b.remote_bytes_fetched,
+        "{label}: remote bytes"
+    );
+    assert_eq!(a.reexecuted_tasks, b.reexecuted_tasks, "{label}: reexecs");
+    assert_eq!(
+        a.speculative_launches, b.speculative_launches,
+        "{label}: backups"
+    );
+    assert_eq!(a.speculative_wins, b.speculative_wins, "{label}: spec wins");
+    assert_eq!(
+        a.final_dynamic_bytes, b.final_dynamic_bytes,
+        "{label}: dynamic bytes"
+    );
+}
+
+fn run_pair(cfg: SimConfig, wl: &Workload, label: &str) {
+    let indexed = dare_mapred::run(cfg.clone(), wl);
+    let naive = dare_mapred::run(cfg.with_naive_scan(), wl);
+    assert_identical(&indexed, &naive, label);
+}
+
+#[test]
+fn fifo_engine_matches_naive_scan() {
+    for seed in [1u64, 2, 3] {
+        let wl = swim(100 + seed, 60);
+        let cfg = SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, seed);
+        run_pair(cfg, &wl, &format!("fifo/greedy seed {seed}"));
+    }
+}
+
+#[test]
+fn fair_engine_matches_naive_scan() {
+    for seed in [4u64, 5, 6] {
+        let wl = swim(200 + seed, 60);
+        let cfg = SimConfig::cct(
+            PolicyKind::elephant_default(),
+            SchedulerKind::fair_default(),
+            seed,
+        );
+        run_pair(cfg, &wl, &format!("fair/elephant seed {seed}"));
+    }
+}
+
+#[test]
+fn capacity_engine_matches_naive_scan() {
+    let wl = swim(300, 60);
+    let cfg = SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Capacity(3), 7);
+    run_pair(cfg, &wl, "capacity/greedy");
+}
+
+#[test]
+fn churn_heavy_engine_matches_naive_scan() {
+    // Failures force full index rebuilds, speculation exercises the
+    // O(jobs) straggler fast path, and the EC2 profile's heterogeneous
+    // disks produce genuine stragglers.
+    let wl = swim(400, 80);
+    let cfg = SimConfig::ec2(
+        PolicyKind::elephant_default(),
+        SchedulerKind::fair_default(),
+        11,
+    )
+    .with_speculation(Default::default())
+    .with_failures(vec![(20, 3), (45, 17)]);
+    run_pair(cfg, &wl, "churn ec2 fair");
+}

@@ -5,41 +5,40 @@
 use dare_repro::core::PolicyKind;
 use dare_repro::mapred::{self, SchedulerKind, SimConfig};
 use dare_repro::workload::swim::{synthesize, SwimParams};
-use proptest::prelude::*;
+use dare_simcore::check::{run_cases, Gen};
 
-fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Vanilla),
-        Just(PolicyKind::GreedyLru),
-        Just(PolicyKind::Lfu),
-        (0.05f64..1.0, 1u64..4).prop_map(|(p, threshold)| PolicyKind::ElephantTrap {
-            p,
-            threshold
-        }),
-    ]
+fn policy(g: &mut Gen) -> PolicyKind {
+    match g.usize_in(0..4) {
+        0 => PolicyKind::Vanilla,
+        1 => PolicyKind::GreedyLru,
+        2 => PolicyKind::Lfu,
+        _ => PolicyKind::ElephantTrap {
+            p: g.f64_in(0.05..1.0),
+            threshold: g.u64_in(1..4),
+        },
+    }
 }
 
-fn sched_strategy() -> impl Strategy<Value = SchedulerKind> {
-    prop_oneof![
-        Just(SchedulerKind::Fifo),
-        Just(SchedulerKind::fair_default()),
-    ]
+fn sched(g: &mut Gen) -> SchedulerKind {
+    if g.bool(0.5) {
+        SchedulerKind::Fifo
+    } else {
+        SchedulerKind::fair_default()
+    }
 }
 
-proptest! {
-    // End-to-end runs are comparatively expensive; keep the case count
-    // modest — the space is smooth and the invariants are structural.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// End-to-end runs are comparatively expensive; keep the case count
+// modest — the space is smooth and the invariants are structural.
+#[test]
+fn finished_runs_satisfy_structural_invariants() {
+    run_cases(24, 0xE2E_0001, |g| {
+        let seed = g.u64_in(0..10_000);
+        let jobs = g.u32_in(20..80);
+        let policy = policy(g);
+        let sched = sched(g);
+        let budget = g.f64_in(0.0..0.6);
+        let focal_prob = g.f64_in(0.0..0.95);
 
-    #[test]
-    fn finished_runs_satisfy_structural_invariants(
-        seed in 0u64..10_000,
-        jobs in 20u32..80,
-        policy in policy_strategy(),
-        sched in sched_strategy(),
-        budget in 0.0f64..0.6,
-        focal_prob in 0.0f64..0.95,
-    ) {
         let wl = synthesize(
             "prop",
             &SwimParams { jobs, focal_prob, ..SwimParams::wl1() },
@@ -50,37 +49,38 @@ proptest! {
         let r = mapred::run(cfg, &wl);
 
         // Every job completed exactly once, in id order.
-        prop_assert_eq!(r.run.jobs, jobs as usize);
-        prop_assert_eq!(r.outcomes.len(), jobs as usize);
+        assert_eq!(r.run.jobs, jobs as usize);
+        assert_eq!(r.outcomes.len(), jobs as usize);
         for (i, o) in r.outcomes.iter().enumerate() {
-            prop_assert_eq!(o.id as usize, i);
+            assert_eq!(o.id as usize, i);
             // Completion after arrival; locality classes partition maps.
-            prop_assert!(o.completed >= o.arrival);
-            prop_assert_eq!(o.node_local + o.rack_local + o.remote, o.maps);
+            assert!(o.completed >= o.arrival);
+            assert_eq!(o.node_local + o.rack_local + o.remote, o.maps);
         }
 
         // Aggregate metrics well-formed.
-        prop_assert!((0.0..=1.0).contains(&r.run.locality));
-        prop_assert!((0.0..=1.0).contains(&r.run.job_locality));
-        prop_assert!(r.run.rack_or_better >= r.run.locality - 1e-12);
-        prop_assert!(r.run.gmtt_secs > 0.0);
-        prop_assert!(r.run.mean_slowdown > 0.9, "slowdown {}", r.run.mean_slowdown);
+        assert!((0.0..=1.0).contains(&r.run.locality));
+        assert!((0.0..=1.0).contains(&r.run.job_locality));
+        assert!(r.run.rack_or_better >= r.run.locality - 1e-12);
+        assert!(r.run.gmtt_secs > 0.0);
+        assert!(r.run.mean_slowdown > 0.9, "slowdown {}", r.run.mean_slowdown);
 
         // Replication accounting.
         if matches!(policy, PolicyKind::Vanilla) || budget == 0.0 {
-            prop_assert_eq!(r.replicas_created, 0);
-            prop_assert_eq!(r.final_dynamic_bytes, 0);
+            assert_eq!(r.replicas_created, 0);
+            assert_eq!(r.final_dynamic_bytes, 0);
         }
-        prop_assert!(r.evictions <= r.replicas_created);
+        assert!(r.evictions <= r.replicas_created);
         // Cluster-wide dynamic bytes bounded by the aggregate budget.
         let per_node_budget = (wl.dataset_bytes() as f64 * 3.0 / 19.0 * budget) as u64;
-        prop_assert!(
+        assert!(
             r.final_dynamic_bytes <= per_node_budget.saturating_mul(19).saturating_add(1),
-            "dynamic bytes {} exceed aggregate budget", r.final_dynamic_bytes
+            "dynamic bytes {} exceed aggregate budget",
+            r.final_dynamic_bytes
         );
 
         // Locality classes only improve with replication: rack_or_better
         // can't exceed 1.
-        prop_assert!(r.run.rack_or_better <= 1.0 + 1e-12);
-    }
+        assert!(r.run.rack_or_better <= 1.0 + 1e-12);
+    });
 }
