@@ -1,0 +1,192 @@
+//! Resilience sweep: failure intensity × replication policy.
+//!
+//! Exercises the full fault-injection subsystem on the EC2 profile —
+//! permanent kills, transient crash/rejoin cycles, rack outages, and
+//! straggler episodes generated from a [`FaultSpec`] — and measures how
+//! the DARE policies hold up against a vanilla baseline when nodes are
+//! actually dying: job turnaround and locality, retry/re-execution churn,
+//! and the namenode's recovery work (blocks re-replicated through the
+//! contended network, data loss if any).
+//!
+//! Runtime invariant checking is enabled for every cell, so the sweep
+//! doubles as a stress test of the engine's failure paths. Emits
+//! `results/resilience.csv` plus machine-readable
+//! `results/BENCH_resilience.json`. Set `BENCH_QUICK=1` for the CI smoke
+//! configuration (fewer jobs, same fault shapes).
+
+use crate::harness::{csv_path, write_csv, Table};
+use dare_core::PolicyKind;
+use dare_mapred::{FaultPlan, FaultSpec, SchedulerKind, SimConfig};
+use dare_simcore::parallel::parallel_map;
+use dare_simcore::DetRng;
+use dare_workload::swim::{synthesize, SwimParams};
+
+/// One failure-intensity level of the sweep.
+#[derive(Clone, Copy)]
+struct Level {
+    label: &'static str,
+    spec: Option<FaultSpec>,
+}
+
+fn levels(horizon_secs: u64) -> Vec<Level> {
+    vec![
+        Level {
+            label: "calm",
+            spec: None,
+        },
+        Level {
+            label: "light",
+            spec: Some(FaultSpec {
+                horizon_secs,
+                kills: 1,
+                crashes: 4,
+                mean_down_secs: 60,
+                rack_outages: 1,
+                stragglers: 2,
+                straggler_factor: 3.0,
+            }),
+        },
+        Level {
+            label: "heavy",
+            spec: Some(FaultSpec {
+                horizon_secs,
+                kills: 4,
+                crashes: 12,
+                mean_down_secs: 90,
+                rack_outages: 3,
+                stragglers: 5,
+                straggler_factor: 5.0,
+            }),
+        },
+    ]
+}
+
+/// Failure intensity × policy sweep on the EC2 profile.
+pub fn run(seed: u64) {
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let jobs: u32 = if quick { 30 } else { 100 };
+
+    let wl = synthesize("wl1-resilience", &SwimParams { jobs, ..SwimParams::wl1() }, seed);
+    // Draw fault times from the window the cluster is actually busy, so
+    // the sweep stresses the run instead of scheduling faults after the
+    // last job has finished.
+    let span = wl.jobs.last().map(|j| j.arrival.as_secs_f64()).unwrap_or(0.0) as u64;
+    let horizon = span.max(30) * 3 / 4;
+    let base = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::fair_default(), seed);
+    // Fault plans are validated against the topology the engine will
+    // build, so derive the rack count exactly the same way.
+    let racks = base
+        .profile
+        .build_topology(&mut DetRng::new(seed).substream("topology"))
+        .racks();
+    let nodes = base.profile.nodes;
+
+    let policies = [
+        PolicyKind::Vanilla,
+        PolicyKind::GreedyLru,
+        PolicyKind::elephant_default(),
+    ];
+    let mut cells = Vec::new();
+    for (li, level) in levels(horizon).into_iter().enumerate() {
+        let plan = level
+            .spec
+            .map(|s| FaultPlan::generate(&s, nodes, racks, seed ^ ((li as u64) << 32)));
+        for &policy in &policies {
+            cells.push((level.label, plan.clone(), policy));
+        }
+    }
+
+    let results = parallel_map(cells, |(label, plan, policy)| {
+        let mut cfg = base
+            .clone()
+            .with_speculation(Default::default())
+            .with_invariant_checks();
+        cfg.policy = policy;
+        if let Some(p) = plan {
+            cfg = cfg.with_faults(p);
+        }
+        (label, policy, dare_mapred::run(cfg, &wl))
+    });
+
+    let mut t = Table::new(
+        "Resilience: failure intensity x policy (ec2, fair, speculation; heartbeat-timeout detection, networked re-replication)",
+        &[
+            "level",
+            "policy",
+            "jobs_ok",
+            "jobs_failed",
+            "job_locality",
+            "gmtt_s",
+            "p95_slowdown",
+            "reexecuted",
+            "tasks_retried",
+            "declared_dead",
+            "rejoined",
+            "re_replicated",
+            "recovery_MB",
+            "blocks_lost",
+        ],
+    );
+    const MB: f64 = (1u64 << 20) as f64;
+    for (label, policy, r) in &results {
+        t.row(vec![
+            label.to_string(),
+            policy.label(),
+            r.run.jobs.to_string(),
+            r.run.failed_jobs.to_string(),
+            format!("{:.3}", r.run.job_locality),
+            format!("{:.1}", r.run.gmtt_secs),
+            format!("{:.2}", r.run.p95_slowdown),
+            r.reexecuted_tasks.to_string(),
+            r.faults.tasks_retried.to_string(),
+            r.faults.nodes_declared_dead.to_string(),
+            r.faults.nodes_rejoined.to_string(),
+            r.faults.blocks_re_replicated.to_string(),
+            format!("{:.1}", r.faults.recovery_bytes as f64 / MB),
+            r.faults.blocks_lost.to_string(),
+        ]);
+    }
+    t.print();
+    write_csv("resilience", &t);
+    write_json(seed, jobs, quick, &results);
+}
+
+/// Machine-readable companion of the CSV, mirroring `BENCH_sched.json`.
+fn write_json(seed: u64, jobs: u32, quick: bool, results: &[(&str, PolicyKind, dare_mapred::SimResult)]) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"profile\": \"ec2\", \"scheduler\": \"fair\", \"speculation\": true, \"jobs\": {jobs}, \"seed\": {seed}, \"quick\": {quick}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, (label, policy, r)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"level\": \"{label}\", \"policy\": \"{}\", \"jobs_ok\": {}, \"jobs_failed\": {}, \
+             \"job_locality\": {:.6}, \"gmtt_secs\": {:.3}, \"p95_slowdown\": {:.4}, \
+             \"reexecuted\": {}, \"tasks_retried\": {}, \"tasks_failed\": {}, \
+             \"nodes_declared_dead\": {}, \"nodes_rejoined\": {}, \
+             \"blocks_re_replicated\": {}, \"recovery_bytes\": {}, \"blocks_lost\": {}}}{}\n",
+            policy.label(),
+            r.run.jobs,
+            r.run.failed_jobs,
+            r.run.job_locality,
+            r.run.gmtt_secs,
+            r.run.p95_slowdown,
+            r.reexecuted_tasks,
+            r.faults.tasks_retried,
+            r.faults.tasks_failed,
+            r.faults.nodes_declared_dead,
+            r.faults.nodes_rejoined,
+            r.faults.blocks_re_replicated,
+            r.faults.recovery_bytes,
+            r.faults.blocks_lost,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut path = csv_path("BENCH_resilience");
+    path.set_extension("json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[json] wrote {}", path.display()),
+        Err(e) => eprintln!("[json] could not write {}: {e}", path.display()),
+    }
+}

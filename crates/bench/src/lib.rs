@@ -25,6 +25,7 @@ pub mod experiments {
     pub mod fig7;
     pub mod fig8;
     pub mod fig9;
+    pub mod resilience;
     pub mod tables;
     pub mod verify;
 }

@@ -31,6 +31,17 @@ impl Default for DfsConfig {
     }
 }
 
+/// What [`Dfs::fail_node`] did: how many blocks it restored to full
+/// replication, and which blocks lost their last replica entirely.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailOutcome {
+    /// Blocks copied to a fresh node to restore the replication factor.
+    pub re_replicated: usize,
+    /// Blocks whose last physical replica died with the node — recorded,
+    /// never silently "repaired".
+    pub lost: Vec<BlockId>,
+}
+
 /// The distributed file system: metadata master plus per-node storage.
 ///
 /// ```
@@ -186,16 +197,34 @@ impl Dfs {
         self.nn.process_reports(now)
     }
 
-    /// Fail a node: drop all its replicas and re-replicate every block that
-    /// fell below the replication factor onto other live nodes. Returns the
-    /// number of blocks re-replicated. `live` filters candidate targets.
-    pub fn fail_node(&mut self, node: NodeId, live: &[NodeId], rng: &mut DetRng) -> usize {
+    /// Fail a node: drop all its replicas and instantly re-replicate every
+    /// block that fell below the replication factor onto other live nodes.
+    /// `live` filters both the re-replication *sources* and *targets* — a
+    /// block whose surviving replicas are all outside `live` has no node
+    /// to copy from and stays under-replicated (or, with no surviving
+    /// replica at all, is recorded as lost rather than silently
+    /// "repaired" out of thin air).
+    ///
+    /// This is the synchronous availability path used by examples and the
+    /// standalone DFS tests; the simulation engine models detection delay
+    /// and recovery bandwidth itself via [`Dfs::mark_node_dead`],
+    /// [`Dfs::wipe_node`], [`Dfs::rejoin_node`] and [`Dfs::add_replica`].
+    pub fn fail_node(&mut self, node: NodeId, live: &[NodeId], rng: &mut DetRng) -> FailOutcome {
         let under = self.nn.fail_node(node, self.cfg.replication_factor);
         self.dns[node.idx()] = DataNode::new(node);
-        let mut fixed = 0;
+        let mut out = FailOutcome::default();
         for b in under {
             let bytes = self.nn.block_size(b);
             let existing = self.nn.locations(b);
+            if existing.is_empty() {
+                out.lost.push(b);
+                continue;
+            }
+            // A copy must be read from somewhere: without a live source
+            // the block stays under-replicated until one rejoins.
+            if !existing.iter().any(|n| live.contains(n)) {
+                continue;
+            }
             let candidates: Vec<NodeId> = live
                 .iter()
                 .copied()
@@ -207,9 +236,64 @@ impl Dfs {
             let target = candidates[rng.index(candidates.len())];
             self.nn.add_primary_location(b, target);
             self.dns[target.idx()].add_primary(b, bytes);
-            fixed += 1;
+            out.re_replicated += 1;
         }
-        fixed
+        out
+    }
+
+    /// Remove a node from the name node's location maps *without* touching
+    /// its disk — the declaration step of heartbeat-timeout failure
+    /// detection. Returns the blocks now under-replicated relative to the
+    /// configured replication factor. The caller decides whether the disk
+    /// contents survive ([`Dfs::rejoin_node`]) or not ([`Dfs::wipe_node`]).
+    pub fn mark_node_dead(&mut self, node: NodeId) -> Vec<BlockId> {
+        self.nn.fail_node(node, self.cfg.replication_factor)
+    }
+
+    /// Destroy a node's disk contents (permanent crash). Does not touch
+    /// the name node view — pair with [`Dfs::mark_node_dead`] at
+    /// declaration time.
+    pub fn wipe_node(&mut self, node: NodeId) {
+        self.dns[node.idx()] = DataNode::new(node);
+    }
+
+    /// Process the block report of a node rejoining after a transient
+    /// outage: every block still on its disk but unknown to the name node
+    /// is re-registered (immediately visible — the bytes are already
+    /// there). Returns the restored blocks in ascending id order.
+    pub fn rejoin_node(&mut self, node: NodeId) -> Vec<BlockId> {
+        let blocks = self.dns[node.idx()].all_blocks();
+        let mut restored = Vec::new();
+        for b in blocks {
+            if self.nn.locations(b).contains(&node) {
+                continue;
+            }
+            let ok = if self.dns[node.idx()].holds_dynamic(b) {
+                self.nn.restore_dynamic(b, node)
+            } else {
+                self.nn.add_primary_location(b, node);
+                true
+            };
+            if ok {
+                restored.push(b);
+            }
+        }
+        restored
+    }
+
+    /// Register a freshly copied primary replica of `b` on `node` — the
+    /// completion of a bandwidth-modeled recovery transfer.
+    ///
+    /// # Panics
+    /// In debug builds, if `node` already physically holds the block.
+    pub fn add_replica(&mut self, b: BlockId, node: NodeId) {
+        debug_assert!(
+            !self.is_physically_present(node, b),
+            "recovery target already holds {b}"
+        );
+        let bytes = self.nn.block_size(b);
+        self.nn.add_primary_location(b, node);
+        self.dns[node.idx()].add_primary(b, bytes);
     }
 
     /// Migrate a primary replica of `b` from `src` to `dst` (balancer
@@ -423,7 +507,8 @@ mod tests {
         let blocks = dfs.namenode().file(f).blocks.clone();
         let live: Vec<NodeId> = (0..10).map(NodeId).collect();
         let fixed = dfs.fail_node(NodeId(1), &live, &mut rng);
-        assert!(fixed >= 1, "node 1 held writer-local replicas");
+        assert!(fixed.re_replicated >= 1, "node 1 held writer-local replicas");
+        assert!(fixed.lost.is_empty(), "rf=3: one death loses nothing");
         for &b in &blocks {
             let locs = dfs.visible_locations(b);
             assert_eq!(locs.len(), 3, "replication factor restored");
@@ -432,6 +517,166 @@ mod tests {
                 assert!(dfs.is_physically_present(n, b));
             }
         }
+    }
+
+    #[test]
+    fn losing_the_last_replica_is_recorded_not_fabricated() {
+        // rf = 1: the writer-local node holds the only copy.
+        let cfg = DfsConfig {
+            block_size: 128 * MB,
+            replication_factor: 1,
+            report_delay: SimDuration::from_secs(3),
+        };
+        let mut dfs = Dfs::new(cfg, Topology::single_rack(10));
+        let mut rng = DetRng::new(77);
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "only-copy".into(),
+            256 * MB,
+            Some(NodeId(4)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let blocks = dfs.namenode().file(f).blocks.clone();
+        let live: Vec<NodeId> = (0..10).map(NodeId).filter(|n| *n != NodeId(4)).collect();
+        let out = dfs.fail_node(NodeId(4), &live, &mut rng);
+        assert_eq!(out.re_replicated, 0, "nothing to copy from");
+        assert_eq!(out.lost, blocks, "both blocks lost their last replica");
+        for &b in &blocks {
+            assert!(dfs.visible_locations(b).is_empty());
+        }
+    }
+
+    #[test]
+    fn no_live_source_means_no_fabricated_repair() {
+        // rf = 2 on nodes {1, 2}; node 2 already crashed (not in `live`).
+        // Failing node 1 leaves the only survivor outside `live`: the old
+        // code would have happily "re-replicated" from nothing.
+        let cfg = DfsConfig {
+            block_size: 128 * MB,
+            replication_factor: 2,
+            report_delay: SimDuration::from_secs(3),
+        };
+        let mut dfs = Dfs::new(cfg, Topology::single_rack(10));
+        let mut rng = DetRng::new(5);
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            Some(NodeId(1)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        let holders = dfs.visible_locations(b).to_vec();
+        assert_eq!(holders.len(), 2);
+        let other = holders[1];
+        let live: Vec<NodeId> = (0..10)
+            .map(NodeId)
+            .filter(|n| !holders.contains(n))
+            .collect();
+        let out = dfs.fail_node(NodeId(1), &live, &mut rng);
+        assert_eq!(out.re_replicated, 0, "sole survivor is not live");
+        assert!(out.lost.is_empty(), "a physical copy still exists");
+        assert_eq!(dfs.visible_locations(b), &[other]);
+        // Every visible location must be backed by real bytes.
+        for &n in dfs.visible_locations(b) {
+            assert!(dfs.is_physically_present(n, b));
+        }
+    }
+
+    #[test]
+    fn mark_dead_rejoin_roundtrip_restores_replicas() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            256 * MB,
+            Some(NodeId(3)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let blocks = dfs.namenode().file(f).blocks.clone();
+        // Give node 3 a dynamic replica of somebody else's block too.
+        let g = dfs.create_file(
+            SimTime::ZERO,
+            "y".into(),
+            128 * MB,
+            Some(NodeId(7)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let yb = dfs.namenode().file(g).blocks[0];
+        if !dfs.is_physically_present(NodeId(3), yb) {
+            dfs.insert_dynamic(SimTime::ZERO, NodeId(3), yb);
+            dfs.process_reports(SimTime::from_secs(3));
+        }
+
+        let under = dfs.mark_node_dead(NodeId(3));
+        assert!(!under.is_empty(), "writer-local blocks under-replicated");
+        for &b in &blocks {
+            assert!(!dfs.visible_locations(b).contains(&NodeId(3)));
+            // Disk untouched: the bytes are still there.
+            assert!(dfs.is_physically_present(NodeId(3), b));
+        }
+
+        let restored = dfs.rejoin_node(NodeId(3));
+        assert!(restored.len() >= blocks.len(), "block report re-registers");
+        let mut sorted = restored.clone();
+        sorted.sort();
+        assert_eq!(restored, sorted, "deterministic report order");
+        for &b in &blocks {
+            assert!(dfs.visible_locations(b).contains(&NodeId(3)));
+        }
+        if dfs.datanode(NodeId(3)).holds_dynamic(yb) {
+            assert!(dfs.visible_locations(yb).contains(&NodeId(3)));
+        }
+        // Rejoining twice is a no-op.
+        assert!(dfs.rejoin_node(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn wipe_then_rejoin_restores_nothing() {
+        let (mut dfs, mut rng) = small_dfs();
+        dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            256 * MB,
+            Some(NodeId(2)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        dfs.mark_node_dead(NodeId(2));
+        dfs.wipe_node(NodeId(2));
+        assert!(dfs.rejoin_node(NodeId(2)).is_empty(), "disk is empty");
+        assert_eq!(dfs.datanode(NodeId(2)).primary_bytes(), 0);
+    }
+
+    #[test]
+    fn add_replica_registers_bytes_and_location() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            None,
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        let target = (0..10)
+            .map(NodeId)
+            .find(|&n| !dfs.is_physically_present(n, b))
+            .expect("free node");
+        dfs.add_replica(b, target);
+        assert!(dfs.visible_locations(b).contains(&target));
+        assert!(dfs.is_physically_present(target, b));
     }
 
     #[test]

@@ -256,6 +256,23 @@ impl NameNode {
         self.primary[block.idx()].retain(|&n| n != node);
         self.rebuild_merged(block.idx());
     }
+
+    /// Re-register a *dynamic* replica immediately (no report delay) —
+    /// the block-report path of a node rejoining after a transient
+    /// outage: the bytes never left its disk, so the replica is
+    /// schedulable as soon as the report lands. Returns false when the
+    /// node is already a known location of the block.
+    pub fn restore_dynamic(&mut self, block: BlockId, node: NodeId) -> bool {
+        let idx = block.idx();
+        if self.primary[idx].contains(&node) || self.dynamic[idx].contains(&node) {
+            return false;
+        }
+        self.dynamic[idx].push(node);
+        // Absent from both segments, hence absent from merged: append
+        // matches a full rebuild.
+        self.merged[idx].push(node);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +423,18 @@ mod tests {
         nn.fail_node(NodeId(0), 2);
         assert_merged_consistent(&nn);
         assert_eq!(nn.locations(b), &[NodeId(1), NodeId(7)]);
+    }
+
+    #[test]
+    fn restore_dynamic_is_immediate_and_idempotent() {
+        let (mut nn, f) = nn_with_one_file();
+        let b = nn.file(f).blocks[0]; // primaries 0, 1
+        assert!(nn.restore_dynamic(b, NodeId(6)), "new location restored");
+        assert!(nn.locations(b).contains(&NodeId(6)), "visible at once");
+        assert_merged_consistent(&nn);
+        assert!(!nn.restore_dynamic(b, NodeId(6)), "already dynamic");
+        assert!(!nn.restore_dynamic(b, NodeId(0)), "already primary");
+        assert_eq!(nn.replica_count(b), 3);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::{FaultEvent, FaultPlan};
 use crate::scarlett::ScarlettConfig;
 use dare_core::PolicyKind;
 use dare_dfs::DfsConfig;
@@ -56,20 +57,21 @@ pub struct SimConfig {
     /// usually combined with `PolicyKind::Vanilla` so exactly one
     /// replication scheme is active.
     pub scarlett: Option<ScarlettConfig>,
-    /// Injected node failures: `(time_secs, node_index)` pairs. Failed
-    /// nodes stop heartbeating, their running tasks re-execute elsewhere,
-    /// and the name node re-replicates their blocks.
-    pub failures: Vec<(u64, u32)>,
+    /// Fault-injection plan: permanent kills, transient crash/rejoin
+    /// pairs, rack outages, and slow-node degradation, plus the
+    /// detection/retry/recovery knobs. Empty by default — an empty plan
+    /// is bit-identical to a fault-free run.
+    pub faults: FaultPlan,
     /// Speculative execution of stragglers (Hadoop-style backup tasks).
     pub speculation: Option<SpeculationConfig>,
     /// Record a per-attempt task timeline in the results (adds memory
     /// proportional to attempt count; off by default).
     pub record_timeline: bool,
-    /// Injected node degradations ("limplock"): `(time_secs, node, factor)`
-    /// — from that time on, the node's disk reads and map compute run
-    /// `factor`× slower (factor > 1). The node keeps serving; this is the
-    /// failure mode speculation exists for.
-    pub degradations: Vec<(u64, u32, f64)>,
+    /// Run the structural invariant checks from `dare_simcore::check`
+    /// after every dispatched event (no block lost while a live replica
+    /// exists, slot conservation, every task terminates). Expensive; for
+    /// tests and the resilience experiment.
+    pub check_invariants: bool,
     /// Drive the run with the retained naive-scan reference schedulers
     /// (`dare_sched::oracle`) instead of the indexed ones. Bit-identical
     /// results by construction; exists for differential testing and
@@ -109,10 +111,10 @@ impl SimConfig {
             heartbeat: SimDuration::from_secs(3),
             seed,
             scarlett: None,
-            failures: Vec::new(),
+            faults: FaultPlan::default(),
             speculation: None,
             record_timeline: false,
-            degradations: Vec::new(),
+            check_invariants: false,
             naive_scan: false,
         }
     }
@@ -124,9 +126,25 @@ impl SimConfig {
     }
 
     /// Schedule node degradations at `(time_secs, node, slowdown_factor)`.
+    ///
+    /// Convenience wrapper appending [`FaultEvent::Slowdown`] events to
+    /// the fault plan. Panics on a factor below 1 or an out-of-range
+    /// node, like the plan validator would.
     pub fn with_degradations(mut self, degradations: Vec<(u64, u32, f64)>) -> Self {
         assert!(degradations.iter().all(|&(_, _, f)| f >= 1.0));
-        self.degradations = degradations;
+        self.faults
+            .events
+            .extend(degradations.into_iter().map(|(at_secs, node, factor)| {
+                FaultEvent::Slowdown {
+                    at_secs,
+                    node,
+                    factor,
+                    duration_secs: None,
+                }
+            }));
+        if let Err(e) = self.faults.validate(self.profile.nodes) {
+            panic!("invalid degradation schedule: {e}");
+        }
         self
     }
 
@@ -136,9 +154,34 @@ impl SimConfig {
         self
     }
 
-    /// Schedule node failures at `(time_secs, node_index)` points.
+    /// Schedule permanent node kills at `(time_secs, node_index)` points.
+    ///
+    /// Convenience wrapper appending [`FaultEvent::Kill`] events to the
+    /// fault plan. Panics at build time on an out-of-range node index or
+    /// a duplicate kill of the same node.
     pub fn with_failures(mut self, failures: Vec<(u64, u32)>) -> Self {
-        self.failures = failures;
+        self.faults
+            .events
+            .extend(failures.into_iter().map(|(at_secs, node)| FaultEvent::Kill {
+                at_secs,
+                node,
+            }));
+        if let Err(e) = self.faults.validate(self.profile.nodes) {
+            panic!("invalid failure schedule: {e}");
+        }
+        self
+    }
+
+    /// Install a full fault-injection plan (validated when the engine is
+    /// built).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enable per-event structural invariant checking.
+    pub fn with_invariant_checks(mut self) -> Self {
+        self.check_invariants = true;
         self
     }
 
@@ -167,6 +210,7 @@ impl SimConfig {
         if self.profile.nodes == 0 {
             return Err("empty cluster".into());
         }
+        self.faults.validate(self.profile.nodes)?;
         Ok(())
     }
 }
@@ -189,6 +233,26 @@ mod tests {
         assert_eq!(e.profile.nodes, 99);
         assert_eq!(e.scheduler.label(), "fair");
         assert!((e.budget_frac - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_failures_validates_at_build_time() {
+        let c = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1);
+        let ok = c.clone().with_failures(vec![(40, 2), (90, 7)]);
+        assert_eq!(ok.faults.events.len(), 2);
+        assert!(ok.validate().is_ok());
+
+        let out_of_range = std::panic::catch_unwind(|| {
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1)
+                .with_failures(vec![(40, 99)])
+        });
+        assert!(out_of_range.is_err(), "node 99 on a 19-node cluster");
+
+        let duplicate = std::panic::catch_unwind(|| {
+            SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1)
+                .with_failures(vec![(40, 2), (90, 2)])
+        });
+        assert!(duplicate.is_err(), "duplicate kill of node 2");
     }
 
     #[test]

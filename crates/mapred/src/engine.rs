@@ -32,8 +32,9 @@ enum Ev {
     /// Job `idx` (into the workload) is submitted.
     JobArrival(u32),
     /// Node heartbeat; `periodic` heartbeats reschedule themselves,
-    /// out-of-band ones (sent on task completion) do not.
-    Heartbeat { node: u32, periodic: bool },
+    /// out-of-band ones (sent on task completion) do not. `epoch` stales
+    /// periodic chains started before a crash or rejoin.
+    Heartbeat { node: u32, periodic: bool, epoch: u32 },
     /// A node-local input read finished.
     LocalReadDone {
         /// Node running the task.
@@ -62,10 +63,34 @@ enum Ev {
     ReduceDone { node: u32, job: u32 },
     /// Epoch boundary of the proactive (Scarlett) replicator.
     Epoch,
-    /// Injected failure of a node.
-    NodeFail(u32),
+    /// Injected crash of a node: it goes silent. `permanent` wipes the
+    /// disk (the classic kill); otherwise the node rejoins after
+    /// `down_secs`.
+    NodeCrash {
+        node: u32,
+        permanent: bool,
+        down_secs: u64,
+    },
+    /// A transiently crashed node comes back up and sends a block report.
+    NodeRejoin(u32),
+    /// The missed-heartbeat timeout expired: the JobTracker/NameNode
+    /// declare the node dead. Stale if the node's liveness epoch moved on
+    /// (it rejoined before the timer fired).
+    DeclareDead { node: u32, epoch: u32 },
+    /// Retry a task after its backoff delay. Stale if the attempt id
+    /// moved on or the job failed meanwhile.
+    TaskRetry { job: u32, task: u32, attempt: u32 },
     /// Injected degradation of a node: its work slows by the factor.
     NodeDegrade(u32, f64),
+}
+
+/// A re-replication transfer in flight (recovery traffic shares the flow
+/// simulator with map fetches, so repair contends with job I/O).
+#[derive(Debug, Clone, Copy)]
+struct RecoveryXfer {
+    block: BlockId,
+    src: u32,
+    dst: u32,
 }
 
 /// Mutable per-job simulation state.
@@ -83,6 +108,8 @@ struct JobState {
     task_class: Vec<Locality>,
     /// Task committed (first finishing attempt wins).
     done: Vec<bool>,
+    /// Job abandoned after a task exhausted its retry budget.
+    failed: bool,
     /// Start time of each task's most recent attempt.
     started_at: Vec<SimTime>,
     /// Live attempts per task (1 normally, 2 with a speculative backup).
@@ -157,9 +184,31 @@ pub struct Engine {
     inflight_proactive: Vec<u64>,
     scarlett: Option<ScarlettState>,
     proactive_flows: HashMap<FlowId, ProactiveTransfer>,
-    /// True once the node has been failed; it stops heartbeating and its
-    /// tasks are re-executed elsewhere.
-    dead: Vec<bool>,
+    /// Node is silently down: it stops heartbeating, its in-flight work
+    /// becomes zombie state, but the master does not know yet.
+    crashed: Vec<bool>,
+    /// Node declared dead by the master after the missed-heartbeat
+    /// timeout; its replicas are dropped and its attempts re-queued.
+    declared: Vec<bool>,
+    /// Per-node liveness epoch, bumped on every crash and rejoin so
+    /// in-flight heartbeat chains and death timers go stale.
+    node_epoch: Vec<u32>,
+    /// Reduce tasks currently running per node (slot restore on rejoin).
+    running_reduces: Vec<u32>,
+    /// Under-replicated blocks awaiting recovery, fewest visible replicas
+    /// first: (visible count, enqueue seq, block id).
+    recovery_q: std::collections::BTreeSet<(u32, u64, u64)>,
+    /// Blocks currently in `recovery_q` (dedup).
+    recovery_queued: std::collections::HashSet<u64>,
+    recovery_seq: u64,
+    /// Re-replication transfers in flight, bounded by
+    /// `FaultPlan::max_recovery_streams`.
+    recovery_flows: HashMap<FlowId, RecoveryXfer>,
+    recovery_rng: DetRng,
+    /// Blocks whose every physical copy is gone.
+    lost_blocks: std::collections::HashSet<u64>,
+    /// Failure-detection and recovery counters.
+    stats: dare_metrics::FaultStats,
     /// Map tasks currently running (or fetching) per node.
     running_on: Vec<Vec<(u32, u32)>>,
     /// Per-node slowdown factor (1.0 = healthy; limplock injection).
@@ -188,6 +237,9 @@ impl Engine {
         let mut topo_rng = root.substream("topology");
         let topo = cfg.profile.build_topology(&mut topo_rng);
         let n = topo.nodes() as usize;
+        cfg.faults
+            .validate_racks(topo.racks())
+            .expect("invalid fault plan");
 
         let mut cap_rng = root.substream("capacities");
         let disk_caps_mbps = cfg.profile.sample_disk_capacities(&mut cap_rng);
@@ -278,6 +330,7 @@ impl Engine {
                     attempts: vec![0; blocks.len()],
                     task_class: vec![Locality::Remote; blocks.len()],
                     done: vec![false; blocks.len()],
+                    failed: false,
                     started_at: vec![SimTime::ZERO; blocks.len()],
                     live_attempts: vec![0; blocks.len()],
                     oldest_live_start: SimTime::ZERO,
@@ -309,6 +362,7 @@ impl Engine {
                 Ev::Heartbeat {
                     node: i as u32,
                     periodic: true,
+                    epoch: 0,
                 },
             );
         }
@@ -320,13 +374,63 @@ impl Engine {
             events.push(SimTime::ZERO + sc.epoch, Ev::Epoch);
             ScarlettState::new(sc, workload.files.len())
         });
-        for &(secs, node) in &cfg.failures {
-            assert!((node as usize) < n, "failure of unknown node {node}");
-            events.push(SimTime::from_secs(secs), Ev::NodeFail(node));
-        }
-        for &(secs, node, factor) in &cfg.degradations {
-            assert!((node as usize) < n, "degradation of unknown node {node}");
-            events.push(SimTime::from_secs(secs), Ev::NodeDegrade(node, factor));
+        // Expand the fault plan into concrete injection events. A rack
+        // outage is modeled as a simultaneous transient crash of every
+        // node in the rack (shared switch/PDU failure).
+        for ev in &cfg.faults.events {
+            match *ev {
+                crate::faults::FaultEvent::Kill { at_secs, node } => {
+                    events.push(
+                        SimTime::from_secs(at_secs),
+                        Ev::NodeCrash {
+                            node,
+                            permanent: true,
+                            down_secs: 0,
+                        },
+                    );
+                }
+                crate::faults::FaultEvent::Crash {
+                    at_secs,
+                    node,
+                    down_secs,
+                } => {
+                    events.push(
+                        SimTime::from_secs(at_secs),
+                        Ev::NodeCrash {
+                            node,
+                            permanent: false,
+                            down_secs,
+                        },
+                    );
+                }
+                crate::faults::FaultEvent::RackOutage {
+                    at_secs,
+                    rack,
+                    down_secs,
+                } => {
+                    for nid in dfs.topology().nodes_in_rack(dare_net::RackId(rack)) {
+                        events.push(
+                            SimTime::from_secs(at_secs),
+                            Ev::NodeCrash {
+                                node: nid.0,
+                                permanent: false,
+                                down_secs,
+                            },
+                        );
+                    }
+                }
+                crate::faults::FaultEvent::Slowdown {
+                    at_secs,
+                    node,
+                    factor,
+                    duration_secs,
+                } => {
+                    events.push(SimTime::from_secs(at_secs), Ev::NodeDegrade(node, factor));
+                    if let Some(d) = duration_secs {
+                        events.push(SimTime::from_secs(at_secs + d), Ev::NodeDegrade(node, 1.0));
+                    }
+                }
+            }
         }
 
         Engine {
@@ -362,7 +466,17 @@ impl Engine {
             inflight_proactive: vec![0; n],
             scarlett,
             proactive_flows: HashMap::new(),
-            dead: vec![false; n],
+            crashed: vec![false; n],
+            declared: vec![false; n],
+            node_epoch: vec![0; n],
+            running_reduces: vec![0; n],
+            recovery_q: std::collections::BTreeSet::new(),
+            recovery_queued: std::collections::HashSet::new(),
+            recovery_seq: 0,
+            recovery_flows: HashMap::new(),
+            recovery_rng: root.substream("recovery"),
+            lost_blocks: std::collections::HashSet::new(),
+            stats: dare_metrics::FaultStats::default(),
             running_on: vec![Vec::new(); n],
             slow_factor: vec![1.0; n],
             timeline: Vec::new(),
@@ -375,32 +489,59 @@ impl Engine {
     }
 
     /// Run to completion and summarize.
-    pub fn run(mut self) -> SimResult {
+    ///
+    /// # Panics
+    ///
+    /// On any [`crate::SimError`]; use [`Engine::try_run`] to get the
+    /// structured error instead.
+    pub fn run(self) -> SimResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Run to completion, reporting engine-level faults (a stalled event
+    /// queue, an orphaned flow, a violated invariant) as a structured
+    /// [`crate::SimError`] rather than panicking.
+    pub fn try_run(mut self) -> Result<SimResult, crate::SimError> {
         let total_jobs = self.jobs.len();
         while self.finished < total_jobs {
-            let (t, ev) = self
-                .events
-                .pop()
-                .expect("event queue drained before all jobs finished");
+            let Some((t, ev)) = self.events.pop() else {
+                return Err(crate::SimError::Stalled {
+                    now: self.now,
+                    finished: self.finished,
+                    total: total_jobs,
+                    pending: self.queue.total_pending(),
+                });
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            self.dispatch(ev);
+            self.dispatch(ev)?;
+            if self.cfg.check_invariants {
+                self.check_invariants()?;
+            }
         }
-        self.finish()
+        if self.cfg.check_invariants {
+            self.check_terminal_invariants()?;
+        }
+        Ok(self.finish())
     }
 
     /// Route one event to its handler (also used by white-box tests).
-    fn dispatch(&mut self, ev: Ev) {
+    fn dispatch(&mut self, ev: Ev) -> Result<(), crate::SimError> {
         match ev {
             Ev::JobArrival(j) => self.on_job_arrival(j),
-            Ev::Heartbeat { node, periodic } => self.on_heartbeat(node, periodic),
+            Ev::Heartbeat {
+                node,
+                periodic,
+                epoch,
+            } => self.on_heartbeat(node, periodic, epoch),
             Ev::LocalReadDone {
                 node,
                 job,
                 task,
                 attempt,
             } => self.on_local_read_done(node, job, task, attempt),
-            Ev::NetCheck => self.on_net_check(),
+            Ev::NetCheck => return self.on_net_check(),
             Ev::ComputeDone {
                 node,
                 job,
@@ -409,11 +550,25 @@ impl Engine {
             } => self.on_compute_done(node, job, task, attempt),
             Ev::ReduceDone { node, job } => self.on_reduce_done(node, job),
             Ev::Epoch => self.on_epoch(),
-            Ev::NodeFail(node) => self.on_node_fail(node),
+            Ev::NodeCrash {
+                node,
+                permanent,
+                down_secs,
+            } => self.on_node_crash(node, permanent, down_secs),
+            Ev::NodeRejoin(node) => self.on_node_rejoin(node),
+            Ev::DeclareDead { node, epoch } => self.on_declare_dead(node, epoch),
+            Ev::TaskRetry { job, task, attempt } => self.on_task_retry(job, task, attempt),
             Ev::NodeDegrade(node, factor) => {
                 self.slow_factor[node as usize] = factor.max(1.0);
             }
         }
+        Ok(())
+    }
+
+    /// A node can take work and serve reads: neither silently crashed nor
+    /// declared dead.
+    fn node_up(&self, i: usize) -> bool {
+        !self.crashed[i] && !self.declared[i]
     }
 
     fn on_job_arrival(&mut self, j: u32) {
@@ -437,8 +592,11 @@ impl Engine {
         );
     }
 
-    fn on_heartbeat(&mut self, node: u32, periodic: bool) {
-        if self.dead[node as usize] {
+    fn on_heartbeat(&mut self, node: u32, periodic: bool, epoch: u32) {
+        if periodic && epoch != self.node_epoch[node as usize] {
+            return; // chain from before a crash/rejoin: superseded
+        }
+        if !self.node_up(node as usize) {
             return;
         }
         // Dynamic replicas become visible in a batch; mirror every
@@ -487,6 +645,7 @@ impl Engine {
                 Ev::Heartbeat {
                     node,
                     periodic: true,
+                    epoch,
                 },
             );
         }
@@ -586,7 +745,15 @@ impl Engine {
             );
         } else {
             // Remote fetch through the flow simulator.
-            let src = self.pick_source(block, node_id);
+            let Some(src) = self.pick_source(block, node_id) else {
+                // Every replica sits on a node that crashed but has not
+                // been declared yet: nothing can serve the read right now.
+                // Abort the attempt with a forced backoff (an instant
+                // retry would spin until detection or rejoin).
+                debug_assert!(!speculative, "speculation pre-checks for a live source");
+                self.abort_attempt(job, task, true);
+                return;
+            };
             let cross = self.dfs.topology().crosses_racks(src, node_id);
             let hops = self.dfs.topology().base_hops(src, node_id).max(1);
             let latency = SimDuration::from_secs_f64(
@@ -611,18 +778,24 @@ impl Engine {
     }
 
     /// Choose the replica a remote reader fetches from: same-rack replicas
-    /// preferred, ties broken uniformly at random.
-    fn pick_source(&mut self, block: BlockId, reader: NodeId) -> NodeId {
+    /// preferred, ties broken uniformly at random. `None` when no live
+    /// node can serve the block (every visible replica is on a crashed or
+    /// declared-dead node).
+    fn pick_source(&mut self, block: BlockId, reader: NodeId) -> Option<NodeId> {
         let locs = self.dfs.visible_locations(block);
-        assert!(!locs.is_empty(), "block {block} has no replicas");
         let topo = self.dfs.topology();
         // One pass over the replica list into reusable buffers, preserving
         // the list's order so the rng draw is unchanged.
         self.src_same_rack.clear();
         self.src_any.clear();
+        let mut reader_holds = false;
         for &l in locs {
             if l == reader {
+                reader_holds = true;
                 continue;
+            }
+            if !self.node_up(l.idx()) {
+                continue; // silent or dead nodes serve nothing
             }
             self.src_any.push(l);
             if topo.same_rack(l, reader) {
@@ -637,9 +810,23 @@ impl Engine {
         if pool.is_empty() {
             // Every replica is on the reader itself (can happen transiently
             // after failures) — read "remotely" from itself at NIC speed.
-            return reader;
+            return reader_holds.then_some(reader);
         }
-        pool[self.fetch_rng.index(pool.len())]
+        Some(pool[self.fetch_rng.index(pool.len())])
+    }
+
+    /// True when launching a map for `block` on `reader` could actually
+    /// read bytes right now: the block is physically on the reader, or
+    /// some visible replica sits on a live node. Stale locations pointing
+    /// at silently crashed nodes don't count.
+    fn has_live_source(&self, block: BlockId, reader: NodeId) -> bool {
+        if self.dfs.is_physically_present(reader, block) {
+            return true;
+        }
+        self.dfs
+            .visible_locations(block)
+            .iter()
+            .any(|l| *l == reader || self.node_up(l.idx()))
     }
 
     fn schedule_netcheck(&mut self) {
@@ -652,7 +839,7 @@ impl Engine {
         }
     }
 
-    fn on_net_check(&mut self) {
+    fn on_net_check(&mut self) -> Result<(), crate::SimError> {
         self.next_netcheck = None;
         let done = self.flows.collect_completed(self.now);
         for fid in done {
@@ -660,10 +847,16 @@ impl Engine {
                 self.on_proactive_done(pt);
                 continue;
             }
-            let f = self
-                .fetches
-                .remove(&fid)
-                .expect("completed flow has a fetch record");
+            if let Some(rx) = self.recovery_flows.remove(&fid) {
+                self.on_recovery_done(rx);
+                continue;
+            }
+            let Some(f) = self.fetches.remove(&fid) else {
+                return Err(crate::SimError::OrphanFlow {
+                    now: self.now,
+                    flow: fid.0,
+                });
+            };
             let js = &self.jobs[f.job as usize];
             let block = js.blocks[f.task as usize];
             if f.replicate {
@@ -690,9 +883,13 @@ impl Engine {
             );
         }
         self.schedule_netcheck();
+        Ok(())
     }
 
     fn on_local_read_done(&mut self, node: u32, job: u32, task: u32, attempt: u32) {
+        if self.crashed[node as usize] {
+            return; // zombie: the node went silent mid-read
+        }
         if self.jobs[job as usize].attempts[task as usize] != attempt {
             return; // attempt aborted by a failure mid-read
         }
@@ -739,7 +936,7 @@ impl Engine {
         let Some(spec) = self.cfg.speculation else {
             return false;
         };
-        if self.dead[node as usize] || self.free_map_slots[node as usize] == 0 {
+        if !self.node_up(node as usize) || self.free_map_slots[node as usize] == 0 {
             return false;
         }
         // A job is speculation-eligible when all its maps are handed out
@@ -775,6 +972,8 @@ impl Engine {
                     && self.now.saturating_since(js.started_at[t]).as_secs_f64() > threshold
                     // never co-locate the backup with the straggler
                     && !self.running_on[node as usize].contains(&(job, t as u32))
+                    // a backup must have something live to read from
+                    && self.has_live_source(js.blocks[t], NodeId(node))
             });
             if let Some(task) = straggler {
                 let block = js.blocks[task];
@@ -797,6 +996,9 @@ impl Engine {
     }
 
     fn on_compute_done(&mut self, node: u32, job: u32, task: u32, attempt: u32) {
+        if self.crashed[node as usize] {
+            return; // zombie: the node went silent while computing
+        }
         if self.jobs[job as usize].attempts[task as usize] != attempt {
             return; // stale completion from an aborted attempt
         }
@@ -846,6 +1048,7 @@ impl Engine {
             Ev::Heartbeat {
                 node,
                 periodic: false,
+                epoch: self.node_epoch[node as usize],
             },
         );
     }
@@ -855,12 +1058,13 @@ impl Engine {
     fn fill_reduce_slots(&mut self) {
         while let Some(&(job, dur)) = self.pending_reduces.front() {
             let Some(node) = (0..self.free_reduce_slots.len())
-                .find(|&i| !self.dead[i] && self.free_reduce_slots[i] > 0)
+                .find(|&i| self.node_up(i) && self.free_reduce_slots[i] > 0)
             else {
                 return;
             };
             self.pending_reduces.pop_front();
             self.free_reduce_slots[node] -= 1;
+            self.running_reduces[node] += 1;
             self.events.push(
                 self.now + dur,
                 Ev::ReduceDone {
@@ -872,15 +1076,19 @@ impl Engine {
     }
 
     fn on_reduce_done(&mut self, node: u32, job: u32) {
-        if !self.dead[node as usize] {
-            self.free_reduce_slots[node as usize] += 1;
+        let ni = node as usize;
+        self.running_reduces[ni] = self.running_reduces[ni].saturating_sub(1);
+        if self.node_up(ni) {
+            self.free_reduce_slots[ni] += 1;
         }
         let js = &mut self.jobs[job as usize];
+        debug_assert!(!js.failed, "failed jobs never reach the reduce phase");
         js.reduces_done += 1;
         if js.reduces_done == js.reduces {
             let js = &self.jobs[job as usize];
             self.outcomes.push(dare_metrics::JobOutcome {
                 id: job,
+                status: dare_metrics::JobStatus::Completed,
                 arrival: js.arrival,
                 completed: self.now,
                 maps: js.blocks.len() as u32,
@@ -894,99 +1102,253 @@ impl Engine {
         self.fill_reduce_slots();
     }
 
-    /// Injected node failure: the node stops heartbeating forever, its
-    /// running/fetching map attempts are aborted and re-queued, transfers
-    /// touching it are cancelled, and the name node re-replicates the
-    /// blocks it held (dynamic replicas participate like primaries).
-    fn on_node_fail(&mut self, node: u32) {
-        if self.dead[node as usize] {
-            return;
+    /// Injected node crash: the node goes *silent*. Its running attempts
+    /// become zombies (still registered, invisible to the master), flows
+    /// touching it stop, and nothing else happens until the heartbeat
+    /// timeout declares it dead — or it rejoins first.
+    fn on_node_crash(&mut self, node: u32, permanent: bool, down_secs: u64) {
+        let ni = node as usize;
+        if self.crashed[ni] || self.declared[ni] {
+            return; // idempotent: overlapping injections (rack + node)
         }
-        self.dead[node as usize] = true;
-        self.free_map_slots[node as usize] = 0;
-        self.free_reduce_slots[node as usize] = 0;
-        self.active_local_reads[node as usize] = 0;
+        self.crashed[ni] = true;
+        self.node_epoch[ni] += 1;
+        self.active_local_reads[ni] = 0;
 
-        // Abort every attempt running (or fetching) on the dead node.
-        let victims: Vec<(u32, u32)> = std::mem::take(&mut self.running_on[node as usize]);
-        for (job, task) in victims {
-            self.abort_attempt(job, task);
+        // Fetches INTO the node die with it; the zombie attempts stay in
+        // `running_on` until declaration, but stop consuming bandwidth.
+        let mut into: Vec<FlowId> = self
+            .fetches
+            .iter()
+            .filter(|(_, f)| f.node == node)
+            .map(|(&fid, _)| fid)
+            .collect();
+        into.sort_unstable(); // HashMap order is not deterministic
+        for fid in into {
+            self.fetches.remove(&fid);
+            self.flows.cancel(self.now, fid);
         }
 
-        // Fetches *sourced* from the dead node but running elsewhere: abort
-        // those attempts too (their stream broke mid-read); the freed slot
-        // comes back to the running node.
-        let broken: Vec<FlowId> = self
+        // Fetches *sourced* from the node but running elsewhere: the
+        // reader sees its stream break immediately, so those attempts
+        // abort and retry right away. A duplicate attempt of a task that
+        // already committed (its backup or original won the race) is
+        // wasted work — tear down just that fetch, no retry.
+        let mut broken: Vec<(FlowId, u32, u32, u32)> = self
             .fetches
             .iter()
             .filter(|(_, f)| f.src == node)
-            .map(|(&fid, _)| fid)
+            .map(|(&fid, f)| (fid, f.job, f.task, f.node))
             .collect();
-        for fid in broken {
-            let f = self.fetches[&fid];
-            self.abort_attempt(f.job, f.task);
+        broken.sort_unstable_by_key(|&(fid, job, task, _)| (job, task, fid));
+        for (fid, job, task, reader) in broken {
+            if !self.fetches.contains_key(&fid) {
+                continue; // torn down by an earlier abort of the same task
+            }
+            let js = &self.jobs[job as usize];
+            if js.failed || js.done[task as usize] {
+                if self.fetches.remove(&fid).is_some() {
+                    self.flows.cancel(self.now, fid);
+                    let ri = reader as usize;
+                    if let Some(p) = self.running_on[ri].iter().position(|&(j, t)| j == job && t == task) {
+                        self.running_on[ri].swap_remove(p);
+                        if self.node_up(ri) {
+                            self.free_map_slots[ri] += 1;
+                        }
+                    }
+                    let live = &mut self.jobs[job as usize].live_attempts[task as usize];
+                    *live = live.saturating_sub(1);
+                }
+                continue;
+            }
+            self.abort_attempt(job, task, false);
         }
 
-        // Proactive pushes to or from the dead node are cancelled; the next
-        // epoch reconciles.
-        let dead_pro: Vec<FlowId> = self
+        // Proactive pushes to the node are cancelled; the next epoch
+        // reconciles.
+        let mut dead_pro: Vec<FlowId> = self
             .proactive_flows
             .iter()
             .filter(|(_, t)| t.dst == node)
             .map(|(&fid, _)| fid)
             .collect();
+        dead_pro.sort_unstable();
         for fid in dead_pro {
-            let t = self.proactive_flows.remove(&fid).expect("listed");
-            let bytes = self.dfs.namenode().block_size(t.block);
-            self.inflight_proactive[t.dst as usize] =
-                self.inflight_proactive[t.dst as usize].saturating_sub(bytes);
-            self.flows.cancel(self.now, fid);
+            if let Some(t) = self.proactive_flows.remove(&fid) {
+                let bytes = self.dfs.namenode().block_size(t.block);
+                self.inflight_proactive[t.dst as usize] =
+                    self.inflight_proactive[t.dst as usize].saturating_sub(bytes);
+                self.flows.cancel(self.now, fid);
+            }
         }
 
-        // Name-node failure handling with instant re-replication onto live
-        // nodes (the repair traffic is off the experiment's critical path).
-        let live: Vec<NodeId> = (0..self.dead.len() as u32)
-            .filter(|&i| !self.dead[i as usize])
-            .map(NodeId)
+        // Recovery transfers touching the node are cancelled and their
+        // blocks put back in the queue.
+        let mut rec: Vec<FlowId> = self
+            .recovery_flows
+            .iter()
+            .filter(|(_, r)| r.src == node || r.dst == node)
+            .map(|(&fid, _)| fid)
             .collect();
-        assert!(!live.is_empty(), "entire cluster failed");
-        self.dfs.fail_node(NodeId(node), &live, &mut self.fetch_rng);
-        // Replica sets changed wholesale (lost copies, instant repairs):
-        // rebuild the queue's locality index against the new merged lists.
-        self.queue
-            .rebuild_index(&DfsLookup(&self.dfs), self.dfs.topology());
+        rec.sort_unstable(); // repair-queue seq numbers depend on this order
+        for fid in rec {
+            if let Some(r) = self.recovery_flows.remove(&fid) {
+                self.flows.cancel(self.now, fid);
+                self.note_block_under_replicated(r.block);
+            }
+        }
+
+        if permanent {
+            // The disk dies with the node. Its replicas stay *visible*
+            // until declaration — the master doesn't know yet — so reads
+            // routed at them fail over via `pick_source`/`has_live_source`.
+            self.dfs.wipe_node(NodeId(node));
+        } else {
+            self.events
+                .push(self.now + SimDuration::from_secs(down_secs), Ev::NodeRejoin(node));
+        }
+
+        // The master only learns of the silence after `detect_heartbeats`
+        // missed heartbeats (Hadoop's 10x-heartbeat expiry).
+        let timeout = self
+            .cfg
+            .heartbeat
+            .mul_f64(self.cfg.faults.detect_heartbeats as f64);
+        self.events.push(
+            self.now + timeout,
+            Ev::DeclareDead {
+                node,
+                epoch: self.node_epoch[ni],
+            },
+        );
+        self.pump_recovery();
     }
 
-    /// Abort one task attempt (node failure): bump its attempt id so
-    /// in-flight events go stale, cancel its fetch flow if any, give the
-    /// slot back to a surviving runner, and re-queue the task.
-    fn abort_attempt(&mut self, job: u32, task: u32) {
+    /// The missed-heartbeat timeout fired: the master gives up on the
+    /// node. Its attempts are re-queued, its replicas dropped from the
+    /// namenode's map, and the under-replicated blocks queued for repair.
+    fn on_declare_dead(&mut self, node: u32, epoch: u32) {
+        let ni = node as usize;
+        if !self.crashed[ni] || self.declared[ni] || self.node_epoch[ni] != epoch {
+            return; // rejoined before the timer fired, or already declared
+        }
+        self.declared[ni] = true;
+        self.stats.nodes_declared_dead += 1;
+        self.free_map_slots[ni] = 0;
+        self.free_reduce_slots[ni] = 0;
+
+        // The JobTracker re-queues everything that was running there.
+        let victims: Vec<(u32, u32)> = std::mem::take(&mut self.running_on[ni]);
+        for (job, task) in victims {
+            let js = &self.jobs[job as usize];
+            if js.failed || js.done[task as usize] {
+                // Committed elsewhere (a backup won) or the job is gone:
+                // drop the zombie registration without a retry.
+                let live = &mut self.jobs[job as usize].live_attempts[task as usize];
+                *live = live.saturating_sub(1);
+                continue;
+            }
+            self.abort_attempt(job, task, false);
+        }
+
+        // The namenode drops the node's replicas; re-replication is real,
+        // prioritized work, not an instant fix-up.
+        let under = self.dfs.mark_node_dead(NodeId(node));
+        // Replica sets changed wholesale: rebuild the queue's locality
+        // index against the new merged lists.
+        self.queue
+            .rebuild_index(&DfsLookup(&self.dfs), self.dfs.topology());
+        for b in under {
+            self.note_block_under_replicated(b);
+        }
+        self.pump_recovery();
+    }
+
+    /// A transiently crashed node comes back: fresh epoch, full slots, a
+    /// block report reconciling its surviving replicas, and heartbeats
+    /// resume. Whatever ran there when it went down was lost.
+    fn on_node_rejoin(&mut self, node: u32) {
+        let ni = node as usize;
+        if !self.crashed[ni] {
+            return;
+        }
+        self.crashed[ni] = false;
+        self.declared[ni] = false;
+        self.node_epoch[ni] += 1;
+        self.stats.nodes_rejoined += 1;
+
+        // The tracker restarts the node's interrupted attempts elsewhere.
+        let zombies: Vec<(u32, u32)> = std::mem::take(&mut self.running_on[ni]);
+        for (job, task) in zombies {
+            let js = &self.jobs[job as usize];
+            if js.failed || js.done[task as usize] {
+                let live = &mut self.jobs[job as usize].live_attempts[task as usize];
+                *live = live.saturating_sub(1);
+                continue;
+            }
+            self.abort_attempt(job, task, false);
+        }
+        self.free_map_slots[ni] = self.cfg.profile.map_slots_per_node;
+        self.free_reduce_slots[ni] = self
+            .cfg
+            .profile
+            .reduce_slots_per_node
+            .saturating_sub(self.running_reduces[ni]);
+
+        // Block report: surviving replicas the namenode dropped at
+        // declaration become visible again, and may satisfy queued
+        // recovery (or finally provide a source for stalled repairs).
+        let restored = self.dfs.rejoin_node(NodeId(node));
+        for &b in &restored {
+            self.queue.note_replica_added(b, NodeId(node), self.dfs.topology());
+            self.note_block_under_replicated(b);
+        }
+
+        // Heartbeats resume immediately under the fresh epoch.
+        self.events.push(
+            self.now,
+            Ev::Heartbeat {
+                node,
+                periodic: true,
+                epoch: self.node_epoch[ni],
+            },
+        );
+        self.pump_recovery();
+    }
+
+    /// Kill a task's live attempts: bump the attempt id so in-flight
+    /// events go stale, cancel its fetch flows, refund surviving runners'
+    /// slots, and roll back the attempt's locality accounting.
+    fn kill_attempt(&mut self, job: u32, task: u32) {
         let js = &mut self.jobs[job as usize];
         js.attempts[task as usize] += 1;
-        let block = js.blocks[task as usize];
-        // Undo the aborted attempt's locality accounting; the re-execution
-        // records its own class when it launches.
-        match js.task_class[task as usize] {
-            Locality::NodeLocal => js.node_local -= 1,
-            Locality::RackLocal => js.rack_local -= 1,
-            Locality::Remote => js.remote -= 1,
+        // Undo the aborted attempt's locality accounting; a re-execution
+        // records its own class when it launches. Tasks with no live
+        // attempt (already waiting on a retry) rolled back when killed.
+        if js.live_attempts[task as usize] > 0 {
+            match js.task_class[task as usize] {
+                Locality::NodeLocal => js.node_local -= 1,
+                Locality::RackLocal => js.rack_local -= 1,
+                Locality::Remote => js.remote -= 1,
+            }
         }
-        self.reexecuted_tasks += 1;
 
         // Cancel every in-flight fetch of this task (the original and any
         // speculative duplicate), refunding surviving runners' slots.
-        let fetch_fids: Vec<FlowId> = self
+        let mut fetch_fids: Vec<FlowId> = self
             .fetches
             .iter()
             .filter(|(_, f)| f.job == job && f.task == task)
             .map(|(&fid, _)| fid)
             .collect();
+        fetch_fids.sort_unstable(); // HashMap order is not deterministic
         for fid in fetch_fids {
-            let f = self.fetches.remove(&fid).expect("listed fetch");
-            self.flows.cancel(self.now, fid);
-            self.running_on[f.node as usize].retain(|&(j, t)| !(j == job && t == task));
-            if !self.dead[f.node as usize] {
-                self.free_map_slots[f.node as usize] += 1;
+            if let Some(f) = self.fetches.remove(&fid) {
+                self.flows.cancel(self.now, fid);
+                self.running_on[f.node as usize].retain(|&(j, t)| !(j == job && t == task));
+                if self.node_up(f.node as usize) {
+                    self.free_map_slots[f.node as usize] += 1;
+                }
             }
         }
         // Attempts in their read/compute phase: clear every registry entry.
@@ -994,14 +1356,57 @@ impl Engine {
             let before = self.running_on[n].len();
             self.running_on[n].retain(|&(j, t)| !(j == job && t == task));
             let removed = before - self.running_on[n].len();
-            if removed > 0 && !self.dead[n] {
+            if removed > 0 && self.node_up(n) {
                 self.free_map_slots[n] += removed as u32;
             }
         }
         self.jobs[job as usize].live_attempts[task as usize] = 0;
+    }
 
-        // Put the task back in the scheduler's pending set (and the
-        // locality index, under the block's current locations).
+    /// Abort one task attempt (fault path) and schedule a retry — or fail
+    /// the whole job once the retry budget is exhausted. `forced_backoff`
+    /// delays even the first retry, for failures that would otherwise
+    /// respin instantly (e.g. no live fetch source anywhere).
+    fn abort_attempt(&mut self, job: u32, task: u32, forced_backoff: bool) {
+        self.kill_attempt(job, task);
+        let js = &self.jobs[job as usize];
+        if js.failed {
+            return;
+        }
+        self.reexecuted_tasks += 1;
+        self.stats.tasks_retried += 1;
+        let tries = js.attempts[task as usize];
+        if tries >= self.cfg.faults.max_task_attempts {
+            self.stats.tasks_failed += 1;
+            self.fail_job(job);
+            return;
+        }
+        let backoff = self.cfg.faults.retry_backoff_secs;
+        let delay_secs = if forced_backoff {
+            (backoff * tries as u64).max(1)
+        } else if tries <= 1 {
+            0 // first failure: immediate re-queue, like a Hadoop TT re-run
+        } else {
+            backoff * (tries as u64 - 1)
+        };
+        if delay_secs == 0 {
+            self.requeue_now(job, task);
+        } else {
+            self.events.push(
+                self.now + SimDuration::from_secs(delay_secs),
+                Ev::TaskRetry {
+                    job,
+                    task,
+                    attempt: tries,
+                },
+            );
+        }
+    }
+
+    /// Put the task back in the scheduler's pending set (and the locality
+    /// index, under the block's current locations).
+    fn requeue_now(&mut self, job: u32, task: u32) {
+        let block = self.jobs[job as usize].blocks[task as usize];
         self.queue.requeue_task(
             JobId(job),
             TaskId(task),
@@ -1009,6 +1414,241 @@ impl Engine {
             &DfsLookup(&self.dfs),
             self.dfs.topology(),
         );
+    }
+
+    fn on_task_retry(&mut self, job: u32, task: u32, attempt: u32) {
+        let js = &self.jobs[job as usize];
+        if js.failed || js.done[task as usize] || js.attempts[task as usize] != attempt {
+            return; // superseded while the backoff timer ran
+        }
+        self.requeue_now(job, task);
+    }
+
+    /// A task exhausted its retry budget: the job fails cleanly. Its
+    /// remaining attempts are killed, its pending work leaves the queue,
+    /// and a `Failed` outcome is recorded.
+    fn fail_job(&mut self, job: u32) {
+        let ji = job as usize;
+        if self.jobs[ji].failed {
+            return;
+        }
+        self.jobs[ji].failed = true;
+        self.stats.jobs_failed += 1;
+        for t in 0..self.jobs[ji].blocks.len() {
+            if !self.jobs[ji].done[t] && self.jobs[ji].live_attempts[t] > 0 {
+                self.kill_attempt(job, t as u32);
+            }
+        }
+        self.queue.abandon_job(JobId(job));
+        let js = &self.jobs[ji];
+        self.outcomes.push(dare_metrics::JobOutcome {
+            id: job,
+            status: dare_metrics::JobStatus::Failed,
+            arrival: js.arrival,
+            completed: self.now,
+            maps: js.blocks.len() as u32,
+            node_local: js.node_local,
+            rack_local: js.rack_local,
+            remote: js.remote,
+            dedicated: js.dedicated,
+        });
+        self.finished += 1;
+    }
+
+    /// A block dropped below its replication factor: queue it for repair,
+    /// fewest-replicas-first. A block with no surviving physical copy
+    /// anywhere is recorded as lost instead.
+    fn note_block_under_replicated(&mut self, b: BlockId) {
+        if self.lost_blocks.contains(&b.0) {
+            return;
+        }
+        let n = self.crashed.len();
+        let any_copy = (0..n).any(|i| self.dfs.is_physically_present(NodeId(i as u32), b));
+        if !any_copy {
+            self.lost_blocks.insert(b.0);
+            self.stats.blocks_lost += 1;
+            return;
+        }
+        if self.cfg.faults.max_recovery_streams == 0 {
+            return; // recovery disabled
+        }
+        let visible = self.dfs.visible_locations(b).len() as u32;
+        if visible >= self.cfg.dfs.replication_factor {
+            return;
+        }
+        if self.recovery_queued.insert(b.0) {
+            self.recovery_seq += 1;
+            self.recovery_q.insert((visible, self.recovery_seq, b.0));
+        }
+    }
+
+    /// Start re-replication transfers while streams are free, fewest-
+    /// replicas blocks first. Recovery shares the flow simulator with map
+    /// fetches, so repair traffic contends with job I/O by construction.
+    fn pump_recovery(&mut self) {
+        let cap = self.cfg.faults.max_recovery_streams;
+        while self.recovery_flows.len() < cap {
+            let Some((_, _, b0)) = self.recovery_q.pop_first() else {
+                break;
+            };
+            self.recovery_queued.remove(&b0);
+            let b = BlockId(b0);
+            if self.lost_blocks.contains(&b0) {
+                continue;
+            }
+            let visible = self.dfs.visible_locations(b);
+            if visible.len() as u32 >= self.cfg.dfs.replication_factor {
+                continue; // healed by another path (e.g. a rejoin) meanwhile
+            }
+            let srcs: Vec<NodeId> = visible
+                .iter()
+                .copied()
+                .filter(|s| self.node_up(s.idx()))
+                .collect();
+            if srcs.is_empty() {
+                // No live source right now. The block is re-enqueued by
+                // the holder's block report if it rejoins, or declared
+                // lost when the last holder's disk turns out to be gone.
+                continue;
+            }
+            let n = self.crashed.len() as u32;
+            let dsts: Vec<NodeId> = (0..n)
+                .filter(|&i| {
+                    self.node_up(i as usize)
+                        && !self.dfs.is_physically_present(NodeId(i), b)
+                        && !self
+                            .recovery_flows
+                            .values()
+                            .any(|r| r.block == b && r.dst == i)
+                })
+                .map(NodeId)
+                .collect();
+            if dsts.is_empty() {
+                continue;
+            }
+            let src = srcs[self.recovery_rng.index(srcs.len())];
+            let dst = dsts[self.recovery_rng.index(dsts.len())];
+            let bytes = self.dfs.namenode().block_size(b);
+            let cross = self.dfs.topology().crosses_racks(src, dst);
+            let fid = self.flows.start(self.now, src, dst, bytes, cross);
+            self.recovery_flows.insert(
+                fid,
+                RecoveryXfer {
+                    block: b,
+                    src: src.0,
+                    dst: dst.0,
+                },
+            );
+        }
+        self.schedule_netcheck();
+    }
+
+    /// A re-replication transfer finished: commit the new replica, make
+    /// it visible to the scheduler, and keep pumping.
+    fn on_recovery_done(&mut self, rx: RecoveryXfer) {
+        let b = rx.block;
+        if !self.node_up(rx.dst as usize) || self.dfs.is_physically_present(NodeId(rx.dst), b) {
+            // Target died mid-flight (flow races the cancel) or the bytes
+            // arrived by another path; drop the transfer on the floor.
+            self.pump_recovery();
+            return;
+        }
+        self.dfs.add_replica(b, NodeId(rx.dst));
+        self.queue
+            .note_replica_added(b, NodeId(rx.dst), self.dfs.topology());
+        self.stats.blocks_re_replicated += 1;
+        self.stats.recovery_bytes += self.dfs.namenode().block_size(b);
+        self.note_block_under_replicated(b); // still short? go again
+        self.pump_recovery();
+    }
+
+    /// Structural invariants, checked after every event when
+    /// `SimConfig::check_invariants` is set: slot conservation on live
+    /// nodes, declared ⇒ crashed and zero advertised slots, the recovery
+    /// cap respected, and lost blocks truly without a surviving copy.
+    fn check_invariants(&self) -> Result<(), crate::SimError> {
+        let mut inv = dare_simcore::check::Invariants::new();
+        let slots = self.cfg.profile.map_slots_per_node;
+        let rslots = self.cfg.profile.reduce_slots_per_node;
+        for i in 0..self.crashed.len() {
+            if self.node_up(i) {
+                inv.check(
+                    self.free_map_slots[i] + self.running_on[i].len() as u32 == slots,
+                    || {
+                        format!(
+                            "node {i}: map slots drifted ({} free + {} running != {slots})",
+                            self.free_map_slots[i],
+                            self.running_on[i].len()
+                        )
+                    },
+                );
+                inv.check(
+                    self.free_reduce_slots[i] + self.running_reduces[i] == rslots,
+                    || {
+                        format!(
+                            "node {i}: reduce slots drifted ({} free + {} running != {rslots})",
+                            self.free_reduce_slots[i], self.running_reduces[i]
+                        )
+                    },
+                );
+            } else if self.declared[i] {
+                inv.check(self.crashed[i], || {
+                    format!("node {i} declared dead while running")
+                });
+                inv.check(
+                    self.free_map_slots[i] == 0 && self.free_reduce_slots[i] == 0,
+                    || format!("declared node {i} still advertises slots"),
+                );
+            }
+        }
+        inv.check(
+            self.recovery_flows.len() <= self.cfg.faults.max_recovery_streams,
+            || {
+                format!(
+                    "{} recovery streams exceed the cap of {}",
+                    self.recovery_flows.len(),
+                    self.cfg.faults.max_recovery_streams
+                )
+            },
+        );
+        for &b0 in &self.lost_blocks {
+            let b = BlockId(b0);
+            let copy = (0..self.crashed.len())
+                .any(|i| self.dfs.is_physically_present(NodeId(i as u32), b));
+            inv.check(!copy, || {
+                format!("block {b0} marked lost while a physical copy survives")
+            });
+        }
+        inv.into_result().map_err(crate::SimError::InvariantViolation)
+    }
+
+    /// End-of-run invariants: every job reached a terminal state with
+    /// consistent counters.
+    fn check_terminal_invariants(&self) -> Result<(), crate::SimError> {
+        let mut inv = dare_simcore::check::Invariants::new();
+        for (j, js) in self.jobs.iter().enumerate() {
+            if js.failed {
+                continue;
+            }
+            inv.check(js.maps_done as usize == js.blocks.len(), || {
+                format!(
+                    "job {j} finished with {}/{} maps done",
+                    js.maps_done,
+                    js.blocks.len()
+                )
+            });
+            inv.check(js.reduces_done == js.reduces, || {
+                format!(
+                    "job {j} finished with {}/{} reduces done",
+                    js.reduces_done, js.reduces
+                )
+            });
+            inv.check(
+                js.node_local + js.rack_local + js.remote == js.blocks.len() as u32,
+                || format!("job {j}: locality classes don't partition its maps"),
+            );
+        }
+        inv.into_result().map_err(crate::SimError::InvariantViolation)
     }
 
     /// Epoch boundary of the proactive baseline: re-derive desired extra
@@ -1071,7 +1711,9 @@ impl Engine {
                 .collect();
             candidates.sort_unstable();
             for &(_, dst) in candidates.iter().take((desired - current) as usize) {
-                let src = self.pick_source(b, NodeId(dst));
+                let Some(src) = self.pick_source(b, NodeId(dst)) else {
+                    continue; // no live replica to push from right now
+                };
                 let cross = self.dfs.topology().crosses_racks(src, NodeId(dst));
                 let fid = self.flows.start(self.now, src, NodeId(dst), bytes, cross);
                 self.proactive_flows
@@ -1156,6 +1798,7 @@ impl Engine {
             } else {
                 None
             },
+            faults: self.stats,
         }
     }
 }
@@ -1393,21 +2036,224 @@ mod tests {
         let wl = tiny_workload(6, 2, 30);
         let cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 13)
             .with_failures(vec![(1, 4)]);
+        let detect = cfg
+            .heartbeat
+            .mul_f64(cfg.faults.detect_heartbeats as f64)
+            + SimDuration::from_secs(1);
+        let mut engine = Engine::new(cfg, &wl);
+        let total_jobs = engine.jobs.len();
+        // Zombie attempts linger between the crash and the declaration,
+        // but the silent node never picks up NEW work.
+        let mut zombie_cap = usize::MAX;
+        while engine.finished < total_jobs {
+            let (t, ev) = engine.events.pop().expect("events pending");
+            engine.now = t;
+            engine.dispatch(ev).unwrap();
+            if t > SimTime::from_secs(1) {
+                assert!(
+                    engine.running_on[4].len() <= zombie_cap,
+                    "crashed node must not take new tasks"
+                );
+                zombie_cap = zombie_cap.min(engine.running_on[4].len());
+            }
+            if t > SimTime::ZERO + detect {
+                assert!(
+                    engine.running_on[4].is_empty(),
+                    "declared-dead node must hold no attempts"
+                );
+            }
+        }
+        assert_eq!(engine.stats.nodes_declared_dead, 1);
+        assert!(engine.reexecuted_tasks <= wl.jobs.len() as u64 * 3);
+    }
+
+    #[test]
+    fn detection_waits_for_the_heartbeat_timeout() {
+        let wl = tiny_workload(6, 2, 30);
+        let cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 19)
+            .with_failures(vec![(5, 2)]);
+        let crash = SimTime::from_secs(5);
+        let declare_at = crash
+            + cfg
+                .heartbeat
+                .mul_f64(cfg.faults.detect_heartbeats as f64);
         let mut engine = Engine::new(cfg, &wl);
         let total_jobs = engine.jobs.len();
         while engine.finished < total_jobs {
             let (t, ev) = engine.events.pop().expect("events pending");
             engine.now = t;
-            let was_heartbeat = matches!(ev, Ev::Heartbeat { .. });
-            engine.dispatch(ev);
-            if was_heartbeat && t > SimTime::from_secs(1) {
+            engine.dispatch(ev).unwrap();
+            if t < declare_at {
                 assert!(
-                    engine.running_on[4].is_empty(),
-                    "dead node must not run tasks after failing"
+                    !engine.declared[2],
+                    "no omniscient namenode: death declared only after the timeout"
                 );
             }
         }
-        assert!(engine.reexecuted_tasks <= wl.jobs.len() as u64 * 3);
+        assert!(engine.declared[2], "the timeout must eventually fire");
+        assert_eq!(engine.stats.nodes_declared_dead, 1);
+    }
+
+    #[test]
+    fn transient_crash_rejoins_and_loses_nothing() {
+        let wl = tiny_workload(8, 3, 40);
+        let mut cfg = SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, 91)
+            .with_invariant_checks();
+        cfg.budget_frac = 1.0;
+        // Down for 120s: well past the 30s detection timeout, so the full
+        // declare -> re-replicate -> rejoin -> block-report cycle runs.
+        cfg.faults.events.push(crate::FaultEvent::Crash {
+            at_secs: 30,
+            node: 3,
+            down_secs: 120,
+        });
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs + r.run.failed_jobs, 40);
+        assert_eq!(r.faults.nodes_declared_dead, 1);
+        assert_eq!(r.faults.nodes_rejoined, 1);
+        assert_eq!(r.faults.blocks_lost, 0, "a transient crash loses no data");
+    }
+
+    #[test]
+    fn permanent_kill_re_replicates_through_the_network() {
+        let wl = tiny_workload(8, 3, 40);
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 92)
+            .with_failures(vec![(40, 6)])
+            .with_invariant_checks();
+        cfg.faults.detect_heartbeats = 3; // declare quickly so repair runs mid-trace
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs + r.run.failed_jobs, 40);
+        assert!(
+            r.faults.blocks_re_replicated > 0,
+            "the killed node's blocks must be repaired"
+        );
+        assert!(r.faults.recovery_bytes > 0, "repair moves real bytes");
+        assert_eq!(r.faults.blocks_lost, 0, "rf=3 survives one kill");
+    }
+
+    #[test]
+    fn recovery_traffic_contends_with_map_fetches() {
+        // Heavily loaded cluster so fetches are in flight when recovery
+        // starts; identical seeds, recovery on vs off. Runs are identical
+        // up to the declaration instant, so attempts launched before it
+        // pair exactly — and some of their reads must finish strictly
+        // later once repair traffic shares the fabric.
+        let bs = 128 * MB;
+        let files: Vec<FileSpec> = (0..8)
+            .map(|i| FileSpec {
+                name: format!("f{i}"),
+                size_bytes: 3 * bs,
+            })
+            .collect();
+        let jobs: Vec<JobSpec> = (0..60u32)
+            .map(|id| JobSpec {
+                id,
+                arrival: SimTime::from_secs(id as u64),
+                file: if id % 4 == 0 { (id as usize / 4) % 8 } else { 0 },
+                map_compute: SimDuration::from_secs(20),
+                reduces: 1,
+                output_bytes: 10 * MB,
+            })
+            .collect();
+        let wl = Workload {
+            name: "contention".into(),
+            files,
+            jobs,
+        };
+        let run_with = |streams: usize| {
+            let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 93)
+                .with_failures(vec![(40, 5)]);
+            cfg.record_timeline = true;
+            cfg.faults.max_recovery_streams = streams;
+            // Declare quickly: the repair burst lands while the backlogged
+            // cluster still has map fetches in flight.
+            cfg.faults.detect_heartbeats = 2;
+            crate::run(cfg, &wl)
+        };
+        let quiet = run_with(0);
+        let noisy = run_with(6);
+        assert_eq!(quiet.faults.blocks_re_replicated, 0);
+        assert!(noisy.faults.blocks_re_replicated > 0);
+        assert!(noisy.faults.recovery_bytes > 0);
+
+        let key = |t: &TaskRecord| (t.job, t.task, t.attempt, t.node, t.launched);
+        let quiet_reads: HashMap<_, _> = quiet
+            .timeline
+            .as_ref()
+            .unwrap()
+            .iter()
+            .filter(|t| !t.local_read)
+            .map(|t| (key(t), t.read_done))
+            .collect();
+        let mut delayed = 0u32;
+        for t in noisy.timeline.as_ref().unwrap() {
+            if t.local_read {
+                continue;
+            }
+            if let (Some(Some(q)), Some(n)) = (quiet_reads.get(&key(t)), t.read_done) {
+                if n > *q {
+                    delayed += 1;
+                }
+            }
+        }
+        assert!(
+            delayed > 0,
+            "re-replication must measurably delay at least one remote map fetch"
+        );
+    }
+
+    #[test]
+    fn losing_every_replica_fails_jobs_cleanly() {
+        let wl = tiny_workload(8, 3, 40);
+        // rf=1 scatters 24 single-copy blocks; find a node that actually
+        // holds file-0 blocks (placement is seed-deterministic, so the
+        // probe run and the real run place identically).
+        let mut probe_cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 94);
+        probe_cfg.dfs.replication_factor = 1;
+        let probe = Engine::new(probe_cfg, &wl);
+        let victim = (0..19u32)
+            .find(|&i| !probe.dfs.datanode(NodeId(i)).all_blocks().is_empty())
+            .expect("some node holds blocks");
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 94)
+            .with_failures(vec![(25, victim)])
+            .with_invariant_checks();
+        cfg.dfs.replication_factor = 1; // every block single-copy
+        let r = crate::run(cfg, &wl);
+        assert!(r.faults.blocks_lost > 0, "rf=1 kill must lose blocks");
+        assert!(r.faults.jobs_failed > 0, "jobs on lost blocks must fail");
+        assert!(r.faults.tasks_failed > 0);
+        assert_eq!(r.run.failed_jobs as u64, r.faults.jobs_failed);
+        assert_eq!(r.run.jobs + r.run.failed_jobs, 40);
+        for o in r.outcomes.iter().filter(|o| o.status == dare_metrics::JobStatus::Failed) {
+            assert!(o.completed >= o.arrival);
+        }
+    }
+
+    #[test]
+    fn generated_fault_plans_run_deterministically() {
+        let wl = tiny_workload(8, 3, 30);
+        let run = || {
+            let spec = crate::FaultSpec {
+                horizon_secs: 200,
+                kills: 1,
+                crashes: 2,
+                mean_down_secs: 60,
+                rack_outages: 1,
+                stragglers: 1,
+                straggler_factor: 3.0,
+            };
+            let plan = crate::FaultPlan::generate(&spec, 99, 40, 0xFA57);
+            let cfg = SimConfig::ec2(PolicyKind::GreedyLru, SchedulerKind::fair_default(), 95)
+                .with_faults(plan)
+                .with_invariant_checks();
+            crate::run(cfg, &wl)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.run.gmtt_secs, b.run.gmtt_secs);
+        assert_eq!(a.run.jobs, b.run.jobs);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.reexecuted_tasks, b.reexecuted_tasks);
     }
 
     #[test]
@@ -1488,7 +2334,7 @@ mod tests {
         while engine.finished < total {
             let (t, ev) = engine.events.pop().expect("events pending");
             engine.now = t;
-            engine.dispatch(ev);
+            engine.dispatch(ev).unwrap();
         }
         assert!(
             engine.speculative_launches > 0,

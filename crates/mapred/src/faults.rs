@@ -1,0 +1,371 @@
+//! Fault-injection plans: deterministic schedules of node failures,
+//! transient crashes, rack outages, and slow-node degradation.
+//!
+//! A [`FaultPlan`] replaces the bare `Vec<(u64, u32)>` failure list the
+//! engine used to take. It carries both the *schedule* (a list of
+//! [`FaultEvent`]s) and the *failure-handling knobs* (heartbeat-timeout
+//! detection, task retry cap, recovery parallelism). Plans can be written
+//! by hand or generated from a [`FaultSpec`] with
+//! [`FaultPlan::generate`], which draws every random choice from its own
+//! named [`DetRng`] substream — so an identical
+//! `(spec, seed)` pair always yields an identical plan, and an *empty*
+//! plan leaves every other random stream in the simulator untouched.
+
+use dare_simcore::DetRng;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Permanent node kill at `at_secs`: the node's disk contents are
+    /// gone, it never heartbeats again, and it is declared dead after the
+    /// plan's missed-heartbeat timeout elapses.
+    Kill {
+        /// Simulation time of the crash, in seconds.
+        at_secs: u64,
+        /// Node index (must be `< profile.nodes`).
+        node: u32,
+    },
+    /// Transient crash/rejoin pair: the node goes silent at `at_secs`,
+    /// keeps its disk, and rejoins `down_secs` later with a block report
+    /// reconciling the namenode's stale replica state.
+    Crash {
+        /// Simulation time of the crash, in seconds.
+        at_secs: u64,
+        /// Node index (must be `< profile.nodes`).
+        node: u32,
+        /// Seconds until the node rejoins (must be ≥ 1).
+        down_secs: u64,
+    },
+    /// Every node in a rack goes silent at once (switch failure) and
+    /// rejoins `down_secs` later. Nodes keep their disks.
+    RackOutage {
+        /// Simulation time of the outage, in seconds.
+        at_secs: u64,
+        /// Rack index (must be a valid rack of the profile's topology).
+        rack: u32,
+        /// Seconds until the rack comes back (must be ≥ 1).
+        down_secs: u64,
+    },
+    /// Slow-node ("limplock") degradation: from `at_secs` on, the node's
+    /// disk reads and map compute run `factor`× slower. If
+    /// `duration_secs` is set the node recovers to full speed afterwards.
+    Slowdown {
+        /// Simulation time the degradation starts, in seconds.
+        at_secs: u64,
+        /// Node index (must be `< profile.nodes`).
+        node: u32,
+        /// Slowdown multiplier (must be ≥ 1).
+        factor: f64,
+        /// Optional duration; `None` means the node stays slow forever.
+        duration_secs: Option<u64>,
+    },
+}
+
+impl FaultEvent {
+    /// The node index this event targets, if it targets a single node.
+    fn node(&self) -> Option<u32> {
+        match *self {
+            FaultEvent::Kill { node, .. }
+            | FaultEvent::Crash { node, .. }
+            | FaultEvent::Slowdown { node, .. } => Some(node),
+            FaultEvent::RackOutage { .. } => None,
+        }
+    }
+}
+
+/// A full fault-injection plan: the event schedule plus the knobs that
+/// govern detection, retry, and recovery behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled faults, in any order (the engine sorts by event time).
+    pub events: Vec<FaultEvent>,
+    /// A node is declared dead after this many missed heartbeats
+    /// (Hadoop's default timeout is 10× the heartbeat interval).
+    pub detect_heartbeats: u32,
+    /// A task that fails this many attempts fails its whole job
+    /// (Hadoop's `mapred.map.max.attempts`, default 4).
+    pub max_task_attempts: u32,
+    /// Base backoff between retry attempts of the same task, in seconds.
+    pub retry_backoff_secs: u64,
+    /// Maximum concurrent re-replication transfers. `0` disables
+    /// recovery entirely (lost redundancy is never restored).
+    pub max_recovery_streams: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            detect_heartbeats: 10,
+            max_task_attempts: 4,
+            retry_backoff_secs: 5,
+            max_recovery_streams: 4,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when no faults are scheduled — the engine then behaves
+    /// bit-identically to a fault-free build.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate the plan against a cluster of `nodes` nodes.
+    ///
+    /// Rejects out-of-range node indices, duplicate permanent kills of
+    /// the same node, non-positive outage durations, slowdown factors
+    /// below 1, and degenerate knob values. Rack indices are checked
+    /// separately by [`FaultPlan::validate_racks`] once the topology is
+    /// built.
+    pub fn validate(&self, nodes: u32) -> Result<(), String> {
+        if self.detect_heartbeats == 0 {
+            return Err("detect_heartbeats must be >= 1".into());
+        }
+        if self.max_task_attempts == 0 {
+            return Err("max_task_attempts must be >= 1".into());
+        }
+        let mut killed: Vec<u32> = Vec::new();
+        for ev in &self.events {
+            if let Some(node) = ev.node() {
+                if node >= nodes {
+                    return Err(format!(
+                        "fault targets node {node} but the cluster has {nodes} nodes"
+                    ));
+                }
+            }
+            match *ev {
+                FaultEvent::Kill { node, .. } => {
+                    if killed.contains(&node) {
+                        return Err(format!("node {node} is killed twice"));
+                    }
+                    killed.push(node);
+                }
+                FaultEvent::Crash { down_secs, .. } | FaultEvent::RackOutage { down_secs, .. } => {
+                    if down_secs == 0 {
+                        return Err("transient outage must last >= 1 s".into());
+                    }
+                }
+                FaultEvent::Slowdown { factor, .. } => {
+                    if factor < 1.0 || factor.is_nan() {
+                        return Err(format!("slowdown factor {factor} must be >= 1"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate rack indices against the built topology's rack count.
+    pub fn validate_racks(&self, racks: u32) -> Result<(), String> {
+        for ev in &self.events {
+            if let FaultEvent::RackOutage { rack, .. } = *ev {
+                if rack >= racks {
+                    return Err(format!(
+                        "rack outage targets rack {rack} but the topology has {racks} racks"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate a random plan from a [`FaultSpec`].
+    ///
+    /// All draws come from the `"fault-plan"` substream of `seed`, so the
+    /// generated schedule is a pure function of `(spec, nodes, racks,
+    /// seed)` and never perturbs the simulator's other random streams.
+    pub fn generate(spec: &FaultSpec, nodes: u32, racks: u32, seed: u64) -> FaultPlan {
+        assert!(nodes > 0, "cannot generate faults for an empty cluster");
+        let mut rng = DetRng::new(seed).substream("fault-plan");
+        let mut events = Vec::new();
+        let horizon = spec.horizon_secs.max(1);
+
+        // Permanent kills target distinct nodes.
+        let kills = (spec.kills as usize).min(nodes.saturating_sub(1) as usize);
+        let victims = rng.sample_indices(nodes as usize, kills);
+        for &v in &victims {
+            events.push(FaultEvent::Kill {
+                at_secs: 1 + rng.index(horizon as usize) as u64,
+                node: v as u32,
+            });
+        }
+
+        // Transient crashes avoid the permanently-killed nodes.
+        let mut pool: Vec<u32> = (0..nodes).filter(|n| !victims.contains(&(*n as usize))).collect();
+        for _ in 0..spec.crashes {
+            if pool.is_empty() {
+                break;
+            }
+            let node = pool.swap_remove(rng.index(pool.len()));
+            let down = 1 + (rng.uniform() * 2.0 * spec.mean_down_secs as f64) as u64;
+            events.push(FaultEvent::Crash {
+                at_secs: 1 + rng.index(horizon as usize) as u64,
+                node,
+                down_secs: down,
+            });
+        }
+
+        for _ in 0..spec.rack_outages {
+            if racks == 0 {
+                break;
+            }
+            events.push(FaultEvent::RackOutage {
+                at_secs: 1 + rng.index(horizon as usize) as u64,
+                rack: rng.index(racks as usize) as u32,
+                down_secs: 1 + (rng.uniform() * 2.0 * spec.mean_down_secs as f64) as u64,
+            });
+        }
+
+        for _ in 0..spec.stragglers {
+            events.push(FaultEvent::Slowdown {
+                at_secs: 1 + rng.index(horizon as usize) as u64,
+                node: rng.index(nodes as usize) as u32,
+                factor: spec.straggler_factor.max(1.0),
+                duration_secs: Some(1 + (rng.uniform() * 2.0 * spec.mean_down_secs as f64) as u64),
+            });
+        }
+
+        FaultPlan {
+            events,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Shape parameters for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Fault times are drawn uniformly from `[1, horizon_secs]`.
+    pub horizon_secs: u64,
+    /// Number of permanent node kills (distinct victims; capped at
+    /// `nodes - 1` so the cluster never fully dies).
+    pub kills: u32,
+    /// Number of transient crash/rejoin events.
+    pub crashes: u32,
+    /// Mean downtime of transient outages, in seconds (actual downtimes
+    /// are uniform on roughly `[1, 2 × mean]`).
+    pub mean_down_secs: u64,
+    /// Number of rack-level outages.
+    pub rack_outages: u32,
+    /// Number of slow-node degradation episodes.
+    pub stragglers: u32,
+    /// Slowdown multiplier applied during a straggler episode.
+    pub straggler_factor: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            horizon_secs: 300,
+            kills: 1,
+            crashes: 2,
+            mean_down_secs: 45,
+            rack_outages: 0,
+            stragglers: 1,
+            straggler_factor: 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_valid() {
+        let p = FaultPlan::default();
+        assert!(p.is_empty());
+        assert!(p.validate(10).is_ok());
+        assert!(p.validate_racks(1).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = FaultPlan {
+            events: vec![FaultEvent::Kill { at_secs: 5, node: 10 }],
+            ..FaultPlan::default()
+        };
+        assert!(p.validate(10).is_err(), "out-of-range node");
+
+        p.events = vec![
+            FaultEvent::Kill { at_secs: 5, node: 3 },
+            FaultEvent::Kill { at_secs: 9, node: 3 },
+        ];
+        assert!(p.validate(10).is_err(), "duplicate kill");
+
+        p.events = vec![FaultEvent::Crash {
+            at_secs: 5,
+            node: 3,
+            down_secs: 0,
+        }];
+        assert!(p.validate(10).is_err(), "zero downtime");
+
+        p.events = vec![FaultEvent::Slowdown {
+            at_secs: 5,
+            node: 3,
+            factor: 0.5,
+            duration_secs: None,
+        }];
+        assert!(p.validate(10).is_err(), "speedup factor");
+
+        p.events = vec![FaultEvent::RackOutage {
+            at_secs: 5,
+            rack: 4,
+            down_secs: 10,
+        }];
+        assert!(p.validate(10).is_ok(), "racks not checked here");
+        assert!(p.validate_racks(4).is_err(), "out-of-range rack");
+        assert!(p.validate_racks(5).is_ok());
+
+        p.events.clear();
+        p.detect_heartbeats = 0;
+        assert!(p.validate(10).is_err(), "zero detection timeout");
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_valid() {
+        let spec = FaultSpec {
+            kills: 2,
+            crashes: 3,
+            rack_outages: 1,
+            stragglers: 2,
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::generate(&spec, 19, 4, 42);
+        let b = FaultPlan::generate(&spec, 19, 4, 42);
+        assert_eq!(a, b, "same inputs must give the same plan");
+        assert_eq!(a.events.len(), 8);
+        assert!(a.validate(19).is_ok());
+        assert!(a.validate_racks(4).is_ok());
+
+        let c = FaultPlan::generate(&spec, 19, 4, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn generate_kills_distinct_nodes_and_crashes_avoid_them() {
+        let spec = FaultSpec {
+            kills: 4,
+            crashes: 6,
+            ..FaultSpec::default()
+        };
+        let p = FaultPlan::generate(&spec, 12, 2, 7);
+        let mut killed = Vec::new();
+        let mut crashed = Vec::new();
+        for ev in &p.events {
+            match *ev {
+                FaultEvent::Kill { node, .. } => killed.push(node),
+                FaultEvent::Crash { node, .. } => crashed.push(node),
+                _ => {}
+            }
+        }
+        let mut k = killed.clone();
+        k.sort_unstable();
+        k.dedup();
+        assert_eq!(k.len(), killed.len(), "kills must be distinct");
+        for c in &crashed {
+            assert!(!killed.contains(c), "crash targets a killed node");
+        }
+    }
+}

@@ -33,12 +33,16 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod gantt;
 pub mod result;
 pub mod scarlett;
 
 pub use config::{SchedulerKind, SimConfig};
 pub use engine::{DfsLookup, Engine};
+pub use error::SimError;
+pub use faults::{FaultEvent, FaultPlan, FaultSpec};
 pub use result::SimResult;
 
 /// Build and run one simulation, returning its results. The main entry
@@ -57,4 +61,14 @@ pub use result::SimResult;
 /// ```
 pub fn run(cfg: SimConfig, workload: &dare_workload::Workload) -> SimResult {
     Engine::new(cfg, workload).run()
+}
+
+/// Like [`run`], but engine-level faults (a stalled event queue, an
+/// orphaned flow, a violated invariant) come back as a [`SimError`]
+/// instead of a panic.
+pub fn try_run(
+    cfg: SimConfig,
+    workload: &dare_workload::Workload,
+) -> Result<SimResult, SimError> {
+    Engine::new(cfg, workload).try_run()
 }

@@ -1,6 +1,6 @@
 //! Results of one simulation run.
 
-use dare_metrics::{JobOutcome, RunMetrics};
+use dare_metrics::{FaultStats, JobOutcome, RunMetrics};
 use dare_simcore::SimTime;
 
 /// Everything the experiments read out of a finished run.
@@ -41,6 +41,8 @@ pub struct SimResult {
     pub speculative_wins: u64,
     /// Per-attempt timeline, when `SimConfig::record_timeline` is set.
     pub timeline: Option<Vec<TaskRecord>>,
+    /// Failure-detection and recovery counters (all zero without faults).
+    pub faults: FaultStats,
 }
 
 /// One map-task attempt's lifecycle (timeline tracing).

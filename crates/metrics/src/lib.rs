@@ -18,11 +18,24 @@
 use dare_simcore::stats::{coefficient_of_variation, geometric_mean, quantile};
 use dare_simcore::{SimDuration, SimTime};
 
+/// Terminal state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// All maps and reduces finished.
+    Completed,
+    /// A map task exhausted its retry budget (node failures); the job was
+    /// abandoned. `completed` records the abandonment time.
+    Failed,
+}
+
 /// Everything recorded about one finished job.
 #[derive(Debug, Clone, Copy)]
 pub struct JobOutcome {
     /// Job id.
     pub id: u32,
+    /// How the job ended. Failed jobs are excluded from the turnaround
+    /// and locality aggregates and counted in [`RunMetrics::failed_jobs`].
+    pub status: JobStatus,
     /// Submission time.
     pub arrival: SimTime,
     /// Completion time (last reduce done).
@@ -83,26 +96,74 @@ pub struct RunMetrics {
     pub p95_slowdown: f64,
     /// Makespan: last completion, seconds.
     pub makespan_secs: f64,
+    /// Jobs that failed (map retry budget exhausted under faults).
+    /// Excluded from every other aggregate above.
+    pub failed_jobs: usize,
+}
+
+/// Failure-handling and recovery counters for one run. All zero on a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Nodes declared dead after the missed-heartbeat timeout.
+    pub nodes_declared_dead: u64,
+    /// Nodes that rejoined after a transient outage.
+    pub nodes_rejoined: u64,
+    /// Blocks re-replicated by the recovery queue.
+    pub blocks_re_replicated: u64,
+    /// Bytes moved by recovery transfers (contending with map fetches).
+    pub recovery_bytes: u64,
+    /// Blocks permanently lost (every physical copy destroyed).
+    pub blocks_lost: u64,
+    /// Map attempts killed by faults and retried.
+    pub tasks_retried: u64,
+    /// Map tasks that exhausted their retry budget.
+    pub tasks_failed: u64,
+    /// Jobs abandoned because a task failed permanently.
+    pub jobs_failed: u64,
 }
 
 /// Reduce a set of job outcomes to run-level metrics.
+///
+/// Failed jobs count only toward `failed_jobs`; if *every* job failed the
+/// turnaround/locality aggregates are all zero.
 pub fn summarize(outcomes: &[JobOutcome]) -> RunMetrics {
     assert!(!outcomes.is_empty(), "no jobs completed");
-    let maps: u64 = outcomes.iter().map(|o| o.maps as u64).sum();
-    let local: u64 = outcomes.iter().map(|o| o.node_local as u64).sum();
-    let rack: u64 = outcomes.iter().map(|o| o.rack_local as u64).sum();
-    let tts: Vec<f64> = outcomes
+    let failed_jobs = outcomes
         .iter()
-        .map(|o| o.turnaround().as_secs_f64())
+        .filter(|o| o.status == JobStatus::Failed)
+        .count();
+    let done: Vec<&JobOutcome> = outcomes
+        .iter()
+        .filter(|o| o.status == JobStatus::Completed)
         .collect();
-    let slowdowns: Vec<f64> = outcomes.iter().map(|o| o.slowdown()).collect();
-    let job_locality = outcomes
+    if done.is_empty() {
+        return RunMetrics {
+            jobs: 0,
+            maps: 0,
+            locality: 0.0,
+            job_locality: 0.0,
+            rack_or_better: 0.0,
+            gmtt_secs: 0.0,
+            mean_slowdown: 0.0,
+            p50_slowdown: 0.0,
+            p95_slowdown: 0.0,
+            makespan_secs: 0.0,
+            failed_jobs,
+        };
+    }
+    let maps: u64 = done.iter().map(|o| o.maps as u64).sum();
+    let local: u64 = done.iter().map(|o| o.node_local as u64).sum();
+    let rack: u64 = done.iter().map(|o| o.rack_local as u64).sum();
+    let tts: Vec<f64> = done.iter().map(|o| o.turnaround().as_secs_f64()).collect();
+    let slowdowns: Vec<f64> = done.iter().map(|o| o.slowdown()).collect();
+    let job_locality = done
         .iter()
         .map(|o| o.node_local as f64 / o.maps.max(1) as f64)
         .sum::<f64>()
-        / outcomes.len() as f64;
+        / done.len() as f64;
     RunMetrics {
-        jobs: outcomes.len(),
+        jobs: done.len(),
         maps,
         locality: local as f64 / maps.max(1) as f64,
         job_locality,
@@ -111,10 +172,11 @@ pub fn summarize(outcomes: &[JobOutcome]) -> RunMetrics {
         mean_slowdown: slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
         p50_slowdown: quantile(&slowdowns, 0.5),
         p95_slowdown: quantile(&slowdowns, 0.95),
-        makespan_secs: outcomes
+        makespan_secs: done
             .iter()
             .map(|o| o.completed.as_secs_f64())
             .fold(0.0, f64::max),
+        failed_jobs,
     }
 }
 
@@ -159,6 +221,7 @@ mod tests {
     fn outcome(id: u32, arr: u64, done: u64, maps: u32, local: u32, ded: u64) -> JobOutcome {
         JobOutcome {
             id,
+            status: JobStatus::Completed,
             arrival: SimTime::from_secs(arr),
             completed: SimTime::from_secs(done),
             maps,
@@ -218,6 +281,35 @@ mod tests {
             ..outcome(0, 0, 5, 1, 1, 1)
         };
         assert_eq!(o.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn failed_jobs_are_excluded_from_aggregates() {
+        let mut failed = outcome(1, 0, 200, 4, 0, 10);
+        failed.status = JobStatus::Failed;
+        let outs = vec![outcome(0, 0, 10, 4, 4, 10), failed];
+        let m = summarize(&outs);
+        assert_eq!(m.jobs, 1, "only the completed job counts");
+        assert_eq!(m.failed_jobs, 1);
+        assert_eq!(m.maps, 4);
+        assert!((m.locality - 1.0).abs() < 1e-12);
+        assert!((m.gmtt_secs - 10.0).abs() < 1e-9);
+        assert_eq!(m.makespan_secs, 10.0, "failed job does not extend makespan");
+
+        let mut f2 = outcome(0, 0, 50, 2, 0, 10);
+        f2.status = JobStatus::Failed;
+        let all_failed = summarize(&[f2]);
+        assert_eq!(all_failed.jobs, 0);
+        assert_eq!(all_failed.failed_jobs, 1);
+        assert_eq!(all_failed.gmtt_secs, 0.0);
+    }
+
+    #[test]
+    fn fault_stats_default_is_zero() {
+        let s = FaultStats::default();
+        assert_eq!(s.nodes_declared_dead + s.nodes_rejoined, 0);
+        assert_eq!(s.blocks_re_replicated + s.recovery_bytes + s.blocks_lost, 0);
+        assert_eq!(s.tasks_retried + s.tasks_failed + s.jobs_failed, 0);
     }
 
     #[test]

@@ -449,6 +449,26 @@ impl JobQueue {
         }
     }
 
+    /// Drop a job *with* unscheduled and running work remaining — the job
+    /// failed (a map task exhausted its retry budget under faults). Every
+    /// pending task is unwatched; running attempts are the caller's
+    /// problem (the engine kills them and ignores their completions).
+    /// Unknown ids are a no-op, so the call is idempotent.
+    pub fn abandon_job(&mut self, id: JobId) {
+        let Some(pos) = self.jobs.iter().position(|j| j.id == id) else {
+            return;
+        };
+        let j = self.jobs.remove(pos);
+        self.deficit.remove(&(j.running_maps, j.arrival, j.id));
+        self.by_id.remove(&id.0);
+        for (i, job) in self.jobs.iter().enumerate().skip(pos) {
+            self.by_id.insert(job.id.0, i);
+        }
+        for t in &j.pending {
+            Self::remove_watcher_in(&mut self.block_watchers, t.block, j.id, t.task);
+        }
+    }
+
     /// A replica of `block` became scheduler-visible on `node` (dynamic
     /// replica promoted). Updates every pending task reading the block.
     pub fn note_replica_added(&mut self, block: BlockId, node: NodeId, topo: &Topology) {
@@ -587,6 +607,34 @@ mod tests {
         let mut q = JobQueue::new();
         q.retire_job(JobId(9));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn abandon_job_with_pending_and_running_work() {
+        let topo = Topology::single_rack(4);
+        let lk = TableLookup::from_pairs(&[(1, vec![0]), (2, vec![1]), (3, vec![2])]);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2]), &lk, &topo);
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[3]), &lk, &topo);
+        // One attempt of job 0 is running, one task still pending.
+        q.take_task(JobId(0), 0);
+        assert_eq!(q.total_pending(), 2);
+
+        q.abandon_job(JobId(0));
+        assert_eq!(q.len(), 1);
+        assert!(q.job(JobId(0)).is_none());
+        assert_eq!(q.total_pending(), 1, "only job 1's task remains");
+        // by_id remap: job 1 must still be addressable.
+        assert_eq!(
+            q.pick_best_for(JobId(1), NodeId(2), &topo),
+            Some((0, Locality::NodeLocal))
+        );
+        // Stale watcher entries must not resurface on replica churn.
+        q.note_replica_added(BlockId(1), NodeId(3), &topo);
+        q.note_replica_removed(BlockId(2), NodeId(1), &topo);
+        // Idempotent.
+        q.abandon_job(JobId(0));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -96,7 +96,7 @@ fn run_stream(
     let mut offers = 0usize;
     let steps = g.usize_in(60..240);
     for step in 0..steps {
-        match g.usize_in(0..12) {
+        match g.usize_in(0..15) {
             // Slot offers dominate the stream.
             0..=6 => {
                 let node = NodeId(g.u32_in(0..nodes));
@@ -147,6 +147,43 @@ fn run_stream(
                     pair.indexed
                         .requeue_task(a.job, a.task, a.block, lookup, topo);
                     pair.naive.requeue_task(a.job, a.task, a.block, lookup, topo);
+                }
+            }
+            // A job fails under faults and is abandoned on both queues.
+            // The engine ignores completions of abandoned jobs, so drop
+            // its running attempts too; a repeat abandon must be a no-op.
+            11 => {
+                if !running.is_empty() {
+                    let i = g.usize_in(0..running.len());
+                    let victim = running[i].job;
+                    running.retain(|a| a.job != victim);
+                    pair.indexed.abandon_job(victim);
+                    pair.naive.abandon_job(victim);
+                    pair.indexed.abandon_job(victim);
+                    pair.naive.abandon_job(victim);
+                }
+            }
+            // A node is declared dead: every replica it held vanishes at
+            // once and the engine rebuilds from the lookup (the bulk
+            // churn path, not incremental maintenance).
+            12 => {
+                let n = NodeId(g.u32_in(0..nodes));
+                for b in 0..blocks {
+                    lookup.remove_location(BlockId(b), n);
+                }
+                pair.indexed.rebuild_index(lookup, topo);
+                pair.naive.rebuild_index(lookup, topo);
+            }
+            // A node rejoins and its block report restores a batch of
+            // replicas through the incremental path.
+            13 => {
+                let n = NodeId(g.u32_in(0..nodes));
+                for _ in 0..g.usize_in(1..6) {
+                    let b = BlockId(g.u64_in(0..blocks));
+                    if lookup.add_location(b, n) {
+                        pair.indexed.note_replica_added(b, n, topo);
+                        pair.naive.note_replica_added(b, n, topo);
+                    }
                 }
             }
             // A new job arrives; occasionally force a full index rebuild

@@ -89,6 +89,60 @@ impl Gen {
     }
 }
 
+/// A runtime invariant collector: accumulate violations instead of
+/// panicking on the first one, so a simulation can report *every* broken
+/// invariant of an event in one structured error.
+///
+/// ```
+/// use dare_simcore::check::Invariants;
+///
+/// let mut inv = Invariants::new();
+/// inv.check(1 + 1 == 2, || "arithmetic".into());
+/// inv.check(false, || format!("slot count drifted on node {}", 3));
+/// assert!(!inv.is_ok());
+/// assert_eq!(inv.violations().len(), 1);
+/// assert!(inv.into_result().unwrap_err().contains("node 3"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Invariants {
+    violations: Vec<String>,
+}
+
+impl Invariants {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a violation when `ok` is false. The message closure only
+    /// runs on failure, so checks in hot loops stay cheap.
+    pub fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        if !ok {
+            self.violations.push(msg());
+        }
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// True when nothing has been violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// `Ok(())` when clean, otherwise every violation joined into one
+    /// message.
+    pub fn into_result(self) -> Result<(), String> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(self.violations.join("; "))
+        }
+    }
+}
+
 /// Run `f` over `cases` random cases derived from `seed`.
 ///
 /// Panics (failing the enclosing `#[test]`) on the first failing case,
@@ -150,6 +204,19 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn invariants_collect_all_violations() {
+        let mut inv = Invariants::new();
+        inv.check(true, || unreachable!("closure must not run when ok"));
+        inv.check(false, || "first".into());
+        inv.check(false, || "second".into());
+        assert!(!inv.is_ok());
+        assert_eq!(inv.violations(), &["first", "second"]);
+        let err = inv.into_result().unwrap_err();
+        assert_eq!(err, "first; second");
+        assert!(Invariants::new().into_result().is_ok());
     }
 
     #[test]

@@ -77,8 +77,10 @@ fn main() {
             .filter(|&&b| dfs.visible_locations(b).is_empty())
             .count();
         println!(
-            "failed {victim}: re-replicated {fixed} under-replicated blocks, {lost} blocks lost"
+            "failed {victim}: re-replicated {} under-replicated blocks, {lost} blocks lost",
+            fixed.re_replicated
         );
+        assert!(fixed.lost.is_empty(), "no replica set fully wiped");
         assert_eq!(lost, 0, "no data loss with timely re-replication");
     }
 

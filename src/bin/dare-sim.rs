@@ -363,7 +363,15 @@ mod tests {
         .expect("valid");
         let cfg = build_config(&a).expect("valid");
         assert_eq!(cfg.scheduler, SchedulerKind::Capacity(4));
-        assert_eq!(cfg.degradations, vec![(30, 2, 5.0)]);
+        assert_eq!(
+            cfg.faults.events,
+            vec![mapred::FaultEvent::Slowdown {
+                at_secs: 30,
+                node: 2,
+                factor: 5.0,
+                duration_secs: None,
+            }]
+        );
         assert!(parse_args(&argv("--degrade 30:2")).is_err());
     }
 

@@ -26,6 +26,7 @@ fn assert_identical(a: &SimResult, b: &SimResult, label: &str) {
     assert_eq!(a.outcomes.len(), b.outcomes.len(), "{label}: job count");
     for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
         assert_eq!(x.id, y.id, "{label}: outcome order");
+        assert_eq!(x.status, y.status, "{label}: job {} status", x.id);
         assert_eq!(x.arrival, y.arrival, "{label}: job {} arrival", x.id);
         assert_eq!(x.completed, y.completed, "{label}: job {} completion", x.id);
         assert_eq!(x.maps, y.maps, "{label}: job {} maps", x.id);
@@ -58,6 +59,7 @@ fn assert_identical(a: &SimResult, b: &SimResult, label: &str) {
         a.final_dynamic_bytes, b.final_dynamic_bytes,
         "{label}: dynamic bytes"
     );
+    assert_eq!(a.faults, b.faults, "{label}: fault counters");
 }
 
 fn run_pair(cfg: SimConfig, wl: &Workload, label: &str) {
@@ -109,4 +111,33 @@ fn churn_heavy_engine_matches_naive_scan() {
     .with_speculation(Default::default())
     .with_failures(vec![(20, 3), (45, 17)]);
     run_pair(cfg, &wl, "churn ec2 fair");
+}
+
+#[test]
+fn fault_plan_engine_matches_naive_scan() {
+    // The full fault machinery — transient crash/rejoin cycles, a rack
+    // outage, a straggler episode, delayed detection, retry backoff, and
+    // bandwidth-consuming re-replication — must leave both scheduler
+    // implementations in lockstep, down to the fault counters.
+    use dare_mapred::{FaultPlan, FaultSpec};
+    let wl = swim(500, 60);
+    let spec = FaultSpec {
+        horizon_secs: 240,
+        kills: 1,
+        crashes: 3,
+        mean_down_secs: 60,
+        rack_outages: 1,
+        stragglers: 1,
+        straggler_factor: 4.0,
+    };
+    let plan = FaultPlan::generate(&spec, 99, 40, 0xD1FF);
+    let cfg = SimConfig::ec2(
+        PolicyKind::GreedyLru,
+        SchedulerKind::fair_default(),
+        13,
+    )
+    .with_speculation(Default::default())
+    .with_faults(plan)
+    .with_invariant_checks();
+    run_pair(cfg, &wl, "fault plan ec2 fair");
 }

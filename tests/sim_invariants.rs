@@ -84,3 +84,66 @@ fn finished_runs_satisfy_structural_invariants() {
         assert!(r.run.rack_or_better <= 1.0 + 1e-12);
     });
 }
+
+// Same contract under generated fault plans: every job reaches a terminal
+// state (completed or failed), the fault counters reconcile with the
+// outcomes, and with fewer kills than the replication factor no block is
+// ever lost outright. Runtime invariant checking is on, so slot
+// conservation and recovery-queue consistency are asserted at every event.
+#[test]
+fn faulty_runs_reach_terminal_states() {
+    use dare_repro::metrics::JobStatus;
+
+    run_cases(12, 0xE2E_0002, |g| {
+        let seed = g.u64_in(0..10_000);
+        let jobs = g.u32_in(20..50);
+        let policy = policy(g);
+        let sched = sched(g);
+        let spec = mapred::FaultSpec {
+            horizon_secs: 240,
+            kills: g.u32_in(0..3),
+            crashes: g.u32_in(0..4),
+            mean_down_secs: g.u64_in(20..120),
+            rack_outages: 0,
+            stragglers: g.u32_in(0..2),
+            straggler_factor: g.f64_in(1.5..6.0),
+        };
+        let kills = spec.kills;
+        let plan = mapred::FaultPlan::generate(&spec, 19, 1, g.u64_in(0..1_000_000));
+
+        let wl = synthesize(
+            "prop-faults",
+            &SwimParams { jobs, ..SwimParams::wl1() },
+            seed,
+        );
+        let mut cfg = SimConfig::cct(policy, sched, seed)
+            .with_faults(plan)
+            .with_invariant_checks();
+        cfg.budget_frac = g.f64_in(0.0..0.5);
+        let r = mapred::run(cfg, &wl);
+
+        // Every job terminal, exactly once, in id order.
+        assert_eq!(r.run.jobs + r.run.failed_jobs, jobs as usize);
+        assert_eq!(r.outcomes.len(), jobs as usize);
+        let mut failed_seen = 0u64;
+        for (i, o) in r.outcomes.iter().enumerate() {
+            assert_eq!(o.id as usize, i);
+            assert!(o.completed >= o.arrival);
+            if o.status == JobStatus::Failed {
+                failed_seen += 1;
+            } else {
+                // Completed jobs keep the locality partition.
+                assert_eq!(o.node_local + o.rack_local + o.remote, o.maps);
+            }
+        }
+        assert_eq!(failed_seen, r.faults.jobs_failed);
+        assert_eq!(r.run.failed_jobs as u64, r.faults.jobs_failed);
+        assert!(r.faults.tasks_failed >= r.faults.jobs_failed);
+
+        // Fewer permanent kills than the replication factor (3) means
+        // some physical copy of every block survives.
+        if kills < 3 {
+            assert_eq!(r.faults.blocks_lost, 0, "unexpected data loss");
+        }
+    });
+}
