@@ -374,6 +374,33 @@ impl Dfs {
     pub fn total_primary_bytes(&self) -> u64 {
         self.dns.iter().map(|d| d.primary_bytes()).sum()
     }
+
+    /// FNV-1a fingerprint of the physical replica map: every
+    /// `(node, block, is_dynamic)` triple in node/block order. Two `Dfs`
+    /// instances with identical on-disk replica placement produce the same
+    /// fingerprint; the tracing differential test uses this to prove the
+    /// recorder never perturbs replication state.
+    pub fn replica_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut h = h;
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = FNV_OFFSET;
+        for dn in &self.dns {
+            h = mix(h, dn.id().0 as u64);
+            for b in dn.all_blocks() {
+                h = mix(h, b.0);
+                h = mix(h, dn.holds_dynamic(b) as u64);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +494,32 @@ mod tests {
         assert_eq!(dfs.total_dynamic_bytes(), 0);
         assert_eq!(dfs.total_evictions(), 1);
         assert!(dfs.evict_dynamic(outsider, b).is_none());
+    }
+
+    #[test]
+    fn replica_fingerprint_tracks_physical_state() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            Some(NodeId(0)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        let outsider = (0..10)
+            .map(NodeId)
+            .find(|&n| !dfs.is_physically_present(n, b))
+            .expect("some node lacks the block");
+        let before = dfs.replica_fingerprint();
+        assert_eq!(before, dfs.replica_fingerprint(), "deterministic");
+        assert!(dfs.insert_dynamic(SimTime::ZERO, outsider, b));
+        let with_dynamic = dfs.replica_fingerprint();
+        assert_ne!(before, with_dynamic, "placement change shifts the hash");
+        assert_eq!(dfs.evict_dynamic(outsider, b), Some(false));
+        assert_eq!(dfs.replica_fingerprint(), before, "eviction restores it");
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct SimConfig {
     /// Record a per-attempt task timeline in the results (adds memory
     /// proportional to attempt count; off by default).
     pub record_timeline: bool,
+    /// Record a structured [`dare_trace`] event log of the whole run
+    /// (scheduling, flows, replication, faults) into
+    /// [`crate::SimResult::trace`]. Observation-only: a traced run is
+    /// bit-identical to an untraced one. Off by default.
+    pub record_trace: bool,
     /// Run the structural invariant checks from `dare_simcore::check`
     /// after every dispatched event (no block lost while a live replica
     /// exists, slot conservation, every task terminates). Expensive; for
@@ -114,6 +119,7 @@ impl SimConfig {
             faults: FaultPlan::default(),
             speculation: None,
             record_timeline: false,
+            record_trace: false,
             check_invariants: false,
             naive_scan: false,
         }
@@ -122,6 +128,12 @@ impl SimConfig {
     /// Switch to the naive-scan reference schedulers (differential runs).
     pub fn with_naive_scan(mut self) -> Self {
         self.naive_scan = true;
+        self
+    }
+
+    /// Enable structured trace recording (see `record_trace`).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
         self
     }
 

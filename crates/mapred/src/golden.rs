@@ -1,0 +1,102 @@
+//! Canonical traced scenarios for the golden-trace regression harness.
+//!
+//! The golden suite pins the *behavior* of the whole simulator: each
+//! scenario is a small SWIM workload run under a fixed seed with tracing
+//! on, and its JSONL export is compared byte-for-byte against a checked-in
+//! file under `tests/golden/`. The integration tests
+//! (`tests/golden_trace.rs`), the `trace-smoke` bench experiment, and the
+//! CI trace step all run exactly these scenarios, so a behavioral drift in
+//! the engine shows up as the same golden diff everywhere at once.
+//!
+//! Refreshing after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+
+use crate::config::{SchedulerKind, SimConfig};
+use crate::SimResult;
+use dare_core::PolicyKind;
+use dare_workload::swim::{synthesize, SwimParams};
+use dare_workload::Workload;
+
+/// Seed every golden scenario runs under.
+pub const GOLDEN_SEED: u64 = 0xDA7E;
+
+/// The small SWIM workload all golden scenarios replay: a dozen wl1-style
+/// jobs over a dozen files — big enough to exercise remote fetches,
+/// delay-scheduling skips and dynamic replication, small enough that a
+/// golden file stays reviewable in a diff.
+pub fn golden_workload() -> Workload {
+    synthesize(
+        "golden",
+        &SwimParams {
+            jobs: 12,
+            files: 12,
+            ..SwimParams::wl1()
+        },
+        GOLDEN_SEED,
+    )
+}
+
+/// The scenario matrix: FIFO/Fair × vanilla/DARE-LRU, all on
+/// [`golden_workload`] under [`GOLDEN_SEED`] with tracing enabled.
+pub fn golden_scenarios() -> Vec<(&'static str, SimConfig)> {
+    let combos = [
+        ("fifo-vanilla", SchedulerKind::Fifo, PolicyKind::Vanilla),
+        ("fifo-dare-lru", SchedulerKind::Fifo, PolicyKind::GreedyLru),
+        (
+            "fair-vanilla",
+            SchedulerKind::fair_default(),
+            PolicyKind::Vanilla,
+        ),
+        (
+            "fair-dare-lru",
+            SchedulerKind::fair_default(),
+            PolicyKind::GreedyLru,
+        ),
+    ];
+    combos
+        .into_iter()
+        .map(|(name, sched, policy)| {
+            let mut cfg = SimConfig::cct(policy, sched, GOLDEN_SEED);
+            // The golden dataset is tiny; at the paper's 0.2 budget a
+            // node's budget would be under one block, so use a full-share
+            // budget to make the LRU policy actually replicate.
+            cfg.budget_frac = 1.0;
+            cfg.record_trace = true;
+            (name, cfg)
+        })
+        .collect()
+}
+
+/// Run one golden scenario by name. Panics on an unknown name (the golden
+/// harness enumerates [`golden_scenarios`], so a typo is a bug).
+pub fn run_golden(name: &str) -> SimResult {
+    let cfg = golden_scenarios()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown golden scenario {name:?}"))
+        .1;
+    crate::run(cfg, &golden_workload())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_produces_a_trace() {
+        for (name, cfg) in golden_scenarios() {
+            assert!(cfg.record_trace, "{name} must trace");
+            assert_eq!(cfg.seed, GOLDEN_SEED);
+        }
+        let r = run_golden("fifo-dare-lru");
+        let trace = r.trace.expect("golden runs record traces");
+        assert!(trace.counters().tasks_launched > 0);
+        assert!(
+            trace.counters().replicas_committed > 0,
+            "the dare-lru scenario must exercise dynamic replication"
+        );
+    }
+}

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod gantt;
+pub mod golden;
 pub mod result;
 pub mod scarlett;
 

@@ -43,6 +43,15 @@ pub struct SimResult {
     pub timeline: Option<Vec<TaskRecord>>,
     /// Failure-detection and recovery counters (all zero without faults).
     pub faults: FaultStats,
+    /// Structured event trace, when `SimConfig::record_trace` is set.
+    pub trace: Option<dare_trace::Trace>,
+    /// FNV-1a fingerprint of the DFS's final physical replica map (every
+    /// datanode's held blocks plus their dynamic/primary status). Two runs
+    /// with identical placement end with identical fingerprints, which is
+    /// how the tracing-is-observation-only differential test proves a
+    /// traced run leaves the file system in the same state as an untraced
+    /// one.
+    pub dfs_fingerprint: u64,
 }
 
 /// One map-task attempt's lifecycle (timeline tracing).

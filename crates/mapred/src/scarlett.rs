@@ -112,6 +112,8 @@ impl ScarlettState {
 pub struct ProactiveTransfer {
     /// Block being pushed.
     pub block: BlockId,
+    /// Source node index.
+    pub src: u32,
     /// Destination node index.
     pub dst: u32,
 }

@@ -29,7 +29,7 @@ pub enum JobStatus {
 }
 
 /// Everything recorded about one finished job.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobOutcome {
     /// Job id.
     pub id: u32,
@@ -71,7 +71,7 @@ impl JobOutcome {
 }
 
 /// Aggregate metrics over one simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunMetrics {
     /// Jobs completed.
     pub jobs: usize,

@@ -37,6 +37,7 @@ struct Flow {
     bytes_remaining: f64,
     rate_bytes_per_sec: f64,
     cross_rack: bool,
+    started: SimTime,
 }
 
 impl Flow {
@@ -73,6 +74,10 @@ pub struct FlowSim {
     last_advance: SimTime,
     /// Flows ever started (diagnostics).
     total_started: u64,
+    /// `(id, start_time)` of the flows drained by the most recent
+    /// [`FlowSim::collect_completed`] call, in the same order as its
+    /// return value. Lets observers compute flow durations.
+    completed_starts: Vec<(FlowId, SimTime)>,
 }
 
 impl FlowSim {
@@ -92,6 +97,7 @@ impl FlowSim {
             next_id: 0,
             last_advance: SimTime::ZERO,
             total_started: 0,
+            completed_starts: Vec::new(),
         }
     }
 
@@ -129,6 +135,7 @@ impl FlowSim {
                 bytes_remaining: bytes as f64,
                 rate_bytes_per_sec: 0.0,
                 cross_rack,
+                started: now,
             },
         );
         self.recompute_rates();
@@ -183,13 +190,28 @@ impl FlowSim {
             .map(|(&id, _)| id)
             .collect();
         done.sort_unstable();
+        self.completed_starts.clear();
         for id in &done {
-            self.flows.remove(id);
+            if let Some(f) = self.flows.remove(id) {
+                self.completed_starts.push((FlowId(*id), f.started));
+            }
         }
         if !done.is_empty() {
             self.recompute_rates();
         }
         done.into_iter().map(FlowId).collect()
+    }
+
+    /// Start times of the flows drained by the most recent
+    /// [`FlowSim::collect_completed`] call, index-aligned with its return
+    /// value. Cleared (not appended) on every call.
+    pub fn completed_starts(&self) -> &[(FlowId, SimTime)] {
+        &self.completed_starts
+    }
+
+    /// Start time of a still-active flow.
+    pub fn started_at(&self, id: FlowId) -> Option<SimTime> {
+        self.flows.get(&id.0).map(|f| f.started)
     }
 
     /// Abort an active flow (task killed / node failed). No-op if already
@@ -394,5 +416,27 @@ mod tests {
         }
         assert_eq!(completed, 10);
         assert!((last.as_secs_f64() - 1.0).abs() < 1e-3, "100MB @ 100MB/s");
+    }
+
+    #[test]
+    fn completed_starts_align_with_completions() {
+        let mut s = sim(4, 100.0);
+        let a = s.start(SimTime::ZERO, NodeId(0), NodeId(3), 10 * MB, false);
+        let t1 = SimTime::from_secs_f64(0.05);
+        let b = s.start(t1, NodeId(1), NodeId(3), 10 * MB, false);
+        assert_eq!(s.started_at(a), Some(SimTime::ZERO));
+        assert_eq!(s.started_at(b), Some(t1));
+        // Drain everything well past both completions.
+        let done = s.collect_completed(SimTime::from_secs(10));
+        assert_eq!(done, vec![a, b]);
+        assert_eq!(
+            s.completed_starts(),
+            &[(a, SimTime::ZERO), (b, t1)],
+            "starts index-aligned with the drained ids"
+        );
+        // Next drain clears the buffer.
+        assert!(s.collect_completed(SimTime::from_secs(11)).is_empty());
+        assert!(s.completed_starts().is_empty());
+        assert!(s.started_at(a).is_none());
     }
 }

@@ -27,7 +27,7 @@
 
 use crate::locality::Locality;
 use crate::queue::{Assignment, JobId, JobQueue};
-use crate::{LocationLookup, Scheduler};
+use crate::{LocationLookup, Scheduler, SkipDecision};
 use dare_net::{NodeId, Topology};
 use dare_simcore::SimTime;
 
@@ -54,6 +54,10 @@ pub struct FairScheduler {
     cfg: FairConfig,
     /// Reused across offers so the steady state allocates nothing.
     order_scratch: Vec<JobId>,
+    /// When true, declined opportunities are pushed onto `skip_log`.
+    trace: bool,
+    /// Skip decisions awaiting a [`Scheduler::drain_skips`] call.
+    skip_log: Vec<SkipDecision>,
 }
 
 impl FairScheduler {
@@ -68,6 +72,8 @@ impl FairScheduler {
         FairScheduler {
             cfg,
             order_scratch: Vec::new(),
+            trace: false,
+            skip_log: Vec::new(),
         }
     }
 
@@ -116,6 +122,14 @@ impl Scheduler for FairScheduler {
                 break;
             }
             // Skip: remember the declined opportunity, try the next job.
+            if self.trace {
+                self.skip_log.push(SkipDecision {
+                    job: job_id,
+                    node,
+                    offered: loc,
+                    skips: skip_count,
+                });
+            }
             queue.job_mut(job_id).expect("job exists").skip_count += 1;
         }
         self.order_scratch = order;
@@ -124,6 +138,17 @@ impl Scheduler for FairScheduler {
 
     fn name(&self) -> &'static str {
         "fair"
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.trace = enabled;
+        if !enabled {
+            self.skip_log.clear();
+        }
+    }
+
+    fn drain_skips(&mut self, out: &mut Vec<SkipDecision>) {
+        out.append(&mut self.skip_log);
     }
 }
 
@@ -248,5 +273,41 @@ mod tests {
     #[should_panic]
     fn invalid_thresholds_rejected() {
         let _ = FairScheduler::with_config(FairConfig { d1: 5, d2: 1 });
+    }
+
+    #[test]
+    fn skip_decisions_are_recorded_only_when_tracing() {
+        let topo = Topology::single_rack(4);
+        let lookup = TableLookup::from_pairs(&[(10, vec![0])]);
+        let mut q = JobQueue::new();
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[10]), &lookup, &topo);
+        let mut s = FairScheduler::with_config(FairConfig { d1: 2, d2: 2 });
+        // Tracing off: declines happen but nothing is logged.
+        assert!(s
+            .pick_map(&mut q, NodeId(3), &lookup, &topo, SimTime::ZERO)
+            .is_none());
+        let mut out = Vec::new();
+        s.drain_skips(&mut out);
+        assert!(out.is_empty());
+
+        s.set_tracing(true);
+        assert!(s
+            .pick_map(&mut q, NodeId(3), &lookup, &topo, SimTime::ZERO)
+            .is_none());
+        s.drain_skips(&mut out);
+        assert_eq!(
+            out,
+            vec![SkipDecision {
+                job: JobId(0),
+                node: NodeId(3),
+                offered: Locality::RackLocal,
+                skips: 1,
+            }],
+            "second decline recorded with the pre-increment skip count"
+        );
+        // Drain is destructive.
+        let mut again = Vec::new();
+        s.drain_skips(&mut again);
+        assert!(again.is_empty());
     }
 }

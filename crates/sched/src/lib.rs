@@ -130,6 +130,22 @@ impl LocationLookup for TableLookup {
     }
 }
 
+/// One delay-scheduling decline, recorded for tracing: the scheduler
+/// passed over `job` on `node`'s free slot because the best task it could
+/// launch there was only `offered`-local and the job had not yet burned
+/// enough skips to accept that level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipDecision {
+    /// The job that was skipped.
+    pub job: JobId,
+    /// The node whose slot was declined.
+    pub node: NodeId,
+    /// Best locality the node could have offered the job.
+    pub offered: Locality,
+    /// The job's consecutive skip count *before* this decline.
+    pub skips: u32,
+}
+
 /// A map-task scheduler: picks the next map task to run on a freed slot.
 pub trait Scheduler {
     /// Offer one free map slot on `node` at `now`. On a hit, the task is
@@ -147,4 +163,13 @@ pub trait Scheduler {
 
     /// Scheduler name for reports ("fifo", "fair").
     fn name(&self) -> &'static str;
+
+    /// Enable or disable skip recording. Off by default; schedulers that
+    /// have no delay logic (FIFO, capacity) ignore it.
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Move the skip decisions recorded since the last drain into `out`
+    /// (appending, in decision order). No-op unless tracing is enabled on
+    /// a delay-scheduling implementation.
+    fn drain_skips(&mut self, _out: &mut Vec<SkipDecision>) {}
 }

@@ -18,7 +18,7 @@
 use crate::fair::FairConfig;
 use crate::locality::{classify, Locality};
 use crate::queue::{Assignment, JobId, JobQueue};
-use crate::{LocationLookup, Scheduler};
+use crate::{LocationLookup, Scheduler, SkipDecision};
 use dare_net::{NodeId, Topology};
 use dare_simcore::SimTime;
 
@@ -86,6 +86,8 @@ impl Scheduler for NaiveFifoScheduler {
 #[derive(Debug, Default)]
 pub struct NaiveFairScheduler {
     cfg: FairConfig,
+    trace: bool,
+    skip_log: Vec<SkipDecision>,
 }
 
 impl NaiveFairScheduler {
@@ -97,7 +99,11 @@ impl NaiveFairScheduler {
     /// Scheduler with explicit thresholds.
     pub fn with_config(cfg: FairConfig) -> Self {
         assert!(cfg.d1 <= cfg.d2, "rack threshold must not exceed any");
-        NaiveFairScheduler { cfg }
+        NaiveFairScheduler {
+            cfg,
+            trace: false,
+            skip_log: Vec::new(),
+        }
     }
 }
 
@@ -141,6 +147,14 @@ impl Scheduler for NaiveFairScheduler {
                     locality: loc,
                 });
             }
+            if self.trace {
+                self.skip_log.push(SkipDecision {
+                    job: job_id,
+                    node,
+                    offered: loc,
+                    skips: skip_count,
+                });
+            }
             queue.job_mut(job_id).expect("job exists").skip_count += 1;
         }
         None
@@ -148,6 +162,17 @@ impl Scheduler for NaiveFairScheduler {
 
     fn name(&self) -> &'static str {
         "fair-naive"
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.trace = enabled;
+        if !enabled {
+            self.skip_log.clear();
+        }
+    }
+
+    fn drain_skips(&mut self, out: &mut Vec<SkipDecision>) {
+        out.append(&mut self.skip_log);
     }
 }
 

@@ -122,6 +122,54 @@ fn p2_estimate_within_sample_range() {
 }
 
 #[test]
+fn p2_tracks_exact_quantile_on_distribution_streams() {
+    // The P² estimator never stores the sample, so judge it where it is
+    // meaningful: in *rank* space. For each random stream we compute the
+    // empirical CDF position of the P² estimate and demand it sit within
+    // a few percentile points of the target quantile — a scale-free
+    // envelope that holds for uniform, exponential and heavy-tailed
+    // log-normal streams alike (an absolute-value envelope would be
+    // meaningless at a log-normal p99).
+    use dare_simcore::dist::{Exponential, LogNormal};
+    run_cases(128, 0x57A7_0009, |g| {
+        let n = g.usize_in(500..3000);
+        let q = *g.pick(&[0.5, 0.9, 0.95, 0.99]);
+        let dist = g.usize_in(0..3);
+        let mut rng = g.rng().substream("p2-stream");
+        let xs: Vec<f64> = (0..n)
+            .map(|_| match dist {
+                0 => rng.uniform_range(-50.0, 150.0),
+                1 => Exponential::from_mean(10.0).sample(&mut rng),
+                _ => LogNormal::from_median(8.0, 1.5).sample(&mut rng),
+            })
+            .collect();
+        let mut est = P2Quantile::new(q);
+        for &x in &xs {
+            est.push(x);
+        }
+        let e = est.estimate();
+        // Empirical CDF position of the estimate.
+        let rank = xs.iter().filter(|&&x| x <= e).count() as f64 / n as f64;
+        // Sampling noise of an order statistic is ~sqrt(q(1-q)/n); allow
+        // several multiples of it for the estimator's own marker error.
+        let tol = 0.02 + 6.0 * (q * (1.0 - q) / n as f64).sqrt();
+        assert!(
+            (rank - q).abs() <= tol,
+            "P² rank drift: dist={dist} n={n} q={q} estimate={e} \
+             sits at rank {rank:.4} (tol {tol:.4}, exact {})",
+            quantile(&xs, q),
+        );
+        // And the exact quantile itself must sit inside the same envelope
+        // around the estimate's rank — i.e. both point at the same tail.
+        let exact = quantile(&xs, q);
+        assert!(
+            (e - exact).abs() <= (exact.abs() + 1.0) * 0.5,
+            "P² wildly off: dist={dist} n={n} q={q} est={e} exact={exact}"
+        );
+    });
+}
+
+#[test]
 fn zipf_cdf_monotone_and_complete() {
     run_cases(128, 0x57A7_0007, |g| {
         let n = g.usize_in(1..500);

@@ -1,0 +1,389 @@
+//! Typed trace events emitted by the simulation engine.
+//!
+//! Events are deliberately flat: every field is an integer, a bool, or a
+//! small enum so that the JSONL export is byte-stable across runs and
+//! platforms (no floating point ever reaches a golden file).  Node, job,
+//! task and block identifiers are raw integers here — `dare-trace` sits
+//! below the domain crates in the dependency graph and must not know
+//! about their newtypes.
+
+use dare_simcore::time::SimTime;
+
+/// Which subsystem an event belongs to, used for per-subsystem counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subsystem {
+    /// Job lifecycle and scheduler decisions (launches, delay skips).
+    Sched,
+    /// Flow-level network transfers.
+    Net,
+    /// Replica placement, commits and evictions.
+    Dfs,
+    /// Crashes, dead-node declarations, retries and recovery queueing.
+    Fault,
+}
+
+impl Subsystem {
+    /// Stable lower-case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Sched => "sched",
+            Subsystem::Net => "net",
+            Subsystem::Dfs => "dfs",
+            Subsystem::Fault => "fault",
+        }
+    }
+}
+
+/// Data-path locality of a scheduling decision, mirroring the engine's
+/// notion without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// The input block is on the chosen node's local disk.
+    Node,
+    /// The input block is in the chosen node's rack.
+    Rack,
+    /// The input block must cross the core (off-rack).
+    Remote,
+}
+
+impl Loc {
+    /// Stable lower-case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Loc::Node => "node",
+            Loc::Rack => "rack",
+            Loc::Remote => "remote",
+        }
+    }
+}
+
+/// Why a network flow exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowKind {
+    /// A map task pulling its input block from a remote datanode.
+    Fetch,
+    /// Re-replication of an under-replicated block after a failure.
+    Recovery,
+    /// Proactive replication triggered by a placement policy.
+    Proactive,
+}
+
+impl FlowKind {
+    /// Stable lower-case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowKind::Fetch => "fetch",
+            FlowKind::Recovery => "recovery",
+            FlowKind::Proactive => "proactive",
+        }
+    }
+}
+
+/// What a flow was moving data *for*: a task's input fetch, or a block
+/// copy (recovery / proactive replication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowCtx {
+    /// Input fetch for a specific map attempt.
+    Fetch {
+        /// Owning job id.
+        job: u32,
+        /// Map task index within the job.
+        task: u32,
+        /// Attempt number for that task.
+        attempt: u32,
+    },
+    /// Block copy identified by the global block id.
+    Block {
+        /// The block being copied.
+        block: u64,
+    },
+}
+
+/// A single structured event.  Variants map one-to-one onto `ev` names in
+/// the JSONL schema (see [`crate::export::to_jsonl`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A job entered the system.
+    JobSubmitted {
+        /// Job id.
+        job: u32,
+        /// Number of map tasks in the job.
+        maps: u32,
+    },
+    /// All tasks of a job finished; `dur_us` is submission→completion.
+    JobCompleted {
+        /// Job id.
+        job: u32,
+        /// Turnaround time in microseconds.
+        dur_us: u64,
+    },
+    /// A job was abandoned after exhausting task retries.
+    JobFailed {
+        /// Job id.
+        job: u32,
+    },
+    /// A map attempt was placed on a node.
+    TaskLaunched {
+        /// Owning job id.
+        job: u32,
+        /// Map task index.
+        task: u32,
+        /// Attempt number.
+        attempt: u32,
+        /// Node the attempt runs on.
+        node: u32,
+        /// Data-path locality of the placement.
+        loc: Loc,
+        /// True if this is a speculative duplicate attempt.
+        speculative: bool,
+        /// True if the input is read from local disk (no network flow).
+        local_read: bool,
+    },
+    /// A map attempt finished reading its input (local disk or network).
+    TaskReadDone {
+        /// Owning job id.
+        job: u32,
+        /// Map task index.
+        task: u32,
+        /// Attempt number.
+        attempt: u32,
+        /// Node the attempt runs on.
+        node: u32,
+    },
+    /// A map attempt committed its output; `dur_us` is launch→commit.
+    TaskCommitted {
+        /// Owning job id.
+        job: u32,
+        /// Map task index.
+        task: u32,
+        /// Attempt number.
+        attempt: u32,
+        /// Node the attempt ran on.
+        node: u32,
+        /// Attempt latency in microseconds.
+        dur_us: u64,
+    },
+    /// A running attempt was killed (node death or lost speculation race).
+    TaskAborted {
+        /// Owning job id.
+        job: u32,
+        /// Map task index.
+        task: u32,
+        /// Attempt number.
+        attempt: u32,
+        /// Node the attempt was running on.
+        node: u32,
+    },
+    /// A failed task went back onto the pending queue for a retry.
+    TaskRequeued {
+        /// Owning job id.
+        job: u32,
+        /// Map task index.
+        task: u32,
+        /// Next attempt number.
+        attempt: u32,
+    },
+    /// The delay scheduler declined a non-local launch to wait for
+    /// locality (Zaharia et al., EuroSys 2010).
+    DelaySkip {
+        /// Job that was skipped.
+        job: u32,
+        /// Node whose slot was declined.
+        node: u32,
+        /// Consecutive skips so far for this job (before this one).
+        skips: u32,
+        /// Best locality the node could have offered.
+        offered: Loc,
+    },
+    /// A network flow started.
+    FlowStarted {
+        /// Flow id from the network simulator.
+        flow: u64,
+        /// Why the flow exists.
+        kind: FlowKind,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// True if the flow crosses the rack core.
+        cross_rack: bool,
+        /// What the flow is moving data for.
+        ctx: FlowCtx,
+    },
+    /// A network flow delivered all its bytes; `dur_us` is start→finish.
+    FlowFinished {
+        /// Flow id from the network simulator.
+        flow: u64,
+        /// Why the flow existed.
+        kind: FlowKind,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Transfer latency in microseconds.
+        dur_us: u64,
+        /// What the flow was moving data for.
+        ctx: FlowCtx,
+    },
+    /// A network flow was torn down before completion.
+    FlowCancelled {
+        /// Flow id from the network simulator.
+        flow: u64,
+        /// Why the flow existed.
+        kind: FlowKind,
+    },
+    /// A replication policy ruled on an observed remote access.
+    ReplicaDecision {
+        /// Node that observed the access.
+        node: u32,
+        /// Block that was accessed.
+        block: u64,
+        /// True if the policy chose to create a dynamic replica.
+        replicate: bool,
+        /// Number of cached replicas evicted to make room.
+        evictions: u32,
+    },
+    /// A dynamic replica finished materialising on a node.
+    ReplicaCommitted {
+        /// Node now holding the replica.
+        node: u32,
+        /// Replicated block.
+        block: u64,
+    },
+    /// A dynamic replica was evicted from a node's cache budget.
+    ReplicaEvicted {
+        /// Node that dropped the replica.
+        node: u32,
+        /// Evicted block.
+        block: u64,
+    },
+    /// A node stopped heartbeating (silent crash).
+    NodeCrashed {
+        /// Crashed node.
+        node: u32,
+        /// True if the node never rejoins.
+        permanent: bool,
+    },
+    /// A transiently-failed node came back and sent a block report.
+    NodeRejoined {
+        /// Rejoining node.
+        node: u32,
+        /// Blocks still present on its disk.
+        restored: u32,
+    },
+    /// The master declared a silent node dead after the heartbeat timeout.
+    NodeDeclaredDead {
+        /// Declared node.
+        node: u32,
+        /// Blocks left under-replicated by the declaration.
+        under_replicated: u32,
+    },
+    /// A block lost its last visible replica.
+    BlockLost {
+        /// The lost block.
+        block: u64,
+    },
+    /// A block was queued for re-replication.
+    RecoveryQueued {
+        /// The under-replicated block.
+        block: u64,
+        /// Visible replicas remaining.
+        visible: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake-case event name used in the JSONL `ev` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::JobSubmitted { .. } => "job_submitted",
+            TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::JobFailed { .. } => "job_failed",
+            TraceEvent::TaskLaunched { .. } => "task_launched",
+            TraceEvent::TaskReadDone { .. } => "task_read_done",
+            TraceEvent::TaskCommitted { .. } => "task_committed",
+            TraceEvent::TaskAborted { .. } => "task_aborted",
+            TraceEvent::TaskRequeued { .. } => "task_requeued",
+            TraceEvent::DelaySkip { .. } => "delay_skip",
+            TraceEvent::FlowStarted { .. } => "flow_started",
+            TraceEvent::FlowFinished { .. } => "flow_finished",
+            TraceEvent::FlowCancelled { .. } => "flow_cancelled",
+            TraceEvent::ReplicaDecision { .. } => "replica_decision",
+            TraceEvent::ReplicaCommitted { .. } => "replica_committed",
+            TraceEvent::ReplicaEvicted { .. } => "replica_evicted",
+            TraceEvent::NodeCrashed { .. } => "node_crashed",
+            TraceEvent::NodeRejoined { .. } => "node_rejoined",
+            TraceEvent::NodeDeclaredDead { .. } => "node_declared_dead",
+            TraceEvent::BlockLost { .. } => "block_lost",
+            TraceEvent::RecoveryQueued { .. } => "recovery_queued",
+        }
+    }
+
+    /// The subsystem this event is attributed to.
+    pub fn subsystem(&self) -> Subsystem {
+        match self {
+            TraceEvent::JobSubmitted { .. }
+            | TraceEvent::JobCompleted { .. }
+            | TraceEvent::JobFailed { .. }
+            | TraceEvent::TaskLaunched { .. }
+            | TraceEvent::TaskReadDone { .. }
+            | TraceEvent::TaskCommitted { .. }
+            | TraceEvent::DelaySkip { .. } => Subsystem::Sched,
+            TraceEvent::FlowStarted { .. }
+            | TraceEvent::FlowFinished { .. }
+            | TraceEvent::FlowCancelled { .. } => Subsystem::Net,
+            TraceEvent::ReplicaDecision { .. }
+            | TraceEvent::ReplicaCommitted { .. }
+            | TraceEvent::ReplicaEvicted { .. } => Subsystem::Dfs,
+            TraceEvent::TaskAborted { .. }
+            | TraceEvent::TaskRequeued { .. }
+            | TraceEvent::NodeCrashed { .. }
+            | TraceEvent::NodeRejoined { .. }
+            | TraceEvent::NodeDeclaredDead { .. }
+            | TraceEvent::BlockLost { .. }
+            | TraceEvent::RecoveryQueued { .. } => Subsystem::Fault,
+        }
+    }
+
+    /// Every event name the schema knows, in declaration order.  Used by
+    /// the JSONL validator and the docs.
+    pub const ALL_NAMES: [&'static str; 20] = [
+        "job_submitted",
+        "job_completed",
+        "job_failed",
+        "task_launched",
+        "task_read_done",
+        "task_committed",
+        "task_aborted",
+        "task_requeued",
+        "delay_skip",
+        "flow_started",
+        "flow_finished",
+        "flow_cancelled",
+        "replica_decision",
+        "replica_committed",
+        "replica_evicted",
+        "node_crashed",
+        "node_rejoined",
+        "node_declared_dead",
+        "block_lost",
+        "recovery_queued",
+    ];
+}
+
+/// One timestamped, sequence-numbered event as stored in a [`crate::Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time the event was recorded at.
+    pub time: SimTime,
+    /// Monotonic sequence number, unique within a run.  Breaks ties for
+    /// events recorded at the same instant and makes the export totally
+    /// ordered.
+    pub seq: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}

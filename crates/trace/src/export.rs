@@ -1,0 +1,578 @@
+//! Trace exporters: byte-stable JSONL and Chrome Trace Event JSON.
+//!
+//! The JSONL format is the golden-file format: one object per line, keys
+//! in a fixed order, every value an integer, bool or known string — no
+//! floating point, so identical runs serialize to identical bytes on
+//! every platform.
+//!
+//! The Chrome format follows the Trace Event spec (`"X"` complete spans
+//! with `ts`/`dur` in microseconds, `"i"` instants, `"M"` metadata) and
+//! loads directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+
+use crate::event::{FlowCtx, TraceEvent, TraceRecord};
+use crate::recorder::Trace;
+use std::fmt::Write as _;
+
+fn push_ctx(line: &mut String, ctx: FlowCtx) {
+    match ctx {
+        FlowCtx::Fetch { job, task, attempt } => {
+            let _ = write!(line, ",\"job\":{job},\"task\":{task},\"attempt\":{attempt}");
+        }
+        FlowCtx::Block { block } => {
+            let _ = write!(line, ",\"block\":{block}");
+        }
+    }
+}
+
+/// Serialize one record as a single JSONL line (no trailing newline).
+///
+/// Key order is fixed: `t`, `seq`, `ev`, `sub`, then event fields in
+/// declaration order.
+pub fn record_to_json(r: &TraceRecord) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"t\":{},\"seq\":{},\"ev\":\"{}\",\"sub\":\"{}\"",
+        r.time.as_micros(),
+        r.seq,
+        r.event.name(),
+        r.event.subsystem().name()
+    );
+    match r.event {
+        TraceEvent::JobSubmitted { job, maps } => {
+            let _ = write!(s, ",\"job\":{job},\"maps\":{maps}");
+        }
+        TraceEvent::JobCompleted { job, dur_us } => {
+            let _ = write!(s, ",\"job\":{job},\"dur_us\":{dur_us}");
+        }
+        TraceEvent::JobFailed { job } => {
+            let _ = write!(s, ",\"job\":{job}");
+        }
+        TraceEvent::TaskLaunched {
+            job,
+            task,
+            attempt,
+            node,
+            loc,
+            speculative,
+            local_read,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"task\":{task},\"attempt\":{attempt},\"node\":{node},\"loc\":\"{}\",\"spec\":{speculative},\"local_read\":{local_read}",
+                loc.name()
+            );
+        }
+        TraceEvent::TaskReadDone {
+            job,
+            task,
+            attempt,
+            node,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"task\":{task},\"attempt\":{attempt},\"node\":{node}"
+            );
+        }
+        TraceEvent::TaskCommitted {
+            job,
+            task,
+            attempt,
+            node,
+            dur_us,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"task\":{task},\"attempt\":{attempt},\"node\":{node},\"dur_us\":{dur_us}"
+            );
+        }
+        TraceEvent::TaskAborted {
+            job,
+            task,
+            attempt,
+            node,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"task\":{task},\"attempt\":{attempt},\"node\":{node}"
+            );
+        }
+        TraceEvent::TaskRequeued { job, task, attempt } => {
+            let _ = write!(s, ",\"job\":{job},\"task\":{task},\"attempt\":{attempt}");
+        }
+        TraceEvent::DelaySkip {
+            job,
+            node,
+            skips,
+            offered,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"node\":{node},\"skips\":{skips},\"offered\":\"{}\"",
+                offered.name()
+            );
+        }
+        TraceEvent::FlowStarted {
+            flow,
+            kind,
+            src,
+            dst,
+            bytes,
+            cross_rack,
+            ctx,
+        } => {
+            let _ = write!(
+                s,
+                ",\"flow\":{flow},\"kind\":\"{}\",\"src\":{src},\"dst\":{dst},\"bytes\":{bytes},\"cross_rack\":{cross_rack}",
+                kind.name()
+            );
+            push_ctx(&mut s, ctx);
+        }
+        TraceEvent::FlowFinished {
+            flow,
+            kind,
+            src,
+            dst,
+            bytes,
+            dur_us,
+            ctx,
+        } => {
+            let _ = write!(
+                s,
+                ",\"flow\":{flow},\"kind\":\"{}\",\"src\":{src},\"dst\":{dst},\"bytes\":{bytes},\"dur_us\":{dur_us}",
+                kind.name()
+            );
+            push_ctx(&mut s, ctx);
+        }
+        TraceEvent::FlowCancelled { flow, kind } => {
+            let _ = write!(s, ",\"flow\":{flow},\"kind\":\"{}\"", kind.name());
+        }
+        TraceEvent::ReplicaDecision {
+            node,
+            block,
+            replicate,
+            evictions,
+        } => {
+            let _ = write!(
+                s,
+                ",\"node\":{node},\"block\":{block},\"replicate\":{replicate},\"evictions\":{evictions}"
+            );
+        }
+        TraceEvent::ReplicaCommitted { node, block } => {
+            let _ = write!(s, ",\"node\":{node},\"block\":{block}");
+        }
+        TraceEvent::ReplicaEvicted { node, block } => {
+            let _ = write!(s, ",\"node\":{node},\"block\":{block}");
+        }
+        TraceEvent::NodeCrashed { node, permanent } => {
+            let _ = write!(s, ",\"node\":{node},\"permanent\":{permanent}");
+        }
+        TraceEvent::NodeRejoined { node, restored } => {
+            let _ = write!(s, ",\"node\":{node},\"restored\":{restored}");
+        }
+        TraceEvent::NodeDeclaredDead {
+            node,
+            under_replicated,
+        } => {
+            let _ = write!(s, ",\"node\":{node},\"under\":{under_replicated}");
+        }
+        TraceEvent::BlockLost { block } => {
+            let _ = write!(s, ",\"block\":{block}");
+        }
+        TraceEvent::RecoveryQueued { block, visible } => {
+            let _ = write!(s, ",\"block\":{block},\"visible\":{visible}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize a whole trace as JSONL (one event per line, trailing newline).
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.records().len() * 96);
+    for r in trace.records() {
+        out.push_str(&record_to_json(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Check a JSONL export against the schema without a JSON parser: every
+/// line must carry `t`/`seq`/`ev` in order, `seq` must count up from 0,
+/// `t` must be non-decreasing, and `ev` must be a known event name.
+///
+/// Returns `Err` with a line number and reason on the first violation.
+pub fn validate_jsonl(jsonl: &str) -> Result<(), String> {
+    let mut last_t: u64 = 0;
+    for (i, line) in jsonl.lines().enumerate() {
+        let lineno = i + 1;
+        let expect_seq = i as u64;
+        if line.is_empty() {
+            return Err(format!("line {lineno}: empty line"));
+        }
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {lineno}: not a JSON object"));
+        }
+        let t = field_u64(line, "\"t\":")
+            .ok_or_else(|| format!("line {lineno}: missing integer field \"t\""))?;
+        let seq = field_u64(line, "\"seq\":")
+            .ok_or_else(|| format!("line {lineno}: missing integer field \"seq\""))?;
+        let ev = field_str(line, "\"ev\":\"")
+            .ok_or_else(|| format!("line {lineno}: missing string field \"ev\""))?;
+        if seq != expect_seq {
+            return Err(format!(
+                "line {lineno}: seq {seq}, expected {expect_seq} (gap or reorder)"
+            ));
+        }
+        if t < last_t {
+            return Err(format!(
+                "line {lineno}: time {t}us goes backwards (previous {last_t}us)"
+            ));
+        }
+        if !TraceEvent::ALL_NAMES.contains(&ev) {
+            return Err(format!("line {lineno}: unknown event name {ev:?}"));
+        }
+        last_t = t;
+    }
+    Ok(())
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Serialize a trace in Chrome Trace Event format, openable in Perfetto.
+///
+/// Layout: pid 1 = job spans (one row per job), pid 2 = task attempts
+/// (one row per node), pid 3 = network flows (one row per destination
+/// node), pid 4 = instant events (replication decisions, faults) keyed by
+/// node.  Unclosed spans (attempts still running or flows cancelled) are
+/// closed at the last event time so Perfetto renders them.
+pub fn to_chrome(trace: &Trace) -> String {
+    use std::collections::HashMap;
+
+    let end_us = trace
+        .records()
+        .last()
+        .map(|r| r.time.as_micros())
+        .unwrap_or(0);
+
+    struct ChromeOut {
+        buf: String,
+        first: bool,
+    }
+    impl ChromeOut {
+        fn emit(&mut self, line: String) {
+            if !std::mem::take(&mut self.first) {
+                self.buf.push_str(",\n");
+            }
+            self.buf.push_str(&line);
+        }
+        fn span(&mut self, pid: u32, tid: u32, name: &str, ts: u64, dur: u64) {
+            self.emit(format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{name}\",\"ts\":{ts},\"dur\":{dur}}}"
+            ));
+        }
+    }
+
+    let mut out = ChromeOut {
+        buf: String::with_capacity(trace.records().len() * 128 + 1024),
+        first: true,
+    };
+    out.buf
+        .push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+
+    for (pid, name) in [
+        (1u32, "jobs"),
+        (2, "tasks (by node)"),
+        (3, "network flows (by dst)"),
+        (4, "cluster events (by node)"),
+    ] {
+        out.emit(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+
+    // Open-span bookkeeping.
+    let mut job_start: HashMap<u32, u64> = HashMap::new();
+    let mut task_start: HashMap<(u32, u32, u32), (u64, u32)> = HashMap::new();
+    let mut flow_start: HashMap<u64, (u64, String, u32)> = HashMap::new();
+
+    for r in trace.records() {
+        let ts = r.time.as_micros();
+        match r.event {
+            TraceEvent::JobSubmitted { job, .. } => {
+                job_start.insert(job, ts);
+            }
+            TraceEvent::JobCompleted { job, dur_us } => {
+                let start = ts.saturating_sub(dur_us);
+                out.span(1, job, &format!("job {job}"), start, dur_us);
+                job_start.remove(&job);
+            }
+            TraceEvent::JobFailed { job } => {
+                if let Some(start) = job_start.remove(&job) {
+                    out.span(
+                        1,
+                        job,
+                        &format!("job {job} (failed)"),
+                        start,
+                        ts.saturating_sub(start),
+                    );
+                }
+            }
+            TraceEvent::TaskLaunched {
+                job,
+                task,
+                attempt,
+                node,
+                ..
+            } => {
+                task_start.insert((job, task, attempt), (ts, node));
+            }
+            TraceEvent::TaskCommitted {
+                job,
+                task,
+                attempt,
+                node,
+                dur_us,
+            } => {
+                let start = ts.saturating_sub(dur_us);
+                out.span(2, node, &format!("j{job}/t{task}#a{attempt}"), start, dur_us);
+                task_start.remove(&(job, task, attempt));
+            }
+            TraceEvent::TaskAborted {
+                job,
+                task,
+                attempt,
+                node,
+            } => {
+                if let Some((start, _)) = task_start.remove(&(job, task, attempt)) {
+                    out.span(
+                        2,
+                        node,
+                        &format!("j{job}/t{task}#a{attempt} (aborted)"),
+                        start,
+                        ts.saturating_sub(start),
+                    );
+                }
+            }
+            TraceEvent::FlowStarted {
+                flow,
+                kind,
+                src,
+                dst,
+                bytes,
+                ..
+            } => {
+                flow_start.insert(
+                    flow,
+                    (ts, format!("{} {src}->{dst} {bytes}B", kind.name()), dst),
+                );
+            }
+            TraceEvent::FlowFinished { flow, dst, dur_us, .. } => {
+                if let Some((start, name, _)) = flow_start.remove(&flow) {
+                    let start = start.min(ts.saturating_sub(dur_us));
+                    out.span(3, dst, &name, start, ts.saturating_sub(start));
+                }
+            }
+            TraceEvent::FlowCancelled { flow, .. } => {
+                if let Some((start, name, dst)) = flow_start.remove(&flow) {
+                    out.span(
+                        3,
+                        dst,
+                        &format!("{name} (cancelled)"),
+                        start,
+                        ts.saturating_sub(start),
+                    );
+                }
+            }
+            TraceEvent::DelaySkip { job, node, .. } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"delay skip j{job}\",\"ts\":{ts},\"s\":\"t\"}}"
+                    ));
+            }
+            TraceEvent::ReplicaDecision {
+                node,
+                block,
+                replicate,
+                ..
+            } => {
+                let verdict = if replicate { "replicate" } else { "skip" };
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"{verdict} b{block}\",\"ts\":{ts},\"s\":\"t\"}}"
+                    ));
+            }
+            TraceEvent::ReplicaCommitted { node, block } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"replica b{block}\",\"ts\":{ts},\"s\":\"t\"}}"
+                    ));
+            }
+            TraceEvent::ReplicaEvicted { node, block } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"evict b{block}\",\"ts\":{ts},\"s\":\"t\"}}"
+                    ));
+            }
+            TraceEvent::NodeCrashed { node, .. } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"CRASH n{node}\",\"ts\":{ts},\"s\":\"g\"}}"
+                    ));
+            }
+            TraceEvent::NodeDeclaredDead { node, .. } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"DEAD n{node}\",\"ts\":{ts},\"s\":\"g\"}}"
+                    ));
+            }
+            TraceEvent::NodeRejoined { node, .. } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"REJOIN n{node}\",\"ts\":{ts},\"s\":\"g\"}}"
+                    ));
+            }
+            _ => {}
+        }
+    }
+
+    // Close anything still open at the end of the trace.
+    type OpenTask = ((u32, u32, u32), (u64, u32));
+    let mut leftover_tasks: Vec<OpenTask> = task_start.into_iter().collect();
+    leftover_tasks.sort();
+    for ((job, task, attempt), (start, node)) in leftover_tasks {
+        out.span(
+            2,
+            node,
+            &format!("j{job}/t{task}#a{attempt} (unfinished)"),
+            start,
+            end_us.saturating_sub(start),
+        );
+    }
+    let mut leftover_flows: Vec<(u64, (u64, String, u32))> = flow_start.into_iter().collect();
+    leftover_flows.sort_by_key(|(id, _)| *id);
+    for (_, (start, name, dst)) in leftover_flows {
+        out.span(
+            3,
+            dst,
+            &format!("{name} (unfinished)"),
+            start,
+            end_us.saturating_sub(start),
+        );
+    }
+    let mut leftover_jobs: Vec<(u32, u64)> = job_start.into_iter().collect();
+    leftover_jobs.sort();
+    for (job, start) in leftover_jobs {
+        out.span(
+            1,
+            job,
+            &format!("job {job} (unfinished)"),
+            start,
+            end_us.saturating_sub(start),
+        );
+    }
+
+    out.buf.push_str("\n]}\n");
+    out.buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Loc, TraceEvent};
+    use crate::recorder::Tracer;
+    use dare_simcore::time::SimTime;
+
+    fn sample_trace() -> Trace {
+        let mut tr = Tracer::new();
+        tr.record(
+            SimTime::from_micros(0),
+            TraceEvent::JobSubmitted { job: 0, maps: 1 },
+        );
+        tr.record(
+            SimTime::from_micros(10),
+            TraceEvent::TaskLaunched {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 2,
+                loc: Loc::Rack,
+                speculative: false,
+                local_read: false,
+            },
+        );
+        tr.record(
+            SimTime::from_micros(4010),
+            TraceEvent::TaskCommitted {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 2,
+                dur_us: 4000,
+            },
+        );
+        tr.record(
+            SimTime::from_micros(4020),
+            TraceEvent::JobCompleted {
+                job: 0,
+                dur_us: 4020,
+            },
+        );
+        tr.finish()
+    }
+
+    #[test]
+    fn jsonl_round_trips_the_schema() {
+        let j = to_jsonl(&sample_trace());
+        assert_eq!(j.lines().count(), 4);
+        assert!(j.starts_with(
+            "{\"t\":0,\"seq\":0,\"ev\":\"job_submitted\",\"sub\":\"sched\",\"job\":0,\"maps\":1}"
+        ));
+        validate_jsonl(&j).expect("schema-valid");
+    }
+
+    #[test]
+    fn validator_rejects_corruption() {
+        let j = to_jsonl(&sample_trace());
+        // Drop a line: seq gap.
+        let dropped: String = j
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        assert!(validate_jsonl(&dropped).unwrap_err().contains("seq"));
+        // Unknown event name.
+        let bad = j.replace("job_submitted", "job_teleported");
+        assert!(validate_jsonl(&bad).unwrap_err().contains("unknown event"));
+        // Time going backwards.
+        let back = j.replace("{\"t\":4020,", "{\"t\":1,");
+        assert!(validate_jsonl(&back).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn chrome_export_has_spans_and_balances_braces() {
+        let c = to_chrome(&sample_trace());
+        assert!(c.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(c.contains("\"ph\":\"X\""));
+        assert!(c.contains("job 0"));
+        assert!(c.contains("j0/t0#a0"));
+        let open = c.chars().filter(|&ch| ch == '{').count();
+        let close = c.chars().filter(|&ch| ch == '}').count();
+        assert_eq!(open, close, "balanced braces");
+        let opens = c.chars().filter(|&ch| ch == '[').count();
+        let closes = c.chars().filter(|&ch| ch == ']').count();
+        assert_eq!(opens, closes, "balanced brackets");
+    }
+}

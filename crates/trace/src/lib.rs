@@ -1,0 +1,41 @@
+//! Structured simulation tracing for the DARE reproduction.
+//!
+//! The simulator's metrics crate reports end-of-run aggregates; this crate
+//! records *why* those numbers came out the way they did — a typed,
+//! totally-ordered event log of scheduler decisions, network flows,
+//! replication policy verdicts and fault handling, recorded only when a
+//! run opts in (`SimConfig::record_trace`) and therefore zero-cost
+//! otherwise.
+//!
+//! Layers:
+//! - [`event`]: the typed event vocabulary ([`TraceEvent`]) and records.
+//! - [`recorder`]: the in-flight [`Tracer`] and the sealed [`Trace`] with
+//!   per-subsystem counters and P²-backed latency histograms.
+//! - [`export`]: byte-stable JSONL (golden-file format) and Chrome
+//!   Trace Event JSON (Perfetto-openable) serializers plus a JSONL
+//!   schema validator.
+//! - [`query`]: span reconstruction and assertion helpers for tests.
+//! - [`diff`]: the normalizing golden-file differ with actionable output.
+//!
+//! This crate depends only on `dare-simcore` so every domain crate above
+//! it (dfs, sched, net, mapred) can emit into it without cycles; domain
+//! ids are plain integers here.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod event;
+pub mod export;
+pub mod query;
+pub mod recorder;
+pub mod stats;
+
+pub use diff::diff_golden;
+pub use event::{FlowCtx, FlowKind, Loc, Subsystem, TraceEvent, TraceRecord};
+pub use export::{record_to_json, to_chrome, to_jsonl, validate_jsonl};
+pub use query::{
+    assert_event_order, find_first, flow_spans, per_job_timeline, span_overlaps, task_spans,
+    FlowSpan, TaskSpan,
+};
+pub use recorder::{Trace, TraceCounters, Tracer};
+pub use stats::{LatencyStat, TraceHists};

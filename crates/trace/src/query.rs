@@ -1,0 +1,424 @@
+//! Trace-query helpers for tests: span reconstruction, overlap checks,
+//! per-job timelines, and ordered-event assertions.
+
+use crate::event::{FlowCtx, FlowKind, Loc, TraceEvent, TraceRecord};
+use crate::recorder::Trace;
+use dare_simcore::time::SimTime;
+
+/// A reconstructed map-attempt span (launch → commit/abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Owning job id.
+    pub job: u32,
+    /// Map task index.
+    pub task: u32,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Node the attempt ran on.
+    pub node: u32,
+    /// Placement locality at launch.
+    pub loc: Loc,
+    /// True for speculative duplicate attempts.
+    pub speculative: bool,
+    /// Launch time.
+    pub start: SimTime,
+    /// When the input read finished, if it did.
+    pub read_done: Option<SimTime>,
+    /// Commit or abort time; `None` if the attempt never terminated
+    /// (e.g. a zombie silently dropped at declare-dead).
+    pub end: Option<SimTime>,
+    /// True if the span ended in a commit.
+    pub committed: bool,
+}
+
+/// A reconstructed network-flow span (start → finish/cancel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpan {
+    /// Flow id from the network simulator.
+    pub flow: u64,
+    /// Why the flow existed.
+    pub kind: FlowKind,
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// What the flow was moving data for.
+    pub ctx: FlowCtx,
+    /// Start time.
+    pub start: SimTime,
+    /// Finish or cancel time; `None` if the run ended with the flow live.
+    pub end: Option<SimTime>,
+    /// True if the flow delivered all its bytes.
+    pub finished: bool,
+}
+
+/// True when the half-open intervals `[a_start, a_end)` and
+/// `[b_start, b_end)` intersect.  An `end` of `None` means the span was
+/// still open at the end of the trace and extends to infinity.
+pub fn span_overlaps(
+    a_start: SimTime,
+    a_end: Option<SimTime>,
+    b_start: SimTime,
+    b_end: Option<SimTime>,
+) -> bool {
+    let a_before_b_ends = match b_end {
+        Some(be) => a_start < be,
+        None => true,
+    };
+    let b_before_a_ends = match a_end {
+        Some(ae) => b_start < ae,
+        None => true,
+    };
+    a_before_b_ends && b_before_a_ends
+}
+
+impl TaskSpan {
+    /// Overlap against a flow span (half-open semantics, open ends win).
+    pub fn overlaps_flow(&self, f: &FlowSpan) -> bool {
+        span_overlaps(self.start, self.end, f.start, f.end)
+    }
+}
+
+impl FlowSpan {
+    /// Overlap against another flow span.
+    pub fn overlaps(&self, other: &FlowSpan) -> bool {
+        span_overlaps(self.start, self.end, other.start, other.end)
+    }
+}
+
+/// Reconstruct every map-attempt span in the trace, in launch order.
+pub fn task_spans(trace: &Trace) -> Vec<TaskSpan> {
+    let mut spans: Vec<TaskSpan> = Vec::new();
+    for r in trace.records() {
+        match r.event {
+            TraceEvent::TaskLaunched {
+                job,
+                task,
+                attempt,
+                node,
+                loc,
+                speculative,
+                ..
+            } => spans.push(TaskSpan {
+                job,
+                task,
+                attempt,
+                node,
+                loc,
+                speculative,
+                start: r.time,
+                read_done: None,
+                end: None,
+                committed: false,
+            }),
+            TraceEvent::TaskReadDone {
+                job,
+                task,
+                attempt,
+                ..
+            } => {
+                if let Some(s) = find_open(&mut spans, job, task, attempt) {
+                    s.read_done = Some(r.time);
+                }
+            }
+            TraceEvent::TaskCommitted {
+                job,
+                task,
+                attempt,
+                ..
+            } => {
+                if let Some(s) = find_open(&mut spans, job, task, attempt) {
+                    s.end = Some(r.time);
+                    s.committed = true;
+                }
+            }
+            TraceEvent::TaskAborted {
+                job,
+                task,
+                attempt,
+                ..
+            } => {
+                if let Some(s) = find_open(&mut spans, job, task, attempt) {
+                    s.end = Some(r.time);
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+fn find_open(
+    spans: &mut [TaskSpan],
+    job: u32,
+    task: u32,
+    attempt: u32,
+) -> Option<&mut TaskSpan> {
+    spans
+        .iter_mut()
+        .find(|s| s.job == job && s.task == task && s.attempt == attempt && s.end.is_none())
+}
+
+/// Reconstruct every network-flow span in the trace, in start order.
+pub fn flow_spans(trace: &Trace) -> Vec<FlowSpan> {
+    let mut spans: Vec<FlowSpan> = Vec::new();
+    for r in trace.records() {
+        match r.event {
+            TraceEvent::FlowStarted {
+                flow,
+                kind,
+                src,
+                dst,
+                bytes,
+                ctx,
+                ..
+            } => spans.push(FlowSpan {
+                flow,
+                kind,
+                src,
+                dst,
+                bytes,
+                ctx,
+                start: r.time,
+                end: None,
+                finished: false,
+            }),
+            TraceEvent::FlowFinished { flow, .. } => {
+                if let Some(s) = spans.iter_mut().find(|s| s.flow == flow && s.end.is_none()) {
+                    s.end = Some(r.time);
+                    s.finished = true;
+                }
+            }
+            TraceEvent::FlowCancelled { flow, .. } => {
+                if let Some(s) = spans.iter_mut().find(|s| s.flow == flow && s.end.is_none()) {
+                    s.end = Some(r.time);
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+/// All records touching job `job` (submission, its tasks, its fetch
+/// flows, completion), in trace order — a per-job timeline.
+pub fn per_job_timeline(trace: &Trace, job: u32) -> Vec<&TraceRecord> {
+    trace
+        .records()
+        .iter()
+        .filter(|r| match r.event {
+            TraceEvent::JobSubmitted { job: j, .. }
+            | TraceEvent::JobCompleted { job: j, .. }
+            | TraceEvent::JobFailed { job: j }
+            | TraceEvent::TaskLaunched { job: j, .. }
+            | TraceEvent::TaskReadDone { job: j, .. }
+            | TraceEvent::TaskCommitted { job: j, .. }
+            | TraceEvent::TaskAborted { job: j, .. }
+            | TraceEvent::TaskRequeued { job: j, .. }
+            | TraceEvent::DelaySkip { job: j, .. } => j == job,
+            TraceEvent::FlowStarted {
+                ctx: FlowCtx::Fetch { job: j, .. },
+                ..
+            }
+            | TraceEvent::FlowFinished {
+                ctx: FlowCtx::Fetch { job: j, .. },
+                ..
+            } => j == job,
+            _ => false,
+        })
+        .collect()
+}
+
+/// First record matching `pred`, if any.
+pub fn find_first(
+    trace: &Trace,
+    pred: impl Fn(&TraceRecord) -> bool,
+) -> Option<&TraceRecord> {
+    trace.records().iter().find(|r| pred(r))
+}
+
+/// A named predicate step for [`assert_event_order`].
+pub type OrderStep<'a> = (&'a str, &'a dyn Fn(&TraceRecord) -> bool);
+
+/// Assert that the trace contains a record matching each step, in order:
+/// step `i+1` must match strictly after the record that satisfied step
+/// `i`.  Panics with the failing step's name and the trace position
+/// reached, so test failures say *which* milestone never happened.
+///
+/// Returns the matched records for follow-up assertions (e.g. exact
+/// timestamps).
+pub fn assert_event_order<'a>(trace: &'a Trace, steps: &[OrderStep<'_>]) -> Vec<&'a TraceRecord> {
+    let mut matched = Vec::with_capacity(steps.len());
+    let mut idx = 0usize;
+    for (name, pred) in steps {
+        let found = trace.records()[idx..].iter().position(pred);
+        match found {
+            Some(off) => {
+                matched.push(&trace.records()[idx + off]);
+                idx += off + 1;
+            }
+            None => panic!(
+                "trace order violated: step {:?} not found after record #{idx} \
+                 ({} records total; previous steps matched: {:?})",
+                name,
+                trace.records().len(),
+                matched
+                    .iter()
+                    .map(|r: &&TraceRecord| (r.seq, r.event.name()))
+                    .collect::<Vec<_>>()
+            ),
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Tracer;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn demo() -> Trace {
+        let mut tr = Tracer::new();
+        tr.record(t(0), TraceEvent::JobSubmitted { job: 0, maps: 2 });
+        tr.record(
+            t(5),
+            TraceEvent::TaskLaunched {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 1,
+                loc: Loc::Node,
+                speculative: false,
+                local_read: true,
+            },
+        );
+        tr.record(
+            t(8),
+            TraceEvent::FlowStarted {
+                flow: 1,
+                kind: FlowKind::Fetch,
+                src: 0,
+                dst: 2,
+                bytes: 64,
+                cross_rack: true,
+                ctx: FlowCtx::Fetch {
+                    job: 0,
+                    task: 1,
+                    attempt: 0,
+                },
+            },
+        );
+        tr.record(
+            t(20),
+            TraceEvent::TaskReadDone {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 1,
+            },
+        );
+        tr.record(
+            t(30),
+            TraceEvent::TaskCommitted {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 1,
+                dur_us: 25,
+            },
+        );
+        tr.record(
+            t(40),
+            TraceEvent::FlowFinished {
+                flow: 1,
+                kind: FlowKind::Fetch,
+                src: 0,
+                dst: 2,
+                bytes: 64,
+                dur_us: 32,
+                ctx: FlowCtx::Fetch {
+                    job: 0,
+                    task: 1,
+                    attempt: 0,
+                },
+            },
+        );
+        tr.finish()
+    }
+
+    #[test]
+    fn spans_reconstruct() {
+        let trace = demo();
+        let tasks = task_spans(&trace);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].start, t(5));
+        assert_eq!(tasks[0].read_done, Some(t(20)));
+        assert_eq!(tasks[0].end, Some(t(30)));
+        assert!(tasks[0].committed);
+        let flows = flow_spans(&trace);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].start, t(8));
+        assert_eq!(flows[0].end, Some(t(40)));
+        assert!(flows[0].finished);
+        assert!(tasks[0].overlaps_flow(&flows[0]));
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        // Disjoint.
+        assert!(!span_overlaps(t(0), Some(t(10)), t(10), Some(t(20))));
+        // Touching interiors.
+        assert!(span_overlaps(t(0), Some(t(11)), t(10), Some(t(20))));
+        // Open end extends forever.
+        assert!(span_overlaps(t(0), None, t(1_000_000), Some(t(1_000_001))));
+        // Open end on the other side.
+        assert!(span_overlaps(t(5), Some(t(6)), t(0), None));
+    }
+
+    #[test]
+    fn timeline_filters_by_job() {
+        let trace = demo();
+        let tl = per_job_timeline(&trace, 0);
+        assert_eq!(tl.len(), trace.records().len(), "all records are job 0");
+        assert!(per_job_timeline(&trace, 7).is_empty());
+    }
+
+    #[test]
+    fn event_order_matches_and_reports() {
+        let trace = demo();
+        let matched = assert_event_order(
+            &trace,
+            &[
+                ("submit", &|r| {
+                    matches!(r.event, TraceEvent::JobSubmitted { .. })
+                }),
+                ("launch", &|r| {
+                    matches!(r.event, TraceEvent::TaskLaunched { .. })
+                }),
+                ("commit", &|r| {
+                    matches!(r.event, TraceEvent::TaskCommitted { .. })
+                }),
+            ],
+        );
+        assert_eq!(matched.len(), 3);
+        assert_eq!(matched[2].time, t(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-before-submit")]
+    fn event_order_panics_with_step_name() {
+        let trace = demo();
+        assert_event_order(
+            &trace,
+            &[("crash-before-submit", &|r| {
+                matches!(r.event, TraceEvent::NodeCrashed { .. })
+            })],
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The event recorder and the finished trace it produces.
+
+use crate::event::{FlowKind, Subsystem, TraceEvent, TraceRecord};
+use crate::stats::TraceHists;
+use dare_simcore::time::SimTime;
+
+/// Per-subsystem and headline event counters, updated on every record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// All events recorded.
+    pub total: u64,
+    /// Events attributed to the scheduler subsystem.
+    pub sched: u64,
+    /// Events attributed to the network subsystem.
+    pub net: u64,
+    /// Events attributed to the DFS subsystem.
+    pub dfs: u64,
+    /// Events attributed to the fault subsystem.
+    pub fault: u64,
+    /// `task_launched` events.
+    pub tasks_launched: u64,
+    /// `task_committed` events.
+    pub tasks_committed: u64,
+    /// `delay_skip` events.
+    pub delay_skips: u64,
+    /// `flow_started` events.
+    pub flows_started: u64,
+    /// `flow_finished` events.
+    pub flows_finished: u64,
+    /// Bytes delivered by finished flows.
+    pub bytes_delivered: u64,
+    /// `replica_committed` events.
+    pub replicas_committed: u64,
+    /// `replica_evicted` events.
+    pub replicas_evicted: u64,
+    /// `task_aborted` events.
+    pub tasks_aborted: u64,
+}
+
+/// An in-flight recorder.  Created once per run when tracing is enabled;
+/// the engine calls [`Tracer::record`] at each emission point and
+/// [`Tracer::finish`] when the simulation drains.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    records: Vec<TraceRecord>,
+    counters: TraceCounters,
+    hists: TraceHists,
+}
+
+impl Tracer {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event at simulation time `now`.  Sequence numbers are
+    /// assigned in call order, so recording order defines the total order
+    /// of the trace.
+    pub fn record(&mut self, now: SimTime, event: TraceEvent) {
+        let seq = self.records.len() as u64;
+        self.bump(&event);
+        self.records.push(TraceRecord {
+            time: now,
+            seq,
+            event,
+        });
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True before the first event.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Seal the recorder into an immutable [`Trace`].
+    pub fn finish(self) -> Trace {
+        Trace {
+            records: self.records,
+            counters: self.counters,
+            hists: self.hists,
+        }
+    }
+
+    fn bump(&mut self, ev: &TraceEvent) {
+        self.counters.total += 1;
+        match ev.subsystem() {
+            Subsystem::Sched => self.counters.sched += 1,
+            Subsystem::Net => self.counters.net += 1,
+            Subsystem::Dfs => self.counters.dfs += 1,
+            Subsystem::Fault => self.counters.fault += 1,
+        }
+        match *ev {
+            TraceEvent::TaskLaunched { .. } => self.counters.tasks_launched += 1,
+            TraceEvent::TaskCommitted { dur_us, .. } => {
+                self.counters.tasks_committed += 1;
+                self.hists.task_secs.push(dur_us as f64 / 1e6);
+            }
+            TraceEvent::TaskAborted { .. } => self.counters.tasks_aborted += 1,
+            TraceEvent::DelaySkip { .. } => self.counters.delay_skips += 1,
+            TraceEvent::FlowStarted { .. } => self.counters.flows_started += 1,
+            TraceEvent::FlowFinished {
+                kind,
+                bytes,
+                dur_us,
+                ..
+            } => {
+                self.counters.flows_finished += 1;
+                self.counters.bytes_delivered += bytes;
+                let secs = dur_us as f64 / 1e6;
+                match kind {
+                    FlowKind::Fetch => self.hists.fetch_secs.push(secs),
+                    FlowKind::Recovery => self.hists.recovery_secs.push(secs),
+                    FlowKind::Proactive => {}
+                }
+            }
+            TraceEvent::ReplicaCommitted { .. } => self.counters.replicas_committed += 1,
+            TraceEvent::ReplicaEvicted { .. } => self.counters.replicas_evicted += 1,
+            TraceEvent::JobCompleted { dur_us, .. } => {
+                self.hists.job_turnaround_secs.push(dur_us as f64 / 1e6);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A sealed trace: the totally-ordered event log plus the counters and
+/// histograms accumulated while recording.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    counters: TraceCounters,
+    hists: TraceHists,
+}
+
+impl Trace {
+    /// The event log in recording order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &TraceCounters {
+        &self.counters
+    }
+
+    /// Latency histograms.
+    pub fn hists(&self) -> &TraceHists {
+        &self.hists
+    }
+
+    /// Multi-line human summary (counters + latency percentiles) printed
+    /// by the CLI after a traced run.
+    pub fn summary(&self) -> String {
+        let c = &self.counters;
+        let h = &self.hists;
+        let mut s = String::new();
+        s.push_str(&format!(
+            "trace: {} events (sched {}, net {}, dfs {}, fault {})\n",
+            c.total, c.sched, c.net, c.dfs, c.fault
+        ));
+        s.push_str(&format!(
+            "  tasks: {} launched, {} committed, {} aborted; {} delay skips\n",
+            c.tasks_launched, c.tasks_committed, c.tasks_aborted, c.delay_skips
+        ));
+        s.push_str(&format!(
+            "  flows: {} started, {} finished, {} bytes delivered\n",
+            c.flows_started, c.flows_finished, c.bytes_delivered
+        ));
+        s.push_str(&format!(
+            "  replicas: {} committed, {} evicted\n",
+            c.replicas_committed, c.replicas_evicted
+        ));
+        s.push_str(&format!("  fetch    {}\n", h.fetch_secs.summary()));
+        s.push_str(&format!("  recovery {}\n", h.recovery_secs.summary()));
+        s.push_str(&format!("  task     {}\n", h.task_secs.summary()));
+        s.push_str(&format!("  job      {}\n", h.job_turnaround_secs.summary()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FlowCtx, Loc};
+    use dare_simcore::time::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn counters_follow_events() {
+        let mut tr = Tracer::new();
+        tr.record(t(0), TraceEvent::JobSubmitted { job: 0, maps: 2 });
+        tr.record(
+            t(1),
+            TraceEvent::TaskLaunched {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 3,
+                loc: Loc::Node,
+                speculative: false,
+                local_read: true,
+            },
+        );
+        tr.record(
+            t(2),
+            TraceEvent::FlowStarted {
+                flow: 1,
+                kind: FlowKind::Fetch,
+                src: 1,
+                dst: 3,
+                bytes: 100,
+                cross_rack: false,
+                ctx: FlowCtx::Fetch {
+                    job: 0,
+                    task: 1,
+                    attempt: 0,
+                },
+            },
+        );
+        tr.record(
+            t(500_000),
+            TraceEvent::FlowFinished {
+                flow: 1,
+                kind: FlowKind::Fetch,
+                src: 1,
+                dst: 3,
+                bytes: 100,
+                dur_us: 499_998,
+                ctx: FlowCtx::Fetch {
+                    job: 0,
+                    task: 1,
+                    attempt: 0,
+                },
+            },
+        );
+        let trace = tr.finish();
+        let c = trace.counters();
+        assert_eq!(c.total, 4);
+        assert_eq!(c.sched, 2);
+        assert_eq!(c.net, 2);
+        assert_eq!(c.tasks_launched, 1);
+        assert_eq!(c.flows_started, 1);
+        assert_eq!(c.flows_finished, 1);
+        assert_eq!(c.bytes_delivered, 100);
+        assert_eq!(trace.hists().fetch_secs.count(), 1);
+        assert!((trace.hists().fetch_secs.max() - 0.499998).abs() < 1e-9);
+        // Sequence numbers are dense and ordered.
+        for (i, r) in trace.records().iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        assert!(trace.summary().contains("4 events"));
+    }
+}

@@ -34,8 +34,10 @@ struct Args {
     capacity_queues: Option<u32>,
     speculation: bool,
     scarlett_epoch: Option<u64>,
-    trace_in: Option<String>,
-    trace_out: Option<String>,
+    workload_in: Option<String>,
+    workload_out: Option<String>,
+    trace_chrome: Option<String>,
+    trace_jsonl: Option<String>,
     csv: bool,
     csv_header: bool,
 }
@@ -57,8 +59,10 @@ impl Default for Args {
             capacity_queues: None,
             speculation: false,
             scarlett_epoch: None,
-            trace_in: None,
-            trace_out: None,
+            workload_in: None,
+            workload_out: None,
+            trace_chrome: None,
+            trace_jsonl: None,
             csv: false,
             csv_header: false,
         }
@@ -101,8 +105,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--capacity-queues" => a.capacity_queues = Some(parse_num(value("--capacity-queues")?)?),
             "--speculation" => a.speculation = true,
             "--scarlett-epoch" => a.scarlett_epoch = Some(parse_num(value("--scarlett-epoch")?)?),
-            "--trace" => a.trace_in = Some(value("--trace")?.clone()),
-            "--save-trace" => a.trace_out = Some(value("--save-trace")?.clone()),
+            "--replay" => a.workload_in = Some(value("--replay")?.clone()),
+            "--save-workload" => a.workload_out = Some(value("--save-workload")?.clone()),
+            "--trace" => a.trace_chrome = Some(value("--trace")?.clone()),
+            "--trace-jsonl" => a.trace_jsonl = Some(value("--trace-jsonl")?.clone()),
             "--csv" => a.csv = true,
             "--csv-header" => {
                 a.csv = true;
@@ -157,6 +163,9 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
     if a.speculation {
         cfg = cfg.with_speculation(SpeculationConfig::default());
     }
+    if a.trace_chrome.is_some() || a.trace_jsonl.is_some() {
+        cfg.record_trace = true;
+    }
     if let Some(epoch) = a.scarlett_epoch {
         cfg = cfg.with_scarlett(ScarlettConfig {
             epoch: SimDuration::from_secs(epoch),
@@ -167,7 +176,7 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
 }
 
 fn build_workload(a: &Args) -> Result<dare_repro::workload::Workload, String> {
-    if let Some(path) = &a.trace_in {
+    if let Some(path) = &a.workload_in {
         return dare_repro::workload::io::load(std::path::Path::new(path));
     }
     let mut params = match a.workload.as_str() {
@@ -197,8 +206,10 @@ fn usage() -> String {
      --degrade SECS:NODE:FACTOR  inject a node slowdown (repeatable)\n\
      --speculation               enable speculative execution\n\
      --scarlett-epoch SECS       run the proactive Scarlett baseline\n\
-     --trace PATH                replay a saved trace instead of synthesizing\n\
-     --save-trace PATH           export the synthesized trace before running\n\
+     --replay PATH               replay a saved workload instead of synthesizing\n\
+     --save-workload PATH        export the synthesized workload before running\n\
+     --trace PATH                record events, write a Chrome trace (Perfetto)\n\
+     --trace-jsonl PATH          record events, write the JSONL event log\n\
      --csv / --csv-header        machine-readable one-row output"
         .into()
 }
@@ -224,17 +235,35 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    if let Some(path) = &args.trace_out {
+    if let Some(path) = &args.workload_out {
         if let Err(e) = dare_repro::workload::io::save(&wl, std::path::Path::new(path)) {
-            eprintln!("error: could not save trace to {path}: {e}");
+            eprintln!("error: could not save workload to {path}: {e}");
             std::process::exit(2);
         }
-        eprintln!("[dare-sim] trace saved to {path}");
+        eprintln!("[dare-sim] workload saved to {path}");
     }
 
     let t0 = std::time::Instant::now();
     let r = mapred::run(cfg, &wl);
     let wall = t0.elapsed().as_secs_f64();
+
+    if let Some(trace) = &r.trace {
+        if let Some(path) = &args.trace_chrome {
+            if let Err(e) = std::fs::write(path, dare_repro::trace::to_chrome(trace)) {
+                eprintln!("error: could not write Chrome trace to {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("[dare-sim] Chrome trace saved to {path} (open at ui.perfetto.dev)");
+        }
+        if let Some(path) = &args.trace_jsonl {
+            if let Err(e) = std::fs::write(path, dare_repro::trace::to_jsonl(trace)) {
+                eprintln!("error: could not write trace JSONL to {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("[dare-sim] trace JSONL saved to {path}");
+        }
+        eprintln!("[dare-sim] {}", trace.summary());
+    }
 
     if args.csv {
         if args.csv_header {
@@ -373,6 +402,26 @@ mod tests {
             }]
         );
         assert!(parse_args(&argv("--degrade 30:2")).is_err());
+    }
+
+    #[test]
+    fn trace_flags_enable_recording() {
+        let a = parse_args(&argv("--jobs 5")).expect("valid");
+        assert!(!build_config(&a).expect("valid").record_trace);
+
+        let a = parse_args(&argv("--trace out.json")).expect("valid");
+        assert_eq!(a.trace_chrome.as_deref(), Some("out.json"));
+        assert!(build_config(&a).expect("valid").record_trace);
+
+        let a = parse_args(&argv("--trace-jsonl out.jsonl")).expect("valid");
+        assert_eq!(a.trace_jsonl.as_deref(), Some("out.jsonl"));
+        assert!(build_config(&a).expect("valid").record_trace);
+
+        // The workload replay flags were renamed; the old spellings moved.
+        let a = parse_args(&argv("--replay wl.json --save-workload out.wl")).expect("valid");
+        assert_eq!(a.workload_in.as_deref(), Some("wl.json"));
+        assert_eq!(a.workload_out.as_deref(), Some("out.wl"));
+        assert!(parse_args(&argv("--save-trace x")).is_err());
     }
 
     #[test]

@@ -11,4 +11,5 @@ pub use dare_metrics as metrics;
 pub use dare_net as net;
 pub use dare_sched as sched;
 pub use dare_simcore as simcore;
+pub use dare_trace as trace;
 pub use dare_workload as workload;
