@@ -74,6 +74,12 @@ fn run_one(which: &str, seed: u64) {
                 std::process::exit(1);
             }
         }
+        "telemetry-smoke" => {
+            let failed = telemetry_smoke::run(seed);
+            if failed > 0 {
+                std::process::exit(1);
+            }
+        }
         "plots" => {
             let dir = dare_bench::harness::csv_path("x");
             let dir = dir.parent().expect("csv dir").to_path_buf();
@@ -99,7 +105,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [ids...] [--seed N]\n\
-         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig7ci fig8 fig9 fig10 fig11 ablation resilience plots trace-smoke verify all"
+         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig7ci fig8 fig9 fig10 fig11 ablation resilience plots trace-smoke telemetry-smoke verify all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

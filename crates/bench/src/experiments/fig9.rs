@@ -1,11 +1,17 @@
 //! Fig. 9 — sensitivity to the replication budget, on wl2: panel (a) DARE
 //! with greedy LRU eviction; panel (b) DARE with ElephantTrap eviction at
 //! p = 0.9 and p = 0.3 (threshold = 1).
+//!
+//! The `job_locality` column is re-derived from each run's telemetry
+//! series (the terminal per-job rows) rather than read off `RunMetrics`
+//! directly; the sweep asserts the two paths agree bitwise, so the figure
+//! doubles as a live cross-check of the sampler against the summarizer.
 
 use crate::harness::{write_csv, Table};
 use dare_core::PolicyKind;
-use dare_mapred::{SchedulerKind, SimConfig};
+use dare_mapred::{SchedulerKind, SimConfig, TelemetryConfig};
 use dare_simcore::parallel::parallel_map;
+use dare_simcore::SimDuration;
 
 // The paper sweeps 0.0-0.9; we add 0.02 and 0.05 points because that is
 // where the budget binds against the hot working set and the
@@ -26,6 +32,11 @@ fn sweep(policies: &[PolicyKind], title: &str, csv: &str, seed: u64) {
     let results = parallel_map(runs, |(policy, sched, b)| {
         let mut cfg = SimConfig::cct(policy, sched, seed);
         cfg.budget_frac = b;
+        // A coarse interval keeps the series small; only the terminal
+        // sample feeds the derived column.
+        cfg = cfg.with_telemetry(TelemetryConfig {
+            interval: SimDuration::from_secs(30),
+        });
         let r = dare_mapred::run(cfg, &wl);
         (policy, sched, b, r)
     });
@@ -35,11 +46,19 @@ fn sweep(policies: &[PolicyKind], title: &str, csv: &str, seed: u64) {
         &["policy", "scheduler", "budget", "job_locality", "blocks_per_job"],
     );
     for (policy, sched, b, r) in &results {
+        let derived = r
+            .telemetry_job_locality()
+            .expect("telemetry-enabled run with completed jobs");
+        assert_eq!(
+            derived.to_bits(),
+            r.run.job_locality.to_bits(),
+            "telemetry-derived job locality drifted from the summarized metric"
+        );
         t.row(vec![
             policy.label(),
             sched.label().to_string(),
             format!("{b:.2}"),
-            format!("{:.3}", r.run.job_locality),
+            format!("{derived:.3}"),
             format!("{:.2}", r.blocks_per_job),
         ]);
     }
@@ -80,4 +99,30 @@ pub fn elephant(seed: u64) {
 pub fn run(seed: u64) {
     lru(seed);
     elephant(seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dare_mapred::golden::{golden_scenarios, golden_workload};
+
+    /// The figure's `job_locality` column is re-derived from telemetry;
+    /// both derivations must agree bitwise on a full run (here the golden
+    /// workload rather than wl2, to keep the test cheap).
+    #[test]
+    fn telemetry_derived_job_locality_matches_summary() {
+        let wl = golden_workload();
+        for (name, cfg) in golden_scenarios() {
+            let cfg = cfg.with_telemetry(TelemetryConfig {
+                interval: SimDuration::from_secs(30),
+            });
+            let r = dare_mapred::run(cfg, &wl);
+            let derived = r.telemetry_job_locality().expect("completed jobs");
+            assert_eq!(
+                derived.to_bits(),
+                r.run.job_locality.to_bits(),
+                "{name}: telemetry path disagrees with summarize()"
+            );
+        }
+    }
 }

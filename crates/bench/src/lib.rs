@@ -27,6 +27,7 @@ pub mod experiments {
     pub mod fig9;
     pub mod resilience;
     pub mod tables;
+    pub mod telemetry_smoke;
     pub mod trace_smoke;
     pub mod verify;
 }

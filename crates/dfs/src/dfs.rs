@@ -375,6 +375,11 @@ impl Dfs {
         self.dns.iter().map(|d| d.primary_bytes()).sum()
     }
 
+    /// Number of dynamic replicas currently held cluster-wide.
+    pub fn total_dynamic_replicas(&self) -> u64 {
+        self.dns.iter().map(|d| d.dynamic_count() as u64).sum()
+    }
+
     /// FNV-1a fingerprint of the physical replica map: every
     /// `(node, block, is_dynamic)` triple in node/block order. Two `Dfs`
     /// instances with identical on-disk replica placement produce the same

@@ -82,6 +82,32 @@ pub struct SimConfig {
     /// results by construction; exists for differential testing and
     /// benchmarking the index speedup.
     pub naive_scan: bool,
+    /// Periodic cluster-state sampling into
+    /// [`crate::SimResult::telemetry`]. Observation-only: a sampled run
+    /// is bit-identical to an unsampled one, and `None` (the default)
+    /// costs a single branch per dispatched event.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Wall-clock self-profiling of the event-dispatch arms into
+    /// [`crate::SimResult::profile`]. Wall time never feeds the
+    /// simulation, so a profiled run stays bit-identical. Off by default.
+    pub self_profile: bool,
+}
+
+/// Telemetry sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Simulated-clock interval between cluster-state samples. The
+    /// sampler fires after *all* events sharing the tick's timestamp have
+    /// drained, so a sample reflects a settled cluster state.
+    pub interval: SimDuration,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval: SimDuration::from_secs(5),
+        }
+    }
 }
 
 /// Speculative-execution tuning.
@@ -122,6 +148,8 @@ impl SimConfig {
             record_trace: false,
             check_invariants: false,
             naive_scan: false,
+            telemetry: None,
+            self_profile: false,
         }
     }
 
@@ -134,6 +162,18 @@ impl SimConfig {
     /// Enable structured trace recording (see `record_trace`).
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Enable periodic cluster-state telemetry sampling (see `telemetry`).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Enable wall-clock self-profiling of dispatch (see `self_profile`).
+    pub fn with_self_profile(mut self) -> Self {
+        self.self_profile = true;
         self
     }
 
@@ -222,6 +262,11 @@ impl SimConfig {
         if self.profile.nodes == 0 {
             return Err("empty cluster".into());
         }
+        if let Some(t) = &self.telemetry {
+            if t.interval == SimDuration::ZERO {
+                return Err("zero telemetry interval".into());
+            }
+        }
         self.faults.validate(self.profile.nodes)?;
         Ok(())
     }
@@ -275,5 +320,27 @@ mod tests {
         c.budget_frac = 0.5;
         c.heartbeat = SimDuration::ZERO;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn telemetry_builders_and_validation() {
+        let c = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1);
+        assert!(c.telemetry.is_none(), "off by default");
+        assert!(!c.self_profile);
+        let t = c
+            .clone()
+            .with_telemetry(TelemetryConfig::default())
+            .with_self_profile();
+        assert_eq!(
+            t.telemetry.unwrap().interval,
+            SimDuration::from_secs(5),
+            "default 5 s sampling interval"
+        );
+        assert!(t.self_profile);
+        assert!(t.validate().is_ok());
+        let bad = c.with_telemetry(TelemetryConfig {
+            interval: SimDuration::ZERO,
+        });
+        assert!(bad.validate().is_err(), "zero interval rejected");
     }
 }

@@ -12,6 +12,7 @@ use dare_sched::{
     PendingTask, Scheduler, SkipDecision, TaskId,
 };
 use dare_simcore::{DetRng, EventQueue, SimDuration, SimTime};
+use dare_telemetry::{JobPhase, JobSample, MetricId, MetricRegistry, NodeSample, Profiler, Subsystem, Telemetry};
 use dare_trace::{FlowCtx, FlowKind, Loc, TraceEvent, Tracer};
 use dare_workload::Workload;
 use std::collections::HashMap;
@@ -229,6 +230,147 @@ pub struct Engine {
     tracer: Option<Tracer>,
     /// Reusable buffer for draining the scheduler's skip decisions.
     skip_scratch: Vec<SkipDecision>,
+    /// Periodic cluster-state sampler (only with `SimConfig::telemetry`).
+    /// Boxed so a disabled run pays one pointer and one branch per event.
+    telem: Option<Box<TelemetryState>>,
+    /// Wall-clock dispatch profiler (only with `SimConfig::self_profile`).
+    profiler: Option<Box<Profiler>>,
+}
+
+/// Column handles of the cluster-series schema, registered once at engine
+/// construction so every sample writes the same columns in the same order.
+struct MetricIds {
+    map_slots_used: MetricId,
+    map_slots_total: MetricId,
+    reduce_slots_used: MetricId,
+    reduce_slots_total: MetricId,
+    queued_jobs: MetricId,
+    pending_tasks: MetricId,
+    running_maps: MetricId,
+    pending_reduces: MetricId,
+    running_reduces: MetricId,
+    maps_done: MetricId,
+    node_local: MetricId,
+    rack_local: MetricId,
+    remote: MetricId,
+    locality_rate: MetricId,
+    dynamic_replicas: MetricId,
+    dynamic_bytes: MetricId,
+    storage_overhead: MetricId,
+    under_replicated: MetricId,
+    lost_blocks: MetricId,
+    active_flows: MetricId,
+    fetch_flows: MetricId,
+    recovery_flows: MetricId,
+    proactive_flows: MetricId,
+    link_util: MetricId,
+    d_nodes_declared_dead: MetricId,
+    d_nodes_rejoined: MetricId,
+    d_blocks_re_replicated: MetricId,
+    d_recovery_bytes: MetricId,
+    d_blocks_lost: MetricId,
+    d_tasks_retried: MetricId,
+    d_tasks_failed: MetricId,
+    d_jobs_failed: MetricId,
+}
+
+/// Live state of a telemetry-enabled run. The sampler holds no events in
+/// the queue: `try_run` pumps it from the main loop, emitting the sample
+/// for a tick only once the next popped event's timestamp exceeds it —
+/// i.e. after every event sharing the tick's timestamp has drained — so a
+/// sample always reflects a settled cluster state and sequence numbers of
+/// real events are untouched (a sampled run is bit-identical to an
+/// unsampled one).
+struct TelemetryState {
+    interval: SimDuration,
+    /// Next tick awaiting emission.
+    next: SimTime,
+    reg: MetricRegistry,
+    ids: MetricIds,
+    nodes: Vec<NodeSample>,
+    jobs: Vec<JobSample>,
+    /// Cumulative fault counters at the previous tick (delta reporting).
+    prev_faults: dare_metrics::FaultStats,
+    /// Reusable per-node `(tx, rx)` utilization buffer.
+    util_scratch: Vec<(f64, f64)>,
+}
+
+impl TelemetryState {
+    fn new(interval: SimDuration) -> Self {
+        let mut reg = MetricRegistry::new();
+        let ids = MetricIds {
+            map_slots_used: reg.gauge_int("map_slots_used"),
+            map_slots_total: reg.gauge_int("map_slots_total"),
+            reduce_slots_used: reg.gauge_int("reduce_slots_used"),
+            reduce_slots_total: reg.gauge_int("reduce_slots_total"),
+            queued_jobs: reg.gauge_int("queued_jobs"),
+            pending_tasks: reg.gauge_int("pending_tasks"),
+            running_maps: reg.gauge_int("running_maps"),
+            pending_reduces: reg.gauge_int("pending_reduces"),
+            running_reduces: reg.gauge_int("running_reduces"),
+            maps_done: reg.counter("maps_done"),
+            node_local: reg.gauge_int("node_local"),
+            rack_local: reg.gauge_int("rack_local"),
+            remote: reg.gauge_int("remote"),
+            locality_rate: reg.gauge_float("locality_rate"),
+            dynamic_replicas: reg.gauge_int("dynamic_replicas"),
+            dynamic_bytes: reg.gauge_int("dynamic_bytes"),
+            storage_overhead: reg.gauge_float("storage_overhead"),
+            under_replicated: reg.gauge_int("under_replicated"),
+            lost_blocks: reg.gauge_int("lost_blocks"),
+            active_flows: reg.gauge_int("active_flows"),
+            fetch_flows: reg.gauge_int("fetch_flows"),
+            recovery_flows: reg.gauge_int("recovery_flows"),
+            proactive_flows: reg.gauge_int("proactive_flows"),
+            link_util: reg.windowed("link_util"),
+            d_nodes_declared_dead: reg.gauge_int("d_nodes_declared_dead"),
+            d_nodes_rejoined: reg.gauge_int("d_nodes_rejoined"),
+            d_blocks_re_replicated: reg.gauge_int("d_blocks_re_replicated"),
+            d_recovery_bytes: reg.gauge_int("d_recovery_bytes"),
+            d_blocks_lost: reg.gauge_int("d_blocks_lost"),
+            d_tasks_retried: reg.gauge_int("d_tasks_retried"),
+            d_tasks_failed: reg.gauge_int("d_tasks_failed"),
+            d_jobs_failed: reg.gauge_int("d_jobs_failed"),
+        };
+        TelemetryState {
+            interval,
+            next: SimTime::ZERO,
+            reg,
+            ids,
+            nodes: Vec::new(),
+            jobs: Vec::new(),
+            prev_faults: dare_metrics::FaultStats::default(),
+            util_scratch: Vec::new(),
+        }
+    }
+
+    /// Seal into the exported time-series.
+    fn seal(self) -> Telemetry {
+        let (columns, cluster) = self.reg.into_series();
+        Telemetry {
+            interval_us: self.interval.as_micros(),
+            columns,
+            cluster,
+            nodes: self.nodes,
+            jobs: self.jobs,
+        }
+    }
+}
+
+/// The dispatch arm an event is charged to by the self-profiler.
+fn subsystem_of(ev: &Ev) -> Subsystem {
+    match ev {
+        Ev::JobArrival(_) | Ev::Heartbeat { .. } | Ev::ComputeDone { .. } | Ev::ReduceDone { .. } => {
+            Subsystem::Sched
+        }
+        Ev::LocalReadDone { .. } | Ev::Epoch => Subsystem::Dfs,
+        Ev::NetCheck => Subsystem::Net,
+        Ev::NodeCrash { .. }
+        | Ev::NodeRejoin(_)
+        | Ev::DeclareDead { .. }
+        | Ev::TaskRetry { .. }
+        | Ev::NodeDegrade(..) => Subsystem::Fault,
+    }
 }
 
 /// Map the scheduler's locality class onto the trace schema's.
@@ -504,6 +646,10 @@ impl Engine {
             speculative_wins: 0,
             tracer: cfg.record_trace.then(Tracer::new),
             skip_scratch: Vec::new(),
+            telem: cfg
+                .telemetry
+                .map(|tc| Box::new(TelemetryState::new(tc.interval))),
+            profiler: cfg.self_profile.then(|| Box::new(Profiler::new())),
             cfg,
         }
     }
@@ -562,11 +708,19 @@ impl Engine {
                 });
             };
             debug_assert!(t >= self.now, "time went backwards");
+            // Emit the samples of every telemetry tick the popped event
+            // has passed: all events at times <= the tick have drained.
+            if self.telem.is_some() {
+                self.pump_telemetry(t);
+            }
             self.now = t;
             self.dispatch(ev)?;
             if self.cfg.check_invariants {
                 self.check_invariants()?;
             }
+        }
+        if self.telem.is_some() {
+            self.final_telemetry();
         }
         if self.cfg.check_invariants {
             self.check_terminal_invariants()?;
@@ -574,8 +728,188 @@ impl Engine {
         Ok(self.finish())
     }
 
-    /// Route one event to its handler (also used by white-box tests).
+    /// Emit samples for every pending tick strictly before `next_event`.
+    fn pump_telemetry(&mut self, next_event: SimTime) {
+        while let Some(tick) = self.telem.as_ref().map(|s| s.next) {
+            if tick >= next_event {
+                return;
+            }
+            self.take_sample(tick, false);
+            if let Some(s) = self.telem.as_mut() {
+                s.next = tick + s.interval;
+            }
+        }
+    }
+
+    /// Drain the ticks left at end of run, then take one terminal sample
+    /// at the final simulation time (with a terminal row for every job).
+    fn final_telemetry(&mut self) {
+        let end = self.now;
+        self.pump_telemetry(end);
+        self.take_sample(end, true);
+    }
+
+    /// Snapshot the cluster at tick `ts`: one cluster row, one row per
+    /// node, one row per in-flight job (every job when `terminal`).
+    /// Observation-only: reads engine state, mutates nothing outside the
+    /// sampler itself.
+    fn take_sample(&mut self, ts: SimTime, terminal: bool) {
+        let Some(mut telem) = self.telem.take() else {
+            return;
+        };
+        let t_us = ts.as_micros();
+        let n = self.crashed.len();
+        let map_cap = self.cfg.profile.map_slots_per_node;
+        let red_cap = self.cfg.profile.reduce_slots_per_node;
+        self.flows.nic_utilization_into(&mut telem.util_scratch);
+
+        // Per-node rows, accumulating the master-visible slot totals: a
+        // silently crashed node still advertises its slots until the
+        // missed-heartbeat timeout declares it dead, which is exactly the
+        // step change the fault-telemetry test pins at the detection tick.
+        let (mut map_used, mut map_total) = (0u64, 0u64);
+        let (mut red_used, mut red_total) = (0u64, 0u64);
+        let mut running_reduces = 0u64;
+        for i in 0..n {
+            let declared = self.declared[i];
+            let nm_total = if declared { 0 } else { map_cap };
+            let nm_used = nm_total.saturating_sub(self.free_map_slots[i]);
+            let nr_total = if declared { 0 } else { red_cap };
+            let nr_used = nr_total.saturating_sub(self.free_reduce_slots[i]);
+            map_used += nm_used as u64;
+            map_total += nm_total as u64;
+            red_used += nr_used as u64;
+            red_total += nr_total as u64;
+            running_reduces += self.running_reduces[i] as u64;
+            let (tx, rx) = telem.util_scratch[i];
+            telem.reg.observe(telem.ids.link_util, tx);
+            telem.reg.observe(telem.ids.link_util, rx);
+            let dn = self.dfs.datanode(NodeId(i as u32));
+            telem.nodes.push(NodeSample {
+                t_us,
+                node: i as u32,
+                alive: !self.crashed[i] && !declared,
+                advertised: !declared,
+                map_used: nm_used,
+                map_total: nm_total,
+                reduce_used: nr_used,
+                reduce_total: nr_total,
+                dynamic_blocks: dn.dynamic_count() as u64,
+                dynamic_bytes: dn.dynamic_bytes(),
+                tx_util: tx,
+                rx_util: rx,
+            });
+        }
+
+        // Per-job rows plus the cumulative locality tally. `node_local`
+        // counts launched attempts (rolled back if an attempt dies), so
+        // mid-run the rate can momentarily include in-flight work; at the
+        // terminal sample it equals the outcome counters exactly.
+        let (mut maps_done, mut node_local) = (0u64, 0u64);
+        let (mut rack_local, mut remote) = (0u64, 0u64);
+        for (j, js) in self.jobs.iter().enumerate() {
+            maps_done += js.maps_done as u64;
+            node_local += js.node_local as u64;
+            rack_local += js.rack_local as u64;
+            remote += js.remote as u64;
+            let phase = if js.failed {
+                JobPhase::Failed
+            } else if js.maps_done as usize == js.blocks.len() && js.reduces_done >= js.reduces {
+                JobPhase::Done
+            } else {
+                JobPhase::Running
+            };
+            if terminal || (js.arrival <= ts && phase == JobPhase::Running) {
+                telem.jobs.push(JobSample {
+                    t_us,
+                    job: j as u32,
+                    phase,
+                    maps_total: js.blocks.len() as u32,
+                    maps_done: js.maps_done,
+                    node_local: js.node_local,
+                    rack_local: js.rack_local,
+                    remote: js.remote,
+                    reduces_done: js.reduces_done,
+                });
+            }
+        }
+
+        let reg = &mut telem.reg;
+        let ids = &telem.ids;
+        reg.set_int(ids.map_slots_used, map_used);
+        reg.set_int(ids.map_slots_total, map_total);
+        reg.set_int(ids.reduce_slots_used, red_used);
+        reg.set_int(ids.reduce_slots_total, red_total);
+        let depth = self.queue.depth();
+        reg.set_int(ids.queued_jobs, depth.jobs as u64);
+        reg.set_int(ids.pending_tasks, depth.pending_tasks as u64);
+        reg.set_int(ids.running_maps, depth.running_maps as u64);
+        reg.set_int(ids.pending_reduces, self.pending_reduces.len() as u64);
+        reg.set_int(ids.running_reduces, running_reduces);
+        reg.set_total(ids.maps_done, maps_done);
+        reg.set_int(ids.node_local, node_local);
+        reg.set_int(ids.rack_local, rack_local);
+        reg.set_int(ids.remote, remote);
+        reg.set_float(
+            ids.locality_rate,
+            if maps_done == 0 {
+                0.0
+            } else {
+                node_local as f64 / maps_done as f64
+            },
+        );
+        reg.set_int(ids.dynamic_replicas, self.dfs.total_dynamic_replicas());
+        let dyn_bytes = self.dfs.total_dynamic_bytes();
+        reg.set_int(ids.dynamic_bytes, dyn_bytes);
+        let primary = self.dfs.total_primary_bytes();
+        reg.set_float(
+            ids.storage_overhead,
+            if primary == 0 {
+                0.0
+            } else {
+                dyn_bytes as f64 / primary as f64
+            },
+        );
+        reg.set_int(ids.under_replicated, self.recovery_q.len() as u64);
+        reg.set_int(ids.lost_blocks, self.lost_blocks.len() as u64);
+        reg.set_int(ids.active_flows, self.flows.active() as u64);
+        reg.set_int(ids.fetch_flows, self.fetches.len() as u64);
+        reg.set_int(ids.recovery_flows, self.recovery_flows.len() as u64);
+        reg.set_int(ids.proactive_flows, self.proactive_flows.len() as u64);
+        let d = self.stats.delta(&telem.prev_faults);
+        telem.prev_faults = self.stats;
+        reg.set_int(ids.d_nodes_declared_dead, d.nodes_declared_dead);
+        reg.set_int(ids.d_nodes_rejoined, d.nodes_rejoined);
+        reg.set_int(ids.d_blocks_re_replicated, d.blocks_re_replicated);
+        reg.set_int(ids.d_recovery_bytes, d.recovery_bytes);
+        reg.set_int(ids.d_blocks_lost, d.blocks_lost);
+        reg.set_int(ids.d_tasks_retried, d.tasks_retried);
+        reg.set_int(ids.d_tasks_failed, d.tasks_failed);
+        reg.set_int(ids.d_jobs_failed, d.jobs_failed);
+        reg.sample(ts);
+        self.telem = Some(telem);
+    }
+
+    /// Route one event to its handler, charging its wall time to the
+    /// owning subsystem when self-profiling is on. The profiler observes
+    /// `std::time::Instant` only and never feeds the simulation, so a
+    /// profiled run stays bit-identical to an unprofiled one.
     fn dispatch(&mut self, ev: Ev) -> Result<(), crate::SimError> {
+        if self.profiler.is_none() {
+            return self.dispatch_inner(ev);
+        }
+        let sub = subsystem_of(&ev);
+        let start = std::time::Instant::now();
+        let r = self.dispatch_inner(ev);
+        let elapsed = start.elapsed();
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(sub, elapsed);
+        }
+        r
+    }
+
+    /// Route one event to its handler (also used by white-box tests).
+    fn dispatch_inner(&mut self, ev: Ev) -> Result<(), crate::SimError> {
         match ev {
             Ev::JobArrival(j) => self.on_job_arrival(j),
             Ev::Heartbeat {
@@ -2023,6 +2357,8 @@ impl Engine {
 
     fn finish(mut self) -> SimResult {
         let trace = self.tracer.take().map(Tracer::finish);
+        let telemetry = self.telem.take().map(|t| t.seal());
+        let profile = self.profiler.take().map(|p| p.finish());
         let dfs_fingerprint = self.dfs.replica_fingerprint();
         self.outcomes.sort_by_key(|o| o.id);
         let run = dare_metrics::summarize(&self.outcomes);
@@ -2070,6 +2406,8 @@ impl Engine {
             },
             faults: self.stats,
             trace,
+            telemetry,
+            profile,
             dfs_fingerprint,
         }
     }
@@ -2839,5 +3177,81 @@ mod tests {
             r.cv_before,
             r.cv_after
         );
+    }
+
+    fn telemetry_cfg(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::cct(
+            PolicyKind::elephant_default(),
+            SchedulerKind::fair_default(),
+            seed,
+        );
+        cfg.budget_frac = 1.0;
+        cfg.with_telemetry(crate::config::TelemetryConfig::default())
+            .with_self_profile()
+    }
+
+    #[test]
+    fn telemetry_samples_are_consistent_and_schema_valid() {
+        let wl = tiny_workload(8, 3, 40);
+        let r = crate::run(telemetry_cfg(5), &wl);
+        let t = r.telemetry.as_ref().expect("telemetry recorded");
+        assert!(t.ticks() > 10, "a multi-minute run yields many 5s ticks");
+        assert_eq!(t.nodes.len(), t.ticks() * 19, "one row per node per tick");
+        dare_telemetry::validate_jsonl(&t.to_jsonl()).expect("schema-valid JSONL");
+
+        // Sample times are strictly increasing and interval-aligned except
+        // for the terminal sample.
+        for w in t.cluster.windows(2) {
+            assert!(w[0].t_us < w[1].t_us);
+        }
+        for row in &t.cluster[..t.ticks() - 1] {
+            assert_eq!(row.t_us % t.interval_us, 0, "tick on the sampling grid");
+        }
+
+        // The terminal sample's cumulative counters equal the run metrics.
+        let last = t.cluster.last().unwrap().t_us;
+        let maps_done = t.value(t.ticks() - 1, "maps_done").unwrap().as_f64();
+        assert_eq!(maps_done as u64, r.run.maps, "all maps accounted for");
+        let terminal_jobs = t.jobs.iter().filter(|j| j.t_us == last).count();
+        assert_eq!(terminal_jobs, 40, "every job gets a terminal row");
+        assert_eq!(
+            r.telemetry_job_locality().unwrap().to_bits(),
+            r.run.job_locality.to_bits(),
+            "per-job locality re-derived bitwise from telemetry"
+        );
+        assert_eq!(
+            r.telemetry_locality().unwrap().to_bits(),
+            r.run.locality.to_bits(),
+            "task-weighted locality re-derived bitwise from telemetry"
+        );
+
+        // Self-profile accounted every dispatched event to some subsystem.
+        let p = r.profile.expect("profile recorded");
+        assert!(p.total_events() > 0);
+        let (sched_ev, _) = p.of(dare_telemetry::Subsystem::Sched);
+        assert!(sched_ev > 0, "heartbeats land in the sched arm");
+        dare_telemetry::validate_profile_json(&p.to_json("unit")).expect("valid report");
+    }
+
+    #[test]
+    fn telemetry_is_observation_only() {
+        let wl = tiny_workload(8, 3, 40);
+        let base = crate::run(
+            {
+                let mut c = SimConfig::cct(
+                    PolicyKind::elephant_default(),
+                    SchedulerKind::fair_default(),
+                    5,
+                );
+                c.budget_frac = 1.0;
+                c
+            },
+            &wl,
+        );
+        let sampled = crate::run(telemetry_cfg(5), &wl);
+        assert_eq!(base.run, sampled.run);
+        assert_eq!(base.outcomes, sampled.outcomes);
+        assert_eq!(base.dfs_fingerprint, sampled.dfs_fingerprint);
+        assert!(base.telemetry.is_none() && base.profile.is_none());
     }
 }

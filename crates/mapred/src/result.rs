@@ -45,6 +45,14 @@ pub struct SimResult {
     pub faults: FaultStats,
     /// Structured event trace, when `SimConfig::record_trace` is set.
     pub trace: Option<dare_trace::Trace>,
+    /// Sampled cluster-state time-series, when `SimConfig::telemetry` is
+    /// set. Observation-only: everything else in this result is
+    /// bit-identical with or without it.
+    pub telemetry: Option<dare_telemetry::Telemetry>,
+    /// Per-subsystem wall-clock dispatch timings, when
+    /// `SimConfig::self_profile` is set. Wall time never feeds the
+    /// simulation, so the rest of the result is unaffected.
+    pub profile: Option<dare_telemetry::ProfileReport>,
     /// FNV-1a fingerprint of the DFS's final physical replica map (every
     /// datanode's held blocks plus their dynamic/primary status). Two runs
     /// with identical placement end with identical fingerprints, which is
@@ -117,6 +125,47 @@ pub struct ProactiveStats {
 }
 
 impl SimResult {
+    /// Re-derive [`RunMetrics::job_locality`] from the telemetry series'
+    /// terminal per-job rows, replicating `dare_metrics::summarize`'s
+    /// arithmetic (same values, same summation order) so the two paths
+    /// agree bitwise. `None` without telemetry or with no terminal rows.
+    pub fn telemetry_job_locality(&self) -> Option<f64> {
+        let t = self.telemetry.as_ref()?;
+        let last = t.cluster.last()?.t_us;
+        let mut sum = 0.0f64;
+        let mut jobs = 0usize;
+        for j in t.jobs.iter().filter(|j| j.t_us == last) {
+            if j.phase == dare_telemetry::JobPhase::Done {
+                sum += j.node_local as f64 / j.maps_total.max(1) as f64;
+                jobs += 1;
+            }
+        }
+        if jobs == 0 {
+            return None;
+        }
+        Some(sum / jobs as f64)
+    }
+
+    /// Re-derive the task-weighted [`RunMetrics::locality`] from the
+    /// telemetry series' terminal per-job rows (bitwise equal to the
+    /// summarized value). `None` without telemetry or terminal rows.
+    pub fn telemetry_locality(&self) -> Option<f64> {
+        let t = self.telemetry.as_ref()?;
+        let last = t.cluster.last()?.t_us;
+        let (mut local, mut maps, mut jobs) = (0u64, 0u64, 0usize);
+        for j in t.jobs.iter().filter(|j| j.t_us == last) {
+            if j.phase == dare_telemetry::JobPhase::Done {
+                local += j.node_local as u64;
+                maps += j.maps_total as u64;
+                jobs += 1;
+            }
+        }
+        if jobs == 0 {
+            return None;
+        }
+        Some(local as f64 / maps.max(1) as f64)
+    }
+
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
         format!(

@@ -123,6 +123,28 @@ pub struct FaultStats {
     pub jobs_failed: u64,
 }
 
+impl FaultStats {
+    /// Field-wise difference `self − prev`, saturating at zero. The
+    /// telemetry sampler uses this to report per-interval fault activity
+    /// from the engine's cumulative counters.
+    pub fn delta(&self, prev: &FaultStats) -> FaultStats {
+        FaultStats {
+            nodes_declared_dead: self
+                .nodes_declared_dead
+                .saturating_sub(prev.nodes_declared_dead),
+            nodes_rejoined: self.nodes_rejoined.saturating_sub(prev.nodes_rejoined),
+            blocks_re_replicated: self
+                .blocks_re_replicated
+                .saturating_sub(prev.blocks_re_replicated),
+            recovery_bytes: self.recovery_bytes.saturating_sub(prev.recovery_bytes),
+            blocks_lost: self.blocks_lost.saturating_sub(prev.blocks_lost),
+            tasks_retried: self.tasks_retried.saturating_sub(prev.tasks_retried),
+            tasks_failed: self.tasks_failed.saturating_sub(prev.tasks_failed),
+            jobs_failed: self.jobs_failed.saturating_sub(prev.jobs_failed),
+        }
+    }
+}
+
 /// Reduce a set of job outcomes to run-level metrics.
 ///
 /// Failed jobs count only toward `failed_jobs`; if *every* job failed the
@@ -310,6 +332,29 @@ mod tests {
         assert_eq!(s.nodes_declared_dead + s.nodes_rejoined, 0);
         assert_eq!(s.blocks_re_replicated + s.recovery_bytes + s.blocks_lost, 0);
         assert_eq!(s.tasks_retried + s.tasks_failed + s.jobs_failed, 0);
+    }
+
+    #[test]
+    fn fault_stats_delta_is_fieldwise_and_saturating() {
+        let prev = FaultStats {
+            nodes_declared_dead: 1,
+            blocks_re_replicated: 3,
+            recovery_bytes: 100,
+            ..Default::default()
+        };
+        let now = FaultStats {
+            nodes_declared_dead: 2,
+            blocks_re_replicated: 7,
+            recovery_bytes: 50, // regressed counter saturates to 0
+            tasks_retried: 4,
+            ..Default::default()
+        };
+        let d = now.delta(&prev);
+        assert_eq!(d.nodes_declared_dead, 1);
+        assert_eq!(d.blocks_re_replicated, 4);
+        assert_eq!(d.recovery_bytes, 0);
+        assert_eq!(d.tasks_retried, 4);
+        assert_eq!(now.delta(&now), FaultStats::default());
     }
 
     #[test]

@@ -228,6 +228,29 @@ impl FlowSim {
         self.flows.get(&id.0).map(|f| f.rate_bytes_per_sec)
     }
 
+    /// Per-node NIC utilization across the active flows, written into
+    /// `out` as `(tx, rx)` fractions of capacity in `[0, 1]` (cross-rack
+    /// flows run below their fair share, so sums stay within the NIC).
+    ///
+    /// Flows are accumulated in ascending-id order so the floating-point
+    /// sums — and therefore a telemetry export built from them — are
+    /// identical across runs despite the `HashMap` storage.
+    pub fn nic_utilization_into(&self, out: &mut Vec<(f64, f64)>) {
+        out.clear();
+        out.resize(self.nic_bytes_per_sec.len(), (0.0, 0.0));
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let f = &self.flows[&id];
+            out[f.src.idx()].0 += f.rate_bytes_per_sec;
+            out[f.dst.idx()].1 += f.rate_bytes_per_sec;
+        }
+        for (u, &cap) in out.iter_mut().zip(&self.nic_bytes_per_sec) {
+            u.0 /= cap;
+            u.1 /= cap;
+        }
+    }
+
     /// Recompute every flow's rate from per-endpoint fair shares.
     fn recompute_rates(&mut self) {
         let n = self.nic_bytes_per_sec.len();
@@ -416,6 +439,23 @@ mod tests {
         }
         assert_eq!(completed, 10);
         assert!((last.as_secs_f64() - 1.0).abs() < 1e-3, "100MB @ 100MB/s");
+    }
+
+    #[test]
+    fn nic_utilization_reflects_fair_shares() {
+        let mut s = sim(3, 100.0);
+        let mut util = Vec::new();
+        s.nic_utilization_into(&mut util);
+        assert_eq!(util, vec![(0.0, 0.0); 3], "idle fabric");
+        // Two senders into node 2: each runs at half the rx NIC, so each
+        // tx side sits at 0.5 and the rx side is saturated.
+        s.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+        s.start(SimTime::ZERO, NodeId(1), NodeId(2), 100 * MB, false);
+        s.nic_utilization_into(&mut util);
+        assert!((util[0].0 - 0.5).abs() < 1e-9);
+        assert!((util[1].0 - 0.5).abs() < 1e-9);
+        assert!((util[2].1 - 1.0).abs() < 1e-9);
+        assert_eq!(util[2].0, 0.0, "no tx at the receiver");
     }
 
     #[test]

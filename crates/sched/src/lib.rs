@@ -37,7 +37,7 @@ pub use capacity::CapacityScheduler;
 pub use fair::FairScheduler;
 pub use fifo::FifoScheduler;
 pub use locality::Locality;
-pub use queue::{Assignment, JobEntry, JobId, JobQueue, PendingTask, TaskId};
+pub use queue::{Assignment, JobEntry, JobId, JobQueue, PendingTask, QueueDepth, TaskId};
 
 use dare_net::{NodeId, Topology};
 use dare_simcore::SimTime;

@@ -247,6 +247,17 @@ impl JobEntry {
     }
 }
 
+/// Queue-depth snapshot for telemetry sampling (see [`JobQueue::depth`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueDepth {
+    /// Jobs with unfinished maps.
+    pub jobs: usize,
+    /// Unscheduled map tasks across jobs.
+    pub pending_tasks: usize,
+    /// Map attempts currently handed out to slots.
+    pub running_maps: usize,
+}
+
 /// Active jobs in arrival order, plus the locality index and deficit order.
 #[derive(Debug, Default)]
 pub struct JobQueue {
@@ -523,6 +534,22 @@ impl JobQueue {
         self.jobs.iter().map(|j| j.pending.len()).sum()
     }
 
+    /// Snapshot of the queue's depth for telemetry: active jobs,
+    /// unscheduled map tasks, and map attempts the queue believes are
+    /// running. One pass over the jobs, no allocation.
+    pub fn depth(&self) -> QueueDepth {
+        let mut d = QueueDepth {
+            jobs: self.jobs.len(),
+            pending_tasks: 0,
+            running_maps: 0,
+        };
+        for j in &self.jobs {
+            d.pending_tasks += j.pending.len();
+            d.running_maps += j.running_maps() as usize;
+        }
+        d
+    }
+
     /// Number of active jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -600,6 +627,21 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(q.job(JobId(0)).is_none());
         assert!(q.has_pending(), "job 1 still pending");
+    }
+
+    #[test]
+    fn depth_tracks_pending_and_running() {
+        let topo = Topology::single_rack(4);
+        let lk = empty_lookup();
+        let mut q = JobQueue::new();
+        assert_eq!(q.depth(), QueueDepth::default());
+        q.add_job(JobId(0), SimTime::ZERO, tasks(&[1, 2]), &lk, &topo);
+        q.add_job(JobId(1), SimTime::from_secs(1), tasks(&[3]), &lk, &topo);
+        q.take_task(JobId(0), 0);
+        let d = q.depth();
+        assert_eq!(d.jobs, 2);
+        assert_eq!(d.pending_tasks, 2);
+        assert_eq!(d.running_maps, 1);
     }
 
     #[test]

@@ -304,6 +304,117 @@ impl Histogram {
     }
 }
 
+/// Count / sum / min / max plus streaming p50, p95 and p99 for one class
+/// of samples (latencies, utilizations, ...), backed by the
+/// [`P2Quantile`](crate::quantile::P2Quantile) estimator so a multi-hour
+/// simulation can report percentiles without buffering every sample.
+///
+/// Shared by the trace recorder's latency histograms and the telemetry
+/// registry's windowed histograms. All values are in the caller's unit
+/// (the trace uses seconds).
+#[derive(Debug, Clone)]
+pub struct LatencyStat {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    p50: crate::quantile::P2Quantile,
+    p95: crate::quantile::P2Quantile,
+    p99: crate::quantile::P2Quantile,
+}
+
+impl Default for LatencyStat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStat {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        LatencyStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            p50: crate::quantile::P2Quantile::new(0.5),
+            p95: crate::quantile::P2Quantile::new(0.95),
+            p99: crate::quantile::P2Quantile::new(0.99),
+        }
+    }
+
+    /// Record one sample in seconds (or any other unit).
+    pub fn push(&mut self, secs: f64) {
+        self.count += 1;
+        self.sum += secs;
+        self.min = self.min.min(secs);
+        self.max = self.max.max(secs);
+        self.p50.push(secs);
+        self.p95.push(secs);
+        self.p99.push(secs);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Streaming median estimate.
+    pub fn p50(&self) -> f64 {
+        self.p50.estimate()
+    }
+
+    /// Streaming 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.p95.estimate()
+    }
+
+    /// Streaming 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.p99.estimate()
+    }
+
+    /// One-line human summary, e.g. for the CLI footer.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.3}s p50={:.3}s p95={:.3}s p99={:.3}s max={:.3}s",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
 /// Rank-frequency table: counts per key, sorted descending — the shape of
 /// Fig. 2 (file popularity vs rank).
 #[derive(Debug, Clone, Default)]
@@ -471,6 +582,29 @@ mod tests {
         assert_eq!(props.len(), 10);
         assert!((props[1].1 - 2.0 / 7.0).abs() < 1e-12);
         assert!((props[0].0 - 0.5).abs() < 1e-12, "bin centers");
+    }
+
+    #[test]
+    fn latency_stat_tracks_extremes_and_mean() {
+        let mut s = LatencyStat::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(s.p50() >= 1.0 && s.p50() <= 4.0);
+    }
+
+    #[test]
+    fn empty_latency_stat_is_zeroed() {
+        let s = LatencyStat::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.summary().starts_with("n=0"));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Wall-clock self-profiling of the simulator's event-dispatch arms.
+//!
+//! The engine wraps each dispatched event in a timing scope tagged with
+//! the subsystem that owns the event (scheduling, DFS, network, fault
+//! handling). The accumulated per-subsystem wall time lands in
+//! `results/BENCH_profile.json` via the `telemetry-smoke` bench
+//! experiment, so a hot-path regression in one subsystem is visible
+//! across PRs even when end-to-end wall time hides it.
+//!
+//! Wall-clock times are *not* deterministic and never feed back into the
+//! simulation: the profiler observes `std::time::Instant` only, so a
+//! profiled run stays bit-identical to an unprofiled one.
+
+/// The event-dispatch arms the profiler distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subsystem {
+    /// Job arrivals, heartbeats/slot filling, map-compute and reduce
+    /// completions.
+    Sched,
+    /// Local disk reads, proactive-replication epochs.
+    Dfs,
+    /// Flow-simulator polls (remote-fetch and transfer progress).
+    Net,
+    /// Crash/rejoin/declare-dead/retry/degrade handling.
+    Fault,
+}
+
+impl Subsystem {
+    const ALL: [Subsystem; 4] = [
+        Subsystem::Sched,
+        Subsystem::Dfs,
+        Subsystem::Net,
+        Subsystem::Fault,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            Subsystem::Sched => 0,
+            Subsystem::Dfs => 1,
+            Subsystem::Net => 2,
+            Subsystem::Fault => 3,
+        }
+    }
+
+    /// Stable name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Sched => "sched",
+            Subsystem::Dfs => "dfs",
+            Subsystem::Net => "net",
+            Subsystem::Fault => "fault",
+        }
+    }
+}
+
+/// Accumulates per-subsystem wall time while a run is in flight.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    wall_ns: [u64; 4],
+    events: [u64; 4],
+}
+
+impl Profiler {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `elapsed` wall time for one event of `sub`.
+    pub fn record(&mut self, sub: Subsystem, elapsed: std::time::Duration) {
+        let i = sub.idx();
+        self.wall_ns[i] += elapsed.as_nanos() as u64;
+        self.events[i] += 1;
+    }
+
+    /// Seal into a report.
+    pub fn finish(self) -> ProfileReport {
+        ProfileReport {
+            wall_ns: self.wall_ns,
+            events: self.events,
+        }
+    }
+}
+
+/// Per-subsystem dispatch timings of one finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Total wall nanoseconds per subsystem (Sched, Dfs, Net, Fault).
+    pub wall_ns: [u64; 4],
+    /// Events dispatched per subsystem.
+    pub events: [u64; 4],
+}
+
+impl ProfileReport {
+    /// Total events dispatched.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// Total wall nanoseconds across subsystems.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.wall_ns.iter().sum()
+    }
+
+    /// Events and wall time of one subsystem.
+    pub fn of(&self, sub: Subsystem) -> (u64, u64) {
+        (self.events[sub.idx()], self.wall_ns[sub.idx()])
+    }
+
+    /// Render the `BENCH_profile.json` report: one object with a schema
+    /// tag, the scenario label, end-to-end totals, and one entry per
+    /// subsystem (integer nanoseconds only).
+    pub fn to_json(&self, scenario: &str) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"dare-profile-v1\",\n");
+        s.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+        s.push_str(&format!("  \"total_events\": {},\n", self.total_events()));
+        s.push_str(&format!("  \"total_wall_ns\": {},\n", self.total_wall_ns()));
+        s.push_str("  \"subsystems\": [\n");
+        for (i, sub) in Subsystem::ALL.iter().enumerate() {
+            let (events, wall) = self.of(*sub);
+            let mean = wall.checked_div(events).unwrap_or(0);
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"events\": {events}, \"wall_ns\": {wall}, \"mean_ns\": {mean}}}{}\n",
+                sub.name(),
+                if i + 1 < Subsystem::ALL.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// One-line human summary for logs.
+    pub fn summary(&self) -> String {
+        let total = self.total_wall_ns().max(1) as f64;
+        let mut parts = Vec::new();
+        for sub in Subsystem::ALL {
+            let (events, wall) = self.of(sub);
+            parts.push(format!(
+                "{}={:.0}% ({} ev)",
+                sub.name(),
+                wall as f64 / total * 100.0,
+                events
+            ));
+        }
+        format!(
+            "dispatch {:.1}ms: {}",
+            self.total_wall_ns() as f64 / 1e6,
+            parts.join(" ")
+        )
+    }
+}
+
+/// Validate a `BENCH_profile.json` document: schema tag, scenario, totals,
+/// and all four subsystem entries with integer `events`/`wall_ns`/`mean_ns`
+/// fields. This is what the CI `telemetry-smoke` gate runs against the
+/// written file.
+pub fn validate_profile_json(s: &str) -> Result<(), String> {
+    if !s.contains("\"schema\": \"dare-profile-v1\"") {
+        return Err("missing or wrong schema tag".into());
+    }
+    if !s.contains("\"scenario\": \"") {
+        return Err("missing scenario".into());
+    }
+    for key in ["total_events", "total_wall_ns"] {
+        let int_after = |k: &str| -> Result<u64, String> {
+            let pat = format!("\"{k}\": ");
+            let at = s.find(&pat).ok_or_else(|| format!("missing {k:?}"))?;
+            let rest = &s[at + pat.len()..];
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().map_err(|_| format!("non-integer {k:?}"))
+        };
+        int_after(key)?;
+    }
+    for sub in Subsystem::ALL {
+        let pat = format!("{{\"name\": \"{}\", \"events\": ", sub.name());
+        let at = s
+            .find(&pat)
+            .ok_or_else(|| format!("missing subsystem entry {:?}", sub.name()))?;
+        let rest = &s[at + pat.len()..];
+        for field in ["", "\"wall_ns\": ", "\"mean_ns\": "] {
+            let start = if field.is_empty() {
+                0
+            } else {
+                rest.find(field)
+                    .ok_or_else(|| format!("missing {field:?} for {:?}", sub.name()))?
+                    + field.len()
+            };
+            let digits: String = rest[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if digits.is_empty() {
+                return Err(format!("non-integer field for {:?}", sub.name()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut p = Profiler::new();
+        p.record(Subsystem::Sched, Duration::from_nanos(100));
+        p.record(Subsystem::Sched, Duration::from_nanos(50));
+        p.record(Subsystem::Net, Duration::from_nanos(25));
+        let r = p.finish();
+        assert_eq!(r.total_events(), 3);
+        assert_eq!(r.total_wall_ns(), 175);
+        assert_eq!(r.of(Subsystem::Sched), (2, 150));
+        assert_eq!(r.of(Subsystem::Fault), (0, 0));
+        let json = r.to_json("unit-test");
+        validate_profile_json(&json).expect("well-formed report");
+        assert!(json.contains("\"scenario\": \"unit-test\""));
+        assert!(json.contains("\"name\": \"fault\", \"events\": 0"));
+        assert!(r.summary().contains("sched"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        assert!(validate_profile_json("{}").is_err());
+        let r = Profiler::new().finish();
+        let good = r.to_json("x");
+        validate_profile_json(&good).expect("valid");
+        assert!(validate_profile_json(&good.replace("dare-profile-v1", "v0")).is_err());
+        assert!(validate_profile_json(&good.replace("\"name\": \"net\"", "\"name\": \"nyet\"")).is_err());
+        assert!(
+            validate_profile_json(&good.replace("\"total_events\": 0", "\"total_events\": x"))
+                .is_err()
+        );
+    }
+}

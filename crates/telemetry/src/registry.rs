@@ -1,0 +1,314 @@
+//! The metric registry: named counters, gauges and windowed histograms.
+//!
+//! A registry is a flat, ordered set of metrics; the registration order is
+//! the column order of the exported cluster time-series, so a schema is
+//! defined once (at engine construction) and every sample row lines up
+//! with it byte-for-byte. Three metric families:
+//!
+//! * **counters** — monotone cumulative totals (maps completed, bytes
+//!   fetched); exported as-is each tick.
+//! * **gauges** — instantaneous readings (free slots, queue depth), either
+//!   integer or float.
+//! * **windowed histograms** — P²-backed [`LatencyStat`]s over the samples
+//!   pushed since the previous tick (per-link utilization across nodes);
+//!   each tick exports `{name}_p50` / `{name}_max` / `{name}_n` and resets
+//!   the window.
+//!
+//! Values are stored as [`Value`] (integer or float); floats are always
+//! rendered with six fixed decimals so identical runs serialize
+//! identically.
+
+use dare_simcore::stats::LatencyStat;
+use dare_simcore::SimTime;
+
+/// Handle to a registered metric (index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// The metric families a registry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone cumulative total.
+    Counter,
+    /// Instantaneous integer reading.
+    GaugeInt,
+    /// Instantaneous float reading.
+    GaugeFloat,
+    /// Histogram over the samples pushed since the last tick.
+    Windowed,
+}
+
+/// One sampled cell: integer or fixed-format float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned integer cell.
+    U64(u64),
+    /// Float cell, rendered with six fixed decimals.
+    F64(f64),
+}
+
+impl Value {
+    /// Render for CSV/JSONL (both use the same textual form).
+    pub fn render(&self) -> String {
+        match self {
+            Value::U64(v) => format!("{v}"),
+            Value::F64(v) => format!("{v:.6}"),
+        }
+    }
+
+    /// The float view of the cell (for summaries and derived figures).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::U64(v) => *v as f64,
+            Value::F64(v) => *v,
+        }
+    }
+}
+
+enum Cell {
+    Counter(u64),
+    GaugeInt(u64),
+    GaugeFloat(f64),
+    // Boxed: a LatencyStat (three P² estimators) dwarfs the scalar
+    // variants, and windowed metrics are rare in a registry.
+    Windowed(Box<LatencyStat>),
+}
+
+/// One sampled row of the cluster series.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Sample time, microseconds of simulated time.
+    pub t_us: u64,
+    /// Cells in schema (registration/expansion) order, excluding `t_us`.
+    pub cells: Vec<Value>,
+}
+
+/// The registry: metric definitions, live values, and the accumulated
+/// sample rows.
+pub struct MetricRegistry {
+    names: Vec<&'static str>,
+    kinds: Vec<MetricKind>,
+    cells: Vec<Cell>,
+    rows: Vec<Row>,
+    /// Expanded column names (one per exported cell), cached after the
+    /// first sample; windowed metrics expand to three columns.
+    columns: Vec<String>,
+}
+
+impl Default for MetricRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricRegistry {
+            names: Vec::new(),
+            kinds: Vec::new(),
+            cells: Vec::new(),
+            rows: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    fn register(&mut self, name: &'static str, kind: MetricKind, cell: Cell) -> MetricId {
+        assert!(
+            self.rows.is_empty(),
+            "register all metrics before the first sample"
+        );
+        assert!(
+            !self.names.contains(&name),
+            "duplicate metric name {name:?}"
+        );
+        self.names.push(name);
+        self.kinds.push(kind);
+        self.cells.push(cell);
+        match kind {
+            MetricKind::Windowed => {
+                self.columns.push(format!("{name}_p50"));
+                self.columns.push(format!("{name}_max"));
+                self.columns.push(format!("{name}_n"));
+            }
+            _ => self.columns.push(name.to_string()),
+        }
+        MetricId(self.names.len() - 1)
+    }
+
+    /// Register a monotone cumulative counter.
+    pub fn counter(&mut self, name: &'static str) -> MetricId {
+        self.register(name, MetricKind::Counter, Cell::Counter(0))
+    }
+
+    /// Register an integer gauge.
+    pub fn gauge_int(&mut self, name: &'static str) -> MetricId {
+        self.register(name, MetricKind::GaugeInt, Cell::GaugeInt(0))
+    }
+
+    /// Register a float gauge.
+    pub fn gauge_float(&mut self, name: &'static str) -> MetricId {
+        self.register(name, MetricKind::GaugeFloat, Cell::GaugeFloat(0.0))
+    }
+
+    /// Register a windowed histogram (reset at every sample tick).
+    pub fn windowed(&mut self, name: &'static str) -> MetricId {
+        self.register(
+            name,
+            MetricKind::Windowed,
+            Cell::Windowed(Box::new(LatencyStat::new())),
+        )
+    }
+
+    /// Add to a counter.
+    pub fn inc(&mut self, id: MetricId, by: u64) {
+        match &mut self.cells[id.0] {
+            Cell::Counter(v) => *v += by,
+            _ => panic!("inc on a non-counter metric"),
+        }
+    }
+
+    /// Set a counter to a cumulative total the caller tracks itself
+    /// (must be monotone).
+    pub fn set_total(&mut self, id: MetricId, total: u64) {
+        match &mut self.cells[id.0] {
+            Cell::Counter(v) => {
+                debug_assert!(total >= *v, "counter {} went backwards", self.names[id.0]);
+                *v = total;
+            }
+            _ => panic!("set_total on a non-counter metric"),
+        }
+    }
+
+    /// Set an integer gauge.
+    pub fn set_int(&mut self, id: MetricId, v: u64) {
+        match &mut self.cells[id.0] {
+            Cell::GaugeInt(g) => *g = v,
+            _ => panic!("set_int on a non-integer-gauge metric"),
+        }
+    }
+
+    /// Set a float gauge.
+    pub fn set_float(&mut self, id: MetricId, v: f64) {
+        match &mut self.cells[id.0] {
+            Cell::GaugeFloat(g) => *g = v,
+            _ => panic!("set_float on a non-float-gauge metric"),
+        }
+    }
+
+    /// Push one observation into a windowed histogram.
+    pub fn observe(&mut self, id: MetricId, x: f64) {
+        match &mut self.cells[id.0] {
+            Cell::Windowed(h) => h.push(x),
+            _ => panic!("observe on a non-windowed metric"),
+        }
+    }
+
+    /// Seal the current values into one sample row at simulated time `t`
+    /// and reset every windowed histogram for the next interval.
+    pub fn sample(&mut self, t: SimTime) {
+        let mut cells = Vec::with_capacity(self.columns.len());
+        for cell in &mut self.cells {
+            match cell {
+                Cell::Counter(v) | Cell::GaugeInt(v) => cells.push(Value::U64(*v)),
+                Cell::GaugeFloat(v) => cells.push(Value::F64(*v)),
+                Cell::Windowed(h) => {
+                    cells.push(Value::F64(if h.count() == 0 { 0.0 } else { h.p50() }));
+                    cells.push(Value::F64(h.max()));
+                    cells.push(Value::U64(h.count()));
+                    **h = LatencyStat::new();
+                }
+            }
+        }
+        self.rows.push(Row {
+            t_us: t.as_micros(),
+            cells,
+        });
+    }
+
+    /// The expanded column names, excluding the leading `t_us`.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The accumulated sample rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Tear the registry apart into `(columns, rows)` for sealing into a
+    /// [`crate::Telemetry`].
+    pub fn into_series(self) -> (Vec<String>, Vec<Row>) {
+        (self.columns, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_order_is_column_order() {
+        let mut r = MetricRegistry::new();
+        let c = r.counter("done");
+        let g = r.gauge_int("slots");
+        let f = r.gauge_float("rate");
+        let w = r.windowed("util");
+        assert_eq!(
+            r.columns(),
+            &["done", "slots", "rate", "util_p50", "util_max", "util_n"]
+        );
+        r.inc(c, 2);
+        r.set_total(c, 5);
+        r.set_int(g, 7);
+        r.set_float(f, 0.25);
+        r.observe(w, 0.5);
+        r.observe(w, 1.5);
+        r.sample(SimTime::from_secs(3));
+        let rows = r.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].t_us, 3_000_000);
+        assert_eq!(rows[0].cells[0], Value::U64(5));
+        assert_eq!(rows[0].cells[1], Value::U64(7));
+        assert_eq!(rows[0].cells[2], Value::F64(0.25));
+        assert_eq!(rows[0].cells[5], Value::U64(2), "window sample count");
+    }
+
+    #[test]
+    fn windowed_histograms_reset_between_samples() {
+        let mut r = MetricRegistry::new();
+        let w = r.windowed("util");
+        r.observe(w, 1.0);
+        r.sample(SimTime::from_secs(1));
+        r.sample(SimTime::from_secs(2));
+        let rows = r.rows();
+        assert_eq!(rows[0].cells[2], Value::U64(1));
+        assert_eq!(rows[1].cells[2], Value::U64(0), "window cleared");
+        assert_eq!(rows[1].cells[0], Value::F64(0.0), "empty window p50 is 0");
+    }
+
+    #[test]
+    fn values_render_fixed_format() {
+        assert_eq!(Value::U64(42).render(), "42");
+        assert_eq!(Value::F64(0.5).render(), "0.500000");
+        assert_eq!(Value::F64(0.5).as_f64(), 0.5);
+        assert_eq!(Value::U64(2).as_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_rejected() {
+        let mut r = MetricRegistry::new();
+        r.counter("x");
+        r.gauge_int("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first sample")]
+    fn late_registration_rejected() {
+        let mut r = MetricRegistry::new();
+        r.counter("x");
+        r.sample(SimTime::ZERO);
+        r.counter("y");
+    }
+}

@@ -1,0 +1,473 @@
+//! The sealed telemetry time-series and its exporters.
+//!
+//! A [`Telemetry`] holds three aligned series sampled at the same ticks:
+//! the cluster-level rows produced by the [`crate::MetricRegistry`], a
+//! per-node breakdown ([`NodeSample`]) and a per-job breakdown
+//! ([`JobSample`]). Exports are byte-stable: integers and six-fixed-decimal
+//! floats only, fixed column/key order, `\n` line endings — two identical
+//! runs serialize identically, which is what the determinism tests pin.
+
+use crate::registry::{Row, Value};
+
+/// Lifecycle phase of a job at a sampling tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Arrived, maps or reduces still outstanding.
+    Running,
+    /// All maps and reduces committed.
+    Done,
+    /// Abandoned after a task exhausted its retry budget.
+    Failed,
+}
+
+impl JobPhase {
+    /// Stable textual form used by CSV and JSONL.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+/// Per-node snapshot at one sampling tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSample {
+    /// Sample time, microseconds of simulated time.
+    pub t_us: u64,
+    /// Node index.
+    pub node: u32,
+    /// Actually serving work (neither silently crashed nor declared dead).
+    pub alive: bool,
+    /// Advertising slots from the master's view (not declared dead; a
+    /// silently crashed node still advertises until the timeout fires).
+    pub advertised: bool,
+    /// Occupied map slots (master's view).
+    pub map_used: u32,
+    /// Advertised map-slot capacity (0 once declared dead).
+    pub map_total: u32,
+    /// Occupied reduce slots.
+    pub reduce_used: u32,
+    /// Advertised reduce-slot capacity.
+    pub reduce_total: u32,
+    /// Dynamic replicas physically held.
+    pub dynamic_blocks: u64,
+    /// Bytes of dynamic replicas physically held.
+    pub dynamic_bytes: u64,
+    /// NIC transmit utilization ∈ [0, 1] across active flows.
+    pub tx_util: f64,
+    /// NIC receive utilization ∈ [0, 1] across active flows.
+    pub rx_util: f64,
+}
+
+/// Per-job snapshot at one sampling tick. Emitted for every in-flight job
+/// at each tick, plus one terminal row per job at the final sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSample {
+    /// Sample time, microseconds of simulated time.
+    pub t_us: u64,
+    /// Job index.
+    pub job: u32,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Map tasks in the job.
+    pub maps_total: u32,
+    /// Maps committed so far.
+    pub maps_done: u32,
+    /// Committed maps that ran node-local.
+    pub node_local: u32,
+    /// Committed maps that ran rack-local.
+    pub rack_local: u32,
+    /// Committed maps that read remotely.
+    pub remote: u32,
+    /// Reduce tasks committed so far.
+    pub reduces_done: u32,
+}
+
+/// The sealed time-series a telemetry-enabled run attaches to its
+/// `SimResult`.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Sampling interval, microseconds.
+    pub interval_us: u64,
+    /// Cluster-series column names (excluding the leading `t_us`).
+    pub columns: Vec<String>,
+    /// Cluster-level rows, one per tick, cells in `columns` order.
+    pub cluster: Vec<Row>,
+    /// Per-node breakdown (nodes × ticks, node-major within a tick).
+    pub nodes: Vec<NodeSample>,
+    /// Per-job breakdown (in-flight jobs per tick + terminal rows).
+    pub jobs: Vec<JobSample>,
+}
+
+const NODE_COLUMNS: &str = "t_us,node,alive,advertised,map_used,map_total,reduce_used,\
+    reduce_total,dynamic_blocks,dynamic_bytes,tx_util,rx_util";
+const JOB_COLUMNS: &str =
+    "t_us,job,phase,maps_total,maps_done,node_local,rack_local,remote,reduces_done";
+
+impl Telemetry {
+    /// Number of sampling ticks recorded.
+    pub fn ticks(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// Index of a cluster-series column, if present.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The value of cluster column `name` at tick `i`.
+    pub fn value(&self, i: usize, name: &str) -> Option<Value> {
+        let c = self.column(name)?;
+        Some(self.cluster.get(i)?.cells[c])
+    }
+
+    /// The cluster-level series as CSV (header + one row per tick).
+    pub fn cluster_csv(&self) -> String {
+        let mut s = String::from("t_us");
+        for c in &self.columns {
+            s.push(',');
+            s.push_str(c);
+        }
+        s.push('\n');
+        for row in &self.cluster {
+            s.push_str(&row.t_us.to_string());
+            for cell in &row.cells {
+                s.push(',');
+                s.push_str(&cell.render());
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The per-node breakdown as CSV.
+    pub fn nodes_csv(&self) -> String {
+        let mut s = String::from(NODE_COLUMNS);
+        s.push('\n');
+        for n in &self.nodes {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6}\n",
+                n.t_us,
+                n.node,
+                n.alive as u8,
+                n.advertised as u8,
+                n.map_used,
+                n.map_total,
+                n.reduce_used,
+                n.reduce_total,
+                n.dynamic_blocks,
+                n.dynamic_bytes,
+                n.tx_util,
+                n.rx_util,
+            ));
+        }
+        s
+    }
+
+    /// The per-job breakdown as CSV.
+    pub fn jobs_csv(&self) -> String {
+        let mut s = String::from(JOB_COLUMNS);
+        s.push('\n');
+        for j in &self.jobs {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                j.t_us,
+                j.job,
+                j.phase.label(),
+                j.maps_total,
+                j.maps_done,
+                j.node_local,
+                j.rack_local,
+                j.remote,
+                j.reduces_done,
+            ));
+        }
+        s
+    }
+
+    /// All three series as JSONL: one object per line, `kind` ∈
+    /// `cluster` | `node` | `job`, fixed key order, cluster rows first.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for row in &self.cluster {
+            s.push_str(&format!("{{\"kind\":\"cluster\",\"t_us\":{}", row.t_us));
+            for (c, cell) in self.columns.iter().zip(&row.cells) {
+                s.push_str(&format!(",\"{}\":{}", c, cell.render()));
+            }
+            s.push_str("}\n");
+        }
+        for n in &self.nodes {
+            s.push_str(&format!(
+                "{{\"kind\":\"node\",\"t_us\":{},\"node\":{},\"alive\":{},\"advertised\":{},\
+                 \"map_used\":{},\"map_total\":{},\"reduce_used\":{},\"reduce_total\":{},\
+                 \"dynamic_blocks\":{},\"dynamic_bytes\":{},\"tx_util\":{:.6},\"rx_util\":{:.6}}}\n",
+                n.t_us,
+                n.node,
+                n.alive as u8,
+                n.advertised as u8,
+                n.map_used,
+                n.map_total,
+                n.reduce_used,
+                n.reduce_total,
+                n.dynamic_blocks,
+                n.dynamic_bytes,
+                n.tx_util,
+                n.rx_util,
+            ));
+        }
+        for j in &self.jobs {
+            s.push_str(&format!(
+                "{{\"kind\":\"job\",\"t_us\":{},\"job\":{},\"phase\":\"{}\",\"maps_total\":{},\
+                 \"maps_done\":{},\"node_local\":{},\"rack_local\":{},\"remote\":{},\
+                 \"reduces_done\":{}}}\n",
+                j.t_us,
+                j.job,
+                j.phase.label(),
+                j.maps_total,
+                j.maps_done,
+                j.node_local,
+                j.rack_local,
+                j.remote,
+                j.reduces_done,
+            ));
+        }
+        s
+    }
+
+    /// One-line human summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ticks @ {:.0}s ({} cluster cols, {} node rows, {} job rows)",
+            self.ticks(),
+            self.interval_us as f64 / 1e6,
+            self.columns.len(),
+            self.nodes.len(),
+            self.jobs.len(),
+        )
+    }
+
+    /// A fixed-width terminal table over up to `max_rows` evenly spaced
+    /// ticks of the headline cluster columns (what `dare-sim --telemetry`
+    /// prints).
+    pub fn summary_table(&self, max_rows: usize) -> String {
+        const COLS: [&str; 6] = [
+            "map_slots_used",
+            "pending_tasks",
+            "locality_rate",
+            "dynamic_replicas",
+            "under_replicated",
+            "link_util_max",
+        ];
+        let mut s = format!(
+            "{:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "t_s", "slots", "pending", "locality", "replicas", "underrep", "max_util"
+        );
+        if self.cluster.is_empty() || max_rows == 0 {
+            return s;
+        }
+        let n = self.cluster.len();
+        let step = n.div_ceil(max_rows).max(1);
+        let mut picks: Vec<usize> = (0..n).step_by(step).collect();
+        if *picks.last().unwrap() != n - 1 {
+            picks.push(n - 1);
+        }
+        for i in picks {
+            let row = &self.cluster[i];
+            s.push_str(&format!("{:>8.0}", row.t_us as f64 / 1e6));
+            for (w, name) in [(10, COLS[0]), (9, COLS[1]), (9, COLS[2]), (9, COLS[3]), (9, COLS[4]), (9, COLS[5])]
+            {
+                let cell = self
+                    .column(name)
+                    .map(|c| row.cells[c])
+                    .unwrap_or(Value::U64(0));
+                let txt = match cell {
+                    Value::U64(v) => format!("{v}"),
+                    Value::F64(v) => format!("{v:.3}"),
+                };
+                s.push_str(&format!(" {txt:>w$}", w = w));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Validate a telemetry JSONL export against the schema: every line is a
+/// flat object whose first key is `kind` (one of `cluster`/`node`/`job`)
+/// followed by `t_us`; all lines of one kind share an identical key
+/// sequence; `t_us` is non-decreasing within each kind; values are
+/// unquoted numbers except `phase`, which is one of the job-phase labels.
+pub fn validate_jsonl(jsonl: &str) -> Result<(), String> {
+    let mut schema: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    let mut last_t: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let inner = line
+            .strip_prefix('{')
+            .and_then(|l| l.strip_suffix('}'))
+            .ok_or_else(|| at("not a JSON object"))?;
+        let mut keys = Vec::new();
+        let mut kind = String::new();
+        let mut t_us: Option<u64> = None;
+        for (i, field) in inner.split(',').enumerate() {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| at(&format!("malformed field {field:?}")))?;
+            let key = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| at(&format!("unquoted key in {field:?}")))?;
+            match (i, key) {
+                (0, "kind") => {
+                    kind = value.trim_matches('"').to_string();
+                    if !["cluster", "node", "job"].contains(&kind.as_str()) {
+                        return Err(at(&format!("unknown kind {kind:?}")));
+                    }
+                }
+                (0, _) => return Err(at("first key must be \"kind\"")),
+                (1, "t_us") => {
+                    t_us = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| at(&format!("bad t_us {value:?}")))?,
+                    );
+                }
+                (1, _) => return Err(at("second key must be \"t_us\"")),
+                _ => {
+                    if key == "phase" {
+                        let v = value.trim_matches('"');
+                        if !["running", "done", "failed"].contains(&v) {
+                            return Err(at(&format!("bad phase {v:?}")));
+                        }
+                    } else if value.parse::<f64>().is_err() {
+                        return Err(at(&format!("non-numeric value for {key:?}: {value:?}")));
+                    }
+                }
+            }
+            keys.push(key.to_string());
+        }
+        let t = t_us.ok_or_else(|| at("missing t_us"))?;
+        if let Some(&prev) = last_t.get(&kind) {
+            if t < prev {
+                return Err(at(&format!("t_us went backwards for kind {kind:?}")));
+            }
+        }
+        last_t.insert(kind.clone(), t);
+        match schema.get(&kind) {
+            None => {
+                schema.insert(kind, keys);
+            }
+            Some(expect) => {
+                if *expect != keys {
+                    return Err(at(&format!("key sequence drifted for kind {kind:?}")));
+                }
+            }
+        }
+    }
+    if !schema.contains_key("cluster") {
+        return Err("no cluster rows".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+    use dare_simcore::SimTime;
+
+    fn sample_telemetry() -> Telemetry {
+        let mut reg = MetricRegistry::new();
+        let slots = reg.gauge_int("map_slots_used");
+        let rate = reg.gauge_float("locality_rate");
+        reg.set_int(slots, 3);
+        reg.set_float(rate, 0.5);
+        reg.sample(SimTime::from_secs(30));
+        reg.set_int(slots, 4);
+        reg.sample(SimTime::from_secs(60));
+        let (columns, cluster) = reg.into_series();
+        Telemetry {
+            interval_us: 30_000_000,
+            columns,
+            cluster,
+            nodes: vec![NodeSample {
+                t_us: 30_000_000,
+                node: 0,
+                alive: true,
+                advertised: true,
+                map_used: 1,
+                map_total: 2,
+                reduce_used: 0,
+                reduce_total: 2,
+                dynamic_blocks: 1,
+                dynamic_bytes: 128,
+                tx_util: 0.25,
+                rx_util: 0.0,
+            }],
+            jobs: vec![JobSample {
+                t_us: 30_000_000,
+                job: 0,
+                phase: JobPhase::Running,
+                maps_total: 4,
+                maps_done: 2,
+                node_local: 1,
+                rack_local: 1,
+                remote: 0,
+                reduces_done: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn csv_has_fixed_header_and_rows() {
+        let t = sample_telemetry();
+        let csv = t.cluster_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("t_us,map_slots_used,locality_rate"));
+        assert_eq!(lines.next(), Some("30000000,3,0.500000"));
+        assert_eq!(lines.next(), Some("60000000,4,0.500000"));
+        assert!(t.nodes_csv().starts_with("t_us,node,alive"));
+        assert!(t.jobs_csv().starts_with("t_us,job,phase"));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_the_validator() {
+        let t = sample_telemetry();
+        let jsonl = t.to_jsonl();
+        validate_jsonl(&jsonl).expect("schema-valid export");
+        assert!(jsonl.starts_with("{\"kind\":\"cluster\",\"t_us\":30000000"));
+        assert!(jsonl.contains("\"kind\":\"node\""));
+        assert!(jsonl.contains("\"phase\":\"running\""));
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(validate_jsonl("{\"kind\":\"bogus\",\"t_us\":1}\n").is_err());
+        assert!(validate_jsonl("{\"t_us\":1,\"kind\":\"cluster\"}\n").is_err());
+        // t_us going backwards within a kind
+        let back = "{\"kind\":\"cluster\",\"t_us\":5,\"x\":1}\n\
+                    {\"kind\":\"cluster\",\"t_us\":4,\"x\":1}\n";
+        assert!(validate_jsonl(back).is_err());
+        // key sequence drift within a kind
+        let drift = "{\"kind\":\"cluster\",\"t_us\":5,\"x\":1}\n\
+                     {\"kind\":\"cluster\",\"t_us\":6,\"y\":1}\n";
+        assert!(validate_jsonl(drift).is_err());
+        // no cluster rows at all
+        assert!(validate_jsonl("{\"kind\":\"node\",\"t_us\":1,\"node\":0}\n").is_err());
+    }
+
+    #[test]
+    fn summary_table_picks_spaced_rows() {
+        let t = sample_telemetry();
+        let table = t.summary_table(10);
+        assert!(table.contains("t_s"));
+        assert_eq!(table.lines().count(), 3, "header + 2 ticks");
+        assert!(t.summary().contains("2 ticks"));
+        assert_eq!(t.value(0, "map_slots_used"), Some(Value::U64(3)));
+        assert_eq!(t.value(0, "missing"), None);
+    }
+}

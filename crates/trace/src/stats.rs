@@ -1,114 +1,12 @@
 //! Streaming latency statistics attached to a trace.
 //!
-//! Histograms use [`P2Quantile`] so a multi-hour simulation can report
-//! percentiles without buffering every sample.  All values are seconds.
+//! The accumulator itself ([`LatencyStat`], P²-backed percentiles without
+//! buffering) lives in [`dare_simcore::stats`] so the telemetry registry's
+//! windowed histograms and the trace recorder share one implementation;
+//! this module re-exports it and defines the trace-specific histogram set.
+//! All values are seconds.
 
-use dare_simcore::quantile::P2Quantile;
-
-/// Count / sum / min / max plus streaming p50, p95 and p99 for one latency
-/// class.
-#[derive(Debug, Clone)]
-pub struct LatencyStat {
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-    p50: P2Quantile,
-    p95: P2Quantile,
-    p99: P2Quantile,
-}
-
-impl Default for LatencyStat {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyStat {
-    /// Empty accumulator.
-    pub fn new() -> Self {
-        LatencyStat {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            p50: P2Quantile::new(0.5),
-            p95: P2Quantile::new(0.95),
-            p99: P2Quantile::new(0.99),
-        }
-    }
-
-    /// Record one latency sample in seconds.
-    pub fn push(&mut self, secs: f64) {
-        self.count += 1;
-        self.sum += secs;
-        self.min = self.min.min(secs);
-        self.max = self.max.max(secs);
-        self.p50.push(secs);
-        self.p95.push(secs);
-        self.p99.push(secs);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in seconds (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Smallest sample (0 when empty).
-    pub fn min(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest sample (0 when empty).
-    pub fn max(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.max
-        }
-    }
-
-    /// Streaming median estimate.
-    pub fn p50(&self) -> f64 {
-        self.p50.estimate()
-    }
-
-    /// Streaming 95th-percentile estimate.
-    pub fn p95(&self) -> f64 {
-        self.p95.estimate()
-    }
-
-    /// Streaming 99th-percentile estimate.
-    pub fn p99(&self) -> f64 {
-        self.p99.estimate()
-    }
-
-    /// One-line human summary, e.g. for the CLI footer.
-    pub fn summary(&self) -> String {
-        format!(
-            "n={} mean={:.3}s p50={:.3}s p95={:.3}s p99={:.3}s max={:.3}s",
-            self.count,
-            self.mean(),
-            self.p50(),
-            self.p95(),
-            self.p99(),
-            self.max()
-        )
-    }
-}
+pub use dare_simcore::stats::LatencyStat;
 
 /// The latency histograms a [`crate::Tracer`] maintains while recording.
 #[derive(Debug, Clone, Default)]
@@ -128,25 +26,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn latency_stat_tracks_extremes_and_mean() {
-        let mut s = LatencyStat::new();
-        for x in [1.0, 2.0, 3.0, 4.0] {
-            s.push(x);
-        }
-        assert_eq!(s.count(), 4);
-        assert!((s.mean() - 2.5).abs() < 1e-12);
-        assert_eq!(s.min(), 1.0);
-        assert_eq!(s.max(), 4.0);
-        assert!(s.p50() >= 1.0 && s.p50() <= 4.0);
-    }
-
-    #[test]
-    fn empty_stat_is_zeroed() {
-        let s = LatencyStat::new();
-        assert_eq!(s.count(), 0);
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.min(), 0.0);
-        assert_eq!(s.max(), 0.0);
-        assert!(s.summary().starts_with("n=0"));
+    fn reexported_latency_stat_is_usable() {
+        let mut h = TraceHists::default();
+        h.fetch_secs.push(1.0);
+        h.fetch_secs.push(3.0);
+        assert_eq!(h.fetch_secs.count(), 2);
+        assert!((h.fetch_secs.mean() - 2.0).abs() < 1e-12);
     }
 }

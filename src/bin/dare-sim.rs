@@ -13,7 +13,7 @@
 use dare_repro::core::PolicyKind;
 use dare_repro::mapred::config::SpeculationConfig;
 use dare_repro::mapred::scarlett::ScarlettConfig;
-use dare_repro::mapred::{self, SchedulerKind, SimConfig};
+use dare_repro::mapred::{self, SchedulerKind, SimConfig, TelemetryConfig};
 use dare_repro::simcore::SimDuration;
 use dare_repro::workload::swim::{synthesize, SwimParams};
 
@@ -38,6 +38,11 @@ struct Args {
     workload_out: Option<String>,
     trace_chrome: Option<String>,
     trace_jsonl: Option<String>,
+    telemetry: bool,
+    telemetry_interval: Option<u64>,
+    telemetry_csv: Option<String>,
+    telemetry_jsonl: Option<String>,
+    self_profile: bool,
     csv: bool,
     csv_header: bool,
 }
@@ -63,6 +68,11 @@ impl Default for Args {
             workload_out: None,
             trace_chrome: None,
             trace_jsonl: None,
+            telemetry: false,
+            telemetry_interval: None,
+            telemetry_csv: None,
+            telemetry_jsonl: None,
+            self_profile: false,
             csv: false,
             csv_header: false,
         }
@@ -109,6 +119,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--save-workload" => a.workload_out = Some(value("--save-workload")?.clone()),
             "--trace" => a.trace_chrome = Some(value("--trace")?.clone()),
             "--trace-jsonl" => a.trace_jsonl = Some(value("--trace-jsonl")?.clone()),
+            "--telemetry" => a.telemetry = true,
+            "--telemetry-interval" => {
+                a.telemetry = true;
+                let secs: u64 = parse_num(value("--telemetry-interval")?)?;
+                if secs == 0 {
+                    return Err("--telemetry-interval must be positive".into());
+                }
+                a.telemetry_interval = Some(secs);
+            }
+            "--telemetry-csv" => {
+                a.telemetry = true;
+                a.telemetry_csv = Some(value("--telemetry-csv")?.clone());
+            }
+            "--self-profile" => a.self_profile = true,
+            "--telemetry-jsonl" => {
+                a.telemetry = true;
+                a.telemetry_jsonl = Some(value("--telemetry-jsonl")?.clone());
+            }
             "--csv" => a.csv = true,
             "--csv-header" => {
                 a.csv = true;
@@ -166,6 +194,16 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
     if a.trace_chrome.is_some() || a.trace_jsonl.is_some() {
         cfg.record_trace = true;
     }
+    if a.telemetry {
+        let mut tc = TelemetryConfig::default();
+        if let Some(secs) = a.telemetry_interval {
+            tc.interval = SimDuration::from_secs(secs);
+        }
+        cfg = cfg.with_telemetry(tc);
+    }
+    if a.self_profile {
+        cfg = cfg.with_self_profile();
+    }
     if let Some(epoch) = a.scarlett_epoch {
         cfg = cfg.with_scarlett(ScarlettConfig {
             epoch: SimDuration::from_secs(epoch),
@@ -210,6 +248,11 @@ fn usage() -> String {
      --save-workload PATH        export the synthesized workload before running\n\
      --trace PATH                record events, write a Chrome trace (Perfetto)\n\
      --trace-jsonl PATH          record events, write the JSONL event log\n\
+     --telemetry                 sample cluster state, print a summary table\n\
+     --telemetry-interval SECS   sampling interval (default 5; implies --telemetry)\n\
+     --telemetry-csv PATH        write the cluster time-series as CSV\n\
+     --telemetry-jsonl PATH      write all telemetry series as JSONL\n\
+     --self-profile              time event dispatch by subsystem (wall clock)\n\
      --csv / --csv-header        machine-readable one-row output"
         .into()
 }
@@ -263,6 +306,28 @@ fn main() {
             eprintln!("[dare-sim] trace JSONL saved to {path}");
         }
         eprintln!("[dare-sim] {}", trace.summary());
+    }
+
+    if let Some(telemetry) = &r.telemetry {
+        if let Some(path) = &args.telemetry_csv {
+            if let Err(e) = std::fs::write(path, telemetry.cluster_csv()) {
+                eprintln!("error: could not write telemetry CSV to {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("[dare-sim] telemetry CSV saved to {path}");
+        }
+        if let Some(path) = &args.telemetry_jsonl {
+            if let Err(e) = std::fs::write(path, telemetry.to_jsonl()) {
+                eprintln!("error: could not write telemetry JSONL to {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("[dare-sim] telemetry JSONL saved to {path}");
+        }
+        eprintln!("[dare-sim] telemetry: {}", telemetry.summary());
+    }
+
+    if let Some(profile) = &r.profile {
+        eprintln!("[dare-sim] profile: {}", profile.summary());
     }
 
     if args.csv {
@@ -331,6 +396,10 @@ fn main() {
             p.bytes_moved as f64 / (1u64 << 30) as f64,
             p.evictions
         );
+    }
+    if let Some(telemetry) = &r.telemetry {
+        println!("\ncluster state over time:");
+        print!("{}", telemetry.summary_table(12));
     }
 }
 
@@ -422,6 +491,37 @@ mod tests {
         assert_eq!(a.workload_in.as_deref(), Some("wl.json"));
         assert_eq!(a.workload_out.as_deref(), Some("out.wl"));
         assert!(parse_args(&argv("--save-trace x")).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_enable_sampling() {
+        let a = parse_args(&argv("--jobs 5")).expect("valid");
+        assert!(build_config(&a).expect("valid").telemetry.is_none());
+
+        let a = parse_args(&argv("--telemetry")).expect("valid");
+        let cfg = build_config(&a).expect("valid");
+        assert_eq!(
+            cfg.telemetry.expect("sampling on").interval,
+            SimDuration::from_secs(5),
+            "default interval"
+        );
+
+        let a = parse_args(&argv("--telemetry-interval 30")).expect("valid");
+        assert!(a.telemetry, "interval flag implies --telemetry");
+        let cfg = build_config(&a).expect("valid");
+        assert_eq!(
+            cfg.telemetry.expect("sampling on").interval,
+            SimDuration::from_secs(30)
+        );
+
+        let a = parse_args(&argv("--telemetry-csv t.csv --telemetry-jsonl t.jsonl"))
+            .expect("valid");
+        assert!(a.telemetry, "output flags imply --telemetry");
+        assert_eq!(a.telemetry_csv.as_deref(), Some("t.csv"));
+        assert_eq!(a.telemetry_jsonl.as_deref(), Some("t.jsonl"));
+
+        assert!(parse_args(&argv("--telemetry-interval 0")).is_err());
+        assert!(parse_args(&argv("--telemetry-interval x")).is_err());
     }
 
     #[test]

@@ -11,5 +11,6 @@ pub use dare_metrics as metrics;
 pub use dare_net as net;
 pub use dare_sched as sched;
 pub use dare_simcore as simcore;
+pub use dare_telemetry as telemetry;
 pub use dare_trace as trace;
 pub use dare_workload as workload;

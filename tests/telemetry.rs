@@ -1,0 +1,194 @@
+//! Telemetry integration tests.
+//!
+//! Mirrors the golden-trace harness's guarantees for the sampler: the
+//! time-series is observation-only (turning it on cannot change a single
+//! simulation outcome), its exports are byte-deterministic across runs —
+//! including under an active fault plan — and what it reports reflects
+//! the *master-visible* cluster: a silently crashed node keeps
+//! advertising its slots until the heartbeat timeout declares it dead,
+//! so the capacity series steps down at the detection tick, not at the
+//! crash tick.
+
+use dare_core::PolicyKind;
+use dare_mapred::golden::{golden_scenarios, golden_workload, GOLDEN_SEED};
+use dare_mapred::{SchedulerKind, SimConfig, TelemetryConfig};
+use dare_simcore::SimDuration;
+use dare_telemetry::validate_jsonl;
+
+/// The golden matrix plus a fault-heavy fair run (two silent node
+/// crashes), every case with a 5s sampling interval.
+fn cases() -> Vec<(String, SimConfig)> {
+    let mut cases: Vec<(String, SimConfig)> = golden_scenarios()
+        .into_iter()
+        .map(|(n, cfg)| (n.to_string(), cfg))
+        .collect();
+    let mut faulted = SimConfig::cct(
+        PolicyKind::GreedyLru,
+        SchedulerKind::fair_default(),
+        GOLDEN_SEED,
+    )
+    .with_failures(vec![(20, 3), (45, 7)]);
+    faulted.budget_frac = 1.0;
+    cases.push(("faulted-fair-dare-lru".to_string(), faulted));
+    for (_, cfg) in &mut cases {
+        *cfg = cfg.clone().with_telemetry(TelemetryConfig {
+            interval: SimDuration::from_secs(5),
+        });
+    }
+    cases
+}
+
+/// Sampling is observation-only: the same configuration run with and
+/// without telemetry (and the self-profiler) must produce identical
+/// simulation results — aggregate metrics, per-job outcomes, fault
+/// counters, and the DFS's final replica map. Only the `telemetry` and
+/// `profile` fields may differ.
+#[test]
+fn telemetry_is_observation_only() {
+    let wl = golden_workload();
+    for (name, cfg) in cases() {
+        let mut off_cfg = cfg.clone();
+        off_cfg.telemetry = None;
+        let on = dare_mapred::run(cfg.with_self_profile(), &wl);
+        let off = dare_mapred::run(off_cfg, &wl);
+        assert!(on.telemetry.is_some(), "{name}: sampled run carries series");
+        assert!(off.telemetry.is_none(), "{name}: unsampled run carries none");
+        assert_eq!(on.run, off.run, "{name}: aggregate metrics must match");
+        assert_eq!(on.outcomes, off.outcomes, "{name}: job outcomes must match");
+        assert_eq!(on.faults, off.faults, "{name}: fault counters must match");
+        assert_eq!(
+            on.dfs_fingerprint, off.dfs_fingerprint,
+            "{name}: final replica maps must match"
+        );
+        assert_eq!(on.replicas_created, off.replicas_created, "{name}");
+        assert_eq!(on.evictions, off.evictions, "{name}");
+        assert_eq!(on.remote_bytes_fetched, off.remote_bytes_fetched, "{name}");
+    }
+}
+
+/// Two fresh engines on the same seed must serialize the same telemetry
+/// bytes — CSVs and JSONL — including across a fault-plan run, where the
+/// sampler additionally covers detection, retry, and recovery activity.
+#[test]
+fn telemetry_exports_are_byte_identical_across_runs() {
+    let wl = golden_workload();
+    for (name, cfg) in cases() {
+        let a = dare_mapred::run(cfg.clone(), &wl).telemetry.unwrap();
+        let b = dare_mapred::run(cfg, &wl).telemetry.unwrap();
+        assert_eq!(a.cluster_csv(), b.cluster_csv(), "{name}: cluster CSV");
+        assert_eq!(a.nodes_csv(), b.nodes_csv(), "{name}: node CSV");
+        assert_eq!(a.jobs_csv(), b.jobs_csv(), "{name}: job CSV");
+        assert_eq!(a.to_jsonl(), b.to_jsonl(), "{name}: JSONL");
+    }
+}
+
+/// Every case's JSONL export passes the schema validator, and on the
+/// fault-free golden matrix the telemetry-derived locality metrics agree
+/// bitwise with the summarizer's.
+#[test]
+fn telemetry_jsonl_is_schema_valid_and_rederives_locality() {
+    let wl = golden_workload();
+    for (name, cfg) in cases() {
+        let faulted = !cfg.faults.events.is_empty();
+        let r = dare_mapred::run(cfg, &wl);
+        let t = r.telemetry.as_ref().unwrap();
+        validate_jsonl(&t.to_jsonl())
+            .unwrap_or_else(|e| panic!("{name}: invalid JSONL: {e}"));
+        if faulted {
+            continue; // locality cross-check is exercised on clean runs
+        }
+        let jl = r.telemetry_job_locality().expect("completed jobs");
+        assert_eq!(
+            jl.to_bits(),
+            r.run.job_locality.to_bits(),
+            "{name}: job locality drifted between the two derivations"
+        );
+        let l = r.telemetry_locality().expect("completed jobs");
+        assert_eq!(
+            l.to_bits(),
+            r.run.locality.to_bits(),
+            "{name}: task locality drifted between the two derivations"
+        );
+    }
+}
+
+/// A long workload (steady arrivals, 20s maps) so the run comfortably
+/// outlives the heartbeat timeout — the golden workload drains in ~24s,
+/// before a mid-run crash could ever be declared.
+fn long_workload() -> dare_workload::Workload {
+    const MB: u64 = 1 << 20;
+    let bs = 128 * MB;
+    let files: Vec<dare_workload::FileSpec> = (0..6)
+        .map(|i| dare_workload::FileSpec {
+            name: format!("f{i}"),
+            size_bytes: 2 * bs,
+        })
+        .collect();
+    let jobs: Vec<dare_workload::JobSpec> = (0..30)
+        .map(|id| dare_workload::JobSpec {
+            id,
+            arrival: dare_simcore::SimTime::from_secs(id as u64 * 10),
+            file: if id % 4 == 0 { (id as usize / 4) % 6 } else { 0 },
+            map_compute: SimDuration::from_secs(20),
+            reduces: 1,
+            output_bytes: 10 * MB,
+        })
+        .collect();
+    dare_workload::Workload {
+        name: "long".into(),
+        files,
+        jobs,
+    }
+}
+
+/// A silently crashed node keeps advertising its slots to the master
+/// until the heartbeat timeout expires, so the advertised map-slot
+/// capacity must hold steady across the crash tick and step down only at
+/// the detection tick (crash + detect_heartbeats × heartbeat = +30s).
+#[test]
+fn capacity_steps_at_detection_not_at_crash() {
+    let crash_s: u64 = 5;
+    let detect_s = crash_s + 10 * 3; // detect_heartbeats=10 × heartbeat=3s
+    let cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 19)
+        .with_failures(vec![(crash_s, 2)])
+        .with_telemetry(TelemetryConfig {
+            interval: SimDuration::from_secs(5),
+        });
+    let r = dare_mapred::run(cfg, &long_workload());
+    assert_eq!(r.faults.nodes_declared_dead, 1, "the death is detected");
+    let t = r.telemetry.unwrap();
+
+    let total_at = |i: usize| match t.value(i, "map_slots_total").unwrap() {
+        dare_telemetry::Value::U64(v) => v,
+        other => panic!("map_slots_total is integral, got {other:?}"),
+    };
+    let full = total_at(0);
+    assert!(full > 0, "cluster advertises map slots");
+
+    let mut first_drop = None;
+    for i in 0..t.ticks() {
+        let v = total_at(i);
+        if v < full {
+            first_drop = Some((t.cluster[i].t_us, v));
+            break;
+        }
+        assert_eq!(v, full, "capacity must not change before a drop");
+    }
+    let (drop_us, dropped) = first_drop.expect(
+        "the run outlives the heartbeat timeout, so the death is observed",
+    );
+    assert!(
+        drop_us >= detect_s * 1_000_000,
+        "capacity stepped at t={drop_us}us, before the {detect_s}s detection \
+         deadline — the sampler leaked a not-yet-detected crash"
+    );
+    assert!(
+        drop_us > crash_s * 1_000_000,
+        "capacity stepped at or before the crash itself"
+    );
+    assert_eq!(
+        dropped,
+        full - full / 19,
+        "exactly one node's worth of slots disappears at detection"
+    );
+}
