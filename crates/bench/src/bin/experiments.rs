@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//! fig11 ablation resilience all. Output: console tables plus CSV files
-//! under `results/`.
+//! fig11 ablation resilience durability all. Output: console tables plus
+//! CSV files under `results/`.
 
 use dare_bench::experiments::*;
 use dare_bench::harness::DEFAULT_SEED;
@@ -62,6 +62,7 @@ fn run_one(which: &str, seed: u64) {
         "fig11" => fig11::run(seed),
         "ablation" => ablation::run(seed),
         "resilience" => resilience::run(seed),
+        "durability" => durability::run(seed),
         "verify" => {
             let failed = verify::run_all(seed);
             if failed > 0 {
@@ -89,7 +90,8 @@ fn run_one(which: &str, seed: u64) {
         "all" => {
             for id in [
                 "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                "fig8", "fig9", "fig10", "fig11", "ablation", "resilience", "plots", "verify",
+                "fig8", "fig9", "fig10", "fig11", "ablation", "resilience", "durability",
+                "plots", "verify",
             ] {
                 eprintln!("[experiments] running {id} (seed {seed})");
                 run_one(id, seed);
@@ -105,7 +107,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [ids...] [--seed N]\n\
-         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig7ci fig8 fig9 fig10 fig11 ablation resilience plots trace-smoke telemetry-smoke verify all"
+         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig7ci fig8 fig9 fig10 fig11 ablation resilience durability plots trace-smoke telemetry-smoke verify all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

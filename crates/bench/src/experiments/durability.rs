@@ -1,0 +1,177 @@
+//! Durability sweep: silent-corruption rate × replication policy.
+//!
+//! Exercises the data-integrity layer end to end — rate-generated
+//! [`FaultEvent::CorruptReplica`](dare_mapred::FaultEvent) events, the
+//! read-path checksum, the background block scanner, quarantine, and the
+//! repair queue — and contrasts a vanilla cluster with DARE-LRU as the
+//! bit-rot rate climbs. Corruption losses are reported on their own
+//! ledger (`blocks_lost_corruption`), disjoint from the crash-path
+//! `blocks_lost`, so the table separates "data rotted faster than the
+//! scrubber+repair pipeline" from "a node died holding the last copy".
+//!
+//! Runtime invariant checking is enabled for every cell. Emits
+//! `results/durability.csv` plus machine-readable
+//! `results/BENCH_durability.json`. Set `BENCH_QUICK=1` for the CI smoke
+//! configuration (fewer jobs, same corruption rates).
+
+use crate::harness::{csv_path, write_csv, Table};
+use dare_core::PolicyKind;
+use dare_mapred::{FaultPlan, FaultSpec, ScannerConfig, SchedulerKind, SimConfig};
+use dare_simcore::parallel::parallel_map;
+use dare_simcore::{DetRng, SimDuration};
+use dare_workload::swim::{synthesize, SwimParams};
+
+/// One corruption-intensity level of the sweep.
+#[derive(Clone, Copy)]
+struct Level {
+    label: &'static str,
+    /// Expected corruption events per node-hour of simulated time.
+    rate: f64,
+}
+
+const LEVELS: [Level; 3] = [
+    Level { label: "pristine", rate: 0.0 },
+    Level { label: "rot-low", rate: 20.0 },
+    Level { label: "rot-high", rate: 120.0 },
+];
+
+/// Corruption rate × policy sweep on the EC2 profile.
+pub fn run(seed: u64) {
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let jobs: u32 = if quick { 30 } else { 100 };
+
+    let wl = synthesize("wl1-durability", &SwimParams { jobs, ..SwimParams::wl1() }, seed);
+    let span = wl.jobs.last().map(|j| j.arrival.as_secs_f64()).unwrap_or(0.0) as u64;
+    let horizon = span.max(30) * 3 / 4;
+    let base = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::fair_default(), seed);
+    let racks = base
+        .profile
+        .build_topology(&mut DetRng::new(seed).substream("topology"))
+        .racks();
+    let nodes = base.profile.nodes;
+    // The corruption generator samples block ids over the ingested
+    // namespace; derive the block count exactly as ingest will.
+    let bs = base.dfs.block_size;
+    let blocks: u64 = wl.files.iter().map(|f| f.size_bytes.div_ceil(bs)).sum();
+
+    let policies = [PolicyKind::Vanilla, PolicyKind::GreedyLru];
+    let mut cells = Vec::new();
+    for (li, level) in LEVELS.into_iter().enumerate() {
+        let plan = (level.rate > 0.0).then(|| {
+            let spec = FaultSpec {
+                horizon_secs: horizon,
+                kills: 0,
+                crashes: 0,
+                mean_down_secs: 0,
+                rack_outages: 0,
+                stragglers: 0,
+                straggler_factor: 1.0,
+                corruption_rate_per_node_hour: level.rate,
+            };
+            FaultPlan::generate_with_blocks(&spec, nodes, racks, blocks, seed ^ ((li as u64) << 32))
+        });
+        for &policy in &policies {
+            cells.push((level.label, plan.clone(), policy));
+        }
+    }
+
+    let results = parallel_map(cells, |(label, plan, policy)| {
+        let mut cfg = base
+            .clone()
+            .with_scanner(ScannerConfig {
+                period: SimDuration::from_secs(15),
+                bytes_per_sec: 32 << 20,
+            })
+            .with_invariant_checks();
+        cfg.policy = policy;
+        if let Some(p) = plan {
+            cfg = cfg.with_faults(p);
+        }
+        (label, policy, dare_mapred::run(cfg, &wl))
+    });
+
+    let mut t = Table::new(
+        "Durability: silent-corruption rate x policy (ec2, fair, background scanner; read-path checksums, quarantine + repair)",
+        &[
+            "level",
+            "policy",
+            "jobs_ok",
+            "jobs_failed",
+            "job_locality",
+            "gmtt_s",
+            "corrupted",
+            "cksum_fail",
+            "scrub_hits",
+            "quarantined",
+            "scrub_GB",
+            "repaired",
+            "recovery_MB",
+            "lost_crash",
+            "lost_corrupt",
+        ],
+    );
+    const MB: f64 = (1u64 << 20) as f64;
+    for (label, policy, r) in &results {
+        t.row(vec![
+            label.to_string(),
+            policy.label(),
+            r.run.jobs.to_string(),
+            r.run.failed_jobs.to_string(),
+            format!("{:.3}", r.run.job_locality),
+            format!("{:.1}", r.run.gmtt_secs),
+            r.faults.replicas_corrupted.to_string(),
+            r.faults.checksum_failures.to_string(),
+            r.faults.scrub_detections.to_string(),
+            r.faults.replicas_quarantined.to_string(),
+            format!("{:.1}", r.faults.scrub_bytes as f64 / (MB * 1024.0)),
+            r.faults.blocks_re_replicated.to_string(),
+            format!("{:.1}", r.faults.recovery_bytes as f64 / MB),
+            r.faults.blocks_lost.to_string(),
+            r.faults.blocks_lost_corruption.to_string(),
+        ]);
+    }
+    t.print();
+    write_csv("durability", &t);
+    write_json(seed, jobs, quick, &results);
+}
+
+/// Machine-readable companion of the CSV, mirroring `BENCH_resilience.json`.
+fn write_json(seed: u64, jobs: u32, quick: bool, results: &[(&str, PolicyKind, dare_mapred::SimResult)]) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"profile\": \"ec2\", \"scheduler\": \"fair\", \"scanner\": true, \"jobs\": {jobs}, \"seed\": {seed}, \"quick\": {quick}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, (label, policy, r)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"level\": \"{label}\", \"policy\": \"{}\", \"jobs_ok\": {}, \"jobs_failed\": {}, \
+             \"job_locality\": {:.6}, \"gmtt_secs\": {:.3}, \
+             \"replicas_corrupted\": {}, \"checksum_failures\": {}, \"scrub_detections\": {}, \
+             \"replicas_quarantined\": {}, \"scrub_bytes\": {}, \
+             \"blocks_re_replicated\": {}, \"recovery_bytes\": {}, \
+             \"blocks_lost\": {}, \"blocks_lost_corruption\": {}}}{}\n",
+            policy.label(),
+            r.run.jobs,
+            r.run.failed_jobs,
+            r.run.job_locality,
+            r.run.gmtt_secs,
+            r.faults.replicas_corrupted,
+            r.faults.checksum_failures,
+            r.faults.scrub_detections,
+            r.faults.replicas_quarantined,
+            r.faults.scrub_bytes,
+            r.faults.blocks_re_replicated,
+            r.faults.recovery_bytes,
+            r.faults.blocks_lost,
+            r.faults.blocks_lost_corruption,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut path = csv_path("BENCH_durability");
+    path.set_extension("json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[json] wrote {}", path.display()),
+        Err(e) => eprintln!("[json] could not write {}: {e}", path.display()),
+    }
+}

@@ -44,6 +44,7 @@ fn levels(horizon_secs: u64) -> Vec<Level> {
                 rack_outages: 1,
                 stragglers: 2,
                 straggler_factor: 3.0,
+                corruption_rate_per_node_hour: 0.0,
             }),
         },
         Level {
@@ -56,6 +57,7 @@ fn levels(horizon_secs: u64) -> Vec<Level> {
                 rack_outages: 3,
                 stragglers: 5,
                 straggler_factor: 5.0,
+                corruption_rate_per_node_hour: 0.0,
             }),
         },
     ]

@@ -15,6 +15,7 @@ pub mod plot;
 pub mod experiments {
     //! One module per paper artifact.
     pub mod ablation;
+    pub mod durability;
     pub mod fig1;
     pub mod fig10;
     pub mod fig11;

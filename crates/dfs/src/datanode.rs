@@ -15,6 +15,11 @@ pub struct DataNode {
     primary: HashSet<BlockId>,
     /// Dynamically replicated blocks resident here (DARE-created).
     dynamic: HashSet<BlockId>,
+    /// Resident replicas whose on-disk bytes have silently rotted. The
+    /// bit is invisible to the namenode until a read or scrub checksums
+    /// the replica — mirroring HDFS, where corruption is only discovered
+    /// by the DataBlockScanner or a failed client read.
+    corrupt: HashSet<BlockId>,
     /// Bytes consumed by primary replicas.
     primary_bytes: u64,
     /// Bytes consumed by dynamic replicas (checked against the budget).
@@ -32,6 +37,7 @@ impl DataNode {
             id,
             primary: HashSet::new(),
             dynamic: HashSet::new(),
+            corrupt: HashSet::new(),
             primary_bytes: 0,
             dynamic_bytes: 0,
             disk_writes: 0,
@@ -66,7 +72,44 @@ impl DataNode {
     pub fn remove_primary(&mut self, b: BlockId, bytes: u64) {
         if self.primary.remove(&b) {
             self.primary_bytes -= bytes;
+            if !self.dynamic.contains(&b) {
+                self.corrupt.remove(&b);
+            }
         }
+    }
+
+    /// Flip the integrity bit of a resident replica: its bytes have
+    /// silently rotted on disk. Returns false (no-op) when no replica of
+    /// `b` is resident or the replica is already corrupt.
+    pub fn mark_corrupt(&mut self, b: BlockId) -> bool {
+        if !self.holds(b) {
+            return false;
+        }
+        self.corrupt.insert(b)
+    }
+
+    /// True when the resident replica of `b` would fail a checksum.
+    pub fn is_corrupt(&self, b: BlockId) -> bool {
+        self.corrupt.contains(&b)
+    }
+
+    /// Number of resident replicas currently carrying the corrupt bit.
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt.len()
+    }
+
+    /// Resident corrupt replicas in ascending block order (deterministic
+    /// scan order for the background scrubber).
+    pub fn corrupt_blocks(&self) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = self.corrupt.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total resident bytes (primary + dynamic) — what one full scrub
+    /// pass has to read.
+    pub fn total_bytes(&self) -> u64 {
+        self.primary_bytes + self.dynamic_bytes
     }
 
     /// Store a dynamic replica. Returns false (and does nothing) if a
@@ -86,6 +129,9 @@ impl DataNode {
         if self.dynamic.remove(&b) {
             self.dynamic_bytes -= bytes;
             self.evictions += 1;
+            if !self.primary.contains(&b) {
+                self.corrupt.remove(&b);
+            }
             true
         } else {
             false
@@ -153,6 +199,28 @@ mod tests {
         dn.add_primary(BlockId(3), 10);
         assert!(!dn.add_dynamic(BlockId(3), 10));
         assert_eq!(dn.dynamic_bytes(), 0);
+    }
+
+    #[test]
+    fn corrupt_bit_lifecycle() {
+        let mut dn = DataNode::new(NodeId(0));
+        assert!(!dn.mark_corrupt(BlockId(1)), "absent replica cannot rot");
+        dn.add_primary(BlockId(1), 100);
+        assert!(dn.mark_corrupt(BlockId(1)));
+        assert!(!dn.mark_corrupt(BlockId(1)), "already corrupt");
+        assert!(dn.is_corrupt(BlockId(1)));
+        assert_eq!(dn.corrupt_count(), 1);
+        // Dropping the replica clears the bit: a re-written copy is clean.
+        dn.remove_primary(BlockId(1), 100);
+        assert!(!dn.is_corrupt(BlockId(1)));
+        dn.add_primary(BlockId(1), 100);
+        assert!(!dn.is_corrupt(BlockId(1)));
+        // Dynamic replicas carry the bit through the eviction path too.
+        dn.add_dynamic(BlockId(2), 64);
+        assert!(dn.mark_corrupt(BlockId(2)));
+        assert!(dn.remove_dynamic(BlockId(2), 64));
+        assert!(!dn.is_corrupt(BlockId(2)));
+        assert_eq!(dn.corrupt_count(), 0);
     }
 
     #[test]

@@ -42,6 +42,27 @@ pub struct FailOutcome {
     pub lost: Vec<BlockId>,
 }
 
+/// What [`Dfs::quarantine_replica`] removed once a checksum failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quarantined {
+    /// A primary replica: its location is dropped at the name node and
+    /// the bad bytes discarded, leaving the block under-replicated until
+    /// a repair copy lands. `was_visible` reports whether the scheduler's
+    /// view of the block changed (false when the node had already been
+    /// declared dead and the location was gone).
+    Primary {
+        /// Whether the scheduler-visible location set changed.
+        was_visible: bool,
+    },
+    /// A DARE dynamic replica: evicted rather than repaired — the
+    /// replication policies re-create dynamic copies on demand.
+    /// `was_visible` as above.
+    Dynamic {
+        /// Whether the scheduler-visible location set changed.
+        was_visible: bool,
+    },
+}
+
 /// The distributed file system: metadata master plus per-node storage.
 ///
 /// ```
@@ -188,6 +209,49 @@ impl Dfs {
             return None;
         }
         Some(self.nn.remove_dynamic(b, node))
+    }
+
+    /// Silently corrupt the resident replica of `b` on `node` (bit-rot).
+    /// The name node's view is untouched — corruption is only *detected*
+    /// when a read or a scrub checksums the replica. Returns false when no
+    /// replica is resident or it is already corrupt.
+    pub fn corrupt_replica(&mut self, node: NodeId, b: BlockId) -> bool {
+        self.dns[node.idx()].mark_corrupt(b)
+    }
+
+    /// True when the resident replica of `b` on `node` would fail a
+    /// checksum.
+    pub fn is_replica_corrupt(&self, node: NodeId, b: BlockId) -> bool {
+        self.dns[node.idx()].is_corrupt(b)
+    }
+
+    /// Number of silently corrupt replicas cluster-wide (not yet detected
+    /// and quarantined).
+    pub fn total_corrupt_replicas(&self) -> u64 {
+        self.dns.iter().map(|d| d.corrupt_count() as u64).sum()
+    }
+
+    /// Remove a replica that failed its checksum: the bad bytes are
+    /// discarded and the name node forgets the location, so `pick_source`
+    /// and the scheduler never offer it again. Primary replicas leave the
+    /// block under-replicated (repair path); dynamic replicas go through
+    /// the eviction path. Returns `None` when `node` holds no replica of
+    /// `b`.
+    pub fn quarantine_replica(&mut self, node: NodeId, b: BlockId) -> Option<Quarantined> {
+        if !self.dns[node.idx()].holds(b) {
+            return None;
+        }
+        if self.dns[node.idx()].holds_dynamic(b) {
+            let was_visible = self.evict_dynamic(node, b).expect("replica resident");
+            return Some(Quarantined::Dynamic { was_visible });
+        }
+        let bytes = self.nn.block_size(b);
+        let was_visible = self.nn.primary_locations(b).contains(&node);
+        self.dns[node.idx()].remove_primary(b, bytes);
+        if was_visible {
+            self.nn.remove_primary_location(b, node);
+        }
+        Some(Quarantined::Primary { was_visible })
     }
 
     /// Deliver heartbeats: promote pending dynamic-replica reports.
@@ -643,6 +707,159 @@ mod tests {
         for &n in dfs.visible_locations(b) {
             assert!(dfs.is_physically_present(n, b));
         }
+    }
+
+    #[test]
+    fn sole_dynamic_replica_lost_with_failed_node() {
+        // rf = 1: primary on node 4, plus a dynamic copy on node 8. The
+        // primary holder dies first — the dynamic copy keeps the block
+        // alive — then the dynamic holder dies holding the only replica.
+        let cfg = DfsConfig {
+            block_size: 128 * MB,
+            replication_factor: 1,
+            report_delay: SimDuration::from_secs(3),
+        };
+        let mut dfs = Dfs::new(cfg, Topology::single_rack(10));
+        let mut rng = DetRng::new(21);
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            Some(NodeId(4)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        assert!(dfs.insert_dynamic(SimTime::ZERO, NodeId(8), b));
+        dfs.process_reports(SimTime::from_secs(3));
+
+        let live: Vec<NodeId> = (0..10).map(NodeId).filter(|n| *n != NodeId(4)).collect();
+        let out = dfs.fail_node(NodeId(4), &live, &mut rng);
+        assert!(out.lost.is_empty(), "dynamic copy keeps the block alive");
+        assert_eq!(dfs.visible_locations(b), &[NodeId(8)]);
+
+        let live: Vec<NodeId> = (0..10)
+            .map(NodeId)
+            .filter(|n| *n != NodeId(4) && *n != NodeId(8))
+            .collect();
+        let out = dfs.fail_node(NodeId(8), &live, &mut rng);
+        assert_eq!(out.re_replicated, 0, "nothing to copy from");
+        assert_eq!(out.lost, vec![b], "sole dynamic replica died with the node");
+        assert!(dfs.visible_locations(b).is_empty());
+    }
+
+    #[test]
+    fn fail_node_lost_accounting_is_per_block() {
+        // Node 4 holds the sole primary of file x's block AND a dynamic
+        // copy of file y's block (whose primaries live elsewhere). Failing
+        // node 4 must lose exactly x's block, not y's.
+        let cfg = DfsConfig {
+            block_size: 128 * MB,
+            replication_factor: 1,
+            report_delay: SimDuration::from_secs(3),
+        };
+        let mut dfs = Dfs::new(cfg, Topology::single_rack(10));
+        let mut rng = DetRng::new(9);
+        let fx = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            Some(NodeId(4)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let bx = dfs.namenode().file(fx).blocks[0];
+        let fy = dfs.create_file(
+            SimTime::ZERO,
+            "y".into(),
+            128 * MB,
+            Some(NodeId(7)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let by = dfs.namenode().file(fy).blocks[0];
+        assert!(dfs.insert_dynamic(SimTime::ZERO, NodeId(4), by));
+        dfs.process_reports(SimTime::from_secs(3));
+
+        let live: Vec<NodeId> = (0..10).map(NodeId).filter(|n| *n != NodeId(4)).collect();
+        let out = dfs.fail_node(NodeId(4), &live, &mut rng);
+        assert_eq!(out.lost, vec![bx], "only the sole-replica block is lost");
+        assert!(dfs.visible_locations(bx).is_empty());
+        assert_eq!(dfs.visible_locations(by), &[NodeId(7)], "y survives");
+    }
+
+    #[test]
+    fn corruption_is_silent_until_quarantine() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            Some(NodeId(0)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        let victim = dfs.visible_locations(b)[0];
+        assert!(!dfs.is_replica_corrupt(victim, b));
+        assert!(dfs.corrupt_replica(victim, b));
+        assert!(!dfs.corrupt_replica(victim, b), "already corrupt");
+        // Silent: the scheduler's view is untouched until detection.
+        assert!(dfs.visible_locations(b).contains(&victim));
+        assert!(dfs.is_replica_corrupt(victim, b));
+        assert_eq!(dfs.total_corrupt_replicas(), 1);
+
+        let q = dfs.quarantine_replica(victim, b);
+        assert_eq!(q, Some(Quarantined::Primary { was_visible: true }));
+        assert!(!dfs.visible_locations(b).contains(&victim));
+        assert!(!dfs.is_physically_present(victim, b));
+        assert_eq!(dfs.total_corrupt_replicas(), 0, "bit dropped with the bytes");
+        assert_eq!(dfs.visible_locations(b).len(), 2, "block under-replicated");
+        assert!(dfs.quarantine_replica(victim, b).is_none(), "already gone");
+    }
+
+    #[test]
+    fn corrupt_dynamic_replica_is_evicted_on_quarantine() {
+        let (mut dfs, mut rng) = small_dfs();
+        let f = dfs.create_file(
+            SimTime::ZERO,
+            "x".into(),
+            128 * MB,
+            Some(NodeId(0)),
+            &DefaultPlacement,
+            &mut rng,
+            false,
+        );
+        let b = dfs.namenode().file(f).blocks[0];
+        let outsider = (0..10)
+            .map(NodeId)
+            .find(|&n| !dfs.is_physically_present(n, b))
+            .expect("free node");
+        assert!(dfs.insert_dynamic(SimTime::ZERO, outsider, b));
+        dfs.process_reports(SimTime::from_secs(3));
+        assert!(dfs.corrupt_replica(outsider, b));
+        let q = dfs.quarantine_replica(outsider, b);
+        assert_eq!(q, Some(Quarantined::Dynamic { was_visible: true }));
+        assert!(!dfs.is_physically_present(outsider, b));
+        assert_eq!(dfs.total_evictions(), 1, "went through the evict path");
+        assert_eq!(dfs.visible_locations(b).len(), 3, "primaries untouched");
+
+        // A corrupt dynamic replica whose report is still pending: the
+        // quarantine cancels the report and reports no visibility change.
+        let other = (0..10)
+            .map(NodeId)
+            .find(|&n| !dfs.is_physically_present(n, b))
+            .expect("free node");
+        assert!(dfs.insert_dynamic(SimTime::from_secs(10), other, b));
+        assert!(dfs.corrupt_replica(other, b));
+        let q = dfs.quarantine_replica(other, b);
+        assert_eq!(q, Some(Quarantined::Dynamic { was_visible: false }));
+        dfs.process_reports(SimTime::from_secs(20));
+        assert!(!dfs.visible_locations(b).contains(&other), "report cancelled");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod namenode;
 pub mod pipeline;
 pub mod placement;
 
-pub use dfs::{Dfs, DfsConfig, FailOutcome};
+pub use dfs::{Dfs, DfsConfig, FailOutcome, Quarantined};
 pub use ids::{BlockId, FileId};
 pub use namenode::NameNode;
 pub use balancer::{balance, BalanceReport};

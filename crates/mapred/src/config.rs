@@ -91,6 +91,37 @@ pub struct SimConfig {
     /// [`crate::SimResult::profile`]. Wall time never feeds the
     /// simulation, so a profiled run stays bit-identical. Off by default.
     pub self_profile: bool,
+    /// Background block scanner (the HDFS DataBlockScanner analog):
+    /// periodic per-node scrub passes that checksum resident replicas and
+    /// quarantine corrupt ones between reads. The scrub budget is drawn
+    /// against the node's disk model, so scrubbing contends with task
+    /// I/O. `None` (the default) disables scanning entirely and is
+    /// byte-identical to pre-scanner behaviour.
+    pub scanner: Option<ScannerConfig>,
+}
+
+/// Background block-scanner tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScannerConfig {
+    /// Idle gap between the end of one scrub pass and the start of the
+    /// next on a node.
+    pub period: SimDuration,
+    /// Disk read budget of a scrub pass, bytes per second. One pass takes
+    /// `resident_bytes / bytes_per_sec`; while it runs the node's
+    /// effective disk bandwidth for task reads is reduced by this budget.
+    pub bytes_per_sec: u64,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        // Rough HDFS defaults: the DataBlockScanner paces itself to cover
+        // a disk over a long window; 4 MB/s against ~100 MB/s disks keeps
+        // the contention tax small but visible.
+        ScannerConfig {
+            period: SimDuration::from_secs(60),
+            bytes_per_sec: 4 * dare_net::MB,
+        }
+    }
 }
 
 /// Telemetry sampling configuration.
@@ -150,6 +181,7 @@ impl SimConfig {
             naive_scan: false,
             telemetry: None,
             self_profile: false,
+            scanner: None,
         }
     }
 
@@ -174,6 +206,12 @@ impl SimConfig {
     /// Enable wall-clock self-profiling of dispatch (see `self_profile`).
     pub fn with_self_profile(mut self) -> Self {
         self.self_profile = true;
+        self
+    }
+
+    /// Enable the background block scanner (see `scanner`).
+    pub fn with_scanner(mut self, scanner: ScannerConfig) -> Self {
+        self.scanner = Some(scanner);
         self
     }
 
@@ -267,6 +305,14 @@ impl SimConfig {
                 return Err("zero telemetry interval".into());
             }
         }
+        if let Some(sc) = &self.scanner {
+            if sc.period == SimDuration::ZERO {
+                return Err("zero scanner period".into());
+            }
+            if sc.bytes_per_sec == 0 {
+                return Err("zero scanner read budget".into());
+            }
+        }
         self.faults.validate(self.profile.nodes)?;
         Ok(())
     }
@@ -320,6 +366,25 @@ mod tests {
         c.budget_frac = 0.5;
         c.heartbeat = SimDuration::ZERO;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scanner_builders_and_validation() {
+        let c = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 1);
+        assert!(c.scanner.is_none(), "off by default");
+        let s = c.clone().with_scanner(ScannerConfig::default());
+        assert_eq!(s.scanner.unwrap().period, SimDuration::from_secs(60));
+        assert!(s.validate().is_ok());
+        let bad = c.clone().with_scanner(ScannerConfig {
+            period: SimDuration::ZERO,
+            bytes_per_sec: 1,
+        });
+        assert!(bad.validate().is_err(), "zero period rejected");
+        let bad = c.with_scanner(ScannerConfig {
+            period: SimDuration::from_secs(1),
+            bytes_per_sec: 0,
+        });
+        assert!(bad.validate().is_err(), "zero budget rejected");
     }
 
     #[test]

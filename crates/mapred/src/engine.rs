@@ -84,6 +84,15 @@ enum Ev {
     TaskRetry { job: u32, task: u32, attempt: u32 },
     /// Injected degradation of a node: its work slows by the factor.
     NodeDegrade(u32, f64),
+    /// Injected silent corruption of a replica: the bytes rot on disk,
+    /// invisible to the master until a read or scrub checksums them.
+    CorruptReplica { node: u32, block: u64 },
+    /// A background scrub pass starts on a node. Stale if the node's
+    /// liveness epoch moved on (the rejoin handler restarts the chain).
+    ScrubStart { node: u32, epoch: u32 },
+    /// A background scrub pass finished reading the node's disk;
+    /// detection happens here, over the replicas corrupt at pass end.
+    ScrubDone { node: u32, epoch: u32, pass_bytes: u64 },
 }
 
 /// A re-replication transfer in flight (recovery traffic shares the flow
@@ -93,6 +102,14 @@ struct RecoveryXfer {
     block: BlockId,
     src: u32,
     dst: u32,
+}
+
+/// What destroyed a block's last physical copy — crash-path losses and
+/// corruption-path losses are accounted separately.
+#[derive(Debug, Clone, Copy)]
+enum LossCause {
+    Crash,
+    Corruption,
 }
 
 /// Mutable per-job simulation state.
@@ -213,6 +230,12 @@ pub struct Engine {
     stats: dare_metrics::FaultStats,
     /// Map tasks currently running (or fetching) per node.
     running_on: Vec<Vec<(u32, u32)>>,
+    /// A background scrub pass is reading this node's disk (task reads
+    /// share the bandwidth left after the scrub budget).
+    scrubbing: Vec<bool>,
+    /// Quarantine time of corrupt blocks awaiting repair, keyed by block
+    /// id — the time-to-repair clock behind `RepairCommit`.
+    repair_started: HashMap<u64, SimTime>,
     /// Per-node slowdown factor (1.0 = healthy; limplock injection).
     slow_factor: Vec<f64>,
     /// Map-task attempts that had to be re-executed due to failures.
@@ -272,6 +295,19 @@ struct MetricIds {
     d_tasks_retried: MetricId,
     d_tasks_failed: MetricId,
     d_jobs_failed: MetricId,
+    /// Data-integrity columns, registered only when corruption faults or
+    /// the block scanner are configured — a corruption-free run's export
+    /// stays byte-identical to the pre-integrity-layer schema.
+    corruption: Option<CorruptionIds>,
+}
+
+/// Column handles of the data-integrity schema extension.
+struct CorruptionIds {
+    corrupt_replicas: MetricId,
+    quarantine_depth: MetricId,
+    d_scrub_bytes: MetricId,
+    d_checksum_failures: MetricId,
+    repair_time: MetricId,
 }
 
 /// Live state of a telemetry-enabled run. The sampler holds no events in
@@ -296,7 +332,7 @@ struct TelemetryState {
 }
 
 impl TelemetryState {
-    fn new(interval: SimDuration) -> Self {
+    fn new(interval: SimDuration, corruption: bool) -> Self {
         let mut reg = MetricRegistry::new();
         let ids = MetricIds {
             map_slots_used: reg.gauge_int("map_slots_used"),
@@ -331,6 +367,13 @@ impl TelemetryState {
             d_tasks_retried: reg.gauge_int("d_tasks_retried"),
             d_tasks_failed: reg.gauge_int("d_tasks_failed"),
             d_jobs_failed: reg.gauge_int("d_jobs_failed"),
+            corruption: corruption.then(|| CorruptionIds {
+                corrupt_replicas: reg.gauge_int("corrupt_replicas"),
+                quarantine_depth: reg.gauge_int("quarantine_depth"),
+                d_scrub_bytes: reg.gauge_int("d_scrub_bytes"),
+                d_checksum_failures: reg.gauge_int("d_checksum_failures"),
+                repair_time: reg.windowed("repair_time_secs"),
+            }),
         };
         TelemetryState {
             interval,
@@ -363,13 +406,16 @@ fn subsystem_of(ev: &Ev) -> Subsystem {
         Ev::JobArrival(_) | Ev::Heartbeat { .. } | Ev::ComputeDone { .. } | Ev::ReduceDone { .. } => {
             Subsystem::Sched
         }
-        Ev::LocalReadDone { .. } | Ev::Epoch => Subsystem::Dfs,
+        Ev::LocalReadDone { .. } | Ev::Epoch | Ev::ScrubStart { .. } | Ev::ScrubDone { .. } => {
+            Subsystem::Dfs
+        }
         Ev::NetCheck => Subsystem::Net,
         Ev::NodeCrash { .. }
         | Ev::NodeRejoin(_)
         | Ev::DeclareDead { .. }
         | Ev::TaskRetry { .. }
-        | Ev::NodeDegrade(..) => Subsystem::Fault,
+        | Ev::NodeDegrade(..)
+        | Ev::CorruptReplica { .. } => Subsystem::Fault,
     }
 }
 
@@ -420,6 +466,11 @@ impl Engine {
             );
             file_ids.push(fid);
         }
+        // Corruption targets reference concrete block ids, known only now
+        // that the dataset is ingested.
+        cfg.faults
+            .validate_blocks(dfs.namenode().num_blocks() as u64)
+            .expect("invalid fault plan");
 
         // Access popularity per file (fraction of jobs reading it) — the
         // blockPopularity of the Fig. 11 metric.
@@ -590,6 +641,23 @@ impl Engine {
                         events.push(SimTime::from_secs(at_secs + d), Ev::NodeDegrade(node, 1.0));
                     }
                 }
+                crate::faults::FaultEvent::CorruptReplica { at_secs, node, block } => {
+                    events.push(SimTime::from_secs(at_secs), Ev::CorruptReplica { node, block });
+                }
+            }
+        }
+        // Staggered background scrub passes (one chain per node).
+        if let Some(sc) = cfg.scanner {
+            for i in 0..n {
+                let offset =
+                    SimDuration::from_micros(sc.period.as_micros() * i as u64 / n as u64);
+                events.push(
+                    SimTime::ZERO + offset,
+                    Ev::ScrubStart {
+                        node: i as u32,
+                        epoch: 0,
+                    },
+                );
             }
         }
 
@@ -638,6 +706,8 @@ impl Engine {
             lost_blocks: std::collections::HashSet::new(),
             stats: dare_metrics::FaultStats::default(),
             running_on: vec![Vec::new(); n],
+            scrubbing: vec![false; n],
+            repair_started: HashMap::new(),
             slow_factor: vec![1.0; n],
             timeline: Vec::new(),
             timeline_idx: HashMap::new(),
@@ -646,9 +716,14 @@ impl Engine {
             speculative_wins: 0,
             tracer: cfg.record_trace.then(Tracer::new),
             skip_scratch: Vec::new(),
-            telem: cfg
-                .telemetry
-                .map(|tc| Box::new(TelemetryState::new(tc.interval))),
+            telem: {
+                let corruption = cfg.scanner.is_some()
+                    || cfg.faults.events.iter().any(|e| {
+                        matches!(e, crate::faults::FaultEvent::CorruptReplica { .. })
+                    });
+                cfg.telemetry
+                    .map(|tc| Box::new(TelemetryState::new(tc.interval, corruption)))
+            },
             profiler: cfg.self_profile.then(|| Box::new(Profiler::new())),
             cfg,
         }
@@ -886,6 +961,12 @@ impl Engine {
         reg.set_int(ids.d_tasks_retried, d.tasks_retried);
         reg.set_int(ids.d_tasks_failed, d.tasks_failed);
         reg.set_int(ids.d_jobs_failed, d.jobs_failed);
+        if let Some(c) = ids.corruption.as_ref() {
+            reg.set_int(c.corrupt_replicas, self.dfs.total_corrupt_replicas());
+            reg.set_int(c.quarantine_depth, self.repair_started.len() as u64);
+            reg.set_int(c.d_scrub_bytes, d.scrub_bytes);
+            reg.set_int(c.d_checksum_failures, d.checksum_failures);
+        }
         reg.sample(ts);
         self.telem = Some(telem);
     }
@@ -943,6 +1024,13 @@ impl Engine {
             Ev::NodeDegrade(node, factor) => {
                 self.slow_factor[node as usize] = factor.max(1.0);
             }
+            Ev::CorruptReplica { node, block } => self.on_corrupt_replica(node, block),
+            Ev::ScrubStart { node, epoch } => self.on_scrub_start(node, epoch),
+            Ev::ScrubDone {
+                node,
+                epoch,
+                pass_bytes,
+            } => self.on_scrub_done(node, epoch, pass_bytes),
         }
         Ok(())
     }
@@ -1050,6 +1138,23 @@ impl Engine {
             js.live_attempts[task as usize] += 1;
         }
         let attempt = self.jobs[job as usize].attempts[task as usize];
+        // Read-path verification: opening a corrupt local replica fails
+        // its checksum immediately. The replica is quarantined and the
+        // attempt degrades to a remote fetch below — detection happens at
+        // read time, never at injection time.
+        if self.dfs.is_physically_present(node_id, block)
+            && self.dfs.is_replica_corrupt(node_id, block)
+        {
+            self.stats.checksum_failures += 1;
+            self.emit(TraceEvent::ChecksumFailed {
+                node,
+                block: block.0,
+                job,
+                task,
+                attempt,
+            });
+            self.quarantine_and_repair(node, block);
+        }
         self.running_on[node as usize].push((job, task));
         let present = self.dfs.is_physically_present(node_id, block);
         if self.cfg.record_timeline {
@@ -1135,11 +1240,20 @@ impl Engine {
 
         if present {
             // Local read: disk capacity shared among concurrent readers.
+            // A running scrub pass takes its budget off the top first
+            // (floored at half the disk so an oversized budget can't
+            // starve task reads outright).
             let readers = self.active_local_reads[node as usize] + 1;
             self.active_local_reads[node as usize] = readers;
-            let share = self.disk_caps_mbps[node as usize]
-                / readers as f64
-                / self.slow_factor[node as usize];
+            let mut cap = self.disk_caps_mbps[node as usize];
+            if self.scrubbing[node as usize] {
+                let scrub_mbps = self
+                    .cfg
+                    .scanner
+                    .map_or(0.0, |s| s.bytes_per_sec as f64 / MB as f64);
+                cap = (cap - scrub_mbps).max(cap * 0.5);
+            }
+            let share = cap / readers as f64 / self.slow_factor[node as usize];
             let dur = SimDuration::from_secs_f64(bytes as f64 / (share * MB as f64));
             self.events.push(
                 self.now + dur,
@@ -1157,7 +1271,23 @@ impl Engine {
                 // been declared yet: nothing can serve the read right now.
                 // Abort the attempt with a forced backoff (an instant
                 // retry would spin until detection or rejoin).
-                debug_assert!(!speculative, "speculation pre-checks for a live source");
+                if speculative {
+                    // The backup's pre-checked source was the local
+                    // replica the checksum just quarantined: tear down
+                    // only this backup, leaving the original running.
+                    self.running_on[node as usize].retain(|&(j, t)| !(j == job && t == task));
+                    self.free_map_slots[node as usize] += 1;
+                    let js = &mut self.jobs[job as usize];
+                    js.live_attempts[task as usize] =
+                        js.live_attempts[task as usize].saturating_sub(1);
+                    self.emit(TraceEvent::TaskAborted {
+                        job,
+                        task,
+                        attempt,
+                        node,
+                    });
+                    return;
+                }
                 self.abort_attempt(job, task, true);
                 return;
             };
@@ -1327,6 +1457,55 @@ impl Engine {
                         attempt: f.attempt,
                     },
                 });
+            }
+            // Read-path verification of the fetched bytes: a corrupt
+            // source replica fails the reader-side checksum when the
+            // stream completes. The source is quarantined and the attempt
+            // retries — its next launch picks a different source because
+            // quarantine removed this one from the visible set.
+            if self.dfs.is_replica_corrupt(NodeId(f.src), block) {
+                self.stats.checksum_failures += 1;
+                self.emit(TraceEvent::ChecksumFailed {
+                    node: f.src,
+                    block: block.0,
+                    job: f.job,
+                    task: f.task,
+                    attempt: f.attempt,
+                });
+                self.quarantine_and_repair(f.src, block);
+                if f.replicate {
+                    // The garbage bytes are never kept as a dynamic
+                    // replica; roll back the policy's bookkeeping.
+                    self.policies[f.node as usize].forget(block);
+                }
+                let ji = f.job as usize;
+                let current = self.jobs[ji].attempts[f.task as usize] == f.attempt;
+                if current && !self.jobs[ji].done[f.task as usize] && !self.jobs[ji].failed {
+                    self.abort_attempt(f.job, f.task, false);
+                } else {
+                    // Superseded (a backup or the original already
+                    // committed, or the attempt was aborted): release
+                    // this reader's registration if it still exists.
+                    let ri = f.node as usize;
+                    if let Some(p) = self.running_on[ri]
+                        .iter()
+                        .position(|&(j, t)| j == f.job && t == f.task)
+                    {
+                        self.running_on[ri].swap_remove(p);
+                        if self.node_up(ri) {
+                            self.free_map_slots[ri] += 1;
+                        }
+                        self.emit(TraceEvent::TaskAborted {
+                            job: f.job,
+                            task: f.task,
+                            attempt: f.attempt,
+                            node: f.node,
+                        });
+                        let live = &mut self.jobs[ji].live_attempts[f.task as usize];
+                        *live = live.saturating_sub(1);
+                    }
+                }
+                continue;
             }
             if f.replicate {
                 // The bytes are here; keep them (DNA_DYNREPL). On failure
@@ -1616,6 +1795,7 @@ impl Engine {
         self.crashed[ni] = true;
         self.node_epoch[ni] += 1;
         self.active_local_reads[ni] = 0;
+        self.scrubbing[ni] = false; // the in-flight pass dies with the node
         self.emit(TraceEvent::NodeCrashed { node, permanent });
 
         // Fetches INTO the node die with it; the zombie attempts stay in
@@ -1863,6 +2043,16 @@ impl Engine {
                 epoch: self.node_epoch[ni],
             },
         );
+        // The background scanner restarts its chain under the new epoch.
+        if self.cfg.scanner.is_some() {
+            self.events.push(
+                self.now,
+                Ev::ScrubStart {
+                    node,
+                    epoch: self.node_epoch[ni],
+                },
+            );
+        }
         self.pump_recovery();
     }
 
@@ -2030,10 +2220,121 @@ impl Engine {
         self.emit(TraceEvent::JobFailed { job });
     }
 
+    /// Injected silent corruption lands: flip the replica's integrity
+    /// bit. The namenode, scheduler, and policies see nothing until a
+    /// read or a scrub pass checksums the replica.
+    fn on_corrupt_replica(&mut self, node: u32, block: u64) {
+        let b = BlockId(block);
+        if !self.dfs.corrupt_replica(NodeId(node), b) {
+            return; // no resident replica: the rot hit unallocated sectors
+        }
+        self.stats.replicas_corrupted += 1;
+        let dynamic = self.dfs.datanode(NodeId(node)).holds_dynamic(b);
+        self.emit(TraceEvent::ReplicaCorrupted {
+            node,
+            block,
+            dynamic,
+        });
+    }
+
+    /// Begin a background scrub pass: measure the resident bytes and
+    /// schedule the pass end at the scrub budget's read rate. While the
+    /// pass runs, task reads on the node share the remaining bandwidth.
+    fn on_scrub_start(&mut self, node: u32, epoch: u32) {
+        let ni = node as usize;
+        if epoch != self.node_epoch[ni] || !self.node_up(ni) {
+            return; // chain superseded by a crash (rejoin restarts it)
+        }
+        let Some(sc) = self.cfg.scanner else { return };
+        let bytes = self.dfs.datanode(NodeId(node)).total_bytes();
+        if bytes == 0 {
+            // Empty disk: nothing to read, straight to the next pass.
+            self.events
+                .push(self.now + sc.period, Ev::ScrubStart { node, epoch });
+            return;
+        }
+        self.scrubbing[ni] = true;
+        let dur = SimDuration::from_secs_f64(bytes as f64 / sc.bytes_per_sec as f64);
+        self.events.push(
+            self.now + dur,
+            Ev::ScrubDone {
+                node,
+                epoch,
+                pass_bytes: bytes,
+            },
+        );
+    }
+
+    /// A scrub pass finished: every replica corrupt at pass end fails its
+    /// checksum and is quarantined — the scanner catches rot that no read
+    /// touched. The next pass starts after the configured idle period.
+    fn on_scrub_done(&mut self, node: u32, epoch: u32, pass_bytes: u64) {
+        let ni = node as usize;
+        if epoch != self.node_epoch[ni] || !self.node_up(ni) {
+            return; // the node crashed mid-pass
+        }
+        self.scrubbing[ni] = false;
+        self.stats.scrub_bytes += pass_bytes;
+        let found = self.dfs.datanode(NodeId(node)).corrupt_blocks();
+        self.stats.scrub_detections += found.len() as u64;
+        self.emit(TraceEvent::ScrubComplete {
+            node,
+            bytes: pass_bytes,
+            found: found.len() as u32,
+        });
+        for b in found {
+            self.quarantine_and_repair(node, b);
+        }
+        if let Some(sc) = self.cfg.scanner {
+            self.events
+                .push(self.now + sc.period, Ev::ScrubStart { node, epoch });
+        }
+    }
+
+    /// Drop a detected-corrupt replica: remove it from the namenode's
+    /// location map and the node's disk, mirror the removal into the
+    /// scheduler's locality index, and route primary losses into the
+    /// fewest-replicas-first repair queue. A corrupt DARE dynamic replica
+    /// is evicted, never repaired — the policy re-creates it on demand.
+    fn quarantine_and_repair(&mut self, node: u32, b: BlockId) {
+        let Some(q) = self.dfs.quarantine_replica(NodeId(node), b) else {
+            return;
+        };
+        self.stats.replicas_quarantined += 1;
+        let (dynamic, was_visible) = match q {
+            dare_dfs::Quarantined::Primary { was_visible } => (false, was_visible),
+            dare_dfs::Quarantined::Dynamic { was_visible } => (true, was_visible),
+        };
+        if was_visible {
+            self.queue
+                .note_replica_removed(b, NodeId(node), self.dfs.topology());
+        }
+        self.emit(TraceEvent::ReplicaQuarantined {
+            node,
+            block: b.0,
+            dynamic,
+        });
+        if dynamic {
+            // Eviction accounting: the policy forgets the replica so its
+            // budget and recency bookkeeping match the disk again.
+            self.policies[node as usize].forget(b);
+            return;
+        }
+        self.note_block_under_replicated_cause(b, LossCause::Corruption);
+        if self.recovery_queued.contains(&b.0) && !self.repair_started.contains_key(&b.0) {
+            self.repair_started.insert(b.0, self.now);
+        }
+        self.pump_recovery();
+    }
+
     /// A block dropped below its replication factor: queue it for repair,
     /// fewest-replicas-first. A block with no surviving physical copy
-    /// anywhere is recorded as lost instead.
+    /// anywhere is recorded as lost instead, attributed to `cause`.
     fn note_block_under_replicated(&mut self, b: BlockId) {
+        self.note_block_under_replicated_cause(b, LossCause::Crash);
+    }
+
+    fn note_block_under_replicated_cause(&mut self, b: BlockId, cause: LossCause) {
         if self.lost_blocks.contains(&b.0) {
             return;
         }
@@ -2041,7 +2342,11 @@ impl Engine {
         let any_copy = (0..n).any(|i| self.dfs.is_physically_present(NodeId(i as u32), b));
         if !any_copy {
             self.lost_blocks.insert(b.0);
-            self.stats.blocks_lost += 1;
+            match cause {
+                LossCause::Crash => self.stats.blocks_lost += 1,
+                LossCause::Corruption => self.stats.blocks_lost_corruption += 1,
+            }
+            self.repair_started.remove(&b.0);
             self.emit(TraceEvent::BlockLost { block: b.0 });
             return;
         }
@@ -2147,6 +2452,21 @@ impl Engine {
             .note_replica_added(b, NodeId(rx.dst), self.dfs.topology());
         self.stats.blocks_re_replicated += 1;
         self.stats.recovery_bytes += self.dfs.namenode().block_size(b);
+        // Quarantine-initiated repair: commit the time-to-repair clock.
+        if let Some(t0) = self.repair_started.remove(&b.0) {
+            let wait_us = self.now.saturating_since(t0).as_micros();
+            self.emit(TraceEvent::RepairCommit {
+                block: b.0,
+                node: rx.dst,
+                wait_us,
+            });
+            if let Some(telem) = self.telem.as_mut() {
+                if let Some(c) = telem.ids.corruption.as_ref() {
+                    let id = c.repair_time;
+                    telem.reg.observe(id, wait_us as f64 / 1e6);
+                }
+            }
+        }
         self.note_block_under_replicated(b); // still short? go again
         self.pump_recovery();
     }
@@ -2884,6 +3204,7 @@ mod tests {
                 rack_outages: 1,
                 stragglers: 1,
                 straggler_factor: 3.0,
+                corruption_rate_per_node_hour: 0.0,
             };
             let plan = crate::FaultPlan::generate(&spec, 99, 40, 0xFA57);
             let cfg = SimConfig::ec2(PolicyKind::GreedyLru, SchedulerKind::fair_default(), 95)
@@ -3231,6 +3552,363 @@ mod tests {
         let (sched_ev, _) = p.of(dare_telemetry::Subsystem::Sched);
         assert!(sched_ev > 0, "heartbeats land in the sched arm");
         dare_telemetry::validate_profile_json(&p.to_json("unit")).expect("valid report");
+    }
+
+    /// Corrupt `take` of each block's primary replicas (probing a throwaway
+    /// engine for the seed-deterministic placement) and return the events.
+    fn corrupt_primaries(
+        cfg: &SimConfig,
+        wl: &Workload,
+        file: Option<dare_dfs::FileId>,
+        take: usize,
+        at_secs: u64,
+    ) -> Vec<crate::FaultEvent> {
+        let probe = Engine::new(cfg.clone(), wl);
+        let nn = probe.dfs.namenode();
+        let mut events = Vec::new();
+        for b in 0..nn.num_blocks() as u64 {
+            let id = BlockId(b);
+            if file.is_some_and(|f| nn.file_of(id) != f) {
+                continue;
+            }
+            for loc in nn.primary_locations(id).iter().take(take) {
+                events.push(crate::FaultEvent::CorruptReplica {
+                    at_secs,
+                    node: loc.0,
+                    block: b,
+                });
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn corrupt_local_replica_degrades_to_remote_fetch() {
+        use dare_trace::TraceEvent;
+        let wl = tiny_workload(8, 3, 40);
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 17);
+        // Rot two of the three primaries of every file-0 block before the
+        // first heartbeat: the hammered file guarantees node-local launches
+        // land on a corrupt holder, and the surviving clean replica keeps
+        // every job completable.
+        cfg.faults.events =
+            corrupt_primaries(&cfg, &wl, Some(dare_dfs::FileId(0)), 2, 1);
+        cfg.record_trace = true;
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs, 40, "a clean replica survives every rot");
+        assert!(r.faults.replicas_corrupted > 0);
+        assert!(r.faults.checksum_failures > 0, "some read hit a bad copy");
+        assert!(r.faults.replicas_quarantined > 0);
+        assert_eq!(r.faults.blocks_lost, 0);
+        assert_eq!(r.faults.blocks_lost_corruption, 0);
+
+        // Trace-span proof of degradation: a read-open checksum failure on
+        // the attempt's own node is followed (same instant) by that very
+        // attempt launching with `local_read: false` — the local replica
+        // was quarantined out from under it and it fell back to the
+        // network path.
+        let trace = r.trace.expect("tracing was on");
+        let degraded = trace.records().iter().any(|rec| {
+            let TraceEvent::ChecksumFailed { node, job, task, attempt, .. } = rec.event
+            else {
+                return false;
+            };
+            trace.records().iter().any(|l| {
+                l.time == rec.time
+                    && matches!(
+                        l.event,
+                        TraceEvent::TaskLaunched {
+                            job: j,
+                            task: t,
+                            attempt: a,
+                            node: n,
+                            local_read: false,
+                            ..
+                        } if j == job && t == task && a == attempt && n == node
+                    )
+            })
+        });
+        assert!(
+            degraded,
+            "a corrupt local replica must degrade its reader to a remote fetch"
+        );
+    }
+
+    #[test]
+    fn corruption_repair_contends_with_map_fetches() {
+        // The corruption analog of recovery_traffic_contends_with_map_fetches:
+        // rot one primary of every block mid-trace on a backlogged cluster;
+        // reads and scrubs quarantine the copies, and the repair burst must
+        // share the fabric with in-flight map fetches. Identical seeds,
+        // repair on vs off — runs diverge only at the first repair dispatch,
+        // so earlier fetches pair exactly across the two runs.
+        let bs = 128 * MB;
+        let files: Vec<FileSpec> = (0..8)
+            .map(|i| FileSpec {
+                name: format!("f{i}"),
+                size_bytes: 3 * bs,
+            })
+            .collect();
+        let jobs: Vec<JobSpec> = (0..60u32)
+            .map(|id| JobSpec {
+                id,
+                arrival: SimTime::from_secs(id as u64),
+                file: if id % 4 == 0 { (id as usize / 4) % 8 } else { 0 },
+                map_compute: SimDuration::from_secs(20),
+                reduces: 1,
+                output_bytes: 10 * MB,
+            })
+            .collect();
+        let wl = Workload {
+            name: "rot-contention".into(),
+            files,
+            jobs,
+        };
+        let base = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 93);
+        let rot = corrupt_primaries(&base, &wl, None, 1, 40);
+        let run_with = |streams: usize| {
+            let mut cfg = base.clone().with_scanner(crate::ScannerConfig {
+                period: SimDuration::from_secs(20),
+                bytes_per_sec: 64 * MB,
+            });
+            cfg.faults.events = rot.clone();
+            cfg.faults.max_recovery_streams = streams;
+            cfg.record_trace = true;
+            crate::run(cfg, &wl)
+        };
+        let quiet = run_with(0);
+        let noisy = run_with(6);
+        assert_eq!(quiet.faults.blocks_re_replicated, 0);
+        assert!(noisy.faults.replicas_quarantined > 0);
+        assert!(
+            noisy.faults.blocks_re_replicated > 0,
+            "quarantined primaries must be repaired"
+        );
+        assert!(noisy.faults.recovery_bytes > 0);
+
+        let quiet_trace = quiet.trace.expect("tracing was on");
+        let noisy_trace = noisy.trace.expect("tracing was on");
+        let fetches = |spans: &[dare_trace::FlowSpan]| -> Vec<dare_trace::FlowSpan> {
+            spans
+                .iter()
+                .filter(|s| s.kind == dare_trace::FlowKind::Fetch)
+                .cloned()
+                .collect()
+        };
+        let quiet_spans = dare_trace::flow_spans(&quiet_trace);
+        let noisy_spans = dare_trace::flow_spans(&noisy_trace);
+        let key = |s: &dare_trace::FlowSpan| (s.ctx, s.dst, s.bytes, s.start);
+        let quiet_ends: HashMap<_, _> = fetches(&quiet_spans)
+            .iter()
+            .map(|s| (key(s), s.end))
+            .collect();
+        let mut delayed = 0u32;
+        for s in fetches(&noisy_spans) {
+            if let (Some(Some(q)), Some(n)) = (quiet_ends.get(&key(&s)), s.end) {
+                if n > *q {
+                    delayed += 1;
+                }
+            }
+        }
+        assert!(
+            delayed > 0,
+            "corruption repair must measurably delay at least one map fetch"
+        );
+        let overlapping = noisy_spans
+            .iter()
+            .filter(|r| r.kind == dare_trace::FlowKind::Recovery)
+            .any(|r| fetches(&noisy_spans).iter().any(|f| r.overlaps(f)));
+        assert!(
+            overlapping,
+            "a repair flow must overlap a map fetch in the noisy run"
+        );
+    }
+
+    #[test]
+    fn scrubber_detects_corruption_between_reads() {
+        use dare_trace::TraceEvent;
+        // Jobs only ever touch file 0; file 1's blocks are never read, so
+        // only the background scanner can notice their rot.
+        let bs = 128 * MB;
+        let files: Vec<FileSpec> = (0..2)
+            .map(|i| FileSpec {
+                name: format!("f{i}"),
+                size_bytes: 3 * bs,
+            })
+            .collect();
+        let jobs: Vec<JobSpec> = (0..20u32)
+            .map(|id| JobSpec {
+                id,
+                arrival: SimTime::from_secs(id as u64 * 10),
+                file: 0,
+                map_compute: SimDuration::from_secs(20),
+                reduces: 1,
+                output_bytes: 10 * MB,
+            })
+            .collect();
+        let wl = Workload {
+            name: "cold-rot".into(),
+            files,
+            jobs,
+        };
+        let base = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 23);
+        let rot = corrupt_primaries(&base, &wl, Some(dare_dfs::FileId(1)), 1, 5);
+        assert!(!rot.is_empty());
+        let mut cfg = base.with_scanner(crate::ScannerConfig {
+            period: SimDuration::from_secs(30),
+            bytes_per_sec: 32 * MB,
+        });
+        cfg.faults.events = rot;
+        cfg.record_trace = true;
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs, 20);
+        assert_eq!(
+            r.faults.checksum_failures, 0,
+            "the cold file is never read, so no read-path detection"
+        );
+        assert!(
+            r.faults.scrub_detections > 0,
+            "the scanner must find rot reads can't"
+        );
+        assert!(r.faults.scrub_bytes > 0);
+        assert!(r.faults.replicas_quarantined > 0);
+        assert!(
+            r.faults.blocks_re_replicated > 0,
+            "scrub-detected primaries go through the repair queue"
+        );
+        assert_eq!(r.faults.blocks_lost_corruption, 0, "rf=3 rides out one rot");
+        let trace = r.trace.expect("tracing was on");
+        assert!(trace.records().iter().any(|rec| matches!(
+            rec.event,
+            TraceEvent::ScrubComplete { found, .. } if found > 0
+        )));
+        assert!(trace.records().iter().any(|rec| matches!(
+            rec.event,
+            TraceEvent::RepairCommit { .. }
+        )));
+    }
+
+    #[test]
+    fn corrupt_dynamic_replica_is_evicted_not_repaired() {
+        use dare_trace::TraceEvent;
+        let wl = tiny_workload(8, 3, 40);
+        let mk = || {
+            let mut cfg = SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::Fifo, 29)
+                .with_scanner(crate::ScannerConfig {
+                    period: SimDuration::from_secs(20),
+                    bytes_per_sec: 64 * MB,
+                });
+            cfg.budget_frac = 1.0;
+            cfg.record_trace = true;
+            cfg
+        };
+        // Probe run: find the first dynamic replica DARE materialises. The
+        // real run below differs only by one silent rot event, so the same
+        // replica commits at the same instant there.
+        let probe = crate::run(mk(), &wl);
+        let probe_trace = probe.trace.expect("tracing was on");
+        let committed = probe_trace
+            .records()
+            .iter()
+            .find(|rec| matches!(rec.event, TraceEvent::ReplicaCommitted { .. }))
+            .expect("greedy LRU replicates");
+        let TraceEvent::ReplicaCommitted { node, block } = committed.event else {
+            unreachable!()
+        };
+
+        let mut cfg = mk();
+        cfg.faults.events.push(crate::FaultEvent::CorruptReplica {
+            at_secs: committed.time.as_secs_f64() as u64 + 1,
+            node,
+            block,
+        });
+        let r = crate::run(cfg, &wl);
+        assert_eq!(r.run.jobs, 40);
+        let trace = r.trace.expect("tracing was on");
+        assert!(
+            trace.records().iter().any(|rec| matches!(
+                rec.event,
+                TraceEvent::ReplicaQuarantined { node: n, block: b, dynamic: true }
+                    if n == node && b == block
+            )),
+            "the rotted dynamic replica must be quarantined as dynamic"
+        );
+        // Eviction, never repair: the primaries are intact, so the block
+        // never enters the recovery queue and no repair traffic flows.
+        assert!(!trace.records().iter().any(|rec| matches!(
+            rec.event,
+            TraceEvent::RecoveryQueued { block: b, .. } if b == block
+        )));
+        assert!(!trace
+            .records()
+            .iter()
+            .any(|rec| matches!(rec.event, TraceEvent::RepairCommit { .. })));
+        assert_eq!(r.faults.blocks_re_replicated, 0);
+        assert_eq!(r.faults.blocks_lost, 0);
+        assert_eq!(r.faults.blocks_lost_corruption, 0);
+        assert!(r.faults.replicas_quarantined > 0);
+    }
+
+    #[test]
+    fn rf1_corruption_is_accounted_as_corruption_loss() {
+        let wl = tiny_workload(8, 3, 40);
+        let mut base = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 37);
+        base.dfs.replication_factor = 1;
+        // Rot the single copy of every file-0 block: detection (read or
+        // scrub) leaves zero replicas, so the blocks are gone — charged to
+        // the corruption ledger, not the crash one.
+        let rot = corrupt_primaries(&base, &wl, Some(dare_dfs::FileId(0)), 1, 25);
+        let mut cfg = base
+            .with_scanner(crate::ScannerConfig {
+                period: SimDuration::from_secs(30),
+                bytes_per_sec: 32 * MB,
+            })
+            .with_invariant_checks();
+        cfg.faults.events = rot;
+        let r = crate::run(cfg, &wl);
+        assert!(
+            r.faults.blocks_lost_corruption > 0,
+            "rf=1 rot must lose blocks"
+        );
+        assert_eq!(
+            r.faults.blocks_lost, 0,
+            "no crash happened, so the crash ledger stays empty"
+        );
+        assert!(r.faults.jobs_failed > 0, "jobs on rotted blocks must fail");
+        assert_eq!(r.run.failed_jobs as u64, r.faults.jobs_failed);
+        assert_eq!(r.run.jobs + r.run.failed_jobs, 40);
+    }
+
+    #[test]
+    fn corruption_and_scrubbing_are_deterministic() {
+        let wl = tiny_workload(8, 3, 30);
+        let run = || {
+            let spec = crate::FaultSpec {
+                horizon_secs: 300,
+                kills: 0,
+                crashes: 1,
+                mean_down_secs: 60,
+                rack_outages: 0,
+                stragglers: 1,
+                straggler_factor: 3.0,
+                corruption_rate_per_node_hour: 40.0,
+            };
+            let plan = crate::FaultPlan::generate_with_blocks(&spec, 19, 2, 24, 0xB17F117);
+            let cfg = SimConfig::cct(PolicyKind::GreedyLru, SchedulerKind::fair_default(), 41)
+                .with_scanner(crate::ScannerConfig {
+                    period: SimDuration::from_secs(45),
+                    bytes_per_sec: 16 * MB,
+                })
+                .with_faults(plan)
+                .with_invariant_checks();
+            crate::run(cfg, &wl)
+        };
+        let a = run();
+        let b = run();
+        assert!(a.faults.replicas_corrupted > 0, "the sweep actually rotted bytes");
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.run.gmtt_secs, b.run.gmtt_secs);
+        assert_eq!(a.dfs_fingerprint, b.dfs_fingerprint);
     }
 
     #[test]

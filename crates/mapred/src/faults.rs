@@ -59,6 +59,21 @@ pub enum FaultEvent {
         /// Optional duration; `None` means the node stays slow forever.
         duration_secs: Option<u64>,
     },
+    /// Silent bit-rot: the replica of `block` resident on `node` becomes
+    /// unreadable at `at_secs`, but *nothing notices* until a map-side
+    /// read or a background scrub checksums it. If the node holds no
+    /// replica of the block at that time the rot lands on unallocated
+    /// sectors and the event is a no-op.
+    CorruptReplica {
+        /// Simulation time the bytes rot, in seconds.
+        at_secs: u64,
+        /// Node index (must be `< profile.nodes`).
+        node: u32,
+        /// Absolute block id (must be a valid block of the ingested
+        /// workload; checked at engine build time via
+        /// [`FaultPlan::validate_blocks`]).
+        block: u64,
+    },
 }
 
 impl FaultEvent {
@@ -67,8 +82,27 @@ impl FaultEvent {
         match *self {
             FaultEvent::Kill { node, .. }
             | FaultEvent::Crash { node, .. }
-            | FaultEvent::Slowdown { node, .. } => Some(node),
+            | FaultEvent::Slowdown { node, .. }
+            | FaultEvent::CorruptReplica { node, .. } => Some(node),
             FaultEvent::RackOutage { .. } => None,
+        }
+    }
+
+    /// The unavailability window `[start, end]` (inclusive) this event
+    /// opens on its target node(s), if any. A kill never ends; a
+    /// transient crash ends at the rejoin second — the rejoin itself is
+    /// part of the window, since another fault landing on the rejoin
+    /// second would race the block report.
+    fn window(&self) -> Option<(u64, u64)> {
+        match *self {
+            FaultEvent::Kill { at_secs, .. } => Some((at_secs, u64::MAX)),
+            FaultEvent::Crash {
+                at_secs, down_secs, ..
+            }
+            | FaultEvent::RackOutage {
+                at_secs, down_secs, ..
+            } => Some((at_secs, at_secs.saturating_add(down_secs))),
+            FaultEvent::Slowdown { .. } | FaultEvent::CorruptReplica { .. } => None,
         }
     }
 }
@@ -115,9 +149,12 @@ impl FaultPlan {
     ///
     /// Rejects out-of-range node indices, duplicate permanent kills of
     /// the same node, non-positive outage durations, slowdown factors
-    /// below 1, and degenerate knob values. Rack indices are checked
-    /// separately by [`FaultPlan::validate_racks`] once the topology is
-    /// built.
+    /// below 1, degenerate knob values, and *overlapping availability
+    /// faults on the same node* (a crash landing while the node is
+    /// already down — or after its permanent kill — would produce
+    /// ambiguous epoch ordering in the engine). Rack indices and
+    /// rack-vs-node overlaps are checked by
+    /// [`FaultPlan::validate_topology`] once the topology is built.
     pub fn validate(&self, nodes: u32) -> Result<(), String> {
         if self.detect_heartbeats == 0 {
             return Err("detect_heartbeats must be >= 1".into());
@@ -151,12 +188,27 @@ impl FaultPlan {
                         return Err(format!("slowdown factor {factor} must be >= 1"));
                     }
                 }
+                FaultEvent::CorruptReplica { .. } => {}
             }
         }
-        Ok(())
+        // Per-node availability windows must not overlap. Rack outages
+        // are expanded against real membership in `validate_topology`;
+        // here only node-targeted events are paired.
+        let windows: Vec<(u32, u64, u64)> = self
+            .events
+            .iter()
+            .filter_map(|ev| {
+                let n = ev.node()?;
+                let (s, e) = ev.window()?;
+                Some((n, s, e))
+            })
+            .collect();
+        check_overlap(&windows).map_err(|(n, a, b)| overlap_msg(n, a, b))
     }
 
     /// Validate rack indices against the built topology's rack count.
+    /// Prefer [`FaultPlan::validate_topology`], which also rejects
+    /// rack-outage windows overlapping node faults.
     pub fn validate_racks(&self, racks: u32) -> Result<(), String> {
         for ev in &self.events {
             if let FaultEvent::RackOutage { rack, .. } = *ev {
@@ -170,12 +222,80 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Validate the plan against the built topology: rack indices are in
+    /// range, and rack-outage windows — expanded to every member node —
+    /// do not overlap any other availability fault on those nodes (e.g. a
+    /// `Crash` inside a `RackOutage` window for a node of that rack).
+    pub fn validate_topology(&self, topo: &dare_net::Topology) -> Result<(), String> {
+        self.validate_racks(topo.racks())?;
+        let mut windows: Vec<(u32, u64, u64)> = Vec::new();
+        for ev in &self.events {
+            let Some((s, e)) = ev.window() else { continue };
+            match *ev {
+                FaultEvent::RackOutage { rack, .. } => {
+                    for n in topo.nodes_in_rack(dare_net::RackId(rack)) {
+                        windows.push((n.0, s, e));
+                    }
+                }
+                _ => {
+                    if let Some(n) = ev.node() {
+                        windows.push((n, s, e));
+                    }
+                }
+            }
+        }
+        check_overlap(&windows).map_err(|(n, a, b)| overlap_msg(n, a, b))
+    }
+
+    /// Validate corruption targets against the ingested namespace:
+    /// every `CorruptReplica` block id must be `< blocks`.
+    pub fn validate_blocks(&self, blocks: u64) -> Result<(), String> {
+        for ev in &self.events {
+            if let FaultEvent::CorruptReplica { block, .. } = *ev {
+                if block >= blocks {
+                    return Err(format!(
+                        "corruption targets block {block} but the workload has {blocks} blocks"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Generate a random plan from a [`FaultSpec`].
+    ///
+    /// Equivalent to [`FaultPlan::generate_with_blocks`] with an empty
+    /// namespace: the corruption rate is ignored because there are no
+    /// blocks to target. Kept for callers that build their plan before
+    /// the workload is known.
+    pub fn generate(spec: &FaultSpec, nodes: u32, racks: u32, seed: u64) -> FaultPlan {
+        Self::generate_with_blocks(spec, nodes, racks, 0, seed)
+    }
+
+    /// Generate a random plan from a [`FaultSpec`], including silent
+    /// corruption events sampled over a namespace of `blocks` blocks.
+    ///
+    /// The expected corruption count is
+    /// `corruption_rate_per_node_hour × nodes × horizon / 3600`, rounded
+    /// stochastically (one extra uniform draw settles the fraction); each
+    /// event picks a uniform `(time, node, block)` triple. A sampled node
+    /// that happens not to hold the block makes that event a no-op, so
+    /// the *effective* replica-corruption rate scales with the replica
+    /// density `replication_factor / nodes`.
     ///
     /// All draws come from the `"fault-plan"` substream of `seed`, so the
     /// generated schedule is a pure function of `(spec, nodes, racks,
-    /// seed)` and never perturbs the simulator's other random streams.
-    pub fn generate(spec: &FaultSpec, nodes: u32, racks: u32, seed: u64) -> FaultPlan {
+    /// blocks, seed)` and never perturbs the simulator's other random
+    /// streams. With a zero corruption rate (or zero blocks) the output
+    /// is identical to what [`FaultPlan::generate`] produced before
+    /// corruption existed.
+    pub fn generate_with_blocks(
+        spec: &FaultSpec,
+        nodes: u32,
+        racks: u32,
+        blocks: u64,
+        seed: u64,
+    ) -> FaultPlan {
         assert!(nodes > 0, "cannot generate faults for an empty cluster");
         let mut rng = DetRng::new(seed).substream("fault-plan");
         let mut events = Vec::new();
@@ -226,11 +346,507 @@ impl FaultPlan {
             });
         }
 
+        if blocks > 0 && spec.corruption_rate_per_node_hour > 0.0 {
+            let expected =
+                spec.corruption_rate_per_node_hour * nodes as f64 * horizon as f64 / 3600.0;
+            let mut count = expected.floor() as u64;
+            if rng.uniform() < expected.fract() {
+                count += 1;
+            }
+            for _ in 0..count {
+                events.push(FaultEvent::CorruptReplica {
+                    at_secs: 1 + rng.index(horizon as usize) as u64,
+                    node: rng.index(nodes as usize) as u32,
+                    block: rng.index(blocks as usize) as u64,
+                });
+            }
+        }
+
         FaultPlan {
             events,
             ..FaultPlan::default()
         }
     }
+}
+
+impl FaultPlan {
+    /// Serialize the plan to JSON (the `dare-sim --fault-plan` format).
+    /// Round-trips exactly through [`FaultPlan::from_json`].
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n");
+        let _ = writeln!(s, "  \"detect_heartbeats\": {},", self.detect_heartbeats);
+        let _ = writeln!(s, "  \"max_task_attempts\": {},", self.max_task_attempts);
+        let _ = writeln!(s, "  \"retry_backoff_secs\": {},", self.retry_backoff_secs);
+        let _ = writeln!(s, "  \"max_recovery_streams\": {},", self.max_recovery_streams);
+        s.push_str("  \"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    ");
+            match *ev {
+                FaultEvent::Kill { at_secs, node } => {
+                    let _ = write!(s, "{{\"kind\": \"kill\", \"at_secs\": {at_secs}, \"node\": {node}}}");
+                }
+                FaultEvent::Crash {
+                    at_secs,
+                    node,
+                    down_secs,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"kind\": \"crash\", \"at_secs\": {at_secs}, \"node\": {node}, \"down_secs\": {down_secs}}}"
+                    );
+                }
+                FaultEvent::RackOutage {
+                    at_secs,
+                    rack,
+                    down_secs,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"kind\": \"rack_outage\", \"at_secs\": {at_secs}, \"rack\": {rack}, \"down_secs\": {down_secs}}}"
+                    );
+                }
+                FaultEvent::Slowdown {
+                    at_secs,
+                    node,
+                    factor,
+                    duration_secs,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"kind\": \"slowdown\", \"at_secs\": {at_secs}, \"node\": {node}, \"factor\": {factor}"
+                    );
+                    if let Some(d) = duration_secs {
+                        let _ = write!(s, ", \"duration_secs\": {d}");
+                    }
+                    s.push('}');
+                }
+                FaultEvent::CorruptReplica {
+                    at_secs,
+                    node,
+                    block,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"kind\": \"corrupt_replica\", \"at_secs\": {at_secs}, \"node\": {node}, \"block\": {block}}}"
+                    );
+                }
+            }
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parse a plan from the JSON produced by [`FaultPlan::to_json`] (or
+    /// written by hand). Knob fields fall back to their defaults when
+    /// absent; unknown keys and malformed events are rejected with a
+    /// descriptive error so `dare-sim --fault-plan` can surface them.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj("fault plan")?;
+        let mut plan = FaultPlan::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "version" => {
+                    let ver = val.as_u64("version")?;
+                    if ver != 1 {
+                        return Err(format!("unsupported fault-plan version {ver}"));
+                    }
+                }
+                "detect_heartbeats" => plan.detect_heartbeats = val.as_u32("detect_heartbeats")?,
+                "max_task_attempts" => plan.max_task_attempts = val.as_u32("max_task_attempts")?,
+                "retry_backoff_secs" => {
+                    plan.retry_backoff_secs = val.as_u64("retry_backoff_secs")?;
+                }
+                "max_recovery_streams" => {
+                    plan.max_recovery_streams = val.as_u64("max_recovery_streams")? as usize;
+                }
+                "events" => {
+                    let arr = val.as_arr("events")?;
+                    plan.events = arr
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| {
+                            parse_event(e).map_err(|m| format!("events[{i}]: {m}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                other => return Err(format!("unknown fault-plan key \"{other}\"")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Parse one event object; `kind` selects the variant and the remaining
+/// keys must exactly match that variant's fields.
+fn parse_event(v: &json::Json) -> Result<FaultEvent, String> {
+    let obj = v.as_obj("event")?;
+    let mut kind: Option<&str> = None;
+    let mut fields: Vec<(&str, &json::Json)> = Vec::new();
+    for (k, val) in obj {
+        if k == "kind" {
+            kind = Some(val.as_str("kind")?);
+        } else {
+            fields.push((k.as_str(), val));
+        }
+    }
+    let kind = kind.ok_or("event is missing \"kind\"")?;
+    fn take<'a>(
+        kind: &str,
+        fields: &[(&str, &'a json::Json)],
+        name: &str,
+    ) -> Result<&'a json::Json, String> {
+        fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("{kind} event is missing \"{name}\""))
+    }
+    let allow = |fields: &[(&str, &json::Json)], names: &[&str]| -> Result<(), String> {
+        for (k, _) in fields {
+            if !names.contains(k) {
+                return Err(format!("{kind} event has unknown key \"{k}\""));
+            }
+        }
+        Ok(())
+    };
+    match kind {
+        "kill" => {
+            allow(&fields, &["at_secs", "node"])?;
+            Ok(FaultEvent::Kill {
+                at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
+                node: take(kind, &fields, "node")?.as_u32("node")?,
+            })
+        }
+        "crash" => {
+            allow(&fields, &["at_secs", "node", "down_secs"])?;
+            Ok(FaultEvent::Crash {
+                at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
+                node: take(kind, &fields, "node")?.as_u32("node")?,
+                down_secs: take(kind, &fields, "down_secs")?.as_u64("down_secs")?,
+            })
+        }
+        "rack_outage" => {
+            allow(&fields, &["at_secs", "rack", "down_secs"])?;
+            Ok(FaultEvent::RackOutage {
+                at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
+                rack: take(kind, &fields, "rack")?.as_u32("rack")?,
+                down_secs: take(kind, &fields, "down_secs")?.as_u64("down_secs")?,
+            })
+        }
+        "slowdown" => {
+            allow(&fields, &["at_secs", "node", "factor", "duration_secs"])?;
+            let duration_secs = match fields.iter().find(|(k, _)| *k == "duration_secs") {
+                Some((_, v)) => Some(v.as_u64("duration_secs")?),
+                None => None,
+            };
+            Ok(FaultEvent::Slowdown {
+                at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
+                node: take(kind, &fields, "node")?.as_u32("node")?,
+                factor: take(kind, &fields, "factor")?.as_f64("factor")?,
+                duration_secs,
+            })
+        }
+        "corrupt_replica" => {
+            allow(&fields, &["at_secs", "node", "block"])?;
+            Ok(FaultEvent::CorruptReplica {
+                at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
+                node: take(kind, &fields, "node")?.as_u32("node")?,
+                block: take(kind, &fields, "block")?.as_u64("block")?,
+            })
+        }
+        other => Err(format!("unknown event kind \"{other}\"")),
+    }
+}
+
+/// A minimal hand-rolled JSON reader — the workspace deliberately has no
+/// serde dependency. Supports exactly what fault-plan files need:
+/// objects, arrays, strings (with basic escapes), numbers, booleans and
+/// null, with byte-offset error reporting.
+mod json {
+    /// Parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (parsed as f64; integer-ness checked at use sites).
+        Num(f64),
+        /// String literal.
+        Str(String),
+        /// Array.
+        Arr(Vec<Json>),
+        /// Object, in source key order.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+            match self {
+                Json::Obj(o) => Ok(o),
+                _ => Err(format!("{what} must be a JSON object")),
+            }
+        }
+
+        pub fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+            match self {
+                Json::Arr(a) => Ok(a),
+                _ => Err(format!("{what} must be a JSON array")),
+            }
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Json::Str(s) => Ok(s),
+                _ => Err(format!("{what} must be a string")),
+            }
+        }
+
+        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Json::Num(n) => Ok(*n),
+                _ => Err(format!("{what} must be a number")),
+            }
+        }
+
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+                    Ok(*n as u64)
+                }
+                _ => Err(format!("{what} must be a non-negative integer")),
+            }
+        }
+
+        pub fn as_u32(&self, what: &str) -> Result<u32, String> {
+            let v = self.as_u64(what)?;
+            u32::try_from(v).map_err(|_| format!("{what} must fit in 32 bits"))
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: &str) -> String {
+            format!("invalid JSON at byte {}: {msg}", self.i)
+        }
+
+        fn skip_ws(&mut self) {
+            while let Some(&c) = self.s.get(self.i) {
+                if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.s.get(self.i).copied()
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{}'", c as char)))
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+            if self.s[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(self.err(&format!("expected \"{word}\"")))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.lit("true", Json::Bool(true)),
+                Some(b'f') => self.lit("false", Json::Bool(false)),
+                Some(b'n') => self.lit("null", Json::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.eat(b'{')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Json::Obj(out));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                if out.iter().any(|(k, _)| *k == key) {
+                    return Err(self.err(&format!("duplicate key \"{key}\"")));
+                }
+                out.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(out));
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.eat(b'[')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(Json::Arr(out));
+            }
+            loop {
+                self.skip_ws();
+                out.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(out));
+                    }
+                    _ => return Err(self.err("expected ',' or ']'")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                        out.push(match esc {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            _ => return Err(self.err("unsupported string escape")),
+                        });
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8 passes through untouched.
+                        let rest = &self.s[self.i..];
+                        let ch_len = match rest[0] {
+                            c if c < 0x80 => 1,
+                            c if c >= 0xF0 => 4,
+                            c if c >= 0xE0 => 3,
+                            _ => 2,
+                        };
+                        let chunk = std::str::from_utf8(&rest[..ch_len.min(rest.len())])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                        out.push_str(chunk);
+                        self.i += chunk.len();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit()
+                    || c == b'-'
+                    || c == b'+'
+                    || c == b'.'
+                    || c == b'e'
+                    || c == b'E'
+                {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii");
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err(&format!("malformed number \"{text}\"")))
+        }
+    }
+}
+
+/// Pairwise intersection test over inclusive per-node windows. Returns
+/// the offending `(node, window_a, window_b)` on the first overlap.
+#[allow(clippy::type_complexity)]
+fn check_overlap(
+    windows: &[(u32, u64, u64)],
+) -> Result<(), (u32, (u64, u64), (u64, u64))> {
+    for (i, &(n, s, e)) in windows.iter().enumerate() {
+        for &(n2, s2, e2) in &windows[i + 1..] {
+            if n == n2 && s <= e2 && s2 <= e {
+                return Err((n, (s, e), (s2, e2)));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn overlap_msg(node: u32, a: (u64, u64), b: (u64, u64)) -> String {
+    let show = |w: (u64, u64)| {
+        if w.1 == u64::MAX {
+            format!("[{}s, ∞)", w.0)
+        } else {
+            format!("[{}s, {}s]", w.0, w.1)
+        }
+    };
+    format!(
+        "node {node} has overlapping fault windows {} and {} — \
+         epoch ordering would be ambiguous",
+        show(a),
+        show(b)
+    )
 }
 
 /// Shape parameters for [`FaultPlan::generate`].
@@ -252,6 +868,11 @@ pub struct FaultSpec {
     pub stragglers: u32,
     /// Slowdown multiplier applied during a straggler episode.
     pub straggler_factor: f64,
+    /// Silent-corruption events per node per simulated hour (HDFS-style
+    /// bit-rot). Only consumed by [`FaultPlan::generate_with_blocks`];
+    /// `0.0` (the default) draws nothing and keeps the generated plan
+    /// identical to the pre-corruption generator.
+    pub corruption_rate_per_node_hour: f64,
 }
 
 impl Default for FaultSpec {
@@ -264,6 +885,7 @@ impl Default for FaultSpec {
             rack_outages: 0,
             stragglers: 1,
             straggler_factor: 4.0,
+            corruption_rate_per_node_hour: 0.0,
         }
     }
 }
@@ -341,6 +963,206 @@ mod tests {
 
         let c = FaultPlan::generate(&spec, 19, 4, 43);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn overlapping_node_windows_are_rejected() {
+        // Two crashes of the same node with intersecting windows.
+        let mut p = FaultPlan {
+            events: vec![
+                FaultEvent::Crash { at_secs: 10, node: 3, down_secs: 20 },
+                FaultEvent::Crash { at_secs: 25, node: 3, down_secs: 5 },
+            ],
+            ..FaultPlan::default()
+        };
+        let err = p.validate(10).unwrap_err();
+        assert!(err.contains("overlapping"), "got: {err}");
+
+        // A crash landing exactly on the rejoin second is ambiguous too.
+        p.events = vec![
+            FaultEvent::Crash { at_secs: 10, node: 3, down_secs: 20 },
+            FaultEvent::Crash { at_secs: 30, node: 3, down_secs: 5 },
+        ];
+        assert!(p.validate(10).is_err(), "rejoin-second collision");
+
+        // Disjoint windows on the same node are fine.
+        p.events = vec![
+            FaultEvent::Crash { at_secs: 10, node: 3, down_secs: 20 },
+            FaultEvent::Crash { at_secs: 31, node: 3, down_secs: 5 },
+        ];
+        assert!(p.validate(10).is_ok());
+
+        // Overlapping windows on *different* nodes are fine.
+        p.events = vec![
+            FaultEvent::Crash { at_secs: 10, node: 3, down_secs: 20 },
+            FaultEvent::Crash { at_secs: 15, node: 4, down_secs: 20 },
+        ];
+        assert!(p.validate(10).is_ok());
+
+        // A crash after a permanent kill of the same node can never run.
+        p.events = vec![
+            FaultEvent::Kill { at_secs: 10, node: 3 },
+            FaultEvent::Crash { at_secs: 500, node: 3, down_secs: 5 },
+        ];
+        let err = p.validate(10).unwrap_err();
+        assert!(err.contains("overlapping"), "kill window never closes: {err}");
+
+        // A crash *before* the kill is a legal sequence.
+        p.events = vec![
+            FaultEvent::Kill { at_secs: 100, node: 3 },
+            FaultEvent::Crash { at_secs: 10, node: 3, down_secs: 5 },
+        ];
+        assert!(p.validate(10).is_ok());
+
+        // Slowdowns and corruption open no availability window.
+        p.events = vec![
+            FaultEvent::Crash { at_secs: 10, node: 3, down_secs: 20 },
+            FaultEvent::Slowdown { at_secs: 15, node: 3, factor: 2.0, duration_secs: None },
+            FaultEvent::CorruptReplica { at_secs: 15, node: 3, block: 0 },
+        ];
+        assert!(p.validate(10).is_ok());
+    }
+
+    #[test]
+    fn crash_inside_rack_outage_window_is_rejected() {
+        use dare_net::Topology;
+        // Two racks of 5 nodes: rack 0 = nodes 0-4, rack 1 = nodes 5-9.
+        let topo = Topology::explicit(vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1], 2);
+        let mut p = FaultPlan {
+            events: vec![
+                FaultEvent::RackOutage { at_secs: 20, rack: 0, down_secs: 30 },
+                FaultEvent::Crash { at_secs: 30, node: 2, down_secs: 5 },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(p.validate(10).is_ok(), "node-only validation cannot see racks");
+        let err = p.validate_topology(&topo).unwrap_err();
+        assert!(err.contains("overlapping"), "got: {err}");
+
+        // Same crash against the *other* rack's nodes is fine.
+        p.events[1] = FaultEvent::Crash { at_secs: 30, node: 7, down_secs: 5 };
+        assert!(p.validate_topology(&topo).is_ok());
+
+        // Two outages of the same rack overlapping are rejected.
+        p.events = vec![
+            FaultEvent::RackOutage { at_secs: 20, rack: 0, down_secs: 30 },
+            FaultEvent::RackOutage { at_secs: 40, rack: 0, down_secs: 10 },
+        ];
+        assert!(p.validate_topology(&topo).is_err());
+
+        // Overlapping outages of different racks are fine.
+        p.events = vec![
+            FaultEvent::RackOutage { at_secs: 20, rack: 0, down_secs: 30 },
+            FaultEvent::RackOutage { at_secs: 40, rack: 1, down_secs: 10 },
+        ];
+        assert!(p.validate_topology(&topo).is_ok());
+    }
+
+    #[test]
+    fn corruption_generation_is_rate_scaled_and_deterministic() {
+        let spec = FaultSpec {
+            kills: 0,
+            crashes: 0,
+            stragglers: 0,
+            horizon_secs: 3600,
+            corruption_rate_per_node_hour: 0.5,
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::generate_with_blocks(&spec, 20, 2, 100, 42);
+        let b = FaultPlan::generate_with_blocks(&spec, 20, 2, 100, 42);
+        assert_eq!(a, b, "same inputs must give the same plan");
+        // E[count] = 0.5 × 20 nodes × 1 h = 10.
+        let n = a.events.len();
+        assert!((9..=11).contains(&n), "expected ~10 corruptions, got {n}");
+        for ev in &a.events {
+            match *ev {
+                FaultEvent::CorruptReplica { at_secs, node, block } => {
+                    assert!((1..=3600).contains(&at_secs));
+                    assert!(node < 20);
+                    assert!(block < 100);
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(a.validate(20).is_ok());
+        assert!(a.validate_blocks(100).is_ok());
+        assert!(a.validate_blocks(50).is_err(), "out-of-range block");
+
+        // Zero rate (or zero blocks) must reproduce the legacy stream.
+        let legacy_spec = FaultSpec { corruption_rate_per_node_hour: 0.0, ..spec };
+        assert_eq!(
+            FaultPlan::generate_with_blocks(&legacy_spec, 20, 2, 100, 42),
+            FaultPlan::generate(&legacy_spec, 20, 2, 42),
+        );
+        let full = FaultSpec { kills: 1, crashes: 2, stragglers: 1, ..legacy_spec };
+        assert_eq!(
+            FaultPlan::generate_with_blocks(&full, 20, 2, 100, 42),
+            FaultPlan::generate(&full, 20, 2, 42),
+            "corruption draws come last, so earlier events are unchanged"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_event_kind() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::Kill { at_secs: 5, node: 3 },
+                FaultEvent::Crash { at_secs: 40, node: 7, down_secs: 12 },
+                FaultEvent::RackOutage { at_secs: 90, rack: 1, down_secs: 30 },
+                FaultEvent::Slowdown {
+                    at_secs: 60,
+                    node: 2,
+                    factor: 2.5,
+                    duration_secs: Some(45),
+                },
+                FaultEvent::Slowdown {
+                    at_secs: 70,
+                    node: 4,
+                    factor: 4.0,
+                    duration_secs: None,
+                },
+                FaultEvent::CorruptReplica { at_secs: 33, node: 6, block: 17 },
+            ],
+            detect_heartbeats: 7,
+            max_task_attempts: 3,
+            retry_backoff_secs: 9,
+            max_recovery_streams: 2,
+        };
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).expect("own output parses");
+        assert_eq!(back, plan);
+
+        // An empty plan round-trips too.
+        let empty = FaultPlan::default();
+        assert_eq!(FaultPlan::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn json_parse_surfaces_descriptive_errors() {
+        assert!(FaultPlan::from_json("").is_err());
+        assert!(FaultPlan::from_json("[1, 2]").unwrap_err().contains("object"));
+        let err = FaultPlan::from_json("{\"evnets\": []}").unwrap_err();
+        assert!(err.contains("unknown fault-plan key"), "typo caught: {err}");
+        let err = FaultPlan::from_json(
+            "{\"events\": [{\"kind\": \"kill\", \"at_secs\": 5}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing \"node\""), "got: {err}");
+        let err = FaultPlan::from_json(
+            "{\"events\": [{\"kind\": \"melt\", \"at_secs\": 5}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown event kind"), "got: {err}");
+        let err = FaultPlan::from_json(
+            "{\"events\": [{\"kind\": \"kill\", \"at_secs\": 5, \"node\": -1}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("non-negative integer"), "got: {err}");
+        let err = FaultPlan::from_json("{\"version\": 9}").unwrap_err();
+        assert!(err.contains("version"), "got: {err}");
+        let err = FaultPlan::from_json("{\"events\": [{\"kind\": \"kill\", \"at_secs\": 5, \"node\": 1, \"down_secs\": 3}]}").unwrap_err();
+        assert!(err.contains("unknown key"), "got: {err}");
+        assert!(FaultPlan::from_json("{} trailing").is_err());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod golden;
 pub mod result;
 pub mod scarlett;
 
-pub use config::{SchedulerKind, SimConfig, TelemetryConfig};
+pub use config::{ScannerConfig, SchedulerKind, SimConfig, TelemetryConfig};
 pub use engine::{DfsLookup, Engine};
 pub use error::SimError;
 pub use faults::{FaultEvent, FaultPlan, FaultSpec};

@@ -121,6 +121,21 @@ pub struct FaultStats {
     pub tasks_failed: u64,
     /// Jobs abandoned because a task failed permanently.
     pub jobs_failed: u64,
+    /// Replicas whose bytes silently rotted (injections that landed on a
+    /// resident copy).
+    pub replicas_corrupted: u64,
+    /// Corrupt replicas detected by a failed read-path checksum.
+    pub checksum_failures: u64,
+    /// Corrupt replicas detected by the background block scanner.
+    pub scrub_detections: u64,
+    /// Detected corrupt replicas quarantined (dropped from the location
+    /// map and the disk).
+    pub replicas_quarantined: u64,
+    /// Bytes read by completed background scrub passes.
+    pub scrub_bytes: u64,
+    /// Blocks permanently lost because corruption destroyed the last
+    /// physical copy (disjoint from the crash-path `blocks_lost`).
+    pub blocks_lost_corruption: u64,
 }
 
 impl FaultStats {
@@ -141,6 +156,20 @@ impl FaultStats {
             tasks_retried: self.tasks_retried.saturating_sub(prev.tasks_retried),
             tasks_failed: self.tasks_failed.saturating_sub(prev.tasks_failed),
             jobs_failed: self.jobs_failed.saturating_sub(prev.jobs_failed),
+            replicas_corrupted: self
+                .replicas_corrupted
+                .saturating_sub(prev.replicas_corrupted),
+            checksum_failures: self
+                .checksum_failures
+                .saturating_sub(prev.checksum_failures),
+            scrub_detections: self.scrub_detections.saturating_sub(prev.scrub_detections),
+            replicas_quarantined: self
+                .replicas_quarantined
+                .saturating_sub(prev.replicas_quarantined),
+            scrub_bytes: self.scrub_bytes.saturating_sub(prev.scrub_bytes),
+            blocks_lost_corruption: self
+                .blocks_lost_corruption
+                .saturating_sub(prev.blocks_lost_corruption),
         }
     }
 }
@@ -347,6 +376,8 @@ mod tests {
             blocks_re_replicated: 7,
             recovery_bytes: 50, // regressed counter saturates to 0
             tasks_retried: 4,
+            replicas_corrupted: 3,
+            scrub_bytes: 1024,
             ..Default::default()
         };
         let d = now.delta(&prev);
@@ -354,6 +385,8 @@ mod tests {
         assert_eq!(d.blocks_re_replicated, 4);
         assert_eq!(d.recovery_bytes, 0);
         assert_eq!(d.tasks_retried, 4);
+        assert_eq!(d.replicas_corrupted, 3);
+        assert_eq!(d.scrub_bytes, 1024);
         assert_eq!(now.delta(&now), FaultStats::default());
     }
 

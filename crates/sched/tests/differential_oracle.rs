@@ -21,7 +21,7 @@ use dare_sched::{
     Assignment, CapacityScheduler, FairScheduler, FifoScheduler, JobId, JobQueue, PendingTask,
     Scheduler, TableLookup, TaskId,
 };
-use dare_simcore::check::{run_cases, Gen};
+use dare_simcore::check::{env_cases, run_cases, Gen};
 use dare_simcore::SimTime;
 
 /// Random topology: 4-12 nodes over 1-4 racks.
@@ -216,7 +216,7 @@ fn run_stream(
 type SchedPair = (Box<dyn Scheduler>, Box<dyn Scheduler>);
 
 fn check(seed: u64, mk: fn(&mut Gen) -> SchedPair) {
-    run_cases(40, seed, |g| {
+    run_cases(env_cases(40), seed, |g| {
         let topo = topology(g);
         let nodes = topo.nodes();
         let blocks = g.u64_in(8..48);

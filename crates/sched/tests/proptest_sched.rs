@@ -9,7 +9,7 @@ use dare_sched::{
     CapacityScheduler, FairScheduler, FifoScheduler, JobId, JobQueue, PendingTask, Scheduler,
     TableLookup, TaskId,
 };
-use dare_simcore::check::{run_cases, Gen};
+use dare_simcore::check::{env_cases, run_cases, Gen};
 use dare_simcore::SimTime;
 use std::collections::{HashMap, HashSet};
 
@@ -142,7 +142,7 @@ fn check_all(jobs: &[JobSpec], offers: &[u32]) {
 
 #[test]
 fn schedulers_conserve_tasks() {
-    run_cases(48, 0x5C4E_0001, |g| {
+    run_cases(env_cases(48), 0x5C4E_0001, |g| {
         let jobs = jobs(g);
         let offers = offers(g);
         check_all(&jobs, &offers);
@@ -151,7 +151,7 @@ fn schedulers_conserve_tasks() {
 
 #[test]
 fn reported_locality_matches_oracle() {
-    run_cases(48, 0x5C4E_0002, |g| {
+    run_cases(env_cases(48), 0x5C4E_0002, |g| {
         let jobs = jobs(g);
         let offers = offers(g);
         let topo = Topology::explicit(vec![0, 0, 1, 1, 2, 2, 3, 3], 2);

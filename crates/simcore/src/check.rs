@@ -143,6 +143,18 @@ impl Invariants {
     }
 }
 
+/// Case-count override for extended property runs: returns the value of
+/// `DARE_PROP_CASES` when it is set to a positive integer, else
+/// `default`. The nightly CI job sets the variable to run the same
+/// suites at many times the per-commit iteration count.
+pub fn env_cases(default: usize) -> usize {
+    std::env::var("DARE_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 /// Run `f` over `cases` random cases derived from `seed`.
 ///
 /// Panics (failing the enclosing `#[test]`) on the first failing case,

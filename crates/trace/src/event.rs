@@ -294,6 +294,59 @@ pub enum TraceEvent {
         /// Visible replicas remaining.
         visible: u32,
     },
+    /// A resident replica's bytes silently rotted (fault injection).
+    /// Nothing in the cluster reacts until a read or scrub detects it.
+    ReplicaCorrupted {
+        /// Node holding the now-corrupt replica.
+        node: u32,
+        /// Affected block.
+        block: u64,
+        /// True when the corrupted copy is a DARE dynamic replica.
+        dynamic: bool,
+    },
+    /// A map-side read checksummed its input replica and failed.
+    ChecksumFailed {
+        /// Node holding the corrupt replica (read source).
+        node: u32,
+        /// Affected block.
+        block: u64,
+        /// Job whose attempt hit the bad replica.
+        job: u32,
+        /// Map task index.
+        task: u32,
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// A corrupt replica was removed from the namenode's view (detected
+    /// by a read or a scrub). Dynamic replicas are evicted; primary
+    /// replicas leave the block under-replicated until repair.
+    ReplicaQuarantined {
+        /// Node the replica was quarantined on.
+        node: u32,
+        /// Affected block.
+        block: u64,
+        /// True when the quarantined copy was a DARE dynamic replica.
+        dynamic: bool,
+    },
+    /// A background scrub pass over one node's disk finished.
+    ScrubComplete {
+        /// Scrubbed node.
+        node: u32,
+        /// Bytes checksummed by the pass.
+        bytes: u64,
+        /// Corrupt replicas detected (and quarantined) by the pass.
+        found: u32,
+    },
+    /// A repair copy restored a replica of a corruption-quarantined
+    /// block; `wait_us` is quarantine→repair latency.
+    RepairCommit {
+        /// Repaired block.
+        block: u64,
+        /// Node that received the repair copy.
+        node: u32,
+        /// Quarantine-to-repair latency in microseconds.
+        wait_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -320,6 +373,11 @@ impl TraceEvent {
             TraceEvent::NodeDeclaredDead { .. } => "node_declared_dead",
             TraceEvent::BlockLost { .. } => "block_lost",
             TraceEvent::RecoveryQueued { .. } => "recovery_queued",
+            TraceEvent::ReplicaCorrupted { .. } => "replica_corrupted",
+            TraceEvent::ChecksumFailed { .. } => "checksum_failed",
+            TraceEvent::ReplicaQuarantined { .. } => "replica_quarantined",
+            TraceEvent::ScrubComplete { .. } => "scrub_complete",
+            TraceEvent::RepairCommit { .. } => "repair_commit",
         }
     }
 
@@ -345,13 +403,18 @@ impl TraceEvent {
             | TraceEvent::NodeRejoined { .. }
             | TraceEvent::NodeDeclaredDead { .. }
             | TraceEvent::BlockLost { .. }
-            | TraceEvent::RecoveryQueued { .. } => Subsystem::Fault,
+            | TraceEvent::RecoveryQueued { .. }
+            | TraceEvent::ReplicaCorrupted { .. } => Subsystem::Fault,
+            TraceEvent::ChecksumFailed { .. }
+            | TraceEvent::ReplicaQuarantined { .. }
+            | TraceEvent::ScrubComplete { .. }
+            | TraceEvent::RepairCommit { .. } => Subsystem::Dfs,
         }
     }
 
     /// Every event name the schema knows, in declaration order.  Used by
     /// the JSONL validator and the docs.
-    pub const ALL_NAMES: [&'static str; 20] = [
+    pub const ALL_NAMES: [&'static str; 25] = [
         "job_submitted",
         "job_completed",
         "job_failed",
@@ -372,6 +435,11 @@ impl TraceEvent {
         "node_declared_dead",
         "block_lost",
         "recovery_queued",
+        "replica_corrupted",
+        "checksum_failed",
+        "replica_quarantined",
+        "scrub_complete",
+        "repair_commit",
     ];
 }
 

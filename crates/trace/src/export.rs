@@ -183,6 +183,30 @@ pub fn record_to_json(r: &TraceRecord) -> String {
         TraceEvent::RecoveryQueued { block, visible } => {
             let _ = write!(s, ",\"block\":{block},\"visible\":{visible}");
         }
+        TraceEvent::ReplicaCorrupted { node, block, dynamic } => {
+            let _ = write!(s, ",\"node\":{node},\"block\":{block},\"dynamic\":{dynamic}");
+        }
+        TraceEvent::ChecksumFailed {
+            node,
+            block,
+            job,
+            task,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                ",\"node\":{node},\"block\":{block},\"job\":{job},\"task\":{task},\"attempt\":{attempt}"
+            );
+        }
+        TraceEvent::ReplicaQuarantined { node, block, dynamic } => {
+            let _ = write!(s, ",\"node\":{node},\"block\":{block},\"dynamic\":{dynamic}");
+        }
+        TraceEvent::ScrubComplete { node, bytes, found } => {
+            let _ = write!(s, ",\"node\":{node},\"bytes\":{bytes},\"found\":{found}");
+        }
+        TraceEvent::RepairCommit { block, node, wait_us } => {
+            let _ = write!(s, ",\"block\":{block},\"node\":{node},\"wait_us\":{wait_us}");
+        }
     }
     s.push('}');
     s
@@ -441,6 +465,21 @@ pub fn to_chrome(trace: &Trace) -> String {
             TraceEvent::NodeRejoined { node, .. } => {
                 out.emit(format!(
                         "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"REJOIN n{node}\",\"ts\":{ts},\"s\":\"g\"}}"
+                    ));
+            }
+            TraceEvent::ChecksumFailed { node, block, .. } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"CKSUM b{block}\",\"ts\":{ts},\"s\":\"g\"}}"
+                    ));
+            }
+            TraceEvent::ReplicaQuarantined { node, block, .. } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"quarantine b{block}\",\"ts\":{ts},\"s\":\"t\"}}"
+                    ));
+            }
+            TraceEvent::ScrubComplete { node, found, .. } => {
+                out.emit(format!(
+                        "{{\"ph\":\"i\",\"pid\":4,\"tid\":{node},\"name\":\"scrub n{node} ({found} bad)\",\"ts\":{ts},\"s\":\"t\"}}"
                     ));
             }
             _ => {}

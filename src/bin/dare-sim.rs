@@ -13,9 +13,10 @@
 use dare_repro::core::PolicyKind;
 use dare_repro::mapred::config::SpeculationConfig;
 use dare_repro::mapred::scarlett::ScarlettConfig;
-use dare_repro::mapred::{self, SchedulerKind, SimConfig, TelemetryConfig};
-use dare_repro::simcore::SimDuration;
+use dare_repro::mapred::{self, FaultPlan, ScannerConfig, SchedulerKind, SimConfig, TelemetryConfig};
+use dare_repro::simcore::{DetRng, SimDuration};
 use dare_repro::workload::swim::{synthesize, SwimParams};
+use dare_repro::workload::Workload;
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
@@ -31,6 +32,8 @@ struct Args {
     seed: u64,
     failures: Vec<(u64, u32)>,
     degradations: Vec<(u64, u32, f64)>,
+    fault_plan: Option<String>,
+    scanner: Option<(u64, u64)>,
     capacity_queues: Option<u32>,
     speculation: bool,
     scarlett_epoch: Option<u64>,
@@ -61,6 +64,8 @@ impl Default for Args {
             seed: 20110926,
             failures: Vec::new(),
             degradations: Vec::new(),
+            fault_plan: None,
+            scanner: None,
             capacity_queues: None,
             speculation: false,
             scarlett_epoch: None,
@@ -112,6 +117,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 a.degradations
                     .push((parse_num(parts[0])?, parse_num(parts[1])?, parse_num(parts[2])?));
             }
+            "--fault-plan" => a.fault_plan = Some(value("--fault-plan")?.clone()),
+            "--scanner" => {
+                let v = value("--scanner")?;
+                let (p, r) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--scanner expects PERIOD_SECS:MBPS, got {v}"))?;
+                let period: u64 = parse_num(p)?;
+                let mbps: u64 = parse_num(r)?;
+                if period == 0 || mbps == 0 {
+                    return Err("--scanner period and rate must be positive".into());
+                }
+                a.scanner = Some((period, mbps));
+            }
             "--capacity-queues" => a.capacity_queues = Some(parse_num(value("--capacity-queues")?)?),
             "--speculation" => a.speculation = true,
             "--scarlett-epoch" => a.scarlett_epoch = Some(parse_num(value("--scarlett-epoch")?)?),
@@ -145,6 +163,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if a.fault_plan.is_some() && !(a.failures.is_empty() && a.degradations.is_empty()) {
+        return Err(
+            "--fault-plan replaces the whole fault schedule; drop --fail/--degrade".into(),
+        );
     }
     if !(0.0..=1.0).contains(&a.p) {
         return Err(format!("--p {} out of [0,1]", a.p));
@@ -191,6 +214,12 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
     if a.speculation {
         cfg = cfg.with_speculation(SpeculationConfig::default());
     }
+    if let Some((period, mbps)) = a.scanner {
+        cfg = cfg.with_scanner(ScannerConfig {
+            period: SimDuration::from_secs(period),
+            bytes_per_sec: mbps << 20,
+        });
+    }
     if a.trace_chrome.is_some() || a.trace_jsonl.is_some() {
         cfg.record_trace = true;
     }
@@ -211,6 +240,31 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
         });
     }
     Ok(cfg)
+}
+
+/// Load, parse, and validate a serialized [`FaultPlan`] against the
+/// cluster the run will build: structural JSON errors, out-of-range node
+/// or rack indices, overlapping availability windows, and corruption
+/// targets outside the ingested namespace all surface as CLI errors.
+fn load_fault_plan(path: &str, cfg: &SimConfig, wl: &Workload) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read fault plan {path}: {e}"))?;
+    let plan = FaultPlan::from_json(&text)
+        .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+    plan.validate(cfg.profile.nodes)
+        .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+    // Rack membership and the block namespace are derived exactly as the
+    // engine will derive them, so validation here means no panic later.
+    let topo = cfg
+        .profile
+        .build_topology(&mut DetRng::new(cfg.seed).substream("topology"));
+    plan.validate_topology(&topo)
+        .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+    let bs = cfg.dfs.block_size;
+    let blocks: u64 = wl.files.iter().map(|f| f.size_bytes.div_ceil(bs)).sum();
+    plan.validate_blocks(blocks)
+        .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+    Ok(plan)
 }
 
 fn build_workload(a: &Args) -> Result<dare_repro::workload::Workload, String> {
@@ -242,6 +296,8 @@ fn usage() -> String {
      --seed N                    experiment seed\n\
      --fail SECS:NODE            inject a node failure (repeatable)\n\
      --degrade SECS:NODE:FACTOR  inject a node slowdown (repeatable)\n\
+     --fault-plan PATH           load a serialized fault plan (JSON; replaces --fail/--degrade)\n\
+     --scanner PERIOD:MBPS       background block scanner (scrub period secs, budget MB/s)\n\
      --speculation               enable speculative execution\n\
      --scarlett-epoch SECS       run the proactive Scarlett baseline\n\
      --replay PATH               replay a saved workload instead of synthesizing\n\
@@ -274,10 +330,18 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let mut cfg = cfg;
     let wl = build_workload(&args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    if let Some(path) = &args.fault_plan {
+        let plan = load_fault_plan(path, &cfg, &wl).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        cfg = cfg.with_faults(plan);
+    }
     if let Some(path) = &args.workload_out {
         if let Err(e) = dare_repro::workload::io::save(&wl, std::path::Path::new(path)) {
             eprintln!("error: could not save workload to {path}: {e}");
@@ -522,6 +586,110 @@ mod tests {
 
         assert!(parse_args(&argv("--telemetry-interval 0")).is_err());
         assert!(parse_args(&argv("--telemetry-interval x")).is_err());
+    }
+
+    #[test]
+    fn scanner_flag_builds_config() {
+        let a = parse_args(&argv("--scanner 45:8")).expect("valid");
+        let cfg = build_config(&a).expect("valid");
+        let sc = cfg.scanner.expect("scanner enabled");
+        assert_eq!(sc.period, SimDuration::from_secs(45));
+        assert_eq!(sc.bytes_per_sec, 8 << 20);
+
+        let plain = parse_args(&argv("--jobs 5")).expect("valid");
+        assert!(build_config(&plain).expect("valid").scanner.is_none());
+
+        assert!(parse_args(&argv("--scanner 45")).is_err());
+        assert!(parse_args(&argv("--scanner 0:8")).is_err());
+        assert!(parse_args(&argv("--scanner 45:0")).is_err());
+        assert!(parse_args(&argv("--scanner x:8")).is_err());
+    }
+
+    #[test]
+    fn fault_plan_flag_round_trips_and_validates() {
+        let dir = std::env::temp_dir();
+        let a = parse_args(&argv("--jobs 5")).expect("valid");
+        let cfg = build_config(&a).expect("valid");
+        let wl = build_workload(&a).expect("valid");
+
+        // A plan the engine will accept round-trips through the file.
+        let mut plan = mapred::FaultPlan::default();
+        plan.events.push(mapred::FaultEvent::Crash {
+            at_secs: 30,
+            node: 3,
+            down_secs: 60,
+        });
+        plan.events.push(mapred::FaultEvent::CorruptReplica {
+            at_secs: 10,
+            node: 1,
+            block: 0,
+        });
+        let good = dir.join("dare-sim-test-plan-good.json");
+        std::fs::write(&good, plan.to_json()).expect("write plan");
+        let loaded =
+            load_fault_plan(good.to_str().unwrap(), &cfg, &wl).expect("valid plan loads");
+        assert_eq!(loaded, plan, "JSON round-trip is exact");
+
+        // Structural, topology, and namespace failures all become errors.
+        let missing = dir.join("dare-sim-test-plan-missing.json");
+        let _ = std::fs::remove_file(&missing);
+        assert!(load_fault_plan(missing.to_str().unwrap(), &cfg, &wl)
+            .is_err_and(|e| e.contains("could not read")));
+
+        let garbage = dir.join("dare-sim-test-plan-garbage.json");
+        std::fs::write(&garbage, "{not json").expect("write");
+        assert!(load_fault_plan(garbage.to_str().unwrap(), &cfg, &wl)
+            .is_err_and(|e| e.contains("invalid fault plan")));
+
+        let mut bad = mapred::FaultPlan::default();
+        bad.events.push(mapred::FaultEvent::Crash {
+            at_secs: 30,
+            node: 10_000,
+            down_secs: 60,
+        });
+        let bad_node = dir.join("dare-sim-test-plan-badnode.json");
+        std::fs::write(&bad_node, bad.to_json()).expect("write");
+        assert!(load_fault_plan(bad_node.to_str().unwrap(), &cfg, &wl)
+            .is_err_and(|e| e.contains("node")));
+
+        let mut rot = mapred::FaultPlan::default();
+        rot.events.push(mapred::FaultEvent::CorruptReplica {
+            at_secs: 10,
+            node: 1,
+            block: u64::MAX,
+        });
+        let bad_block = dir.join("dare-sim-test-plan-badblock.json");
+        std::fs::write(&bad_block, rot.to_json()).expect("write");
+        assert!(load_fault_plan(bad_block.to_str().unwrap(), &cfg, &wl)
+            .is_err_and(|e| e.contains("block")));
+
+        // Overlapping availability windows are caught before the engine.
+        let mut overlap = mapred::FaultPlan::default();
+        overlap.events.push(mapred::FaultEvent::Crash {
+            at_secs: 30,
+            node: 3,
+            down_secs: 60,
+        });
+        overlap.events.push(mapred::FaultEvent::Crash {
+            at_secs: 50,
+            node: 3,
+            down_secs: 10,
+        });
+        let overlapping = dir.join("dare-sim-test-plan-overlap.json");
+        std::fs::write(&overlapping, overlap.to_json()).expect("write");
+        assert!(load_fault_plan(overlapping.to_str().unwrap(), &cfg, &wl).is_err());
+
+        for f in [good, garbage, bad_node, bad_block, overlapping] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn fault_plan_excludes_inline_fault_flags() {
+        assert!(parse_args(&argv("--fault-plan p.json --fail 60:3")).is_err());
+        assert!(parse_args(&argv("--fault-plan p.json --degrade 30:2:5.0")).is_err());
+        let a = parse_args(&argv("--fault-plan p.json")).expect("alone is fine");
+        assert_eq!(a.fault_plan.as_deref(), Some("p.json"));
     }
 
     #[test]

@@ -129,6 +129,7 @@ fn fault_plan_engine_matches_naive_scan() {
         rack_outages: 1,
         stragglers: 1,
         straggler_factor: 4.0,
+        corruption_rate_per_node_hour: 0.0,
     };
     let plan = FaultPlan::generate(&spec, 99, 40, 0xD1FF);
     let cfg = SimConfig::ec2(

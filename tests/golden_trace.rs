@@ -112,6 +112,29 @@ fn tracing_is_observation_only() {
     faulted.budget_frac = 1.0;
     faulted.record_trace = true;
     cases.push(("faulted-fair-dare-lru".to_string(), faulted));
+    // Scanner + silent corruption of every replica of block 0: covers the
+    // checksum-failure, quarantine, scrub, and corruption-loss emission
+    // paths (the scrub's disk-budget contention is simulation state, so it
+    // must be identical with the recorder on or off).
+    let mut scrubbed = SimConfig::cct(
+        PolicyKind::GreedyLru,
+        SchedulerKind::fair_default(),
+        GOLDEN_SEED,
+    )
+    .with_scanner(dare_mapred::ScannerConfig {
+        period: dare_simcore::SimDuration::from_secs(10),
+        bytes_per_sec: 32 << 20,
+    });
+    scrubbed.budget_frac = 1.0;
+    scrubbed.record_trace = true;
+    for node in 0..19 {
+        scrubbed.faults.events.push(dare_mapred::FaultEvent::CorruptReplica {
+            at_secs: 2,
+            node,
+            block: 0,
+        });
+    }
+    cases.push(("scrubbed-corrupt-dare-lru".to_string(), scrubbed));
 
     let wl = golden_workload();
     for (name, cfg) in cases {

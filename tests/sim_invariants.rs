@@ -5,7 +5,8 @@
 use dare_repro::core::PolicyKind;
 use dare_repro::mapred::{self, SchedulerKind, SimConfig};
 use dare_repro::workload::swim::{synthesize, SwimParams};
-use dare_simcore::check::{run_cases, Gen};
+use dare_simcore::check::{env_cases, run_cases, Gen};
+use dare_simcore::SimDuration;
 
 fn policy(g: &mut Gen) -> PolicyKind {
     match g.usize_in(0..4) {
@@ -27,11 +28,12 @@ fn sched(g: &mut Gen) -> SchedulerKind {
     }
 }
 
-// End-to-end runs are comparatively expensive; keep the case count
-// modest — the space is smooth and the invariants are structural.
+// End-to-end runs are comparatively expensive; keep the per-commit case
+// count modest — the space is smooth and the invariants are structural.
+// The nightly CI job raises the count via DARE_PROP_CASES.
 #[test]
 fn finished_runs_satisfy_structural_invariants() {
-    run_cases(24, 0xE2E_0001, |g| {
+    run_cases(env_cases(24), 0xE2E_0001, |g| {
         let seed = g.u64_in(0..10_000);
         let jobs = g.u32_in(20..80);
         let policy = policy(g);
@@ -85,16 +87,18 @@ fn finished_runs_satisfy_structural_invariants() {
     });
 }
 
-// Same contract under generated fault plans: every job reaches a terminal
-// state (completed or failed), the fault counters reconcile with the
-// outcomes, and with fewer kills than the replication factor no block is
-// ever lost outright. Runtime invariant checking is on, so slot
+// Same contract under generated fault plans — now including silent
+// corruption and an optional background scanner: every job reaches a
+// terminal state (completed or failed), the fault counters reconcile with
+// the outcomes, the corruption ledgers are internally consistent, and
+// with fewer kills than the replication factor (and no corruption) no
+// block is ever lost outright. Runtime invariant checking is on, so slot
 // conservation and recovery-queue consistency are asserted at every event.
 #[test]
 fn faulty_runs_reach_terminal_states() {
     use dare_repro::metrics::JobStatus;
 
-    run_cases(12, 0xE2E_0002, |g| {
+    run_cases(env_cases(12), 0xE2E_0002, |g| {
         let seed = g.u64_in(0..10_000);
         let jobs = g.u32_in(20..50);
         let policy = policy(g);
@@ -107,18 +111,40 @@ fn faulty_runs_reach_terminal_states() {
             rack_outages: 0,
             stragglers: g.u32_in(0..2),
             straggler_factor: g.f64_in(1.5..6.0),
+            corruption_rate_per_node_hour: if g.bool(0.6) { g.f64_in(10.0..120.0) } else { 0.0 },
         };
         let kills = spec.kills;
-        let plan = mapred::FaultPlan::generate(&spec, 19, 1, g.u64_in(0..1_000_000));
 
         let wl = synthesize(
             "prop-faults",
             &SwimParams { jobs, ..SwimParams::wl1() },
             seed,
         );
-        let mut cfg = SimConfig::cct(policy, sched, seed)
-            .with_faults(plan)
-            .with_invariant_checks();
+        let mut cfg = SimConfig::cct(policy, sched, seed).with_invariant_checks();
+        let blocks: u64 = wl
+            .files
+            .iter()
+            .map(|f| f.size_bytes.div_ceil(cfg.dfs.block_size))
+            .sum();
+        let plan = mapred::FaultPlan::generate_with_blocks(
+            &spec,
+            19,
+            1,
+            blocks,
+            g.u64_in(0..1_000_000),
+        );
+        let corruptions = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e, mapred::FaultEvent::CorruptReplica { .. }))
+            .count() as u64;
+        cfg = cfg.with_faults(plan);
+        if g.bool(0.5) {
+            cfg = cfg.with_scanner(mapred::ScannerConfig {
+                period: SimDuration::from_secs(g.u64_in(15..120)),
+                bytes_per_sec: g.u64_in(4..64) << 20,
+            });
+        }
         cfg.budget_frac = g.f64_in(0.0..0.5);
         let r = mapred::run(cfg, &wl);
 
@@ -141,9 +167,30 @@ fn faulty_runs_reach_terminal_states() {
         assert!(r.faults.tasks_failed >= r.faults.jobs_failed);
 
         // Fewer permanent kills than the replication factor (3) means
-        // some physical copy of every block survives.
-        if kills < 3 {
+        // some physical copy of every block survives — unless corruption
+        // already removed clean copies out from under the crash schedule.
+        if kills < 3 && corruptions == 0 {
             assert_eq!(r.faults.blocks_lost, 0, "unexpected data loss");
+        }
+
+        // Corruption-ledger consistency. A replica is only quarantined on
+        // a detection (read-path checksum failure or scrub hit), and only
+        // actually-corrupted replicas ever fail verification.
+        assert!(
+            r.faults.replicas_quarantined
+                <= r.faults.checksum_failures + r.faults.scrub_detections,
+            "quarantine without a detection"
+        );
+        assert!(
+            r.faults.replicas_quarantined <= r.faults.replicas_corrupted,
+            "quarantined a clean replica"
+        );
+        if corruptions == 0 {
+            assert_eq!(r.faults.replicas_corrupted, 0);
+            assert_eq!(r.faults.checksum_failures, 0);
+            assert_eq!(r.faults.scrub_detections, 0);
+            assert_eq!(r.faults.replicas_quarantined, 0);
+            assert_eq!(r.faults.blocks_lost_corruption, 0);
         }
     });
 }

@@ -30,6 +30,27 @@ fn cases() -> Vec<(String, SimConfig)> {
     .with_failures(vec![(20, 3), (45, 7)]);
     faulted.budget_frac = 1.0;
     cases.push(("faulted-fair-dare-lru".to_string(), faulted));
+    // Scanner + silent corruption: every replica of block 0 rots early, so
+    // the run exercises read-path checksums, scrub passes, quarantine, and
+    // a corruption-loss — and the corruption-gated telemetry columns.
+    let mut scrubbed = SimConfig::cct(
+        PolicyKind::GreedyLru,
+        SchedulerKind::fair_default(),
+        GOLDEN_SEED,
+    )
+    .with_scanner(dare_mapred::ScannerConfig {
+        period: SimDuration::from_secs(10),
+        bytes_per_sec: 32 << 20,
+    });
+    scrubbed.budget_frac = 1.0;
+    for node in 0..19 {
+        scrubbed.faults.events.push(dare_mapred::FaultEvent::CorruptReplica {
+            at_secs: 2,
+            node,
+            block: 0,
+        });
+    }
+    cases.push(("scrubbed-corrupt-dare-lru".to_string(), scrubbed));
     for (_, cfg) in &mut cases {
         *cfg = cfg.clone().with_telemetry(TelemetryConfig {
             interval: SimDuration::from_secs(5),
@@ -109,6 +130,37 @@ fn telemetry_jsonl_is_schema_valid_and_rederives_locality() {
             r.run.locality.to_bits(),
             "{name}: task locality drifted between the two derivations"
         );
+    }
+}
+
+/// The data-integrity columns are strictly gated: they appear exactly
+/// when the scanner or a corruption fault is configured, so a
+/// corruption-free export carries the pre-scanner schema byte for byte.
+#[test]
+fn corruption_columns_are_gated() {
+    let wl = golden_workload();
+    for (name, cfg) in cases() {
+        let gated = cfg.scanner.is_some()
+            || cfg
+                .faults
+                .events
+                .iter()
+                .any(|e| matches!(e, dare_mapred::FaultEvent::CorruptReplica { .. }));
+        let t = dare_mapred::run(cfg, &wl).telemetry.unwrap();
+        let jsonl = t.to_jsonl();
+        for col in [
+            "corrupt_replicas",
+            "quarantine_depth",
+            "d_scrub_bytes",
+            "d_checksum_failures",
+            "repair_time_secs",
+        ] {
+            assert_eq!(
+                jsonl.contains(col),
+                gated,
+                "{name}: column {col} gating"
+            );
+        }
     }
 }
 
