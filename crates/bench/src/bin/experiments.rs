@@ -81,6 +81,12 @@ fn run_one(which: &str, seed: u64) {
                 std::process::exit(1);
             }
         }
+        "throughput" => {
+            let failed = throughput::run(seed);
+            if failed > 0 {
+                std::process::exit(1);
+            }
+        }
         "plots" => {
             let dir = dare_bench::harness::csv_path("x");
             let dir = dir.parent().expect("csv dir").to_path_buf();
@@ -107,7 +113,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [ids...] [--seed N]\n\
-         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig7ci fig8 fig9 fig10 fig11 ablation resilience durability plots trace-smoke telemetry-smoke verify all"
+         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig7ci fig8 fig9 fig10 fig11 ablation resilience durability plots trace-smoke telemetry-smoke throughput verify all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

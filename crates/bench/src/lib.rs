@@ -29,6 +29,7 @@ pub mod experiments {
     pub mod resilience;
     pub mod tables;
     pub mod telemetry_smoke;
+    pub mod throughput;
     pub mod trace_smoke;
     pub mod verify;
 }

@@ -16,7 +16,7 @@
 use crate::policy::{PolicyCtx, PolicyStats, ReplicationDecision, ReplicationPolicy};
 use crate::trap::CircularTrap;
 use dare_dfs::{BlockId, FileId};
-use std::collections::HashMap;
+use dare_simcore::FxHashMap;
 
 #[derive(Debug, Clone, Copy)]
 struct Tracked {
@@ -34,7 +34,7 @@ pub struct ElephantTrapPolicy {
     budget_bytes: u64,
     used_bytes: u64,
     trap: CircularTrap<BlockId>,
-    tracked: HashMap<BlockId, Tracked>,
+    tracked: FxHashMap<BlockId, Tracked>,
     stats: PolicyStats,
 }
 
@@ -49,7 +49,7 @@ impl ElephantTrapPolicy {
             budget_bytes,
             used_bytes: 0,
             trap: CircularTrap::new(),
-            tracked: HashMap::new(),
+            tracked: FxHashMap::default(),
             stats: PolicyStats::default(),
         }
     }

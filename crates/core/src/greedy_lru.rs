@@ -5,7 +5,8 @@
 
 use crate::policy::{PolicyCtx, PolicyStats, ReplicationDecision, ReplicationPolicy};
 use dare_dfs::{BlockId, FileId};
-use std::collections::{HashMap, VecDeque};
+use dare_simcore::FxHashMap;
+use std::collections::VecDeque;
 
 /// Per-tracked-block record.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +25,7 @@ pub struct GreedyLru {
     budget_bytes: u64,
     used_bytes: u64,
     usage_order: VecDeque<BlockId>,
-    tracked: HashMap<BlockId, Tracked>,
+    tracked: FxHashMap<BlockId, Tracked>,
     stats: PolicyStats,
 }
 
@@ -35,7 +36,7 @@ impl GreedyLru {
             budget_bytes,
             used_bytes: 0,
             usage_order: VecDeque::new(),
-            tracked: HashMap::new(),
+            tracked: FxHashMap::default(),
             stats: PolicyStats::default(),
         }
     }

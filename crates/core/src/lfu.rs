@@ -9,7 +9,7 @@
 
 use crate::policy::{PolicyCtx, PolicyStats, ReplicationDecision, ReplicationPolicy};
 use dare_dfs::{BlockId, FileId};
-use std::collections::HashMap;
+use dare_simcore::FxHashMap;
 
 #[derive(Debug, Clone, Copy)]
 struct Tracked {
@@ -25,7 +25,7 @@ struct Tracked {
 pub struct LfuPolicy {
     budget_bytes: u64,
     used_bytes: u64,
-    tracked: HashMap<BlockId, Tracked>,
+    tracked: FxHashMap<BlockId, Tracked>,
     next_seq: u64,
     stats: PolicyStats,
 }
@@ -36,7 +36,7 @@ impl LfuPolicy {
         LfuPolicy {
             budget_bytes,
             used_bytes: 0,
-            tracked: HashMap::new(),
+            tracked: FxHashMap::default(),
             next_seq: 0,
             stats: PolicyStats::default(),
         }

@@ -5,21 +5,21 @@
 
 use crate::ids::BlockId;
 use dare_net::NodeId;
-use std::collections::HashSet;
+use dare_simcore::FxHashSet;
 
 /// One slave's local storage view.
 #[derive(Debug, Clone)]
 pub struct DataNode {
     id: NodeId,
     /// Primary (placement-policy) replicas resident here.
-    primary: HashSet<BlockId>,
+    primary: FxHashSet<BlockId>,
     /// Dynamically replicated blocks resident here (DARE-created).
-    dynamic: HashSet<BlockId>,
+    dynamic: FxHashSet<BlockId>,
     /// Resident replicas whose on-disk bytes have silently rotted. The
     /// bit is invisible to the namenode until a read or scrub checksums
     /// the replica — mirroring HDFS, where corruption is only discovered
     /// by the DataBlockScanner or a failed client read.
-    corrupt: HashSet<BlockId>,
+    corrupt: FxHashSet<BlockId>,
     /// Bytes consumed by primary replicas.
     primary_bytes: u64,
     /// Bytes consumed by dynamic replicas (checked against the budget).
@@ -35,9 +35,9 @@ impl DataNode {
     pub fn new(id: NodeId) -> Self {
         DataNode {
             id,
-            primary: HashSet::new(),
-            dynamic: HashSet::new(),
-            corrupt: HashSet::new(),
+            primary: FxHashSet::default(),
+            dynamic: FxHashSet::default(),
+            corrupt: FxHashSet::default(),
             primary_bytes: 0,
             dynamic_bytes: 0,
             disk_writes: 0,

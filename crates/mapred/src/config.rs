@@ -6,7 +6,7 @@ use dare_core::PolicyKind;
 use dare_dfs::DfsConfig;
 use dare_net::ClusterProfile;
 use dare_sched::fair::FairConfig;
-use dare_simcore::SimDuration;
+use dare_simcore::{QueueKind, SimDuration};
 
 /// Which scheduler drives the run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +91,21 @@ pub struct SimConfig {
     /// [`crate::SimResult::profile`]. Wall time never feeds the
     /// simulation, so a profiled run stays bit-identical. Off by default.
     pub self_profile: bool,
+    /// Which event-queue kernel drives the run: the calendar queue /
+    /// timing wheel (default) or the original binary heap, kept as the
+    /// differential oracle. Both kernels produce byte-identical runs —
+    /// the golden-trace harness proves it — so this flag only matters
+    /// for performance work and differential testing.
+    pub event_queue: QueueKind,
+    /// Batch periodic heartbeats into one timer event per interval that
+    /// drains a per-node ring, instead of one queue event per node. Cuts
+    /// event volume by O(nodes) per interval — the difference between
+    /// thousands and millions of queue operations on a 10k-node run —
+    /// but *changes timing*: batched heartbeats fire simultaneously and
+    /// unjittered, so results differ from the unbatched default. Off by
+    /// default; the throughput benchmarks and headline-scale runs
+    /// enable it.
+    pub batched_heartbeats: bool,
     /// Background block scanner (the HDFS DataBlockScanner analog):
     /// periodic per-node scrub passes that checksum resident replicas and
     /// quarantine corrupt ones between reads. The scrub budget is drawn
@@ -181,8 +196,24 @@ impl SimConfig {
             naive_scan: false,
             telemetry: None,
             self_profile: false,
+            event_queue: QueueKind::Calendar,
+            batched_heartbeats: false,
             scanner: None,
         }
+    }
+
+    /// Drive the run with the binary-heap event kernel (the differential
+    /// oracle for the calendar queue).
+    pub fn with_heap_queue(mut self) -> Self {
+        self.event_queue = QueueKind::Heap;
+        self
+    }
+
+    /// Batch periodic heartbeats into one timer event per interval (see
+    /// `batched_heartbeats`; changes timing, off by default).
+    pub fn with_batched_heartbeats(mut self) -> Self {
+        self.batched_heartbeats = true;
+        self
     }
 
     /// Switch to the naive-scan reference schedulers (differential runs).

@@ -53,6 +53,11 @@ pub struct SimResult {
     /// `SimConfig::self_profile` is set. Wall time never feeds the
     /// simulation, so the rest of the result is unaffected.
     pub profile: Option<dare_telemetry::ProfileReport>,
+    /// Logical simulation events processed: one per dispatched event,
+    /// except that a batched heartbeat tick counts one per node it
+    /// services (the per-node work it replaces), so throughput is
+    /// comparable between batched and per-node heartbeat runs.
+    pub logical_events: u64,
     /// FNV-1a fingerprint of the DFS's final physical replica map (every
     /// datanode's held blocks plus their dynamic/primary status). Two runs
     /// with identical placement end with identical fingerprints, which is

@@ -19,8 +19,7 @@
 //! [`FlowSim::next_completion`] and re-checking whenever flows start.
 
 use crate::topology::NodeId;
-use dare_simcore::SimTime;
-use std::collections::HashMap;
+use dare_simcore::{FxHashMap, SimTime, Slab, SlabKey};
 
 /// Identifier of an active flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,6 +31,7 @@ const EPSILON_BYTES: f64 = 1e-3;
 
 #[derive(Debug, Clone)]
 struct Flow {
+    id: u64,
     src: NodeId,
     dst: NodeId,
     bytes_remaining: f64,
@@ -69,7 +69,12 @@ pub struct FlowSim {
     nic_bytes_per_sec: Vec<f64>,
     /// Cross-rack flows see `capacity / oversub`.
     oversub: f64,
-    flows: HashMap<u64, Flow>,
+    /// Dense arena of active flows. The slab keeps flows contiguous so the
+    /// per-event rate sweeps walk cache lines instead of hash buckets.
+    flows: Slab<Flow>,
+    /// External id → slab slot. Ids stay sequential `u64`s because they
+    /// appear in traces and must survive slot recycling.
+    by_id: FxHashMap<u64, SlabKey>,
     next_id: u64,
     last_advance: SimTime,
     /// Flows ever started (diagnostics).
@@ -78,6 +83,11 @@ pub struct FlowSim {
     /// [`FlowSim::collect_completed`] call, in the same order as its
     /// return value. Lets observers compute flow durations.
     completed_starts: Vec<(FlowId, SimTime)>,
+    /// Persistent per-node scratch for [`FlowSim::recompute_rates`]:
+    /// zeroed endpoint-by-endpoint (O(active), not O(nodes)) so a rate
+    /// recomputation allocates nothing and never sweeps idle nodes.
+    tx_count: Vec<u32>,
+    rx_count: Vec<u32>,
 }
 
 impl FlowSim {
@@ -87,18 +97,27 @@ impl FlowSim {
         assert!(!nic_capacity_mbps.is_empty());
         assert!(oversub >= 1.0, "oversubscription factor must be >= 1");
         assert!(nic_capacity_mbps.iter().all(|&c| c > 0.0));
+        let n = nic_capacity_mbps.len();
         FlowSim {
             nic_bytes_per_sec: nic_capacity_mbps
                 .iter()
                 .map(|c| c * crate::MB as f64)
                 .collect(),
             oversub,
-            flows: HashMap::new(),
+            flows: Slab::new(),
+            by_id: FxHashMap::default(),
             next_id: 0,
             last_advance: SimTime::ZERO,
             total_started: 0,
             completed_starts: Vec::new(),
+            tx_count: vec![0; n],
+            rx_count: vec![0; n],
         }
+    }
+
+    /// Peak number of simultaneously active flows (slab high-water mark).
+    pub fn peak_active(&self) -> usize {
+        self.flows.peak()
     }
 
     /// Number of active flows.
@@ -127,17 +146,16 @@ impl FlowSim {
         let id = self.next_id;
         self.next_id += 1;
         self.total_started += 1;
-        self.flows.insert(
+        let key = self.flows.insert(Flow {
             id,
-            Flow {
-                src,
-                dst,
-                bytes_remaining: bytes as f64,
-                rate_bytes_per_sec: 0.0,
-                cross_rack,
-                started: now,
-            },
-        );
+            src,
+            dst,
+            bytes_remaining: bytes as f64,
+            rate_bytes_per_sec: 0.0,
+            cross_rack,
+            started: now,
+        });
+        self.by_id.insert(id, key);
         self.recompute_rates();
         FlowId(id)
     }
@@ -148,7 +166,7 @@ impl FlowSim {
             return;
         }
         let dt = now.saturating_since(self.last_advance).as_secs_f64();
-        for f in self.flows.values_mut() {
+        for (_, f) in self.flows.iter_mut() {
             f.bytes_remaining = (f.bytes_remaining - f.rate_bytes_per_sec * dt).max(0.0);
         }
         self.last_advance = now;
@@ -165,7 +183,7 @@ impl FlowSim {
         self.flows
             .iter()
             .filter(|(_, f)| f.rate_bytes_per_sec > 0.0 || f.is_done())
-            .map(|(&id, f)| {
+            .map(|(_, f)| {
                 let secs = if f.is_done() {
                     0.0
                 } else {
@@ -173,7 +191,7 @@ impl FlowSim {
                 };
                 (
                     self.last_advance + dare_simcore::SimDuration::from_secs_f64(secs),
-                    FlowId(id),
+                    FlowId(f.id),
                 )
             })
             .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
@@ -183,23 +201,24 @@ impl FlowSim {
     /// Returns the completed flow ids (deterministic ascending order).
     pub fn collect_completed(&mut self, now: SimTime) -> Vec<FlowId> {
         self.advance(now);
-        let mut done: Vec<u64> = self
+        let mut done: Vec<(u64, SlabKey)> = self
             .flows
             .iter()
             .filter(|(_, f)| f.is_done())
-            .map(|(&id, _)| id)
+            .map(|(key, f)| (f.id, key))
             .collect();
-        done.sort_unstable();
+        done.sort_unstable_by_key(|&(id, _)| id);
         self.completed_starts.clear();
-        for id in &done {
-            if let Some(f) = self.flows.remove(id) {
-                self.completed_starts.push((FlowId(*id), f.started));
+        for &(id, key) in &done {
+            if let Some(f) = self.flows.remove(key) {
+                self.by_id.remove(&id);
+                self.completed_starts.push((FlowId(id), f.started));
             }
         }
         if !done.is_empty() {
             self.recompute_rates();
         }
-        done.into_iter().map(FlowId).collect()
+        done.into_iter().map(|(id, _)| FlowId(id)).collect()
     }
 
     /// Start times of the flows drained by the most recent
@@ -211,21 +230,27 @@ impl FlowSim {
 
     /// Start time of a still-active flow.
     pub fn started_at(&self, id: FlowId) -> Option<SimTime> {
-        self.flows.get(&id.0).map(|f| f.started)
+        self.lookup(id).map(|f| f.started)
     }
 
     /// Abort an active flow (task killed / node failed). No-op if already
     /// completed.
     pub fn cancel(&mut self, now: SimTime, id: FlowId) {
         self.advance(now);
-        if self.flows.remove(&id.0).is_some() {
+        if let Some(key) = self.by_id.remove(&id.0) {
+            self.flows.remove(key);
             self.recompute_rates();
         }
     }
 
     /// Current rate of a flow in bytes/s (None if finished/unknown).
     pub fn rate_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id.0).map(|f| f.rate_bytes_per_sec)
+        self.lookup(id).map(|f| f.rate_bytes_per_sec)
+    }
+
+    #[inline]
+    fn lookup(&self, id: FlowId) -> Option<&Flow> {
+        self.by_id.get(&id.0).and_then(|&k| self.flows.get(k))
     }
 
     /// Per-node NIC utilization across the active flows, written into
@@ -238,12 +263,15 @@ impl FlowSim {
     pub fn nic_utilization_into(&self, out: &mut Vec<(f64, f64)>) {
         out.clear();
         out.resize(self.nic_bytes_per_sec.len(), (0.0, 0.0));
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let f = &self.flows[&id];
-            out[f.src.idx()].0 += f.rate_bytes_per_sec;
-            out[f.dst.idx()].1 += f.rate_bytes_per_sec;
+        let mut entries: Vec<(u64, usize, usize, f64)> = self
+            .flows
+            .iter()
+            .map(|(_, f)| (f.id, f.src.idx(), f.dst.idx(), f.rate_bytes_per_sec))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        for (_, src, dst, rate) in entries {
+            out[src].0 += rate;
+            out[dst].1 += rate;
         }
         for (u, &cap) in out.iter_mut().zip(&self.nic_bytes_per_sec) {
             u.0 /= cap;
@@ -252,20 +280,32 @@ impl FlowSim {
     }
 
     /// Recompute every flow's rate from per-endpoint fair shares.
+    ///
+    /// Allocation-free and O(active flows): the persistent per-node
+    /// counters are zeroed endpoint-by-endpoint in a first pass, counted
+    /// in a second, consumed in a third — idle nodes are never touched,
+    /// which matters once the cluster has 10k NICs and a few dozen flows.
     fn recompute_rates(&mut self) {
-        let n = self.nic_bytes_per_sec.len();
-        let mut tx_count = vec![0u32; n];
-        let mut rx_count = vec![0u32; n];
-        for f in self.flows.values() {
-            tx_count[f.src.idx()] += 1;
-            rx_count[f.dst.idx()] += 1;
+        for (_, f) in self.flows.iter() {
+            self.tx_count[f.src.idx()] = 0;
+            self.rx_count[f.dst.idx()] = 0;
         }
-        for f in self.flows.values_mut() {
-            let tx_share = self.nic_bytes_per_sec[f.src.idx()] / tx_count[f.src.idx()] as f64;
-            let rx_share = self.nic_bytes_per_sec[f.dst.idx()] / rx_count[f.dst.idx()] as f64;
+        for (_, f) in self.flows.iter() {
+            self.tx_count[f.src.idx()] += 1;
+            self.rx_count[f.dst.idx()] += 1;
+        }
+        let (tx, rx, caps, oversub) = (
+            &self.tx_count,
+            &self.rx_count,
+            &self.nic_bytes_per_sec,
+            self.oversub,
+        );
+        for (_, f) in self.flows.iter_mut() {
+            let tx_share = caps[f.src.idx()] / tx[f.src.idx()] as f64;
+            let rx_share = caps[f.dst.idx()] / rx[f.dst.idx()] as f64;
             let mut rate = tx_share.min(rx_share);
             if f.cross_rack {
-                rate /= self.oversub;
+                rate /= oversub;
             }
             f.rate_bytes_per_sec = rate;
         }

@@ -95,6 +95,23 @@ impl ClusterProfile {
         }
     }
 
+    /// A synthetic scale-out profile for event-kernel throughput runs:
+    /// `nodes` workers with the EC2 performance models, spread over
+    /// 40-node racks in pods of 8. Not a paper cluster — it exists so the
+    /// engine can be driven at 1k–10k nodes, far past Table III.
+    pub fn scale(nodes: u32) -> Self {
+        let racks = nodes.div_ceil(40).max(2);
+        ClusterProfile {
+            name: "scale",
+            nodes,
+            topology: TopologyKind::MultiRack {
+                racks,
+                racks_per_pod: 8,
+            },
+            ..Self::ec2()
+        }
+    }
+
     /// A 20-node EC2 allocation (used by the Section II measurements and
     /// Fig. 1's hop-count distribution).
     pub fn ec2_small() -> Self {

@@ -66,7 +66,7 @@ pub trait LocationLookup {
 /// exactly as the engine mirrors name-node promotions and evictions).
 #[derive(Debug, Clone, Default)]
 pub struct TableLookup {
-    map: std::collections::HashMap<u64, Vec<NodeId>>,
+    map: dare_simcore::FxHashMap<u64, Vec<NodeId>>,
     default_locs: Vec<NodeId>,
 }
 
@@ -89,7 +89,7 @@ impl TableLookup {
     /// Table where every block (listed or not) resolves to nodes `0..n`.
     pub fn everywhere(n: u32) -> Self {
         TableLookup {
-            map: std::collections::HashMap::new(),
+            map: dare_simcore::FxHashMap::default(),
             default_locs: (0..n).map(NodeId).collect(),
         }
     }

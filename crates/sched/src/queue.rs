@@ -45,7 +45,8 @@ use crate::LocationLookup;
 use dare_dfs::BlockId;
 use dare_net::{NodeId, Topology};
 use dare_simcore::SimTime;
-use std::collections::{BTreeSet, HashMap};
+use dare_simcore::FxHashMap;
+use std::collections::BTreeSet;
 
 /// Identifier of a job (dense, in submission order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -99,9 +100,9 @@ struct LocalityIndex {
     /// Task id → distinct racks of those nodes.
     racks: Vec<Vec<u32>>,
     /// Node → (pending position, task) pairs with a replica there.
-    by_node: HashMap<u32, BTreeSet<(u32, u32)>>,
+    by_node: FxHashMap<u32, BTreeSet<(u32, u32)>>,
     /// Rack → (pending position, task) pairs with a replica in the rack.
-    by_rack: HashMap<u32, BTreeSet<(u32, u32)>>,
+    by_rack: FxHashMap<u32, BTreeSet<(u32, u32)>>,
 }
 
 impl LocalityIndex {
@@ -263,14 +264,14 @@ pub struct QueueDepth {
 pub struct JobQueue {
     jobs: Vec<JobEntry>,
     /// Job id → position in `jobs` (kept dense on retire).
-    by_id: HashMap<u32, usize>,
+    by_id: FxHashMap<u32, usize>,
     /// Fair-scheduler deficit order: (running maps, arrival, id), unique
     /// per job, covering *all* active jobs (drained jobs are filtered at
     /// iteration time).
     deficit: BTreeSet<(u32, SimTime, JobId)>,
     /// Block → pending (job, task) pairs reading it; routes replica
     /// visibility changes to the per-job indexes.
-    block_watchers: HashMap<u64, Vec<(JobId, TaskId)>>,
+    block_watchers: FxHashMap<u64, Vec<(JobId, TaskId)>>,
 }
 
 impl JobQueue {
@@ -565,7 +566,7 @@ impl JobQueue {
     }
 
     fn remove_watcher_in(
-        watchers: &mut HashMap<u64, Vec<(JobId, TaskId)>>,
+        watchers: &mut FxHashMap<u64, Vec<(JobId, TaskId)>>,
         block: BlockId,
         id: JobId,
         task: TaskId,

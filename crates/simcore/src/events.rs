@@ -1,13 +1,38 @@
 //! Generic discrete-event queue.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] keyed by
-//! `(SimTime, u64 sequence)`. The monotonically increasing sequence number
-//! breaks ties between simultaneous events in insertion order, which keeps
-//! event interleavings — and therefore whole simulation runs — deterministic.
+//! Two interchangeable kernels sit behind [`EventQueue`]:
+//!
+//! * **Calendar** (the default) — a calendar queue / single-level timing
+//!   wheel: events within an 8.4 s horizon land in one of 8192 fixed-width
+//!   (1024 µs) buckets, beyond-horizon events wait in an overflow heap,
+//!   and the bucket currently being drained lives in a small binary heap
+//!   so same-bucket events still pop in exact `(time, sequence)` order.
+//!   Pushes are O(1) amortized; pops touch only the handful of events
+//!   sharing the active millisecond instead of a heap over the entire
+//!   pending set.
+//! * **Heap** — the original [`std::collections::BinaryHeap`] keyed by
+//!   `(SimTime, u64 sequence)`. Kept as the differential oracle: the
+//!   property tests and the golden-trace harness prove both kernels pop
+//!   byte-identical sequences.
+//!
+//! Both kernels break ties between simultaneous events by insertion order
+//! (a monotonically increasing sequence number), which keeps event
+//! interleavings — and therefore whole simulation runs — deterministic
+//! and *identical across kernels*.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Which event-queue kernel an [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Calendar queue / timing wheel (the default, scale-ready kernel).
+    #[default]
+    Calendar,
+    /// Binary heap over the full pending set (the differential oracle).
+    Heap,
+}
 
 /// One scheduled entry: payload `E` to be delivered at `time`.
 struct Scheduled<E> {
@@ -38,6 +63,186 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// log2 of the bucket width in microseconds (1024 µs ≈ 1 ms per bucket).
+const WIDTH_LOG2: u32 = 10;
+/// log2 of the wheel size in buckets (8192 buckets ≈ 8.4 s horizon).
+const WHEEL_LOG2: u32 = 13;
+const WHEEL: usize = 1 << WHEEL_LOG2;
+const WHEEL_MASK: u64 = (WHEEL as u64) - 1;
+
+#[inline]
+fn bucket_of(time: SimTime) -> u64 {
+    time.as_micros() >> WIDTH_LOG2
+}
+
+/// The calendar kernel.
+///
+/// Invariant: whenever `len > 0`, `cur` is non-empty and holds the global
+/// minimum `(time, seq)` entry. Events in wheel slot for absolute bucket
+/// `b > cur_bucket` all have `time >= (cur_bucket + 1) << WIDTH_LOG2`,
+/// which is strictly later than every entry routed into `cur` (those have
+/// bucket `<= cur_bucket`), so draining `cur` first is exact.
+struct Calendar<E> {
+    /// Min-heap of the active bucket (plus any late/past-time pushes).
+    cur: BinaryHeap<Scheduled<E>>,
+    /// Absolute index of the bucket `cur` is draining.
+    cur_bucket: u64,
+    /// Fixed wheel of future buckets within the horizon. Slot `s` holds
+    /// events of exactly one absolute bucket `b ≡ s (mod WHEEL)` with
+    /// `cur_bucket < b < cur_bucket + WHEEL`.
+    wheel: Vec<Vec<Scheduled<E>>>,
+    /// One occupancy bit per wheel slot (`trailing_zeros` scan finds the
+    /// next non-empty bucket without touching the slot vectors).
+    occ: Vec<u64>,
+    /// Beyond-horizon events, min-first.
+    overflow: BinaryHeap<Scheduled<E>>,
+    len: usize,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Calendar {
+            cur: BinaryHeap::new(),
+            cur_bucket: 0,
+            wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
+            occ: vec![0u64; WHEEL / 64],
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn set_occ(&mut self, slot: usize) {
+        self.occ[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    #[inline]
+    fn clear_occ(&mut self, slot: usize) {
+        self.occ[slot >> 6] &= !(1u64 << (slot & 63));
+    }
+
+    /// Route one entry to `cur`, the wheel, or overflow.
+    fn route(&mut self, s: Scheduled<E>) {
+        let b = bucket_of(s.time);
+        if b <= self.cur_bucket {
+            self.cur.push(s);
+        } else if b < self.cur_bucket + WHEEL as u64 {
+            let slot = (b & WHEEL_MASK) as usize;
+            self.wheel[slot].push(s);
+            self.set_occ(slot);
+        } else {
+            self.overflow.push(s);
+        }
+    }
+
+    fn push(&mut self, s: Scheduled<E>) {
+        self.route(s);
+        self.len += 1;
+        if self.cur.is_empty() {
+            self.advance();
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.cur.pop()?;
+        self.len -= 1;
+        if self.cur.is_empty() && self.len > 0 {
+            self.advance();
+        }
+        Some((s.time, s.event))
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        self.cur.peek().map(|s| s.time)
+    }
+
+    /// Find the earliest non-empty bucket after `cur_bucket`, jump to it,
+    /// and pour its events into `cur`. Called only when `cur` is empty and
+    /// at least one event is pending in the wheel or overflow.
+    fn advance(&mut self) {
+        debug_assert!(self.cur.is_empty() && self.len > 0);
+        // Earliest occupied wheel slot, as a delta in (0, WHEEL) from the
+        // current bucket's slot position.
+        let base = (self.cur_bucket & WHEEL_MASK) as usize;
+        let wheel_bucket = self.next_occupied_after(base).map(|delta| self.cur_bucket + delta as u64);
+        let overflow_bucket = self.overflow.peek().map(|s| bucket_of(s.time));
+        let target = match (wheel_bucket, overflow_bucket) {
+            (Some(w), Some(o)) => w.min(o),
+            (Some(w), None) => w,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("advance() with no pending events"),
+        };
+        self.cur_bucket = target;
+        let slot = (target & WHEEL_MASK) as usize;
+        if self.occ[slot >> 6] & (1u64 << (slot & 63)) != 0 && wheel_bucket == Some(target) {
+            let mut drained = std::mem::take(&mut self.wheel[slot]);
+            self.clear_occ(slot);
+            for s in drained.drain(..) {
+                self.cur.push(s);
+            }
+            // Keep the slot's allocation for reuse.
+            self.wheel[slot] = drained;
+        }
+        // Pull newly-in-horizon overflow events forward: same-bucket ones
+        // into `cur`, the rest onto the wheel. Keeping overflow drained to
+        // beyond-horizon entries keeps its heap small.
+        while let Some(s) = self.overflow.peek() {
+            if bucket_of(s.time) >= self.cur_bucket + WHEEL as u64 {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked");
+            let b = bucket_of(s.time);
+            if b <= self.cur_bucket {
+                self.cur.push(s);
+            } else {
+                let slot = (b & WHEEL_MASK) as usize;
+                self.wheel[slot].push(s);
+                self.set_occ(slot);
+            }
+        }
+        debug_assert!(!self.cur.is_empty());
+    }
+
+    /// Smallest `delta in 1..WHEEL` such that slot `(base + delta) % WHEEL`
+    /// is occupied, scanning the bitset one 64-bit word at a time.
+    fn next_occupied_after(&self, base: usize) -> Option<usize> {
+        let words = self.occ.len();
+        let start = (base + 1) % WHEEL;
+        let mut word_idx = start >> 6;
+        // First (partial) word: mask off bits below `start`.
+        let mut word = self.occ[word_idx] & !((1u64 << (start & 63)) - 1);
+        for step in 0..=words {
+            if word != 0 {
+                let slot = (word_idx << 6) + word.trailing_zeros() as usize;
+                let delta = (slot + WHEEL - base) & (WHEEL - 1);
+                // delta == 0 would mean `base` itself; the scan starts
+                // strictly after it, so delta is in 1..WHEEL here — except
+                // when wrapping all the way back to `base`'s own word.
+                if delta != 0 {
+                    return Some(delta);
+                }
+            }
+            if step == words {
+                break;
+            }
+            word_idx = (word_idx + 1) % words;
+            word = self.occ[word_idx];
+            // On wrapping back into the starting word, only bits at or
+            // below `base` remain unexamined.
+            if word_idx == start >> 6 {
+                word &= (1u64 << (start & 63)) - 1;
+            }
+        }
+        None
+    }
+}
+
+enum Inner<E> {
+    Heap(BinaryHeap<Scheduled<E>>),
+    Calendar(Box<Calendar<E>>),
+}
+
 /// A deterministic priority queue of simulation events.
 ///
 /// ```
@@ -54,7 +259,7 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    inner: Inner<E>,
     next_seq: u64,
 }
 
@@ -65,19 +270,35 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue with the default (calendar) kernel.
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::Calendar)
+    }
+
+    /// Create an empty queue with an explicit kernel.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let inner = match kind {
+            QueueKind::Calendar => Inner::Calendar(Box::new(Calendar::new())),
+            QueueKind::Heap => Inner::Heap(BinaryHeap::new()),
+        };
+        EventQueue { inner, next_seq: 0 }
+    }
+
+    /// Create an empty queue with pre-allocated capacity (default kernel).
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut cal = Calendar::new();
+        cal.cur = BinaryHeap::with_capacity(cap.min(1024));
         EventQueue {
-            heap: BinaryHeap::new(),
+            inner: Inner::Calendar(Box::new(cal)),
             next_seq: 0,
         }
     }
 
-    /// Create an empty queue with pre-allocated capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
+    /// Which kernel this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match &self.inner {
+            Inner::Heap(_) => QueueKind::Heap,
+            Inner::Calendar(_) => QueueKind::Calendar,
         }
     }
 
@@ -85,27 +306,40 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let s = Scheduled { time, seq, event };
+        match &mut self.inner {
+            Inner::Heap(h) => h.push(s),
+            Inner::Calendar(c) => c.push(s),
+        }
     }
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        match &mut self.inner {
+            Inner::Heap(h) => h.pop().map(|s| (s.time, s.event)),
+            Inner::Calendar(c) => c.pop(),
+        }
     }
 
     /// Time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        match &self.inner {
+            Inner::Heap(h) => h.peek().map(|s| s.time),
+            Inner::Calendar(c) => c.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Heap(h) => h.len(),
+            Inner::Calendar(c) => c.len,
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (diagnostic counter).
@@ -117,30 +351,40 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::{env_cases, run_cases};
     use crate::time::SimDuration;
+
+    fn both_kinds() -> [EventQueue<u64>; 2] {
+        [
+            EventQueue::with_kind(QueueKind::Calendar),
+            EventQueue::with_kind(QueueKind::Heap),
+        ]
+    }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        for s in [9u64, 3, 7, 1, 5] {
-            q.push(SimTime::from_secs(s), s);
+        for mut q in both_kinds() {
+            for s in [9u64, 3, 7, 1, 5] {
+                q.push(SimTime::from_secs(s), s);
+            }
+            let mut out = Vec::new();
+            while let Some((_, e)) = q.pop() {
+                out.push(e);
+            }
+            assert_eq!(out, vec![1, 3, 5, 7, 9]);
         }
-        let mut out = Vec::new();
-        while let Some((_, e)) = q.pop() {
-            out.push(e);
-        }
-        assert_eq!(out, vec![1, 3, 5, 7, 9]);
     }
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((t, i)));
+        for mut q in both_kinds() {
+            let t = SimTime::from_secs(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
         }
     }
 
@@ -158,17 +402,105 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
+        for mut q in [EventQueue::new(), EventQueue::with_kind(QueueKind::Heap)] {
+            let mut now = SimTime::ZERO;
+            q.push(SimTime::from_secs(1), 1u32);
+            q.push(SimTime::from_secs(4), 4);
+            let (t, e) = q.pop().unwrap();
+            assert!((t, e) == (SimTime::from_secs(1), 1));
+            now += SimDuration::from_secs(1);
+            // schedule relative to "now"
+            q.push(now + SimDuration::from_secs(1), 2);
+            q.push(now + SimDuration::from_secs(2), 3);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn default_kernel_is_calendar() {
+        assert_eq!(EventQueue::<u8>::new().kind(), QueueKind::Calendar);
+        assert_eq!(
+            EventQueue::<u8>::with_kind(QueueKind::Heap).kind(),
+            QueueKind::Heap
+        );
+    }
+
+    #[test]
+    fn overflow_horizon_round_trip() {
+        // Events far beyond the 8.4 s wheel horizon must still pop in
+        // exact order once the wheel advances to them.
         let mut q = EventQueue::new();
-        let mut now = SimTime::ZERO;
-        q.push(SimTime::from_secs(1), 1u32);
-        q.push(SimTime::from_secs(4), 4);
-        let (t, e) = q.pop().unwrap();
-        assert!((t, e) == (SimTime::from_secs(1), 1));
-        now += SimDuration::from_secs(1);
-        // schedule relative to "now"
-        q.push(now + SimDuration::from_secs(1), 2);
-        q.push(now + SimDuration::from_secs(2), 3);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![2, 3, 4]);
+        for s in [3600u64, 7200, 60, 1, 86_400] {
+            q.push(SimTime::from_secs(s), s);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 60, 3600, 7200, 86_400]);
+    }
+
+    #[test]
+    fn push_behind_drained_time_still_pops_first() {
+        // A push earlier than the bucket currently being drained (legal,
+        // if unusual, for the simulation) routes into the active heap and
+        // pops before everything later.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), 10u64);
+        let _ = q.pop();
+        q.push(SimTime::from_secs(20), 20);
+        q.push(SimTime::from_secs(5), 5);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), 5)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(20), 20)));
+    }
+
+    /// The satellite property test: under randomized interleaved
+    /// push/pop workloads — same-time bursts, in-horizon spreads, and
+    /// far-overflow times — the calendar kernel pops the exact
+    /// `(time, insertion-order)` sequence the heap oracle does.
+    #[test]
+    fn calendar_matches_heap_oracle() {
+        run_cases(env_cases(64), 0xCA1E_17DA, |g| {
+            let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+            let mut heap = EventQueue::with_kind(QueueKind::Heap);
+            let mut now = 0u64;
+            let mut next_tag = 0u64;
+            let ops = g.usize_in(1..400);
+            for _ in 0..ops {
+                if g.bool(0.6) {
+                    // Push a burst at one drawn time: tight (same bucket),
+                    // spread (across the wheel), or far (overflow).
+                    let t = match g.usize_in(0..4) {
+                        0 => now + g.u64_in(0..1_024),
+                        1 => now + g.u64_in(0..8_000_000),
+                        2 => now + g.u64_in(0..60_000_000),
+                        _ => now.saturating_sub(g.u64_in(0..2_048)),
+                    };
+                    let burst = g.usize_in(1..6);
+                    for _ in 0..burst {
+                        let tag = next_tag;
+                        next_tag += 1;
+                        cal.push(SimTime::from_micros(t), tag);
+                        heap.push(SimTime::from_micros(t), tag);
+                    }
+                } else {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "kernels diverged mid-stream");
+                    if let Some((t, _)) = a {
+                        now = now.max(t.as_micros());
+                    }
+                }
+                assert_eq!(cal.len(), heap.len());
+                assert_eq!(cal.peek_time(), heap.peek_time());
+            }
+            // Drain: the full remaining sequences must be identical.
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "kernels diverged during drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        });
     }
 }

@@ -1,0 +1,131 @@
+//! A fast, SipHash-free hasher for hot point-lookup tables.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is DoS-resistant but
+//! costs tens of nanoseconds per small-key hash — measurable when the
+//! scheduler index and flow tables do millions of lookups per simulated
+//! run. This module provides the classic FxHash recipe (the multiply-xor
+//! hasher rustc itself uses): one `rotate/xor/multiply` round per 8-byte
+//! word, written from scratch because the workspace builds offline.
+//!
+//! Use it only for tables whose keys come from the simulation itself
+//! (node ids, block ids, flow ids) — never for attacker-controlled input
+//! — and whose iteration order is never observed (every deterministic
+//! code path in this workspace sorts before iterating a hash map).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash state: `hash = (hash.rotate_left(5) ^ word) * K`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The Fibonacci-hashing multiplier (2^64 / φ), odd, as used by rustc's
+/// FxHash; spreads low-entropy integer keys across the high bits.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "v");
+        }
+        m.insert(42, "answer");
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&42), Some(&"answer"));
+        assert_eq!(m.remove(&7), Some("v"));
+        assert!(!m.contains_key(&7));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one((3u32, 17u64)), b.hash_one((3u32, 17u64)));
+    }
+
+    #[test]
+    fn small_integer_keys_spread() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let mut tops: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..256u64 {
+            tops.insert(b.hash_one(i) >> 56);
+        }
+        // 256 consecutive keys should scatter across most of the 256
+        // possible top bytes, not collapse onto a few.
+        assert!(tops.len() > 128, "only {} distinct top bytes", tops.len());
+    }
+
+    #[test]
+    fn byte_slices_cover_partial_words() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let hash = |s: &str| b.hash_one(s);
+        assert_ne!(hash("abcdefg"), hash("abcdefh"));
+        assert_ne!(hash("abcdefgh-long"), hash("abcdefgh-lonh"));
+    }
+}

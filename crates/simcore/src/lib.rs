@@ -6,8 +6,17 @@
 //! * [`time`] — a fixed-point simulated clock ([`SimTime`], [`SimDuration`])
 //!   with microsecond resolution, so event ordering is exact and runs are
 //!   bit-reproducible (no floating-point clock drift).
-//! * [`events`] — a generic [`events::EventQueue`] (binary heap keyed by
-//!   `(time, sequence)`) with stable FIFO ordering for simultaneous events.
+//! * [`events`] — a generic [`events::EventQueue`] keyed by
+//!   `(time, sequence)` with stable FIFO ordering for simultaneous events;
+//!   a calendar-queue / timing-wheel kernel by default, with the original
+//!   binary heap kept as a differential oracle behind
+//!   [`events::QueueKind`].
+//! * [`slab`] — generational-index arenas ([`slab::Slab`]) for hot
+//!   simulation state (flows, attempts, heartbeat records), replacing
+//!   `HashMap` keys with dense, reusable slots.
+//! * [`fx`] — a SipHash-free [`std::hash::BuildHasher`] (FxHash-style
+//!   multiply-xor) and `HashMap`/`HashSet` aliases for hot point-lookup
+//!   tables whose iteration order is never observed.
 //! * [`rng`] — deterministic random-number generation with hierarchical
 //!   substream derivation, so adding a consumer of randomness in one
 //!   subsystem does not perturb another subsystem's stream.
@@ -40,12 +49,16 @@ pub mod check;
 pub mod dist;
 pub mod events;
 pub mod fit;
+pub mod fx;
 pub mod parallel;
 pub mod quantile;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{EventQueue, QueueKind};
+pub use fx::{FxHashMap, FxHashSet};
 pub use rng::DetRng;
+pub use slab::{Slab, SlabKey};
 pub use time::{SimDuration, SimTime};

@@ -23,14 +23,19 @@ pub enum Subsystem {
     Net,
     /// Crash/rejoin/declare-dead/retry/degrade handling.
     Fault,
+    /// Event-queue operations (the pop feeding each dispatch). Separating
+    /// queue time from handler time is what lets the report attribute
+    /// wall clock to kernel overhead vs. scheduler decisions.
+    Queue,
 }
 
 impl Subsystem {
-    const ALL: [Subsystem; 4] = [
+    const ALL: [Subsystem; 5] = [
         Subsystem::Sched,
         Subsystem::Dfs,
         Subsystem::Net,
         Subsystem::Fault,
+        Subsystem::Queue,
     ];
 
     fn idx(self) -> usize {
@@ -39,6 +44,7 @@ impl Subsystem {
             Subsystem::Dfs => 1,
             Subsystem::Net => 2,
             Subsystem::Fault => 3,
+            Subsystem::Queue => 4,
         }
     }
 
@@ -49,6 +55,7 @@ impl Subsystem {
             Subsystem::Dfs => "dfs",
             Subsystem::Net => "net",
             Subsystem::Fault => "fault",
+            Subsystem::Queue => "queue",
         }
     }
 }
@@ -56,8 +63,10 @@ impl Subsystem {
 /// Accumulates per-subsystem wall time while a run is in flight.
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
-    wall_ns: [u64; 4],
-    events: [u64; 4],
+    wall_ns: [u64; 5],
+    events: [u64; 5],
+    peak_slab: u64,
+    peak_queue: u64,
 }
 
 impl Profiler {
@@ -73,11 +82,24 @@ impl Profiler {
         self.events[i] += 1;
     }
 
+    /// Raise the peak-slab-occupancy gauge (live arena entries — flows,
+    /// attempts, heartbeat records — at their high-water mark).
+    pub fn note_slab_peak(&mut self, occupancy: u64) {
+        self.peak_slab = self.peak_slab.max(occupancy);
+    }
+
+    /// Raise the peak-event-queue-length gauge.
+    pub fn note_queue_peak(&mut self, len: u64) {
+        self.peak_queue = self.peak_queue.max(len);
+    }
+
     /// Seal into a report.
     pub fn finish(self) -> ProfileReport {
         ProfileReport {
             wall_ns: self.wall_ns,
             events: self.events,
+            peak_slab_occupancy: self.peak_slab,
+            peak_queue_len: self.peak_queue,
         }
     }
 }
@@ -85,16 +107,35 @@ impl Profiler {
 /// Per-subsystem dispatch timings of one finished run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProfileReport {
-    /// Total wall nanoseconds per subsystem (Sched, Dfs, Net, Fault).
-    pub wall_ns: [u64; 4],
-    /// Events dispatched per subsystem.
-    pub events: [u64; 4],
+    /// Total wall nanoseconds per subsystem (Sched, Dfs, Net, Fault, Queue).
+    pub wall_ns: [u64; 5],
+    /// Events dispatched (or, for Queue, pops timed) per subsystem.
+    pub events: [u64; 5],
+    /// High-water mark of live slab entries across the run's arenas.
+    pub peak_slab_occupancy: u64,
+    /// High-water mark of the pending event-queue length.
+    pub peak_queue_len: u64,
 }
 
 impl ProfileReport {
-    /// Total events dispatched.
+    /// Total events dispatched (the Queue arm times the pops feeding the
+    /// same events, so it is excluded to avoid double counting).
     pub fn total_events(&self) -> u64 {
-        self.events.iter().sum()
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != Subsystem::Queue.idx())
+            .map(|(_, &e)| e)
+            .sum()
+    }
+
+    /// Dispatched events per second of total dispatch+queue wall time.
+    pub fn events_per_sec(&self) -> u64 {
+        let wall = self.total_wall_ns();
+        if wall == 0 {
+            return 0;
+        }
+        (self.total_events() as f64 / (wall as f64 / 1e9)) as u64
     }
 
     /// Total wall nanoseconds across subsystems.
@@ -116,6 +157,12 @@ impl ProfileReport {
         s.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
         s.push_str(&format!("  \"total_events\": {},\n", self.total_events()));
         s.push_str(&format!("  \"total_wall_ns\": {},\n", self.total_wall_ns()));
+        s.push_str(&format!("  \"events_per_sec\": {},\n", self.events_per_sec()));
+        s.push_str(&format!(
+            "  \"peak_slab_occupancy\": {},\n",
+            self.peak_slab_occupancy
+        ));
+        s.push_str(&format!("  \"peak_queue_len\": {},\n", self.peak_queue_len));
         s.push_str("  \"subsystems\": [\n");
         for (i, sub) in Subsystem::ALL.iter().enumerate() {
             let (events, wall) = self.of(*sub);
@@ -162,7 +209,13 @@ pub fn validate_profile_json(s: &str) -> Result<(), String> {
     if !s.contains("\"scenario\": \"") {
         return Err("missing scenario".into());
     }
-    for key in ["total_events", "total_wall_ns"] {
+    for key in [
+        "total_events",
+        "total_wall_ns",
+        "events_per_sec",
+        "peak_slab_occupancy",
+        "peak_queue_len",
+    ] {
         let int_after = |k: &str| -> Result<u64, String> {
             let pat = format!("\"{k}\": ");
             let at = s.find(&pat).ok_or_else(|| format!("missing {k:?}"))?;
