@@ -470,6 +470,46 @@ impl Dfs {
         }
         h
     }
+
+    /// Extended FNV-1a state fingerprint for the model checker: everything
+    /// [`Dfs::replica_fingerprint`] covers plus the per-node corrupt bits,
+    /// the name node's scheduler-visible location order (it steers future
+    /// placement and task scheduling), and the pending dynamic-report
+    /// queue with visibility times made *relative to `now`* — two states
+    /// reached at different absolute times but with identical remaining
+    /// behavior hash the same.
+    pub fn extended_fingerprint(&self, now: SimTime) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut h = h;
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = self.replica_fingerprint();
+        for dn in &self.dns {
+            for b in dn.corrupt_blocks() {
+                h = mix(h, dn.id().0 as u64);
+                h = mix(h, b.0);
+            }
+        }
+        h = mix(h, 0x5eed);
+        for i in 0..self.nn.num_blocks() {
+            let b = BlockId(i as u64);
+            for &n in self.nn.locations(b) {
+                h = mix(h, n.0 as u64);
+            }
+            h = mix(h, u64::MAX); // per-block terminator
+        }
+        for (visible_at, b, n) in self.nn.pending_report_entries() {
+            h = mix(h, visible_at.as_micros().saturating_sub(now.as_micros()));
+            h = mix(h, b.0);
+            h = mix(h, n.0 as u64);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,20 @@ impl NameNode {
         self.pending.len()
     }
 
+    /// Every in-flight report as `(visible_at, block, node)`, sorted —
+    /// the canonical view the extended state fingerprint hashes. The
+    /// internal queue order is insertion-dependent (swap_remove), so
+    /// callers get a normalized copy rather than a borrow.
+    pub fn pending_report_entries(&self) -> Vec<(SimTime, BlockId, NodeId)> {
+        let mut v: Vec<(SimTime, BlockId, NodeId)> = self
+            .pending
+            .iter()
+            .map(|r| (r.visible_at, r.block, r.node))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Remove *all* replicas hosted on a failed node and return the blocks
     /// that are now under-replicated relative to `target_replicas`
     /// (availability path; dynamic replicas count as first-order replicas).

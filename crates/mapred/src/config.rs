@@ -113,6 +113,15 @@ pub struct SimConfig {
     /// I/O. `None` (the default) disables scanning entirely and is
     /// byte-identical to pre-scanner behaviour.
     pub scanner: Option<ScannerConfig>,
+    /// **Deliberate protocol mutation for checker validation**: make
+    /// `pump_recovery` skip its pop-time re-check that a queued block is
+    /// still under-replicated, so a block healed by a rejoin between
+    /// enqueue and pop spawns a needless repair transfer. The
+    /// `rereplication-convergence` invariant catches the spurious flow;
+    /// the model checker's self-test and the `mc --seeded-bug` run use
+    /// this knob to prove the catalog actually bites. Never enable it in
+    /// a real experiment.
+    pub seeded_bug_skip_heal_recheck: bool,
 }
 
 /// Background block-scanner tuning.
@@ -199,6 +208,7 @@ impl SimConfig {
             event_queue: QueueKind::Calendar,
             batched_heartbeats: false,
             scanner: None,
+            seeded_bug_skip_heal_recheck: false,
         }
     }
 
@@ -303,6 +313,13 @@ impl SimConfig {
     /// Enable per-event structural invariant checking.
     pub fn with_invariant_checks(mut self) -> Self {
         self.check_invariants = true;
+        self
+    }
+
+    /// Arm the deliberate recovery-path mutation (see
+    /// `seeded_bug_skip_heal_recheck`). Checker validation only.
+    pub fn with_seeded_heal_bug(mut self) -> Self {
+        self.seeded_bug_skip_heal_recheck = true;
         self
     }
 

@@ -98,6 +98,72 @@ enum Ev {
     ScrubDone { node: u32, epoch: u32, pass_bytes: u64 },
 }
 
+/// Outcome of one [`Engine::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One event was dispatched; the run is still in progress.
+    Progressed,
+    /// Every job has reached a terminal state; nothing was dispatched.
+    Quiescent,
+}
+
+/// Order-insensitive 64-bit digest of one pending event, for the state
+/// fingerprint: variant tag plus every payload field. Times inside
+/// events (none today) would need now-relative treatment; all current
+/// payloads are ids, epochs, and durations.
+fn ev_digest(ev: &Ev) -> u64 {
+    const P: u64 = 0x9e37_79b9_7f4a_7c15;
+    let fold = |tag: u64, fields: &[u64]| {
+        let mut h = tag.wrapping_mul(P);
+        for &f in fields {
+            h = (h.rotate_left(13) ^ f).wrapping_mul(P);
+        }
+        h
+    };
+    match *ev {
+        Ev::JobArrival(j) => fold(1, &[j as u64]),
+        Ev::Heartbeat {
+            node,
+            periodic,
+            epoch,
+        } => fold(2, &[node as u64, periodic as u64, epoch as u64]),
+        Ev::HeartbeatTick => fold(3, &[]),
+        Ev::LocalReadDone {
+            node,
+            job,
+            task,
+            attempt,
+        } => fold(4, &[node as u64, job as u64, task as u64, attempt as u64]),
+        Ev::NetCheck => fold(5, &[]),
+        Ev::ComputeDone {
+            node,
+            job,
+            task,
+            attempt,
+        } => fold(6, &[node as u64, job as u64, task as u64, attempt as u64]),
+        Ev::ReduceDone { node, job } => fold(7, &[node as u64, job as u64]),
+        Ev::Epoch => fold(8, &[]),
+        Ev::NodeCrash {
+            node,
+            permanent,
+            down_secs,
+        } => fold(9, &[node as u64, permanent as u64, down_secs]),
+        Ev::NodeRejoin(n) => fold(10, &[n as u64]),
+        Ev::DeclareDead { node, epoch } => fold(11, &[node as u64, epoch as u64]),
+        Ev::TaskRetry { job, task, attempt } => {
+            fold(12, &[job as u64, task as u64, attempt as u64])
+        }
+        Ev::NodeDegrade(n, f) => fold(13, &[n as u64, f.to_bits()]),
+        Ev::CorruptReplica { node, block } => fold(14, &[node as u64, block]),
+        Ev::ScrubStart { node, epoch } => fold(15, &[node as u64, epoch as u64]),
+        Ev::ScrubDone {
+            node,
+            epoch,
+            pass_bytes,
+        } => fold(16, &[node as u64, epoch as u64, pass_bytes]),
+    }
+}
+
 /// A re-replication transfer in flight (recovery traffic shares the flow
 /// simulator with map fetches, so repair contends with job I/O).
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +171,10 @@ struct RecoveryXfer {
     block: BlockId,
     src: u32,
     dst: u32,
+    /// Scheduler-visible replica count when the transfer started. The
+    /// `rereplication-convergence` invariant asserts this was below the
+    /// replication factor: repair traffic must be need-driven.
+    visible_at_start: u32,
 }
 
 /// What destroyed a block's last physical copy — crash-path losses and
@@ -191,6 +261,13 @@ pub struct Engine {
     disk_caps_mbps: Vec<f64>,
     fetches: FxHashMap<FlowId, Fetch>,
     next_netcheck: Option<SimTime>,
+    /// Flows cancelled while the current NetCheck completion batch is
+    /// being processed. A completion earlier in the batch can tear down
+    /// a flow drained into the *same* batch (job failure aborts a
+    /// sibling fetch, quarantine cancels a tainted repair); those fids
+    /// are excused from the orphan-flow check. Cleared per batch, always
+    /// empty between events.
+    batch_cancelled: Vec<u64>,
     jitter_rng: DetRng,
     fetch_rng: DetRng,
     rtt_rng: DetRng,
@@ -703,6 +780,7 @@ impl Engine {
             disk_caps_mbps,
             fetches: FxHashMap::default(),
             next_netcheck: None,
+            batch_cancelled: Vec::new(),
             jitter_rng: root.substream("task-jitter"),
             fetch_rng: root.substream("fetch-pick"),
             rtt_rng: root.substream("rtt"),
@@ -842,6 +920,355 @@ impl Engine {
             self.check_terminal_invariants()?;
         }
         Ok(self.finish())
+    }
+
+    // ----- model-checker step control -------------------------------
+    //
+    // The bounded model checker (`dare-mc`) drives the engine one event
+    // at a time instead of through `try_run`, injecting faults between
+    // events and fingerprinting the reached state for deduplication.
+    // `Engine` is not `Clone` (the scheduler is a boxed trait object),
+    // so the checker forks by replaying action prefixes through fresh
+    // engines — these hooks are the whole surface it needs.
+
+    /// Dispatch exactly one pending event: the body of one `try_run`
+    /// loop iteration. Returns [`StepOutcome::Quiescent`] (after running
+    /// the terminal invariant checks, when enabled) once every job has
+    /// finished; a drained queue before that point is a stall, reported
+    /// as [`crate::SimError::Stalled`] exactly like `try_run` would.
+    pub fn step(&mut self) -> Result<StepOutcome, crate::SimError> {
+        if self.is_quiescent() {
+            if self.cfg.check_invariants {
+                self.check_terminal_invariants()?;
+            }
+            return Ok(StepOutcome::Quiescent);
+        }
+        let Some((t, ev)) = self.events.pop() else {
+            return Err(crate::SimError::Stalled {
+                now: self.now,
+                finished: self.finished,
+                total: self.jobs.len(),
+                pending: self.queue.total_pending(),
+            });
+        };
+        debug_assert!(t >= self.now, "time went backwards");
+        if self.telem.is_some() {
+            self.pump_telemetry(t);
+        }
+        self.now = t;
+        self.dispatch(ev)?;
+        if self.cfg.check_invariants {
+            self.check_invariants()?;
+        }
+        Ok(StepOutcome::Progressed)
+    }
+
+    /// Inject a permanent kill of `node` at the current simulation time
+    /// (disk wiped, never rejoins). Crash handling is idempotent, so
+    /// killing an already-down node is a no-op.
+    pub fn inject_kill(&mut self, node: u32) {
+        self.events.push(
+            self.now,
+            Ev::NodeCrash {
+                node,
+                permanent: true,
+                down_secs: 0,
+            },
+        );
+    }
+
+    /// Inject a transient crash of `node` at the current simulation
+    /// time; it rejoins with a block report after `down_secs`.
+    pub fn inject_crash(&mut self, node: u32, down_secs: u64) {
+        self.events.push(
+            self.now,
+            Ev::NodeCrash {
+                node,
+                permanent: false,
+                down_secs,
+            },
+        );
+    }
+
+    /// Inject silent corruption of `block`'s replica on `node` at the
+    /// current simulation time (a no-op if no replica is resident).
+    pub fn inject_corrupt(&mut self, node: u32, block: u64) {
+        self.events.push(self.now, Ev::CorruptReplica { node, block });
+    }
+
+    /// True once the protocol has nothing left to do: every job reached
+    /// a terminal state, the re-replication pipeline drained, and no
+    /// fault transition (crash, rejoin, declare-dead, corruption
+    /// arrival, scrub detection) is still scheduled.
+    ///
+    /// Stricter than the experiment harness's stop condition (which ends
+    /// at the last job): the stepped interface exists for the bounded
+    /// model checker, and closing a path before in-flight repairs and
+    /// pending declare/rejoin transitions resolve would hide exactly the
+    /// failure/recovery orderings it explores. Self-perpetuating chains
+    /// (heartbeats, scrub passes, epochs) don't count as pending work,
+    /// so this condition is still reached in bounded time.
+    pub fn is_quiescent(&self) -> bool {
+        if self.finished < self.jobs.len() || self.recovery_backlog() > 0 {
+            return false;
+        }
+        let mut fault_pending = false;
+        self.events.for_each_scheduled(|_, _, ev| {
+            if matches!(
+                ev,
+                Ev::NodeCrash { .. }
+                    | Ev::NodeRejoin(_)
+                    | Ev::DeclareDead { .. }
+                    | Ev::CorruptReplica { .. }
+                    | Ev::ScrubDone { .. }
+            ) {
+                fault_pending = true;
+            }
+        });
+        !fault_pending
+    }
+
+    /// Current simulation time.
+    pub fn sim_now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of worker nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// Number of DFS blocks (inputs plus any job outputs registered).
+    pub fn num_blocks(&self) -> usize {
+        self.dfs.namenode().num_blocks()
+    }
+
+    /// True when `node` can take work and serve reads (neither silently
+    /// crashed nor declared dead).
+    pub fn node_alive(&self, node: u32) -> bool {
+        self.node_up(node as usize)
+    }
+
+    /// Failure-detection and recovery counters so far.
+    pub fn fault_stats(&self) -> &dare_metrics::FaultStats {
+        &self.stats
+    }
+
+    /// The configured target replication factor.
+    pub fn replication_factor(&self) -> u32 {
+        self.cfg.dfs.replication_factor
+    }
+
+    /// Scheduler-visible replica count of a block.
+    pub fn visible_replicas(&self, block: u64) -> usize {
+        self.dfs.visible_locations(BlockId(block)).len()
+    }
+
+    /// True when a physical replica of `block` is resident on `node`.
+    pub fn block_present(&self, node: u32, block: u64) -> bool {
+        self.dfs.is_physically_present(NodeId(node), BlockId(block))
+    }
+
+    /// True when the resident replica of `block` on `node` carries the
+    /// (undetected) corrupt bit.
+    pub fn block_corrupt_at(&self, node: u32, block: u64) -> bool {
+        self.dfs.datanode(NodeId(node)).is_corrupt(BlockId(block))
+    }
+
+    /// Blocks queued for re-replication plus transfers in flight.
+    pub fn recovery_backlog(&self) -> usize {
+        self.recovery_q.len() + self.recovery_flows.len()
+    }
+
+    /// Blocks whose every physical copy is gone.
+    pub fn lost_block_count(&self) -> usize {
+        self.lost_blocks.len()
+    }
+
+    /// Pending simulation events.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Extract the structured trace recorded so far (only under
+    /// `SimConfig::record_trace`), sealing it. The checker calls this on
+    /// a violating path to export the counterexample as JSONL.
+    pub fn take_trace(&mut self) -> Option<dare_trace::Trace> {
+        self.tracer.take().map(Tracer::finish)
+    }
+
+    /// FNV-1a fingerprint of the logical simulation state, for state-
+    /// space deduplication. Covers the DFS extended fingerprint (replica
+    /// map, corrupt bits, visible-location order, pending reports), node
+    /// liveness/slot/epoch state, per-job progress, the scheduler queue,
+    /// the recovery pipeline, in-flight flows (identity, relative start
+    /// time, and current rate), and a digest of the pending event queue
+    /// with times relative to `now` — so states reached at different
+    /// absolute times but with identical remaining behavior collide.
+    ///
+    /// Monotone counters (attempt ids, liveness epochs, flow ids) are
+    /// hashed raw: they can distinguish behaviorally equivalent states
+    /// (costing dedup, never soundness). Flow *progress* is approximated
+    /// by start time and current rate; see DESIGN.md for the residual
+    /// approximation.
+    pub fn state_fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, v: u64) {
+            for byte in v.to_le_bytes() {
+                *h ^= byte as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let now_us = self.now.as_micros();
+        let ago = |t: SimTime| now_us.saturating_sub(t.as_micros());
+        let mut h = self.dfs.extended_fingerprint(self.now);
+        for i in 0..self.crashed.len() {
+            mix(
+                &mut h,
+                self.crashed[i] as u64
+                    | (self.declared[i] as u64) << 1
+                    | (self.scrubbing[i] as u64) << 2,
+            );
+            mix(&mut h, self.node_epoch[i] as u64);
+            mix(&mut h, self.free_map_slots[i] as u64);
+            mix(&mut h, self.free_reduce_slots[i] as u64);
+            mix(&mut h, self.running_reduces[i] as u64);
+            mix(&mut h, self.active_local_reads[i] as u64);
+            mix(&mut h, self.slow_factor[i].to_bits());
+            for &(j, t) in &self.running_on[i] {
+                mix(&mut h, ((j as u64) << 32) | t as u64);
+            }
+            mix(&mut h, u64::MAX); // per-node terminator
+        }
+        for js in &self.jobs {
+            mix(&mut h, js.maps_done as u64);
+            mix(&mut h, js.reduces_done as u64);
+            mix(&mut h, js.failed as u64);
+            mix(&mut h, js.node_local as u64);
+            mix(&mut h, js.rack_local as u64);
+            mix(&mut h, js.remote as u64);
+            for ti in 0..js.attempts.len() {
+                mix(&mut h, js.attempts[ti] as u64);
+                mix(
+                    &mut h,
+                    js.done[ti] as u64 | (js.live_attempts[ti] as u64) << 1,
+                );
+            }
+        }
+        mix(&mut h, self.finished as u64);
+        for je in self.queue.jobs() {
+            mix(&mut h, je.id.0 as u64);
+            mix(&mut h, ago(je.arrival));
+            mix(&mut h, je.running_maps() as u64);
+            mix(&mut h, je.skip_count as u64);
+            for pt in je.pending() {
+                mix(&mut h, ((pt.task.0 as u64) << 32) | pt.block.0);
+            }
+            mix(&mut h, u64::MAX); // per-job terminator
+        }
+        for &(j, d) in &self.pending_reduces {
+            mix(&mut h, j as u64);
+            mix(&mut h, d.as_micros());
+        }
+        // Recovery queue: rank replaces the absolute enqueue seq (two
+        // paths reaching the same backlog in the same relative order
+        // must collide even if their raw counters differ).
+        for (rank, &(vis, _seq, b)) in self.recovery_q.iter().enumerate() {
+            mix(&mut h, vis as u64);
+            mix(&mut h, rank as u64);
+            mix(&mut h, b);
+        }
+        let mut rec: Vec<(u64, u32, u32, u32, u64)> = self
+            .recovery_flows
+            .iter()
+            .map(|(fid, rx)| (rx.block.0, rx.src, rx.dst, rx.visible_at_start, fid.0))
+            .collect();
+        rec.sort_unstable();
+        for (b, s, d, v, fid) in rec {
+            mix(&mut h, b);
+            mix(&mut h, ((s as u64) << 32) | d as u64);
+            mix(&mut h, v as u64);
+            self.mix_flow(&mut h, FlowId(fid), ago);
+        }
+        let mut lost: Vec<u64> = self.lost_blocks.iter().copied().collect();
+        lost.sort_unstable();
+        for b in lost {
+            mix(&mut h, b);
+        }
+        let mut repairs: Vec<(u64, u64)> = self
+            .repair_started
+            .iter()
+            .map(|(&b, &t)| (b, ago(t)))
+            .collect();
+        repairs.sort_unstable();
+        for (b, t) in repairs {
+            mix(&mut h, b);
+            mix(&mut h, t);
+        }
+        // (flow id, node, src, job, task, attempt, replicate flag, latency us)
+        type FetchFp = (u64, u32, u32, u32, u32, u32, u64, u64);
+        let mut fetches: Vec<FetchFp> = self
+            .fetches
+            .iter()
+            .map(|(fid, f)| {
+                (
+                    fid.0,
+                    f.node,
+                    f.src,
+                    f.job,
+                    f.task,
+                    f.attempt,
+                    f.replicate as u64,
+                    f.latency.as_micros(),
+                )
+            })
+            .collect();
+        fetches.sort_unstable();
+        for (fid, node, src, job, task, attempt, repl, lat) in fetches {
+            mix(&mut h, ((node as u64) << 32) | src as u64);
+            mix(&mut h, ((job as u64) << 32) | task as u64);
+            mix(&mut h, (attempt as u64) | repl << 32);
+            mix(&mut h, lat);
+            self.mix_flow(&mut h, FlowId(fid), ago);
+        }
+        let mut pro: Vec<(u64, u64, u32, u32)> = self
+            .proactive_flows
+            .iter()
+            .map(|(fid, p)| (fid.0, p.block.0, p.src, p.dst))
+            .collect();
+        pro.sort_unstable();
+        for (fid, b, s, d) in pro {
+            mix(&mut h, b);
+            mix(&mut h, ((s as u64) << 32) | d as u64);
+            self.mix_flow(&mut h, FlowId(fid), ago);
+        }
+        // Pending event queue, canonical order, times relative to now;
+        // seq rank (not raw seq) keeps same-time FIFO order visible.
+        let mut evs: Vec<(u64, u64, u64)> = Vec::with_capacity(self.events.len());
+        self.events
+            .for_each_scheduled(|t, seq, ev| evs.push((t.as_micros(), seq, ev_digest(ev))));
+        evs.sort_unstable();
+        for (rank, (t, _seq, d)) in evs.iter().enumerate() {
+            mix(&mut h, t.saturating_sub(now_us));
+            mix(&mut h, rank as u64);
+            mix(&mut h, *d);
+        }
+        h
+    }
+
+    /// Mix one in-flight flow's identity, relative start time, and
+    /// current rate into the fingerprint.
+    fn mix_flow(&self, h: &mut u64, fid: FlowId, ago: impl Fn(SimTime) -> u64) {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut m = |v: u64| {
+            for byte in v.to_le_bytes() {
+                *h ^= byte as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        m(fid.0);
+        m(self.flows.started_at(fid).map_or(u64::MAX, &ago));
+        m(self.flows.rate_of(fid).map_or(u64::MAX, f64::to_bits));
     }
 
     /// Emit samples for every pending tick strictly before `next_event`.
@@ -1470,6 +1897,16 @@ impl Engine {
             .any(|l| *l == reader || self.node_up(l.idx()))
     }
 
+    /// Cancel a flow and record it for the current NetCheck batch (see
+    /// `batch_cancelled`). Every teardown of an in-flight flow must go
+    /// through here so the orphan-flow check can tell a legitimate
+    /// same-batch cancellation apart from bookkeeping drift.
+    fn cancel_flow(&mut self, fid: FlowId, kind: FlowKind) {
+        self.flows.cancel(self.now, fid);
+        self.batch_cancelled.push(fid.0);
+        self.emit(TraceEvent::FlowCancelled { flow: fid.0, kind });
+    }
+
     fn schedule_netcheck(&mut self) {
         if let Some((t, _)) = self.flows.next_completion() {
             let t = t.max(self.now);
@@ -1483,6 +1920,7 @@ impl Engine {
     fn on_net_check(&mut self) -> Result<(), crate::SimError> {
         self.next_netcheck = None;
         let done = self.flows.collect_completed(self.now);
+        self.batch_cancelled.clear();
         // Start times index-aligned with `done`; only materialized when
         // tracing (flow durations for `flow_finished` events).
         let starts: Vec<SimTime> = if self.tracer.is_some() {
@@ -1530,6 +1968,14 @@ impl Engine {
                 continue;
             }
             let Some(f) = self.fetches.remove(&fid) else {
+                // A completion earlier in this batch may have torn the
+                // flow down (job failure aborting a sibling fetch,
+                // quarantine cancelling a tainted repair): its record is
+                // gone but the fid was already drained into `done`. Only
+                // an untracked disappearance is bookkeeping drift.
+                if self.batch_cancelled.contains(&fid.0) {
+                    continue;
+                }
                 return Err(crate::SimError::OrphanFlow {
                     now: self.now,
                     flow: fid.0,
@@ -1636,6 +2082,7 @@ impl Engine {
                 },
             );
         }
+        self.batch_cancelled.clear();
         self.schedule_netcheck();
         Ok(())
     }
@@ -1913,11 +2360,7 @@ impl Engine {
         into.sort_unstable(); // HashMap order is not deterministic
         for fid in into {
             self.fetches.remove(&fid);
-            self.flows.cancel(self.now, fid);
-            self.emit(TraceEvent::FlowCancelled {
-                flow: fid.0,
-                kind: FlowKind::Fetch,
-            });
+            self.cancel_flow(fid, FlowKind::Fetch);
         }
 
         // Fetches *sourced* from the node but running elsewhere: the
@@ -1939,11 +2382,7 @@ impl Engine {
             let js = &self.jobs[job as usize];
             if js.failed || js.done[task as usize] {
                 if self.fetches.remove(&fid).is_some() {
-                    self.flows.cancel(self.now, fid);
-                    self.emit(TraceEvent::FlowCancelled {
-                        flow: fid.0,
-                        kind: FlowKind::Fetch,
-                    });
+                    self.cancel_flow(fid, FlowKind::Fetch);
                     self.emit(TraceEvent::TaskAborted {
                         job,
                         task,
@@ -1979,11 +2418,7 @@ impl Engine {
                 let bytes = self.dfs.namenode().block_size(t.block);
                 self.inflight_proactive[t.dst as usize] =
                     self.inflight_proactive[t.dst as usize].saturating_sub(bytes);
-                self.flows.cancel(self.now, fid);
-                self.emit(TraceEvent::FlowCancelled {
-                    flow: fid.0,
-                    kind: FlowKind::Proactive,
-                });
+                self.cancel_flow(fid, FlowKind::Proactive);
             }
         }
 
@@ -1998,11 +2433,7 @@ impl Engine {
         rec.sort_unstable(); // repair-queue seq numbers depend on this order
         for fid in rec {
             if let Some(r) = self.recovery_flows.remove(&fid) {
-                self.flows.cancel(self.now, fid);
-                self.emit(TraceEvent::FlowCancelled {
-                    flow: fid.0,
-                    kind: FlowKind::Recovery,
-                });
+                self.cancel_flow(fid, FlowKind::Recovery);
                 self.note_block_under_replicated(r.block);
             }
         }
@@ -2198,11 +2629,7 @@ impl Engine {
         fetch_fids.sort_unstable(); // HashMap order is not deterministic
         for fid in fetch_fids {
             if let Some(f) = self.fetches.remove(&fid) {
-                self.flows.cancel(self.now, fid);
-                self.emit(TraceEvent::FlowCancelled {
-                    flow: fid.0,
-                    kind: FlowKind::Fetch,
-                });
+                self.cancel_flow(fid, FlowKind::Fetch);
                 self.emit(TraceEvent::TaskAborted {
                     job,
                     task,
@@ -2427,6 +2854,23 @@ impl Engine {
             block: b.0,
             dynamic,
         });
+        // The quarantined replica may be feeding an in-flight repair.
+        // Those bytes were read from a corrupt copy, so the transfer is
+        // cancelled rather than committed — found by the model checker
+        // as a lost-blocks-unrecoverable violation: the tainted arrival
+        // used to resurrect a block already declared lost.
+        let mut tainted: Vec<FlowId> = self
+            .recovery_flows
+            .iter()
+            .filter(|(_, r)| r.src == node && r.block == b)
+            .map(|(&fid, _)| fid)
+            .collect();
+        tainted.sort_unstable();
+        for fid in tainted {
+            if self.recovery_flows.remove(&fid).is_some() {
+                self.cancel_flow(fid, FlowKind::Recovery);
+            }
+        }
         if dynamic {
             // Eviction accounting: the policy forgets the replica so its
             // budget and recency bookkeeping match the disk again.
@@ -2495,7 +2939,10 @@ impl Engine {
                 continue;
             }
             let visible = self.dfs.visible_locations(b);
-            if visible.len() as u32 >= self.cfg.dfs.replication_factor {
+            let visible_at_start = visible.len() as u32;
+            if visible_at_start >= self.cfg.dfs.replication_factor
+                && !self.cfg.seeded_bug_skip_heal_recheck
+            {
                 continue; // healed by another path (e.g. a rejoin) meanwhile
             }
             let srcs: Vec<NodeId> = visible
@@ -2544,6 +2991,7 @@ impl Engine {
                     block: b,
                     src: src.0,
                     dst: dst.0,
+                    visible_at_start,
                 },
             );
         }
@@ -2554,9 +3002,35 @@ impl Engine {
     /// it visible to the scheduler, and keep pumping.
     fn on_recovery_done(&mut self, rx: RecoveryXfer) {
         let b = rx.block;
-        if !self.node_up(rx.dst as usize) || self.dfs.is_physically_present(NodeId(rx.dst), b) {
-            // Target died mid-flight (flow races the cancel) or the bytes
-            // arrived by another path; drop the transfer on the floor.
+        if !self.node_up(rx.dst as usize)
+            || self.dfs.is_physically_present(NodeId(rx.dst), b)
+            || self.lost_blocks.contains(&b.0)
+        {
+            // Target died mid-flight (flow races the cancel), the bytes
+            // arrived by another path, or the block was declared lost
+            // while the transfer ran (its source must have been corrupt
+            // or wiped, so the payload is not trustworthy): drop the
+            // transfer on the floor.
+            self.pump_recovery();
+            return;
+        }
+        // The payload is only trustworthy if the source still holds a
+        // healthy copy. Source quarantined in the same completion batch
+        // (detection races the transfer to the very same instant): the
+        // bytes came off a corrupt replica — drop and re-queue.
+        if !self.dfs.is_physically_present(NodeId(rx.src), b) {
+            self.note_block_under_replicated(b);
+            self.pump_recovery();
+            return;
+        }
+        // Read-path verification, recovery flavor: copying the block is a
+        // read of its bytes, so a silently corrupt source fails the
+        // checksum here exactly like a remote map fetch would. Detect,
+        // quarantine the source, drop the payload, re-queue the repair.
+        if self.dfs.is_replica_corrupt(NodeId(rx.src), b) {
+            self.stats.checksum_failures += 1;
+            self.quarantine_and_repair(rx.src, b);
+            self.note_block_under_replicated(b);
             self.pump_recovery();
             return;
         }
@@ -2585,16 +3059,19 @@ impl Engine {
     }
 
     /// Structural invariants, checked after every event when
-    /// `SimConfig::check_invariants` is set: slot conservation on live
-    /// nodes, declared ⇒ crashed and zero advertised slots, the recovery
-    /// cap respected, and lost blocks truly without a surviving copy.
+    /// `SimConfig::check_invariants` is set. Every check is a named entry
+    /// of the shared [`dare_simcore::check::InvariantId`] catalog, so the
+    /// engine's per-event checks, the property suites, and the bounded
+    /// model checker all report violations under the same names.
     fn check_invariants(&self) -> Result<(), crate::SimError> {
+        use dare_simcore::check::InvariantId as Inv;
         let mut inv = dare_simcore::check::Invariants::new();
         let slots = self.cfg.profile.map_slots_per_node;
         let rslots = self.cfg.profile.reduce_slots_per_node;
         for i in 0..self.crashed.len() {
             if self.node_up(i) {
-                inv.check(
+                inv.check_id(
+                    Inv::SlotConservation,
                     self.free_map_slots[i] + self.running_on[i].len() as u32 == slots,
                     || {
                         format!(
@@ -2604,7 +3081,8 @@ impl Engine {
                         )
                     },
                 );
-                inv.check(
+                inv.check_id(
+                    Inv::SlotConservation,
                     self.free_reduce_slots[i] + self.running_reduces[i] == rslots,
                     || {
                         format!(
@@ -2614,15 +3092,17 @@ impl Engine {
                     },
                 );
             } else if self.declared[i] {
-                inv.check(self.crashed[i], || {
+                inv.check_id(Inv::DeclaredImpliesCrashed, self.crashed[i], || {
                     format!("node {i} declared dead while running")
                 });
-                inv.check(
+                inv.check_id(
+                    Inv::DeclaredImpliesCrashed,
                     self.free_map_slots[i] == 0 && self.free_reduce_slots[i] == 0,
                     || format!("declared node {i} still advertises slots"),
                 );
             }
-            inv.check(
+            inv.check_id(
+                Inv::SchedulerIndexSync,
                 (self.free_reduce_slots[i] > 0) == self.reduce_free_nodes.contains(&(i as u32)),
                 || {
                     format!(
@@ -2633,7 +3113,8 @@ impl Engine {
                 },
             );
         }
-        inv.check(
+        inv.check_id(
+            Inv::RecoveryStreamCap,
             self.recovery_flows.len() <= self.cfg.faults.max_recovery_streams,
             || {
                 format!(
@@ -2643,13 +3124,70 @@ impl Engine {
                 )
             },
         );
+        // Need-driven repair: every in-flight recovery transfer started
+        // while its block was under-replicated. Sorted for a
+        // deterministic violation report.
+        let mut xfers: Vec<&RecoveryXfer> = self.recovery_flows.values().collect();
+        xfers.sort_unstable_by_key(|r| (r.block, r.dst));
+        for rx in xfers {
+            inv.check_id(
+                Inv::RereplicationConvergence,
+                rx.visible_at_start < self.cfg.dfs.replication_factor,
+                || {
+                    format!(
+                        "repair of block {} to node {} started at {} visible replicas (RF {})",
+                        rx.block.0, rx.dst, rx.visible_at_start, self.cfg.dfs.replication_factor
+                    )
+                },
+            );
+        }
         for &b0 in &self.lost_blocks {
             let b = BlockId(b0);
             let copy = (0..self.crashed.len())
                 .any(|i| self.dfs.is_physically_present(NodeId(i as u32), b));
-            inv.check(!copy, || {
+            inv.check_id(Inv::LostBlocksUnrecoverable, !copy, || {
                 format!("block {b0} marked lost while a physical copy survives")
             });
+        }
+        // Master/disk coherence on live nodes: every scheduler-visible
+        // location physically holds the block (a quarantined or evicted
+        // replica must vanish from both sides — no read can be routed to
+        // a node that cannot serve it). Crashed-but-undetected nodes are
+        // exempt: the master's view legitimately lags a silent failure.
+        // Primary locations are bounded by the replication target plus
+        // one per node-rejoin: a rejoining node re-registers primaries
+        // it still holds, and this model (unlike real HDFS) never
+        // deletes the over-replicated excess.
+        let rf = self.cfg.dfs.replication_factor as usize;
+        let primary_cap = rf + self.stats.nodes_rejoined as usize;
+        for i in 0..self.dfs.namenode().num_blocks() {
+            let b = BlockId(i as u64);
+            for &loc in self.dfs.visible_locations(b) {
+                if self.node_up(loc.idx()) {
+                    inv.check_id(
+                        Inv::QuarantineNoReads,
+                        self.dfs.is_physically_present(loc, b),
+                        || {
+                            format!(
+                                "block {} visible on live node {} with no physical replica",
+                                b.0, loc.0
+                            )
+                        },
+                    );
+                }
+            }
+            inv.check_id(
+                Inv::PrimaryWithinRf,
+                self.dfs.namenode().primary_locations(b).len() <= primary_cap,
+                || {
+                    format!(
+                        "block {} holds {} primary locations (RF {rf}, {} rejoin(s))",
+                        b.0,
+                        self.dfs.namenode().primary_locations(b).len(),
+                        self.stats.nodes_rejoined
+                    )
+                },
+            );
         }
         inv.into_result().map_err(crate::SimError::InvariantViolation)
     }
@@ -2657,25 +3195,31 @@ impl Engine {
     /// End-of-run invariants: every job reached a terminal state with
     /// consistent counters.
     fn check_terminal_invariants(&self) -> Result<(), crate::SimError> {
+        use dare_simcore::check::InvariantId as Inv;
         let mut inv = dare_simcore::check::Invariants::new();
         for (j, js) in self.jobs.iter().enumerate() {
             if js.failed {
                 continue;
             }
-            inv.check(js.maps_done as usize == js.blocks.len(), || {
-                format!(
-                    "job {j} finished with {}/{} maps done",
-                    js.maps_done,
-                    js.blocks.len()
-                )
-            });
-            inv.check(js.reduces_done == js.reduces, || {
+            inv.check_id(
+                Inv::TerminalCompleteness,
+                js.maps_done as usize == js.blocks.len(),
+                || {
+                    format!(
+                        "job {j} finished with {}/{} maps done",
+                        js.maps_done,
+                        js.blocks.len()
+                    )
+                },
+            );
+            inv.check_id(Inv::TerminalCompleteness, js.reduces_done == js.reduces, || {
                 format!(
                     "job {j} finished with {}/{} reduces done",
                     js.reduces_done, js.reduces
                 )
             });
-            inv.check(
+            inv.check_id(
+                Inv::LocalityPartition,
                 js.node_local + js.rack_local + js.remote == js.blocks.len() as u32,
                 || format!("job {j}: locality classes don't partition its maps"),
             );
@@ -3714,7 +4258,11 @@ mod tests {
     fn corrupt_local_replica_degrades_to_remote_fetch() {
         use dare_trace::TraceEvent;
         let wl = tiny_workload(8, 3, 40);
-        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 17);
+        // Seed picked so the trace exhibits a *local* read hitting a bad
+        // copy: recovery transfers checksum their source too, so many
+        // seeds quarantine every rotted replica via repair reads before
+        // any node-local launch lands on one.
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, 41);
         // Rot two of the three primaries of every file-0 block before the
         // first heartbeat: the hammered file guarantees node-local launches
         // land on a corrupt holder, and the surviving clean replica keeps
@@ -4109,6 +4657,105 @@ mod tests {
         let b = run();
         assert_eq!(a.run, b.run);
         assert_eq!(a.dfs_fingerprint, b.dfs_fingerprint);
+    }
+
+    /// Model-cluster engine for the step-control fault tests: a few
+    /// nodes, RF 2, one serialized recovery stream, per-event invariant
+    /// checks on — the same shape the bounded model checker drives.
+    fn stepped_engine(nodes: u32, blocks: u64, seed: u64) -> Engine {
+        let mut cfg = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, seed);
+        cfg.profile = dare_net::ClusterProfile::scale(nodes);
+        cfg.dfs.replication_factor = 2;
+        cfg.faults.max_recovery_streams = 1;
+        cfg.check_invariants = true;
+        cfg.budget_frac = 1.0;
+        Engine::new(cfg, &tiny_workload(1, blocks, 1))
+    }
+
+    fn step_to_quiescence(eng: &mut Engine) {
+        for _ in 0..200_000 {
+            match eng.step().expect("invariants hold at every event") {
+                StepOutcome::Progressed => {}
+                StepOutcome::Quiescent => return,
+            }
+        }
+        panic!("engine did not quiesce");
+    }
+
+    /// The rejoin-during-re-replication race: a node crashes long enough
+    /// to be declared dead, repairs for its blocks queue up behind one
+    /// recovery stream, and the node rejoins while the first transfer is
+    /// still in flight. The healed queue entries must be re-checked and
+    /// skipped (need-driven repair), the rejoined node's replicas must
+    /// re-register exactly once, and nothing may be counted lost.
+    #[test]
+    fn rejoin_during_rereplication_cancels_stale_repairs() {
+        let mut eng = stepped_engine(3, 4, 0xACE5);
+        // Crash the heaviest holder so several blocks go under-RF at
+        // declare-dead (t=30 s) and the queue backs up; rejoin at 31 s
+        // lands between the first pop and the first completion (~32.4 s).
+        let heavy = (0..3u32)
+            .max_by_key(|&n| (0..4).filter(|&b| eng.block_present(n, b)).count())
+            .unwrap();
+        let held: Vec<u64> = (0..4).filter(|&b| eng.block_present(heavy, b)).collect();
+        assert!(held.len() >= 2, "need a backed-up repair queue");
+        eng.inject_crash(heavy, 31);
+        step_to_quiescence(&mut eng);
+
+        let s = eng.fault_stats();
+        assert_eq!(s.blocks_lost, 0, "every block had a surviving replica");
+        assert_eq!(s.blocks_lost_corruption, 0);
+        assert_eq!(s.nodes_rejoined, 1);
+        assert_eq!(eng.recovery_backlog(), 0, "repair queue fully drained");
+        // Only the transfer already in flight at rejoin may commit; the
+        // queued blocks healed when the node came back and must be
+        // skipped by the pop-time re-check, not blindly copied.
+        assert!(
+            s.blocks_re_replicated < held.len() as u64,
+            "{} of {} under-replicated blocks re-replicated — healed \
+             queue entries were not re-checked",
+            s.blocks_re_replicated,
+            held.len()
+        );
+        // No duplicate registrations: the rejoined node's replicas came
+        // back exactly once, so every block is at or above RF with each
+        // location holding exactly one physical copy (the per-event
+        // invariant checks verified master/disk coherence throughout).
+        for b in 0..4u64 {
+            assert!(eng.visible_replicas(b) >= 2, "block {b} below RF");
+        }
+    }
+
+    /// A replica feeding an in-flight repair turns out corrupt: the
+    /// transfer must be cancelled with the quarantine, not committed —
+    /// the bounded model checker found the original bug as a
+    /// lost-blocks-unrecoverable violation (the tainted arrival
+    /// resurrected a block already declared lost with bytes read from
+    /// the corrupt copy).
+    #[test]
+    fn corrupt_recovery_source_taints_inflight_repair() {
+        let mut eng = stepped_engine(4, 4, 0xACE5);
+        // Pick a block and its two holders: corrupt one copy silently,
+        // permanently kill the other. Recovery then starts from the
+        // corrupt source; when a read detects the corruption, the block
+        // has no clean copy left and must be declared lost — and stay
+        // lost, with the in-flight tainted transfer discarded.
+        let holders: Vec<u32> = (0..4u32).filter(|&n| eng.block_present(n, 0)).collect();
+        assert_eq!(holders.len(), 2, "block 0 starts at RF 2");
+        eng.inject_corrupt(holders[0], 0);
+        eng.inject_kill(holders[1]);
+        step_to_quiescence(&mut eng);
+
+        // With its only surviving copy corrupt, block 0 is lost; the
+        // invariant checks (run after every event) verified that no
+        // recovery transfer ever re-materialized it.
+        assert_eq!(eng.lost_block_count(), 1, "block 0 is unrecoverable");
+        assert_eq!(eng.fault_stats().blocks_lost_corruption, 1);
+        assert!(
+            (0..4u32).all(|n| !eng.block_present(n, 0)),
+            "a lost block holds no physical copy anywhere"
+        );
+        assert_eq!(eng.recovery_backlog(), 0);
     }
 
     /// The queue arm and peak gauges show up in a profiled run, and the

@@ -41,7 +41,7 @@ pub mod result;
 pub mod scarlett;
 
 pub use config::{ScannerConfig, SchedulerKind, SimConfig, TelemetryConfig};
-pub use engine::{DfsLookup, Engine};
+pub use engine::{DfsLookup, Engine, StepOutcome};
 pub use error::SimError;
 pub use faults::{FaultEvent, FaultPlan, FaultSpec};
 pub use result::SimResult;

@@ -89,23 +89,147 @@ impl Gen {
     }
 }
 
+/// The named invariants of the failure/replication protocol.
+///
+/// One shared catalog serves three consumers: the engine's per-event
+/// checks, the property suites, and the bounded model checker — so a
+/// violation is reported under the same name no matter which harness
+/// caught it. Structural invariants hold after *every* dispatched event;
+/// terminal invariants hold once the simulation reaches quiescence;
+/// path invariants are judged over a whole execution by the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InvariantId {
+    /// Free + running slots on every live node equal its configured slots.
+    SlotConservation,
+    /// A node declared dead is also crashed and holds zero free slots.
+    DeclaredImpliesCrashed,
+    /// The scheduler's free-node index matches per-node free slot counts.
+    SchedulerIndexSync,
+    /// Concurrent re-replication transfers never exceed the stream cap.
+    RecoveryStreamCap,
+    /// A block counted lost has no surviving physical replica anywhere.
+    LostBlocksUnrecoverable,
+    /// No block is lost while concurrent failures stay below RF.
+    NoLossBelowRf,
+    /// Primary replica count per block stays within RF plus rejoins.
+    PrimaryWithinRf,
+    /// A quarantined replica is gone from both datanode and namenode.
+    QuarantineNoReads,
+    /// Every non-failed job finishes all its maps and reduces.
+    TerminalCompleteness,
+    /// Node-local + rack-local + remote map counts partition the maps.
+    LocalityPartition,
+    /// Every in-flight repair targets a block that needed it.
+    RereplicationConvergence,
+}
+
+impl InvariantId {
+    /// Every invariant in the catalog, in a stable report order.
+    pub const ALL: [InvariantId; 11] = [
+        InvariantId::SlotConservation,
+        InvariantId::DeclaredImpliesCrashed,
+        InvariantId::SchedulerIndexSync,
+        InvariantId::RecoveryStreamCap,
+        InvariantId::LostBlocksUnrecoverable,
+        InvariantId::NoLossBelowRf,
+        InvariantId::PrimaryWithinRf,
+        InvariantId::QuarantineNoReads,
+        InvariantId::TerminalCompleteness,
+        InvariantId::LocalityPartition,
+        InvariantId::RereplicationConvergence,
+    ];
+
+    /// Stable kebab-case identifier (used in reports and counterexamples).
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantId::SlotConservation => "slot-conservation",
+            InvariantId::DeclaredImpliesCrashed => "declared-implies-crashed",
+            InvariantId::SchedulerIndexSync => "scheduler-index-sync",
+            InvariantId::RecoveryStreamCap => "recovery-stream-cap",
+            InvariantId::LostBlocksUnrecoverable => "lost-blocks-unrecoverable",
+            InvariantId::NoLossBelowRf => "no-loss-below-rf",
+            InvariantId::PrimaryWithinRf => "primary-within-rf",
+            InvariantId::QuarantineNoReads => "quarantine-no-reads",
+            InvariantId::TerminalCompleteness => "terminal-completeness",
+            InvariantId::LocalityPartition => "locality-partition",
+            InvariantId::RereplicationConvergence => "rereplication-convergence",
+        }
+    }
+
+    /// One-line human definition of the property.
+    pub fn description(self) -> &'static str {
+        match self {
+            InvariantId::SlotConservation => {
+                "free + running map/reduce slots on every live node equal its configured slots"
+            }
+            InvariantId::DeclaredImpliesCrashed => {
+                "a node declared dead is also crashed and advertises zero free slots"
+            }
+            InvariantId::SchedulerIndexSync => {
+                "the scheduler's reduce-free-node index agrees with per-node free slot counts"
+            }
+            InvariantId::RecoveryStreamCap => {
+                "concurrent re-replication transfers never exceed max_recovery_streams"
+            }
+            InvariantId::LostBlocksUnrecoverable => {
+                "a block counted as lost has no surviving physical replica on any node"
+            }
+            InvariantId::NoLossBelowRf => {
+                "no block is lost on a path whose concurrent-failure count stays below RF"
+            }
+            InvariantId::PrimaryWithinRf => {
+                "primary replicas per block never exceed the target RF plus one per node rejoin \
+                 (a rejoining node re-registers surviving primaries; excess is never deleted)"
+            }
+            InvariantId::QuarantineNoReads => {
+                "a quarantined replica is removed from datanode and namenode, so no read can hit it"
+            }
+            InvariantId::TerminalCompleteness => {
+                "every non-failed job completes all of its map and reduce tasks"
+            }
+            InvariantId::LocalityPartition => {
+                "node-local, rack-local, and remote map counts sum to a job's total maps"
+            }
+            InvariantId::RereplicationConvergence => {
+                "every in-flight re-replication transfer started while its block was under RF \
+                 (repair is need-driven: a healed block is re-checked, not blindly copied)"
+            }
+        }
+    }
+}
+
+/// Cap on violation messages an [`Invariants`] collector stores.
+/// Exhaustive exploration can trip the same broken invariant millions of
+/// times; beyond this many stored strings only the counter grows.
+pub const MAX_STORED_VIOLATIONS: usize = 32;
+
 /// A runtime invariant collector: accumulate violations instead of
 /// panicking on the first one, so a simulation can report *every* broken
 /// invariant of an event in one structured error.
 ///
+/// Stored messages are capped at [`MAX_STORED_VIOLATIONS`]; the total
+/// count keeps incrementing past the cap and is reported by
+/// [`Invariants::into_result`].
+///
 /// ```
-/// use dare_simcore::check::Invariants;
+/// use dare_simcore::check::{InvariantId, Invariants};
 ///
 /// let mut inv = Invariants::new();
 /// inv.check(1 + 1 == 2, || "arithmetic".into());
-/// inv.check(false, || format!("slot count drifted on node {}", 3));
+/// inv.check_id(InvariantId::SlotConservation, false, || {
+///     format!("slot count drifted on node {}", 3)
+/// });
 /// assert!(!inv.is_ok());
 /// assert_eq!(inv.violations().len(), 1);
-/// assert!(inv.into_result().unwrap_err().contains("node 3"));
+/// assert_eq!(inv.total_violations(), 1);
+/// let err = inv.into_result().unwrap_err();
+/// assert!(err.contains("node 3"));
+/// assert!(err.contains("slot-conservation"));
 /// ```
 #[derive(Debug, Default)]
 pub struct Invariants {
     violations: Vec<String>,
+    total: u64,
 }
 
 impl Invariants {
@@ -118,27 +242,47 @@ impl Invariants {
     /// runs on failure, so checks in hot loops stay cheap.
     pub fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
         if !ok {
-            self.violations.push(msg());
+            self.total += 1;
+            if self.violations.len() < MAX_STORED_VIOLATIONS {
+                self.violations.push(msg());
+            }
         }
     }
 
-    /// All violations recorded so far.
+    /// Record a violation of a named catalog invariant. The stored
+    /// message is prefixed with the invariant's stable name.
+    pub fn check_id(&mut self, id: InvariantId, ok: bool, msg: impl FnOnce() -> String) {
+        self.check(ok, || format!("[{}] {}", id.name(), msg()));
+    }
+
+    /// Violations recorded so far (at most [`MAX_STORED_VIOLATIONS`]).
     pub fn violations(&self) -> &[String] {
         &self.violations
     }
 
-    /// True when nothing has been violated.
-    pub fn is_ok(&self) -> bool {
-        self.violations.is_empty()
+    /// Total violations observed, including those past the storage cap.
+    pub fn total_violations(&self) -> u64 {
+        self.total
     }
 
-    /// `Ok(())` when clean, otherwise every violation joined into one
-    /// message.
+    /// True when nothing has been violated.
+    pub fn is_ok(&self) -> bool {
+        self.total == 0
+    }
+
+    /// `Ok(())` when clean, otherwise the total violation count followed
+    /// by every stored message joined into one string (with a suffix
+    /// noting how many messages the cap dropped, if any).
     pub fn into_result(self) -> Result<(), String> {
-        if self.violations.is_empty() {
+        if self.total == 0 {
             Ok(())
         } else {
-            Err(self.violations.join("; "))
+            let mut msg = format!("{} violation(s): {}", self.total, self.violations.join("; "));
+            let dropped = self.total - self.violations.len() as u64;
+            if dropped > 0 {
+                msg.push_str(&format!(" (+{dropped} more not stored)"));
+            }
+            Err(msg)
         }
     }
 }
@@ -226,9 +370,38 @@ mod tests {
         inv.check(false, || "second".into());
         assert!(!inv.is_ok());
         assert_eq!(inv.violations(), &["first", "second"]);
+        assert_eq!(inv.total_violations(), 2);
         let err = inv.into_result().unwrap_err();
-        assert_eq!(err, "first; second");
+        assert_eq!(err, "2 violation(s): first; second");
         assert!(Invariants::new().into_result().is_ok());
+    }
+
+    #[test]
+    fn invariants_cap_stored_messages_but_count_all() {
+        let mut inv = Invariants::new();
+        for i in 0..(MAX_STORED_VIOLATIONS as u64 + 100) {
+            inv.check(false, || format!("violation {i}"));
+        }
+        assert_eq!(inv.violations().len(), MAX_STORED_VIOLATIONS);
+        assert_eq!(inv.total_violations(), MAX_STORED_VIOLATIONS as u64 + 100);
+        let err = inv.into_result().unwrap_err();
+        assert!(err.starts_with("132 violation(s):"), "{err}");
+        assert!(err.ends_with("(+100 more not stored)"), "{err}");
+    }
+
+    #[test]
+    fn invariant_catalog_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = InvariantId::ALL.iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), InvariantId::ALL.len());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), InvariantId::ALL.len(), "duplicate names");
+        for id in InvariantId::ALL {
+            assert!(!id.description().is_empty());
+        }
+        let mut inv = Invariants::new();
+        inv.check_id(InvariantId::RecoveryStreamCap, false, || "5 > 4".into());
+        assert_eq!(inv.violations(), &["[recovery-stream-cap] 5 > 4"]);
     }
 
     #[test]

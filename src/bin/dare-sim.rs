@@ -5,10 +5,13 @@
 //!          --budget 0.2 --seed 7
 //! dare-sim --cluster ec2 --policy lru --fail 60:3 --fail 120:9 --speculation
 //! dare-sim --policy vanilla --scarlett-epoch 60
+//! dare-sim mc --nodes 4 --blocks 4 --depth 10
 //! ```
 //!
 //! Prints the run's metrics; `--csv` emits a single CSV row instead
-//! (header with `--csv-header`).
+//! (header with `--csv-header`). The `mc` subcommand runs the bounded
+//! model checker over the failure/replication protocol instead of a
+//! single simulation.
 
 use dare_repro::core::PolicyKind;
 use dare_repro::mapred::config::SpeculationConfig;
@@ -309,12 +312,224 @@ fn usage() -> String {
      --telemetry-csv PATH        write the cluster time-series as CSV\n\
      --telemetry-jsonl PATH      write all telemetry series as JSONL\n\
      --self-profile              time event dispatch by subsystem (wall clock)\n\
-     --csv / --csv-header        machine-readable one-row output"
+     --csv / --csv-header        machine-readable one-row output\n\
+     \n\
+     dare-sim mc [flags]         bounded model checker (see `dare-sim mc --help`)"
         .into()
+}
+
+/// Parsed `mc` subcommand line.
+#[derive(Debug, Clone)]
+struct McArgs {
+    cfg: dare_repro::mc::McConfig,
+    out: Option<String>,
+    replay: Option<String>,
+    expect_violation: bool,
+}
+
+fn parse_mc_args(argv: &[String]) -> Result<McArgs, String> {
+    use dare_repro::mc::{McConfig, Strategy};
+    let mut cfg = McConfig::default();
+    let mut out = None;
+    let mut replay = None;
+    let mut expect_violation = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => cfg.nodes = parse_num(value("--nodes")?)?,
+            "--blocks" => cfg.blocks = parse_num(value("--blocks")?)?,
+            "--rf" => cfg.rf = parse_num(value("--rf")?)?,
+            "--depth" => cfg.depth = parse_num(value("--depth")?)?,
+            "--max-states" => cfg.max_states = parse_num(value("--max-states")?)?,
+            "--strategy" => {
+                cfg.strategy = match value("--strategy")?.as_str() {
+                    "dfs" => Strategy::Dfs,
+                    "bfs" => Strategy::Bfs,
+                    other => return Err(format!("unknown strategy {other} (dfs|bfs)")),
+                }
+            }
+            "--seed" => cfg.seed = parse_num(value("--seed")?)?,
+            "--max-faults" => cfg.max_faults = parse_num(value("--max-faults")?)?,
+            "--crash-secs" => {
+                let v = value("--crash-secs")?;
+                cfg.crash_down_secs = v
+                    .split(',')
+                    .map(parse_num)
+                    .collect::<Result<Vec<u64>, _>>()
+                    .map_err(|e| format!("--crash-secs: {e}"))?;
+            }
+            "--recovery-streams" => {
+                cfg.max_recovery_streams = parse_num(value("--recovery-streams")?)?
+            }
+            "--no-corruption" => cfg.allow_corruption = false,
+            "--seeded-bug" => cfg.seeded_bug = true,
+            "--all-violations" => cfg.stop_on_violation = false,
+            "--out" => out = Some(value("--out")?.clone()),
+            "--replay" => replay = Some(value("--replay")?.clone()),
+            "--expect-violation" => expect_violation = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    cfg.validate()?;
+    Ok(McArgs {
+        cfg,
+        out,
+        replay,
+        expect_violation,
+    })
+}
+
+fn usage_mc() -> String {
+    "usage: dare-sim mc [flags]\n\
+     --nodes N            cluster size, 1..=6 (default 4)\n\
+     --blocks N           input blocks, 1..=8 (default 4)\n\
+     --rf N               replication factor (default 2)\n\
+     --depth N            action-prefix depth bound (default 10)\n\
+     --max-states N       unique-state budget (default 200000)\n\
+     --strategy dfs|bfs   frontier order (default dfs)\n\
+     --seed N             engine seed (default 0xDA4E)\n\
+     --max-faults N       fault injections per path (default 2)\n\
+     --crash-secs A,B     transient outage durations (default 5,45)\n\
+     --recovery-streams N re-replication stream cap (default 4)\n\
+     --no-corruption      availability faults only\n\
+     --seeded-bug         arm the deliberate recovery-path mutation\n\
+     --all-violations     keep exploring past the first violation\n\
+     --out PATH           write the first counterexample JSONL here\n\
+     --replay PATH        re-run a saved counterexample and diff it\n\
+     --expect-violation   exit nonzero unless a violation is found"
+        .into()
+}
+
+/// Run the `mc` subcommand; returns the process exit code.
+fn run_mc(argv: &[String]) -> i32 {
+    use dare_repro::mc;
+    let args = match parse_mc_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            if e.is_empty() {
+                println!("{}", usage_mc());
+                return 0;
+            }
+            eprintln!("error: {e}\n\n{}", usage_mc());
+            return 2;
+        }
+    };
+
+    if let Some(path) = &args.replay {
+        let saved = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read counterexample {path}: {e}");
+                return 2;
+            }
+        };
+        let outcome = match mc::replay_counterexample(&args.cfg, &saved) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        match &outcome.error {
+            Some(e) => println!("violation reproduced: {e}"),
+            None => println!("replay ran clean (violation did NOT reproduce)"),
+        }
+        match &outcome.diff {
+            None => println!("replayed trace matches the saved counterexample"),
+            Some(d) => println!("replayed trace DIVERGES from the saved counterexample:\n{d}"),
+        }
+        return if outcome.reproduced && outcome.diff.is_none() {
+            0
+        } else {
+            1
+        };
+    }
+
+    let t0 = std::time::Instant::now();
+    let report = match mc::explore(&args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    println!(
+        "mc: nodes={} blocks={} rf={} depth={} strategy={:?} max_faults={} seeded_bug={}",
+        args.cfg.nodes,
+        args.cfg.blocks,
+        args.cfg.rf,
+        args.cfg.depth,
+        args.cfg.strategy,
+        args.cfg.max_faults,
+        args.cfg.seeded_bug
+    );
+    println!(
+        "explored {} states ({} unique visited, {} deduped) over {} transitions in {wall:.2}s",
+        report.states_explored, report.states_visited, report.deduped, report.transitions
+    );
+    println!(
+        "closed {} paths to quiescence; fingerprint digest {:#018x}{}",
+        report.paths_closed,
+        report.fingerprint_digest,
+        if report.truncated {
+            " (TRUNCATED at state budget)"
+        } else {
+            ""
+        }
+    );
+
+    if report.violations.is_empty() {
+        println!("no invariant violations found within the bound");
+    } else {
+        for v in &report.violations {
+            println!("\nVIOLATION: {}", v.error);
+            let prefix: Vec<String> = v.actions.iter().map(|a| a.encode()).collect();
+            println!(
+                "  path ({} action(s), {}): {}",
+                v.actions.len(),
+                if v.during_closure {
+                    "fired during deterministic closure"
+                } else {
+                    "fired on the prefix"
+                },
+                prefix.join(" ; ")
+            );
+        }
+        if let Some(path) = &args.out {
+            let v = &report.violations[0];
+            if let Err(e) = std::fs::write(path, &v.jsonl) {
+                eprintln!("error: could not write counterexample to {path}: {e}");
+                return 2;
+            }
+            println!("counterexample JSONL saved to {path} (replay with: dare-sim mc --replay {path} ...same bounds...)");
+        }
+    }
+
+    if args.expect_violation {
+        if report.violations.is_empty() {
+            eprintln!("error: --expect-violation set but the exploration found none");
+            return 1;
+        }
+        return 0;
+    }
+    if report.violations.is_empty() {
+        0
+    } else {
+        1
+    }
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("mc") {
+        std::process::exit(run_mc(&argv[1..]));
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
@@ -690,6 +905,32 @@ mod tests {
         assert!(parse_args(&argv("--fault-plan p.json --degrade 30:2:5.0")).is_err());
         let a = parse_args(&argv("--fault-plan p.json")).expect("alone is fine");
         assert_eq!(a.fault_plan.as_deref(), Some("p.json"));
+    }
+
+    #[test]
+    fn mc_flags_parse() {
+        use dare_repro::mc::Strategy;
+        let a = parse_mc_args(&argv(
+            "--nodes 3 --blocks 2 --rf 2 --depth 6 --strategy bfs --max-faults 1 \
+             --crash-secs 31,45 --recovery-streams 1 --no-corruption --seeded-bug \
+             --out ce.jsonl --expect-violation",
+        ))
+        .expect("valid mc argv");
+        assert_eq!(a.cfg.nodes, 3);
+        assert_eq!(a.cfg.blocks, 2);
+        assert_eq!(a.cfg.depth, 6);
+        assert_eq!(a.cfg.strategy, Strategy::Bfs);
+        assert_eq!(a.cfg.crash_down_secs, vec![31, 45]);
+        assert_eq!(a.cfg.max_recovery_streams, 1);
+        assert!(!a.cfg.allow_corruption);
+        assert!(a.cfg.seeded_bug);
+        assert_eq!(a.out.as_deref(), Some("ce.jsonl"));
+        assert!(a.expect_violation);
+
+        assert!(parse_mc_args(&argv("--nodes 9")).is_err(), "bounds checked");
+        assert!(parse_mc_args(&argv("--strategy astar")).is_err());
+        assert!(parse_mc_args(&argv("--bogus 1")).is_err());
+        assert!(parse_mc_args(&argv("--crash-secs 5,x")).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 pub use dare_core as core;
 pub use dare_dfs as dfs;
 pub use dare_mapred as mapred;
+pub use dare_mc as mc;
 pub use dare_metrics as metrics;
 pub use dare_net as net;
 pub use dare_sched as sched;
