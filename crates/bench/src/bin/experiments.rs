@@ -2,118 +2,14 @@
 //!
 //! ```text
 //! cargo run --release -p dare-bench --bin experiments -- all
-//! cargo run --release -p dare-bench --bin experiments -- fig7 [--seed N]
+//! cargo run --release -p dare-bench --bin experiments -- fig7 --seeds 5
 //! ```
 //!
-//! Ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//! fig11 ablation resilience durability all. Output: console tables plus
-//! CSV files under `results/`.
-
-use dare_bench::experiments::*;
-use dare_bench::harness::DEFAULT_SEED;
+//! All parsing and dispatch lives in [`dare_bench::cli`], which is also
+//! what the `dare-sim experiments` subcommand forwards to. Output:
+//! console tables plus CSV/JSON files under `results/`.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which: Vec<String> = Vec::new();
-    let mut seed = DEFAULT_SEED;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs an integer"));
-            }
-            "--help" | "-h" => usage(""),
-            other => which.push(other.to_string()),
-        }
-    }
-    if which.is_empty() {
-        which.push("all".into());
-    }
-
-    let t0 = std::time::Instant::now();
-    for w in &which {
-        run_one(w, seed);
-    }
-    eprintln!("\n[experiments] done in {:.1}s", t0.elapsed().as_secs_f64());
-}
-
-fn run_one(which: &str, seed: u64) {
-    match which {
-        "table1" => tables::table1(seed),
-        "table2" => tables::table2(seed),
-        "fig1" => fig1::run(seed),
-        "fig2" => fig2::run(seed),
-        "fig3" => fig3::run(seed),
-        "fig4" => fig45::fig4(seed),
-        "fig5" => fig45::fig5(seed),
-        "fig6" => fig6::run(seed),
-        "fig7" => {
-            fig7::run(seed);
-        }
-        "fig7ci" => fig7::run_replicated(seed, 10),
-        "fig8" => fig8::run(seed),
-        "fig9" => fig9::run(seed),
-        "fig10" => {
-            fig10::run(seed);
-        }
-        "fig11" => fig11::run(seed),
-        "ablation" => ablation::run(seed),
-        "resilience" => resilience::run(seed),
-        "durability" => durability::run(seed),
-        "verify" => {
-            let failed = verify::run_all(seed);
-            if failed > 0 {
-                std::process::exit(1);
-            }
-        }
-        "trace-smoke" => {
-            let failed = trace_smoke::run(seed);
-            if failed > 0 {
-                std::process::exit(1);
-            }
-        }
-        "telemetry-smoke" => {
-            let failed = telemetry_smoke::run(seed);
-            if failed > 0 {
-                std::process::exit(1);
-            }
-        }
-        "throughput" => {
-            let failed = throughput::run(seed);
-            if failed > 0 {
-                std::process::exit(1);
-            }
-        }
-        "plots" => {
-            let dir = dare_bench::harness::csv_path("x");
-            let dir = dir.parent().expect("csv dir").to_path_buf();
-            let n = dare_bench::plot::write_all(&dir);
-            println!("[plots] wrote {n} gnuplot scripts to {}", dir.display());
-        }
-        "all" => {
-            for id in [
-                "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                "fig8", "fig9", "fig10", "fig11", "ablation", "resilience", "durability",
-                "plots", "verify",
-            ] {
-                eprintln!("[experiments] running {id} (seed {seed})");
-                run_one(id, seed);
-            }
-        }
-        other => usage(&format!("unknown experiment id: {other}")),
-    }
-}
-
-fn usage(err: &str) -> ! {
-    if !err.is_empty() {
-        eprintln!("error: {err}\n");
-    }
-    eprintln!(
-        "usage: experiments [ids...] [--seed N]\n\
-         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig7ci fig8 fig9 fig10 fig11 ablation resilience durability plots trace-smoke telemetry-smoke throughput verify all"
-    );
-    std::process::exit(if err.is_empty() { 0 } else { 2 });
+    std::process::exit(dare_bench::cli::run(&args));
 }

@@ -9,12 +9,15 @@
 //! `blocks_lost`, so the table separates "data rotted faster than the
 //! scrubber+repair pipeline" from "a node died holding the last copy".
 //!
-//! Runtime invariant checking is enabled for every cell. Emits
+//! Runtime invariant checking is enabled for every cell. With `--seeds N`
+//! workload synthesis and corruption plans replicate over N derived
+//! seeds; CSV value columns become means with appended `_std`/`_ci95`,
+//! and the JSON rows carry mean/ci95 pairs. Emits
 //! `results/durability.csv` plus machine-readable
 //! `results/BENCH_durability.json`. Set `BENCH_QUICK=1` for the CI smoke
 //! configuration (fewer jobs, same corruption rates).
 
-use crate::harness::{csv_path, write_csv, Table};
+use crate::harness::{csv_path, metric, replicate_experiment, MetricCol, RowOrder, SeedTable};
 use dare_core::PolicyKind;
 use dare_mapred::{FaultPlan, FaultSpec, ScannerConfig, SchedulerKind, SimConfig};
 use dare_simcore::parallel::parallel_map;
@@ -35,11 +38,24 @@ const LEVELS: [Level; 3] = [
     Level { label: "rot-high", rate: 120.0 },
 ];
 
-/// Corruption rate × policy sweep on the EC2 profile.
-pub fn run(seed: u64) {
-    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
-    let jobs: u32 = if quick { 30 } else { 100 };
+const METRICS: [MetricCol; 13] = [
+    metric("jobs_ok", 0),
+    metric("jobs_failed", 0),
+    metric("job_locality", 3),
+    metric("gmtt_s", 1),
+    metric("corrupted", 0),
+    metric("cksum_fail", 0),
+    metric("scrub_hits", 0),
+    metric("quarantined", 0),
+    metric("scrub_GB", 1),
+    metric("repaired", 0),
+    metric("recovery_MB", 1),
+    metric("lost_crash", 0),
+    metric("lost_corrupt", 0),
+];
 
+/// One seed's sweep: fresh workload, fresh corruption plans, all cells.
+fn collect(seed: u64, jobs: u32) -> Vec<(Vec<String>, Vec<f64>)> {
     let wl = synthesize("wl1-durability", &SwimParams { jobs, ..SwimParams::wl1() }, seed);
     let span = wl.jobs.last().map(|j| j.arrival.as_secs_f64()).unwrap_or(0.0) as u64;
     let horizon = span.max(30) * 3 / 4;
@@ -75,7 +91,8 @@ pub fn run(seed: u64) {
         }
     }
 
-    let results = parallel_map(cells, |(label, plan, policy)| {
+    const MB: f64 = (1u64 << 20) as f64;
+    parallel_map(cells, |(label, plan, policy)| {
         let mut cfg = base
             .clone()
             .with_scanner(ScannerConfig {
@@ -87,84 +104,66 @@ pub fn run(seed: u64) {
         if let Some(p) = plan {
             cfg = cfg.with_faults(p);
         }
-        (label, policy, dare_mapred::run(cfg, &wl))
-    });
-
-    let mut t = Table::new(
-        "Durability: silent-corruption rate x policy (ec2, fair, background scanner; read-path checksums, quarantine + repair)",
-        &[
-            "level",
-            "policy",
-            "jobs_ok",
-            "jobs_failed",
-            "job_locality",
-            "gmtt_s",
-            "corrupted",
-            "cksum_fail",
-            "scrub_hits",
-            "quarantined",
-            "scrub_GB",
-            "repaired",
-            "recovery_MB",
-            "lost_crash",
-            "lost_corrupt",
-        ],
-    );
-    const MB: f64 = (1u64 << 20) as f64;
-    for (label, policy, r) in &results {
-        t.row(vec![
-            label.to_string(),
-            policy.label(),
-            r.run.jobs.to_string(),
-            r.run.failed_jobs.to_string(),
-            format!("{:.3}", r.run.job_locality),
-            format!("{:.1}", r.run.gmtt_secs),
-            r.faults.replicas_corrupted.to_string(),
-            r.faults.checksum_failures.to_string(),
-            r.faults.scrub_detections.to_string(),
-            r.faults.replicas_quarantined.to_string(),
-            format!("{:.1}", r.faults.scrub_bytes as f64 / (MB * 1024.0)),
-            r.faults.blocks_re_replicated.to_string(),
-            format!("{:.1}", r.faults.recovery_bytes as f64 / MB),
-            r.faults.blocks_lost.to_string(),
-            r.faults.blocks_lost_corruption.to_string(),
-        ]);
-    }
-    t.print();
-    write_csv("durability", &t);
-    write_json(seed, jobs, quick, &results);
+        let r = dare_mapred::run(cfg, &wl);
+        (
+            vec![label.to_string(), policy.label()],
+            vec![
+                r.run.jobs as f64,
+                r.run.failed_jobs as f64,
+                r.run.job_locality,
+                r.run.gmtt_secs,
+                r.faults.replicas_corrupted as f64,
+                r.faults.checksum_failures as f64,
+                r.faults.scrub_detections as f64,
+                r.faults.replicas_quarantined as f64,
+                r.faults.scrub_bytes as f64 / (MB * 1024.0),
+                r.faults.blocks_re_replicated as f64,
+                r.faults.recovery_bytes as f64 / MB,
+                r.faults.blocks_lost as f64,
+                r.faults.blocks_lost_corruption as f64,
+            ],
+        )
+    })
 }
 
-/// Machine-readable companion of the CSV, mirroring `BENCH_resilience.json`.
-fn write_json(seed: u64, jobs: u32, quick: bool, results: &[(&str, PolicyKind, dare_mapred::SimResult)]) {
+/// Corruption rate × policy sweep on the EC2 profile.
+pub fn run(seed: u64, seeds: u32) {
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let jobs: u32 = if quick { 30 } else { 100 };
+
+    let st = replicate_experiment(
+        "Durability: silent-corruption rate x policy (ec2, fair, background scanner; read-path checksums, quarantine + repair)",
+        &["level", "policy"],
+        &METRICS,
+        RowOrder::FirstAppearance,
+        seed,
+        seeds,
+        |s| collect(s, jobs),
+    );
+    st.emit("durability");
+    write_json(seed, jobs, quick, &st);
+}
+
+/// Machine-readable companion of the CSV, mirroring `BENCH_resilience.json`:
+/// per-row mean and 95 % CI half-width of every metric across seeds.
+fn write_json(seed: u64, jobs: u32, quick: bool, st: &SeedTable) {
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"config\": {{\"profile\": \"ec2\", \"scheduler\": \"fair\", \"scanner\": true, \"jobs\": {jobs}, \"seed\": {seed}, \"quick\": {quick}}},\n"
+        "  \"config\": {{\"profile\": \"ec2\", \"scheduler\": \"fair\", \"scanner\": true, \"jobs\": {jobs}, \"seed\": {seed}, \"seeds\": {}, \"quick\": {quick}}},\n",
+        st.seeds
     ));
     json.push_str("  \"rows\": [\n");
-    for (i, (label, policy, r)) in results.iter().enumerate() {
+    for (i, (labels, sums)) in st.rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"level\": \"{label}\", \"policy\": \"{}\", \"jobs_ok\": {}, \"jobs_failed\": {}, \
-             \"job_locality\": {:.6}, \"gmtt_secs\": {:.3}, \
-             \"replicas_corrupted\": {}, \"checksum_failures\": {}, \"scrub_detections\": {}, \
-             \"replicas_quarantined\": {}, \"scrub_bytes\": {}, \
-             \"blocks_re_replicated\": {}, \"recovery_bytes\": {}, \
-             \"blocks_lost\": {}, \"blocks_lost_corruption\": {}}}{}\n",
-            policy.label(),
-            r.run.jobs,
-            r.run.failed_jobs,
-            r.run.job_locality,
-            r.run.gmtt_secs,
-            r.faults.replicas_corrupted,
-            r.faults.checksum_failures,
-            r.faults.scrub_detections,
-            r.faults.replicas_quarantined,
-            r.faults.scrub_bytes,
-            r.faults.blocks_re_replicated,
-            r.faults.recovery_bytes,
-            r.faults.blocks_lost,
-            r.faults.blocks_lost_corruption,
-            if i + 1 < results.len() { "," } else { "" },
+            "    {{\"level\": \"{}\", \"policy\": \"{}\"",
+            labels[0], labels[1]
+        ));
+        for (m, s) in METRICS.iter().zip(sums.iter()) {
+            json.push_str(&format!(", \"{}\": {:.6}, \"{}_ci95\": {:.6}", m.name, s.mean, m.name, s.ci95));
+        }
+        json.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < st.rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

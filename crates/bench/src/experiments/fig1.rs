@@ -2,42 +2,45 @@
 //! 20-node EC2 allocation. The paper found most pairs 4 hops apart (a
 //! same-size in-house cluster would be 1-2 hops everywhere).
 
-use crate::harness::{write_csv, Table};
+use crate::harness::{metric, replicate_experiment, RowOrder};
 use dare_net::{ClusterProfile, NodeId};
 use dare_simcore::DetRng;
 
-/// Regenerate Fig. 1.
-pub fn run(seed: u64) {
-    let root = DetRng::new(seed);
-    let mut topo_rng = root.substream("fig1-topo");
-    let mut probe_rng = root.substream("fig1-probe");
-    let profile = ClusterProfile::ec2_small();
-    let topo = profile.build_topology(&mut topo_rng);
-
-    let n = topo.nodes();
-    let mut counts = [0u32; 11];
-    let mut pairs = 0u32;
-    for a in 0..n {
-        for b in 0..n {
-            if a == b {
-                continue;
-            }
-            let h = topo.measured_hops(NodeId(a), NodeId(b), &mut probe_rng) as usize;
-            counts[h.min(10)] += 1;
-            pairs += 1;
-        }
-    }
-
-    let mut t = Table::new(
+/// Regenerate Fig. 1, replicated over `seeds` topology/probe draws.
+pub fn run(seed: u64, seeds: u32) {
+    let st = replicate_experiment(
         "Fig. 1: hop-count distribution, 20-node EC2 cluster (paper: mode at 4 hops)",
-        &["hops", "proportion_of_node_pairs"],
+        &["hops"],
+        &[metric("proportion_of_node_pairs", 3)],
+        RowOrder::FirstAppearance,
+        seed,
+        seeds,
+        |seed| {
+            let root = DetRng::new(seed);
+            let mut topo_rng = root.substream("fig1-topo");
+            let mut probe_rng = root.substream("fig1-probe");
+            let profile = ClusterProfile::ec2_small();
+            let topo = profile.build_topology(&mut topo_rng);
+
+            let n = topo.nodes();
+            let mut counts = [0u32; 11];
+            let mut pairs = 0u32;
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let h = topo.measured_hops(NodeId(a), NodeId(b), &mut probe_rng) as usize;
+                    counts[h.min(10)] += 1;
+                    pairs += 1;
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .map(|(h, &c)| (vec![h.to_string()], vec![c as f64 / pairs as f64]))
+                .collect()
+        },
     );
-    for (h, &c) in counts.iter().enumerate() {
-        t.row(vec![
-            h.to_string(),
-            format!("{:.3}", c as f64 / pairs as f64),
-        ]);
-    }
-    t.print();
-    write_csv("fig1", &t);
+    st.emit("fig1");
 }

@@ -3,17 +3,25 @@
 //! locality gains, GMTT and slowdown improve *more* than on CCT (−19 % and
 //! −25 %) because EC2's network/disk bandwidth ratio is lower.
 
-use crate::experiments::fig7::print_tables;
-use crate::harness::{run_matrix, MatrixCell};
+use crate::experiments::fig7::{collect_matrix, LABELS, METRICS};
+use crate::harness::{replicate_experiment, RowOrder};
 use dare_core::PolicyKind;
 use dare_mapred::{SchedulerKind, SimConfig};
 
-/// Regenerate Fig. 10.
-pub fn run(seed: u64) -> Vec<MatrixCell> {
-    let schedulers = [SchedulerKind::Fifo, SchedulerKind::fair_default()];
-    let wl = dare_workload::wl1(seed);
-    let base = SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::Fifo, seed);
-    let cells = run_matrix(&base, &wl, &schedulers);
-    print_tables("fig10", &cells);
-    cells
+/// Run the experiment over `seeds` replicates and emit the table.
+pub fn run(seed: u64, seeds: u32) {
+    let st = replicate_experiment(
+        &format!("fig10: EC2 locality / GMTT (normalized) / slowdown ({seeds} seed(s))"),
+        &LABELS,
+        &METRICS,
+        RowOrder::FirstAppearance,
+        seed,
+        seeds,
+        |s| {
+            collect_matrix(s, &[dare_workload::wl1(s)], &|s| {
+                SimConfig::ec2(PolicyKind::Vanilla, SchedulerKind::Fifo, s)
+            })
+        },
+    );
+    st.emit("fig10");
 }

@@ -2,141 +2,95 @@
 //! 20-node CCT cluster, for wl1 and wl2 under FIFO and Fair scheduling,
 //! comparing vanilla Hadoop, DARE/LRU, and DARE/ElephantTrap
 //! (p = 0.3, threshold = 1, budget = 0.2).
+//!
+//! With `--seeds N` the whole matrix is replicated over N derived seeds;
+//! the table's value columns become means and `_std`/`_ci95` columns are
+//! appended. GMTT is normalized against the *same seed's* vanilla run of
+//! the same (workload, scheduler) cell — the common-random-numbers
+//! pairing the farm's seed rule guarantees — before averaging.
 
-use crate::harness::{replicate, run_matrix, write_csv, MatrixCell, Table};
+use crate::harness::{metric, replicate_experiment, run_matrix, MetricCol, RowOrder};
 use dare_core::PolicyKind;
 use dare_mapred::{SchedulerKind, SimConfig};
-use dare_simcore::parallel::parallel_map;
 
 /// Paper reference points for the README/EXPERIMENTS comparison.
 pub const PAPER_NOTES: &str = "paper: FIFO locality improves >7x; Fair reaches ~100% on wl2; \
 GMTT -16%, slowdown -20% (CCT)";
 
-/// Run the experiment and print/emit its three panels.
-pub fn run(seed: u64) -> Vec<MatrixCell> {
-    let schedulers = [SchedulerKind::Fifo, SchedulerKind::fair_default()];
-    let mut all = Vec::new();
-    for wl in [dare_workload::wl1(seed), dare_workload::wl2(seed)] {
-        let base = SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, seed);
-        all.extend(run_matrix(&base, &wl, &schedulers));
-    }
-    print_tables("fig7", &all);
-    all
-}
+/// Label columns shared with Fig. 10.
+pub(crate) const LABELS: [&str; 3] = ["workload", "scheduler", "policy"];
 
-/// Render the three panels (locality / normalized GMTT / slowdown) for a
-/// matrix of runs; shared with Fig. 10.
-pub fn print_tables(name: &str, cells: &[MatrixCell]) {
-    let mut t = Table::new(
-        &format!("{name}: locality / GMTT (normalized) / slowdown"),
-        &[
-            "workload",
-            "scheduler",
-            "policy",
-            "job_locality",
-            "task_locality",
-            "gmtt_s",
-            "gmtt_norm",
-            "slowdown",
-            "blocks/job",
-            "replicas",
-        ],
-    );
-    for c in cells {
-        // Normalize GMTT against the vanilla run of the same (wl, sched).
-        let vanilla = cells
-            .iter()
-            .find(|v| {
-                v.workload == c.workload
-                    && v.scheduler.label() == c.scheduler.label()
-                    && v.policy == PolicyKind::Vanilla
-            })
-            .expect("matrix includes vanilla");
-        let norm = dare_metrics::normalized_gmtt(&c.result.run, &vanilla.result.run);
-        t.row(vec![
-            c.workload.clone(),
-            c.scheduler.label().to_string(),
-            c.policy.label(),
-            format!("{:.3}", c.result.run.job_locality),
-            format!("{:.3}", c.result.run.locality),
-            format!("{:.1}", c.result.run.gmtt_secs),
-            format!("{:.3}", norm),
-            format!("{:.3}", c.result.run.mean_slowdown),
-            format!("{:.2}", c.result.blocks_per_job),
-            format!("{}", c.result.replicas_created),
-        ]);
-    }
-    t.print();
-    write_csv(name, &t);
-}
+/// Metric columns shared with Fig. 10.
+pub(crate) const METRICS: [MetricCol; 7] = [
+    metric("job_locality", 3),
+    metric("task_locality", 3),
+    metric("gmtt_s", 1),
+    metric("gmtt_norm", 3),
+    metric("slowdown", 3),
+    metric("blocks_per_job", 2),
+    metric("replicas", 0),
+];
 
-/// Fig. 7 replicated over `seeds` independent seeds: mean ± 95 % CI of the
-/// three panels per matrix cell. This is the statistical-robustness check
-/// the single-seed figure can't give.
-pub fn run_replicated(base_seed: u64, seeds: u32) {
+/// One seed's matrix rows for a set of workloads on a base-config
+/// builder; shared with Fig. 10 (which runs wl1 on the EC2 profile).
+pub(crate) fn collect_matrix(
+    seed: u64,
+    workloads: &[dare_workload::Workload],
+    base: &dyn Fn(u64) -> SimConfig,
+) -> Vec<(Vec<String>, Vec<f64>)> {
     let schedulers = [SchedulerKind::Fifo, SchedulerKind::fair_default()];
-    let policies = [
-        PolicyKind::Vanilla,
-        PolicyKind::GreedyLru,
-        PolicyKind::elephant_default(),
-    ];
-    let mut t = Table::new(
-        &format!("fig7ci: mean ± 95% CI over {seeds} seeds"),
-        &[
-            "workload",
-            "scheduler",
-            "policy",
-            "job_locality",
-            "gmtt_norm",
-            "slowdown",
-        ],
-    );
-    for wl_id in ["wl1", "wl2"] {
-        for sched in schedulers {
-            // One parallel batch: every (policy, seed) run of this cell row.
-            let mut runs = Vec::new();
-            for (pi, &policy) in policies.iter().enumerate() {
-                for k in 0..seeds {
-                    runs.push((pi, policy, base_seed.wrapping_add(k as u64)));
-                }
-            }
-            let results = parallel_map(runs, |(pi, policy, seed)| {
-                let wl = if wl_id == "wl1" {
-                    dare_workload::wl1(seed)
-                } else {
-                    dare_workload::wl2(seed)
-                };
-                let mut cfg = SimConfig::cct(policy, sched, seed);
-                cfg.scheduler = sched;
-                (pi, seed, dare_mapred::run(cfg, &wl))
-            });
-            for (pi, policy) in policies.iter().enumerate() {
-                let mine: Vec<_> = results.iter().filter(|(i, _, _)| *i == pi).collect();
-                let loc: Vec<f64> = mine.iter().map(|(_, _, r)| r.run.job_locality).collect();
-                let slow: Vec<f64> = mine.iter().map(|(_, _, r)| r.run.mean_slowdown).collect();
-                // normalize each seed's GMTT by that seed's vanilla run
-                let norm: Vec<f64> = mine
-                    .iter()
-                    .map(|(_, seed, r)| {
-                        let vanilla = results
-                            .iter()
-                            .find(|(i, s2, _)| *i == 0 && s2 == seed)
-                            .expect("vanilla run for seed");
-                        r.run.gmtt_secs / vanilla.2.run.gmtt_secs
-                    })
-                    .collect();
-                let (l, n, s) = (replicate(&loc), replicate(&norm), replicate(&slow));
-                t.row(vec![
-                    wl_id.to_string(),
-                    sched.label().to_string(),
-                    policy.label(),
-                    format!("{:.3} ± {:.3}", l.mean, l.ci95),
-                    format!("{:.3} ± {:.3}", n.mean, n.ci95),
-                    format!("{:.3} ± {:.3}", s.mean, s.ci95),
-                ]);
-            }
+    let mut rows = Vec::new();
+    for wl in workloads {
+        let cells = run_matrix(&base(seed), wl, &schedulers);
+        for c in &cells {
+            // Normalize GMTT against the vanilla run of the same
+            // (workload, scheduler) cell at this seed.
+            let vanilla = cells
+                .iter()
+                .find(|v| {
+                    v.workload == c.workload
+                        && v.scheduler.label() == c.scheduler.label()
+                        && v.policy == PolicyKind::Vanilla
+                })
+                .expect("matrix includes vanilla");
+            let norm = dare_metrics::normalized_gmtt(&c.result.run, &vanilla.result.run);
+            rows.push((
+                vec![
+                    c.workload.clone(),
+                    c.scheduler.label().to_string(),
+                    c.policy.label(),
+                ],
+                vec![
+                    c.result.run.job_locality,
+                    c.result.run.locality,
+                    c.result.run.gmtt_secs,
+                    norm,
+                    c.result.run.mean_slowdown,
+                    c.result.blocks_per_job,
+                    c.result.replicas_created as f64,
+                ],
+            ));
         }
     }
-    t.print();
-    write_csv("fig7ci", &t);
+    rows
+}
+
+/// Run the experiment over `seeds` replicates and emit the table.
+pub fn run(seed: u64, seeds: u32) {
+    let st = replicate_experiment(
+        &format!("fig7: locality / GMTT (normalized) / slowdown ({seeds} seed(s))"),
+        &LABELS,
+        &METRICS,
+        RowOrder::FirstAppearance,
+        seed,
+        seeds,
+        |s| {
+            collect_matrix(
+                s,
+                &[dare_workload::wl1(s), dare_workload::wl2(s)],
+                &|s| SimConfig::cct(PolicyKind::Vanilla, SchedulerKind::Fifo, s),
+            )
+        },
+    );
+    st.emit("fig7");
 }

@@ -7,7 +7,7 @@
 //! directly; the sweep asserts the two paths agree bitwise, so the figure
 //! doubles as a live cross-check of the sampler against the summarizer.
 
-use crate::harness::{write_csv, Table};
+use crate::harness::{metric, replicate_experiment, RowOrder};
 use dare_core::PolicyKind;
 use dare_mapred::{SchedulerKind, SimConfig, TelemetryConfig};
 use dare_simcore::parallel::parallel_map;
@@ -19,65 +19,68 @@ use dare_simcore::SimDuration;
 // budget was binding across more of its range).
 const BUDGETS: [f64; 11] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.8, 0.9];
 
-fn sweep(policies: &[PolicyKind], title: &str, csv: &str, seed: u64) {
-    let wl = dare_workload::wl2(seed);
-    let mut runs = Vec::new();
-    for &policy in policies {
-        for &sched in &[SchedulerKind::Fifo, SchedulerKind::fair_default()] {
-            for &b in &BUDGETS {
-                runs.push((policy, sched, b));
-            }
-        }
-    }
-    let results = parallel_map(runs, |(policy, sched, b)| {
-        let mut cfg = SimConfig::cct(policy, sched, seed);
-        cfg.budget_frac = b;
-        // A coarse interval keeps the series small; only the terminal
-        // sample feeds the derived column.
-        cfg = cfg.with_telemetry(TelemetryConfig {
-            interval: SimDuration::from_secs(30),
-        });
-        let r = dare_mapred::run(cfg, &wl);
-        (policy, sched, b, r)
-    });
-
-    let mut t = Table::new(
+fn sweep(policies: &[PolicyKind], title: &str, csv: &str, seed: u64, seeds: u32) {
+    let st = replicate_experiment(
         title,
-        &["policy", "scheduler", "budget", "job_locality", "blocks_per_job"],
+        &["policy", "scheduler", "budget"],
+        &[metric("job_locality", 3), metric("blocks_per_job", 2)],
+        RowOrder::FirstAppearance,
+        seed,
+        seeds,
+        |seed| {
+            let wl = dare_workload::wl2(seed);
+            let mut runs = Vec::new();
+            for &policy in policies {
+                for &sched in &[SchedulerKind::Fifo, SchedulerKind::fair_default()] {
+                    for &b in &BUDGETS {
+                        runs.push((policy, sched, b));
+                    }
+                }
+            }
+            parallel_map(runs, |(policy, sched, b)| {
+                let mut cfg = SimConfig::cct(policy, sched, seed);
+                cfg.budget_frac = b;
+                // A coarse interval keeps the series small; only the
+                // terminal sample feeds the derived column.
+                cfg = cfg.with_telemetry(TelemetryConfig {
+                    interval: SimDuration::from_secs(30),
+                });
+                let r = dare_mapred::run(cfg, &wl);
+                let derived = r
+                    .telemetry_job_locality()
+                    .expect("telemetry-enabled run with completed jobs");
+                assert_eq!(
+                    derived.to_bits(),
+                    r.run.job_locality.to_bits(),
+                    "telemetry-derived job locality drifted from the summarized metric"
+                );
+                (
+                    vec![
+                        policy.label(),
+                        sched.label().to_string(),
+                        format!("{b:.2}"),
+                    ],
+                    vec![derived, r.blocks_per_job],
+                )
+            })
+        },
     );
-    for (policy, sched, b, r) in &results {
-        let derived = r
-            .telemetry_job_locality()
-            .expect("telemetry-enabled run with completed jobs");
-        assert_eq!(
-            derived.to_bits(),
-            r.run.job_locality.to_bits(),
-            "telemetry-derived job locality drifted from the summarized metric"
-        );
-        t.row(vec![
-            policy.label(),
-            sched.label().to_string(),
-            format!("{b:.2}"),
-            format!("{derived:.3}"),
-            format!("{:.2}", r.blocks_per_job),
-        ]);
-    }
-    t.print();
-    write_csv(csv, &t);
+    st.emit(csv);
 }
 
 /// Regenerate Fig. 9a (LRU eviction).
-pub fn lru(seed: u64) {
+pub fn lru(seed: u64, seeds: u32) {
     sweep(
         &[PolicyKind::GreedyLru],
         "Fig. 9a: locality and blocks/job vs budget — DARE with LRU eviction (wl2)",
         "fig9a",
         seed,
+        seeds,
     );
 }
 
 /// Regenerate Fig. 9b (ElephantTrap eviction, p = 0.9 and 0.3).
-pub fn elephant(seed: u64) {
+pub fn elephant(seed: u64, seeds: u32) {
     sweep(
         &[
             PolicyKind::ElephantTrap {
@@ -92,13 +95,14 @@ pub fn elephant(seed: u64) {
         "Fig. 9b: locality and blocks/job vs budget — DARE with ElephantTrap eviction (thr=1, wl2)",
         "fig9b",
         seed,
+        seeds,
     );
 }
 
 /// Both panels.
-pub fn run(seed: u64) {
-    lru(seed);
-    elephant(seed);
+pub fn run(seed: u64, seeds: u32) {
+    lru(seed, seeds);
+    elephant(seed, seeds);
 }
 
 #[cfg(test)]

@@ -9,12 +9,15 @@
 //! contended network, data loss if any).
 //!
 //! Runtime invariant checking is enabled for every cell, so the sweep
-//! doubles as a stress test of the engine's failure paths. Emits
-//! `results/resilience.csv` plus machine-readable
-//! `results/BENCH_resilience.json`. Set `BENCH_QUICK=1` for the CI smoke
-//! configuration (fewer jobs, same fault shapes).
+//! doubles as a stress test of the engine's failure paths. With
+//! `--seeds N` the whole sweep — workload synthesis, fault plans, and
+//! runs — replicates over N derived seeds; CSV value columns become
+//! means with appended `_std`/`_ci95`, and the JSON rows carry
+//! mean/ci95 pairs. Emits `results/resilience.csv` plus
+//! machine-readable `results/BENCH_resilience.json`. Set `BENCH_QUICK=1`
+//! for the CI smoke configuration (fewer jobs, same fault shapes).
 
-use crate::harness::{csv_path, write_csv, Table};
+use crate::harness::{csv_path, metric, replicate_experiment, MetricCol, RowOrder, SeedTable};
 use dare_core::PolicyKind;
 use dare_mapred::{FaultPlan, FaultSpec, SchedulerKind, SimConfig};
 use dare_simcore::parallel::parallel_map;
@@ -63,11 +66,24 @@ fn levels(horizon_secs: u64) -> Vec<Level> {
     ]
 }
 
-/// Failure intensity × policy sweep on the EC2 profile.
-pub fn run(seed: u64) {
-    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
-    let jobs: u32 = if quick { 30 } else { 100 };
+const METRICS: [MetricCol; 13] = [
+    metric("jobs_ok", 0),
+    metric("jobs_failed", 0),
+    metric("job_locality", 3),
+    metric("gmtt_s", 1),
+    metric("p95_slowdown", 2),
+    metric("reexecuted", 0),
+    metric("tasks_retried", 0),
+    metric("tasks_failed", 0),
+    metric("declared_dead", 0),
+    metric("rejoined", 0),
+    metric("re_replicated", 0),
+    metric("recovery_MB", 1),
+    metric("blocks_lost", 0),
+];
 
+/// One seed's sweep: fresh workload, fresh fault plans, all cells.
+fn collect(seed: u64, jobs: u32) -> Vec<(Vec<String>, Vec<f64>)> {
     let wl = synthesize("wl1-resilience", &SwimParams { jobs, ..SwimParams::wl1() }, seed);
     // Draw fault times from the window the cluster is actually busy, so
     // the sweep stresses the run instead of scheduling faults after the
@@ -98,7 +114,8 @@ pub fn run(seed: u64) {
         }
     }
 
-    let results = parallel_map(cells, |(label, plan, policy)| {
+    const MB: f64 = (1u64 << 20) as f64;
+    parallel_map(cells, |(label, plan, policy)| {
         let mut cfg = base
             .clone()
             .with_speculation(Default::default())
@@ -107,81 +124,66 @@ pub fn run(seed: u64) {
         if let Some(p) = plan {
             cfg = cfg.with_faults(p);
         }
-        (label, policy, dare_mapred::run(cfg, &wl))
-    });
-
-    let mut t = Table::new(
-        "Resilience: failure intensity x policy (ec2, fair, speculation; heartbeat-timeout detection, networked re-replication)",
-        &[
-            "level",
-            "policy",
-            "jobs_ok",
-            "jobs_failed",
-            "job_locality",
-            "gmtt_s",
-            "p95_slowdown",
-            "reexecuted",
-            "tasks_retried",
-            "declared_dead",
-            "rejoined",
-            "re_replicated",
-            "recovery_MB",
-            "blocks_lost",
-        ],
-    );
-    const MB: f64 = (1u64 << 20) as f64;
-    for (label, policy, r) in &results {
-        t.row(vec![
-            label.to_string(),
-            policy.label(),
-            r.run.jobs.to_string(),
-            r.run.failed_jobs.to_string(),
-            format!("{:.3}", r.run.job_locality),
-            format!("{:.1}", r.run.gmtt_secs),
-            format!("{:.2}", r.run.p95_slowdown),
-            r.reexecuted_tasks.to_string(),
-            r.faults.tasks_retried.to_string(),
-            r.faults.nodes_declared_dead.to_string(),
-            r.faults.nodes_rejoined.to_string(),
-            r.faults.blocks_re_replicated.to_string(),
-            format!("{:.1}", r.faults.recovery_bytes as f64 / MB),
-            r.faults.blocks_lost.to_string(),
-        ]);
-    }
-    t.print();
-    write_csv("resilience", &t);
-    write_json(seed, jobs, quick, &results);
+        let r = dare_mapred::run(cfg, &wl);
+        (
+            vec![label.to_string(), policy.label()],
+            vec![
+                r.run.jobs as f64,
+                r.run.failed_jobs as f64,
+                r.run.job_locality,
+                r.run.gmtt_secs,
+                r.run.p95_slowdown,
+                r.reexecuted_tasks as f64,
+                r.faults.tasks_retried as f64,
+                r.faults.tasks_failed as f64,
+                r.faults.nodes_declared_dead as f64,
+                r.faults.nodes_rejoined as f64,
+                r.faults.blocks_re_replicated as f64,
+                r.faults.recovery_bytes as f64 / MB,
+                r.faults.blocks_lost as f64,
+            ],
+        )
+    })
 }
 
-/// Machine-readable companion of the CSV, mirroring `BENCH_sched.json`.
-fn write_json(seed: u64, jobs: u32, quick: bool, results: &[(&str, PolicyKind, dare_mapred::SimResult)]) {
+/// Failure intensity × policy sweep on the EC2 profile.
+pub fn run(seed: u64, seeds: u32) {
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let jobs: u32 = if quick { 30 } else { 100 };
+
+    let st = replicate_experiment(
+        "Resilience: failure intensity x policy (ec2, fair, speculation; heartbeat-timeout detection, networked re-replication)",
+        &["level", "policy"],
+        &METRICS,
+        RowOrder::FirstAppearance,
+        seed,
+        seeds,
+        |s| collect(s, jobs),
+    );
+    st.emit("resilience");
+    write_json(seed, jobs, quick, &st);
+}
+
+/// Machine-readable companion of the CSV, mirroring `BENCH_sched.json`:
+/// per-row mean and 95 % CI half-width of every metric across seeds.
+fn write_json(seed: u64, jobs: u32, quick: bool, st: &SeedTable) {
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"config\": {{\"profile\": \"ec2\", \"scheduler\": \"fair\", \"speculation\": true, \"jobs\": {jobs}, \"seed\": {seed}, \"quick\": {quick}}},\n"
+        "  \"config\": {{\"profile\": \"ec2\", \"scheduler\": \"fair\", \"speculation\": true, \"jobs\": {jobs}, \"seed\": {seed}, \"seeds\": {}, \"quick\": {quick}}},\n",
+        st.seeds
     ));
     json.push_str("  \"rows\": [\n");
-    for (i, (label, policy, r)) in results.iter().enumerate() {
+    for (i, (labels, sums)) in st.rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"level\": \"{label}\", \"policy\": \"{}\", \"jobs_ok\": {}, \"jobs_failed\": {}, \
-             \"job_locality\": {:.6}, \"gmtt_secs\": {:.3}, \"p95_slowdown\": {:.4}, \
-             \"reexecuted\": {}, \"tasks_retried\": {}, \"tasks_failed\": {}, \
-             \"nodes_declared_dead\": {}, \"nodes_rejoined\": {}, \
-             \"blocks_re_replicated\": {}, \"recovery_bytes\": {}, \"blocks_lost\": {}}}{}\n",
-            policy.label(),
-            r.run.jobs,
-            r.run.failed_jobs,
-            r.run.job_locality,
-            r.run.gmtt_secs,
-            r.run.p95_slowdown,
-            r.reexecuted_tasks,
-            r.faults.tasks_retried,
-            r.faults.tasks_failed,
-            r.faults.nodes_declared_dead,
-            r.faults.nodes_rejoined,
-            r.faults.blocks_re_replicated,
-            r.faults.recovery_bytes,
-            r.faults.blocks_lost,
-            if i + 1 < results.len() { "," } else { "" },
+            "    {{\"level\": \"{}\", \"policy\": \"{}\"",
+            labels[0], labels[1]
+        ));
+        for (m, s) in METRICS.iter().zip(sums.iter()) {
+            json.push_str(&format!(", \"{}\": {:.6}, \"{}_ci95\": {:.6}", m.name, s.mean, m.name, s.ci95));
+        }
+        json.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < st.rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -2,6 +2,7 @@
 
 use dare_core::PolicyKind;
 use dare_mapred::{SchedulerKind, SimConfig, SimResult};
+use dare_simcore::stats::{summarize, Summary};
 use dare_workload::Workload;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -109,36 +110,135 @@ pub fn write_csv(name: &str, table: &Table) {
 /// The paper's default seed for experiment runs; change with `--seed`.
 pub const DEFAULT_SEED: u64 = 20110926;
 
-/// Mean, standard deviation, and 95 % confidence half-width over
-/// replicated runs (normal approximation; fine for the ~10-seed
-/// replications the `fig7ci` experiment uses).
+/// One numeric column of a replicated experiment table.
 #[derive(Debug, Clone, Copy)]
-pub struct Replicated {
-    /// Mean over seeds.
-    pub mean: f64,
-    /// Sample standard deviation over seeds.
-    pub std: f64,
-    /// 95 % confidence half-width (1.96 σ/√n).
-    pub ci95: f64,
+pub struct MetricCol {
+    /// Column name (header cell).
+    pub name: &'static str,
+    /// Decimal places for the mean (spread columns get at least 3).
+    pub prec: usize,
 }
 
-/// Summarize one metric across replicated runs.
-pub fn replicate(values: &[f64]) -> Replicated {
-    let mut st = dare_simcore::stats::OnlineStats::new();
-    for &v in values {
-        st.push(v);
+/// Shorthand [`MetricCol`] constructor.
+pub const fn metric(name: &'static str, prec: usize) -> MetricCol {
+    MetricCol { name, prec }
+}
+
+/// How to order the merged rows of a replicated experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOrder {
+    /// Order of first appearance across replicates (fixed-structure
+    /// experiments: the first replicate defines the rows).
+    FirstAppearance,
+    /// Sort by the first label parsed as a number — for experiments
+    /// whose row set varies per seed (e.g. popularity ranks, burst
+    /// windows), so late-appearing rows still land in axis order.
+    NumericFirstLabel,
+}
+
+/// A replicated experiment's merged result: the printable/CSV table
+/// (mean columns in the legacy positions, `_std`/`_ci95` appended) plus
+/// the numeric summaries for JSON writers.
+pub struct SeedTable {
+    /// Console/CSV table.
+    pub table: Table,
+    /// Per-row label values and per-metric summaries, in table order.
+    pub rows: Vec<(Vec<String>, Vec<Summary>)>,
+    /// Replicates requested.
+    pub seeds: u32,
+}
+
+/// Run `collect` once per replicate seed and merge the rows into means
+/// with appended `<metric>_std` / `<metric>_ci95` columns.
+///
+/// Replicate seeds follow the farm's derivation rule
+/// ([`dare_farm::cell_seed`] with no seeded coordinates), so replicate 0
+/// *is* `base_seed` — a `--seeds 1` run reproduces the repo's historical
+/// single-seed tables byte-for-byte except for the appended (empty)
+/// spread columns. Rows are matched across replicates by their label
+/// columns; spread columns are empty strings when a row has fewer than
+/// two replicates. Mean columns keep their legacy positions so the
+/// committed gnuplot scripts' 1-based column indices stay valid.
+pub fn replicate_experiment<F>(
+    title: &str,
+    labels: &[&str],
+    metrics: &[MetricCol],
+    order: RowOrder,
+    base_seed: u64,
+    seeds: u32,
+    collect: F,
+) -> SeedTable
+where
+    F: Fn(u64) -> Vec<(Vec<String>, Vec<f64>)>,
+{
+    let seeds = seeds.max(1);
+    // label-key -> (first-appearance index, per-metric samples)
+    let mut merged: Vec<(Vec<String>, Vec<Vec<f64>>)> = Vec::new();
+    let mut index: std::collections::HashMap<Vec<String>, usize> =
+        std::collections::HashMap::new();
+    for rep in 0..seeds {
+        let seed = dare_farm::cell_seed(base_seed, "", rep);
+        for (row_labels, values) in collect(seed) {
+            assert_eq!(row_labels.len(), labels.len(), "label arity in {title}");
+            assert_eq!(values.len(), metrics.len(), "metric arity in {title}");
+            let at = *index.entry(row_labels.clone()).or_insert_with(|| {
+                merged.push((row_labels, vec![Vec::new(); metrics.len()]));
+                merged.len() - 1
+            });
+            for (samples, v) in merged[at].1.iter_mut().zip(values) {
+                samples.push(v);
+            }
+        }
     }
-    let n = values.len().max(1) as f64;
-    // sample std from population std
-    let std = if values.len() > 1 {
-        (st.variance() * n / (n - 1.0)).sqrt()
-    } else {
-        0.0
-    };
-    Replicated {
-        mean: st.mean(),
-        std,
-        ci95: 1.96 * std / n.sqrt(),
+    if order == RowOrder::NumericFirstLabel {
+        merged.sort_by(|a, b| {
+            let x: f64 = a.0[0].parse().unwrap_or(f64::MAX);
+            let y: f64 = b.0[0].parse().unwrap_or(f64::MAX);
+            x.total_cmp(&y)
+        });
+    }
+
+    let mut header: Vec<&str> = labels.to_vec();
+    for m in metrics {
+        header.push(m.name);
+    }
+    let spread_names: Vec<(String, String)> = metrics
+        .iter()
+        .map(|m| (format!("{}_std", m.name), format!("{}_ci95", m.name)))
+        .collect();
+    for (s, c) in &spread_names {
+        header.push(s);
+        header.push(c);
+    }
+    let mut table = Table::new(title, &header);
+    let mut rows = Vec::with_capacity(merged.len());
+    for (row_labels, samples) in merged {
+        let sums: Vec<Summary> = samples.iter().map(|s| summarize(s)).collect();
+        let mut cells = row_labels.clone();
+        for (m, s) in metrics.iter().zip(&sums) {
+            cells.push(format!("{:.prec$}", s.mean, prec = m.prec));
+        }
+        for (m, s) in metrics.iter().zip(&sums) {
+            if s.has_spread() {
+                let p = m.prec.max(3);
+                cells.push(format!("{:.p$}", s.std, p = p));
+                cells.push(format!("{:.p$}", s.ci95, p = p));
+            } else {
+                cells.push(String::new());
+                cells.push(String::new());
+            }
+        }
+        table.row(cells);
+        rows.push((row_labels, sums));
+    }
+    SeedTable { table, rows, seeds }
+}
+
+impl SeedTable {
+    /// Print the table and write it to `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        self.table.print();
+        write_csv(name, &self.table);
     }
 }
 
@@ -215,5 +315,78 @@ mod tests {
     fn csv_path_resolves() {
         let p = csv_path("zzz");
         assert!(p.to_string_lossy().ends_with("zzz.csv"));
+    }
+
+    #[test]
+    fn replicate_experiment_single_seed_matches_legacy_layout() {
+        // seeds = 1: replicate 0 is the base seed itself, the mean
+        // column carries the single run's value, and the appended
+        // spread columns are empty — never NaN.
+        let st = replicate_experiment(
+            "t",
+            &["k"],
+            &[metric("v", 3)],
+            RowOrder::FirstAppearance,
+            77,
+            1,
+            |seed| {
+                assert_eq!(seed, 77, "replicate 0 must be the base seed");
+                vec![(vec!["a".into()], vec![1.5])]
+            },
+        );
+        assert_eq!(st.table.to_csv(), "k,v,v_std,v_ci95\na,1.500,,\n");
+        assert_eq!(st.rows[0].1[0].n, 1);
+    }
+
+    #[test]
+    fn replicate_experiment_means_and_spread() {
+        // Two replicates returning 1.0 and 3.0: mean 2, std √2,
+        // ci95 = 1.96·√2/√2 = 1.96.
+        let st = replicate_experiment(
+            "t",
+            &["k"],
+            &[metric("v", 3)],
+            RowOrder::FirstAppearance,
+            77,
+            2,
+            |seed| vec![(vec!["a".into()], vec![if seed == 77 { 1.0 } else { 3.0 }])],
+        );
+        let s = st.rows[0].1[0];
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 2f64.sqrt()).abs() < 1e-12);
+        assert!((s.ci95 - 1.96).abs() < 1e-12);
+        assert!(st.table.to_csv().contains("a,2.000,1.414,1.960"));
+    }
+
+    #[test]
+    fn replicate_experiment_aligns_variable_rows_numerically() {
+        // Replicates disagree on the row set; merged rows sort by the
+        // numeric first label and carry per-row replicate counts.
+        let st = replicate_experiment(
+            "t",
+            &["rank"],
+            &[metric("v", 1)],
+            RowOrder::NumericFirstLabel,
+            77,
+            2,
+            |seed| {
+                if seed == 77 {
+                    vec![
+                        (vec!["1".into()], vec![10.0]),
+                        (vec!["10".into()], vec![1.0]),
+                    ]
+                } else {
+                    vec![
+                        (vec!["1".into()], vec![12.0]),
+                        (vec!["2".into()], vec![5.0]),
+                    ]
+                }
+            },
+        );
+        let labels: Vec<&str> = st.rows.iter().map(|(l, _)| l[0].as_str()).collect();
+        assert_eq!(labels, ["1", "2", "10"]);
+        assert_eq!(st.rows[0].1[0].n, 2);
+        assert_eq!(st.rows[1].1[0].n, 1);
     }
 }

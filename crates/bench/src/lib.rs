@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 pub mod microbench;
 pub mod plot;
@@ -16,6 +17,7 @@ pub mod experiments {
     //! One module per paper artifact.
     pub mod ablation;
     pub mod durability;
+    pub mod farm;
     pub mod fig1;
     pub mod fig10;
     pub mod fig11;

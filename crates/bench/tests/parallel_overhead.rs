@@ -1,0 +1,54 @@
+//! Overhead guard for the chunked `parallel_map_threads` dispatch.
+//!
+//! The original implementation round-tripped every item through its own
+//! `Mutex<Option<T>>`, so dispatch cost scaled with the item count. The
+//! chunked rewrite takes two lock operations per *chunk* and
+//! `chunk_count` caps chunks at `8 × threads` — these tests pin both the
+//! structural bound and (with a deliberately generous wall-clock margin,
+//! since CI runners can be single-core and noisy) the end-to-end cost of
+//! pushing 100 000 trivial items through the fan-out.
+
+use dare_bench::microbench::Runner;
+use dare_simcore::parallel::{chunk_count, parallel_map_threads};
+
+#[test]
+fn lock_traffic_scales_with_threads_not_items() {
+    // 100k trivial items at 4 workers: 32 chunks → 64 lock operations,
+    // regardless of n. Under per-item locking this would be 200 000.
+    assert_eq!(chunk_count(100_000, 4), 32);
+    assert_eq!(chunk_count(1_000_000, 4), 32);
+    assert_eq!(chunk_count(1_000_000, 16), 128);
+    // Small inputs never get more chunks than items.
+    assert_eq!(chunk_count(5, 4), 5);
+}
+
+#[test]
+fn hundred_k_trivial_items_not_dominated_by_dispatch() {
+    const N: u64 = 100_000;
+    let work = |x: u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+
+    // Quick mode: 3 rounds, ~20 ms measurement windows — enough to get
+    // a stable median without slowing the suite down.
+    let mut r = Runner::new(true);
+    let seq = r
+        .bench("map/sequential/100k", || {
+            (0..N).map(work).collect::<Vec<_>>()
+        })
+        .median_ns;
+    let par = r
+        .bench("parallel_map_threads/4/100k", || {
+            parallel_map_threads((0..N).collect(), 4, work)
+        })
+        .median_ns;
+
+    // Thread spawn + chunk handoff must stay a bounded multiple of the
+    // raw sequential map. The bound is deliberately loose (single-core
+    // CI, scheduler jitter); per-item locking regressions blow through
+    // it by orders of magnitude on top of the structural guard above.
+    let budget_ns = seq * 100.0 + 50e6;
+    assert!(
+        par <= budget_ns,
+        "parallel dispatch overhead regressed: {par:.0} ns/iter parallel \
+         vs {seq:.0} ns/iter sequential (budget {budget_ns:.0} ns)"
+    );
+}

@@ -1,0 +1,39 @@
+//! Factorial experiment farm: declarative sweeps, deterministic per-cell
+//! seeds, and byte-stable merged outputs with CI-backed statistics.
+//!
+//! The paper's evaluation is a factorial design — schedulers ×
+//! replication policies × cluster profiles × fault levels, replicated
+//! over seeds. This crate turns that design into data:
+//!
+//! 1. [`SweepSpec`] declares the axes and replicate count.
+//! 2. [`SweepSpec::expand`] produces the full run matrix, one [`Cell`]
+//!    per coordinate × replicate, each with a seed derived from a hash
+//!    of its *coordinates* (never its enumeration index), so adding,
+//!    removing, or reordering axes leaves every surviving cell's seed —
+//!    and therefore its simulation — untouched.
+//! 3. [`run_sweep`] fans the cells across worker threads (the
+//!    order-preserving `simcore::parallel` map) with decile progress
+//!    reporting.
+//! 4. [`merge`] folds the runs into per-cell CSV, per-coordinate
+//!    aggregate CSV with mean / sample stddev / 95 % CI columns, and a
+//!    machine-readable JSON report — all byte-stable regardless of
+//!    thread count or completion order.
+//!
+//! Axes come in two kinds. *Treatment* axes (the default) compare
+//! systems: every level of a treatment axis shares the same seed for a
+//! given replicate, the common-random-numbers discipline that makes
+//! paired comparisons (e.g. normalizing DARE against vanilla on the
+//! same workload draw) statistically honest. *Seeded* axes describe the
+//! environment (cluster profile, fault level): their coordinates enter
+//! the seed hash, so different environments see independent draws.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod merge;
+pub mod run;
+pub mod spec;
+
+pub use merge::{aggregate, aggregate_csv, merged_json, per_cell_csv, AggRow};
+pub use run::{run_sweep, CellRun, RunOptions, Sweep};
+pub use spec::{cell_seed, Axis, Cell, SweepSpec};

@@ -1,0 +1,294 @@
+//! Byte-stable merges: per-cell CSV, per-coordinate aggregate CSV with
+//! mean / stddev / 95 % CI columns, and a JSON report.
+//!
+//! Every function here is a pure fold over a [`Sweep`]; rows are keyed
+//! and sorted by the canonical coordinate key, so output bytes depend
+//! only on the spec and the cell results — never on thread count,
+//! completion order, or wall-clock.
+
+use crate::run::Sweep;
+use crate::spec::Cell;
+use dare_simcore::stats::{summarize, Summary};
+use std::collections::BTreeMap;
+
+/// Fixed-precision float formatting shared by all merged outputs.
+fn fmt(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// One aggregate row: a coordinate, its replicate count, and one
+/// [`Summary`] per metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggRow {
+    /// `(axis, level)` pairs in the spec's declared axis order.
+    pub coords: Vec<(String, String)>,
+    /// Replicates folded into this row.
+    pub n: u64,
+    /// Per-metric statistics, aligned with [`Sweep::metrics`].
+    pub stats: Vec<Summary>,
+}
+
+/// Group a sweep's runs by coordinate (across replicates) and summarize
+/// each metric. Rows come back sorted by canonical coordinate key.
+pub fn aggregate(sweep: &Sweep) -> Vec<AggRow> {
+    let mut groups: BTreeMap<String, (&Cell, Vec<Vec<f64>>)> = BTreeMap::new();
+    for r in &sweep.runs {
+        let entry = groups
+            .entry(r.cell.key())
+            .or_insert_with(|| (&r.cell, vec![Vec::new(); sweep.metrics.len()]));
+        for (m, &v) in entry.1.iter_mut().zip(r.values.iter()) {
+            m.push(v);
+        }
+    }
+    groups
+        .into_values()
+        .map(|(cell, per_metric)| AggRow {
+            coords: cell.coords.clone(),
+            n: per_metric.first().map(|m| m.len() as u64).unwrap_or(0),
+            stats: per_metric.iter().map(|m| summarize(m)).collect(),
+        })
+        .collect()
+}
+
+/// Per-cell CSV: one row per run, sorted by `(coordinate key,
+/// replicate)`. Columns: the axes in declared order, `replicate`,
+/// `seed`, then the metrics.
+pub fn per_cell_csv(sweep: &Sweep) -> String {
+    let mut out = String::new();
+    for ax in &sweep.spec.axes {
+        out.push_str(&ax.name);
+        out.push(',');
+    }
+    out.push_str("replicate,seed");
+    for m in &sweep.metrics {
+        out.push(',');
+        out.push_str(m);
+    }
+    out.push('\n');
+
+    let mut rows: Vec<&crate::run::CellRun> = sweep.runs.iter().collect();
+    rows.sort_by_key(|r| (r.cell.key(), r.cell.replicate));
+    for r in rows {
+        for (_, level) in &r.cell.coords {
+            out.push_str(level);
+            out.push(',');
+        }
+        out.push_str(&format!("{},{}", r.cell.replicate, r.cell.seed));
+        for v in &r.values {
+            out.push(',');
+            out.push_str(&fmt(*v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Aggregate CSV: one row per coordinate, sorted by coordinate key.
+/// Columns: the axes in declared order, `n`, then per metric
+/// `<m>_mean,<m>_std,<m>_ci95`. With a single replicate the spread
+/// columns are empty strings — never `NaN`.
+pub fn aggregate_csv(sweep: &Sweep) -> String {
+    let mut out = String::new();
+    for ax in &sweep.spec.axes {
+        out.push_str(&ax.name);
+        out.push(',');
+    }
+    out.push('n');
+    for m in &sweep.metrics {
+        out.push_str(&format!(",{m}_mean,{m}_std,{m}_ci95"));
+    }
+    out.push('\n');
+
+    for row in aggregate(sweep) {
+        for (_, level) in &row.coords {
+            out.push_str(level);
+            out.push(',');
+        }
+        out.push_str(&row.n.to_string());
+        for s in &row.stats {
+            out.push(',');
+            out.push_str(&fmt(s.mean));
+            if s.has_spread() {
+                out.push_str(&format!(",{},{}", fmt(s.std), fmt(s.ci95)));
+            } else {
+                out.push_str(",,");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Machine-readable merge: the spec, the metric names, and the
+/// aggregate rows as JSON. Spread fields are `null` with a single
+/// replicate. Contains no timing, so two runs of the same spec produce
+/// identical bytes at any thread count.
+pub fn merged_json(sweep: &Sweep) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"sweep\": \"{}\",\n  \"base_seed\": {},\n  \"seeds\": {},\n  \"cells\": {},\n",
+        json_escape(&sweep.spec.name),
+        sweep.spec.base_seed,
+        sweep.spec.seeds,
+        sweep.runs.len()
+    ));
+    out.push_str("  \"axes\": [");
+    for (i, ax) in sweep.spec.axes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let levels: Vec<String> = ax
+            .levels
+            .iter()
+            .map(|l| format!("\"{}\"", json_escape(l)))
+            .collect();
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"seeded\": {}, \"levels\": [{}]}}",
+            json_escape(&ax.name),
+            ax.seeded,
+            levels.join(", ")
+        ));
+    }
+    out.push_str("],\n  \"metrics\": [");
+    for (i, m) in sweep.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", json_escape(m)));
+    }
+    out.push_str("],\n  \"aggregate\": [\n");
+    let rows = aggregate(sweep);
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\"coords\": {");
+        let mut coords = row.coords.clone();
+        coords.sort();
+        for (j, (a, l)) in coords.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": \"{}\"", json_escape(a), json_escape(l)));
+        }
+        out.push_str(&format!("}}, \"n\": {}", row.n));
+        for (m, s) in sweep.metrics.iter().zip(row.stats.iter()) {
+            let (std, ci) = if s.has_spread() {
+                (fmt(s.std), fmt(s.ci95))
+            } else {
+                ("null".to_string(), "null".to_string())
+            };
+            out.push_str(&format!(
+                ", \"{}\": {{\"mean\": {}, \"std\": {std}, \"ci95\": {ci}}}",
+                json_escape(m),
+                fmt(s.mean)
+            ));
+        }
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_sweep, RunOptions};
+    use crate::spec::SweepSpec;
+
+    fn sweep(seeds: u32) -> Sweep {
+        let spec = SweepSpec::new("merge-test", 99)
+            .axis("policy", &["vanilla", "dare"])
+            .seeded_axis("load", &["low", "high"])
+            .seeds(seeds);
+        run_sweep(&spec, &["gmtt", "locality"], RunOptions::quiet(1), |c| {
+            // Deterministic pseudo-metrics from the cell identity.
+            let base = (c.seed % 1000) as f64;
+            let bump = if c.coord("policy") == Some("dare") {
+                0.5
+            } else {
+                0.0
+            };
+            vec![base + bump, base / 2.0]
+        })
+    }
+
+    #[test]
+    fn aggregate_rows_equal_mean_of_their_cell_rows() {
+        // Regression: each aggregate row must be exactly the arithmetic
+        // mean of the cell rows that share its coordinate.
+        let sw = sweep(5);
+        for row in aggregate(&sw) {
+            let key = {
+                let mut p: Vec<String> =
+                    row.coords.iter().map(|(a, l)| format!("{a}={l}")).collect();
+                p.sort();
+                p.join(";")
+            };
+            let members: Vec<&crate::run::CellRun> =
+                sw.runs.iter().filter(|r| r.cell.key() == key).collect();
+            assert_eq!(members.len() as u64, row.n);
+            for (mi, s) in row.stats.iter().enumerate() {
+                let mean: f64 = members.iter().map(|r| r.values[mi]).sum::<f64>()
+                    / members.len() as f64;
+                assert!((s.mean - mean).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_replicate_emits_empty_spread_fields() {
+        let csv = aggregate_csv(&sweep(1));
+        let data = csv.lines().nth(1).unwrap();
+        // ...,n,gmtt_mean,gmtt_std,gmtt_ci95,locality_mean,...
+        let cells: Vec<&str> = data.split(',').collect();
+        assert_eq!(cells[2], "1", "n column");
+        assert_eq!(cells[4], "", "std empty at n=1");
+        assert_eq!(cells[5], "", "ci95 empty at n=1");
+        assert!(!csv.contains("NaN"));
+        let json = merged_json(&sweep(1));
+        assert!(json.contains("\"std\": null"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn csv_shapes_and_sorting() {
+        let sw = sweep(2);
+        let cell_csv = per_cell_csv(&sw);
+        let mut lines = cell_csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "policy,load,replicate,seed,gmtt,locality"
+        );
+        assert_eq!(cell_csv.lines().count(), 1 + 2 * 2 * 2);
+        // Sorted by coordinate key then replicate: keys are
+        // "load=<l>;policy=<p>", so load=high rows come first.
+        let first = cell_csv.lines().nth(1).unwrap();
+        assert!(first.starts_with("dare,high,0,"));
+        let agg = aggregate_csv(&sw);
+        assert_eq!(
+            agg.lines().next().unwrap(),
+            "policy,load,n,gmtt_mean,gmtt_std,gmtt_ci95,locality_mean,locality_std,locality_ci95"
+        );
+        assert_eq!(agg.lines().count(), 1 + 4);
+    }
+
+    #[test]
+    fn merged_outputs_byte_identical_across_thread_counts() {
+        let spec = SweepSpec::new("bytes", 3)
+            .axis("a", &["x", "y", "z"])
+            .seeded_axis("b", &["p", "q"])
+            .seeds(4);
+        let f = |c: &Cell| vec![(c.seed as f64).sin(), c.replicate as f64];
+        let one = run_sweep(&spec, &["m1", "m2"], RunOptions::quiet(1), f);
+        let eight = run_sweep(&spec, &["m1", "m2"], RunOptions::quiet(8), f);
+        assert_eq!(per_cell_csv(&one), per_cell_csv(&eight));
+        assert_eq!(aggregate_csv(&one), aggregate_csv(&eight));
+        assert_eq!(merged_json(&one), merged_json(&eight));
+    }
+}

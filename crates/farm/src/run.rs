@@ -1,0 +1,130 @@
+//! Sweep execution: fan cells across worker threads with progress
+//! reporting, preserving matrix order.
+
+use crate::spec::{Cell, SweepSpec};
+use dare_simcore::parallel::parallel_map_threads;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How to run a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Worker threads (clamped to the cell count; `0`/`1` run inline).
+    pub threads: usize,
+    /// Print decile progress lines to stderr.
+    pub progress: bool,
+}
+
+impl RunOptions {
+    /// All available cores, progress on — the interactive default.
+    pub fn all_cores() -> Self {
+        RunOptions {
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            progress: true,
+        }
+    }
+
+    /// Exactly `threads` workers, progress off — for determinism tests.
+    pub fn quiet(threads: usize) -> Self {
+        RunOptions {
+            threads,
+            progress: false,
+        }
+    }
+}
+
+/// One executed cell: the coordinate plus its metric values, aligned
+/// with [`Sweep::metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRun {
+    /// The matrix cell that was run.
+    pub cell: Cell,
+    /// Metric values, one per metric name.
+    pub values: Vec<f64>,
+}
+
+/// A completed sweep: the spec, the metric names, and every cell's
+/// result in matrix-expansion order (independent of thread count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The spec that was run.
+    pub spec: SweepSpec,
+    /// Metric column names, fixed across all cells.
+    pub metrics: Vec<String>,
+    /// Per-cell results, in [`SweepSpec::expand`] order.
+    pub runs: Vec<CellRun>,
+}
+
+/// Expand `spec` and run `f` on every cell, fanning across
+/// `opts.threads` workers. `f` must return one value per name in
+/// `metrics` (checked per cell) and must be a pure function of the cell
+/// — coordinates and seed — for the merged outputs to be byte-stable
+/// across thread counts.
+pub fn run_sweep<F>(spec: &SweepSpec, metrics: &[&str], opts: RunOptions, f: F) -> Sweep
+where
+    F: Fn(&Cell) -> Vec<f64> + Sync,
+{
+    let cells = spec.expand();
+    let total = cells.len();
+    let done = AtomicUsize::new(0);
+    let runs = parallel_map_threads(cells, opts.threads, |cell| {
+        let values = f(&cell);
+        assert_eq!(
+            values.len(),
+            metrics.len(),
+            "cell {} returned {} values for {} metrics",
+            cell.key(),
+            values.len(),
+            metrics.len()
+        );
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        // Report when the completion count crosses a decile boundary.
+        if opts.progress && total > 0 && n * 10 / total != (n - 1) * 10 / total {
+            eprintln!(
+                "[farm {}] {n}/{total} cells ({}%)",
+                spec.name,
+                n * 100 / total
+            );
+        }
+        CellRun { cell, values }
+    });
+    Sweep {
+        spec: spec.clone(),
+        metrics: metrics.iter().map(|s| s.to_string()).collect(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new("run-test", 7)
+            .axis("policy", &["a", "b", "c"])
+            .seeded_axis("load", &["low", "high"])
+            .seeds(4)
+    }
+
+    #[test]
+    fn results_follow_matrix_order_at_any_thread_count() {
+        let f = |c: &Cell| vec![c.seed as f64, c.replicate as f64];
+        let one = run_sweep(&spec(), &["seed", "rep"], RunOptions::quiet(1), f);
+        let eight = run_sweep(&spec(), &["seed", "rep"], RunOptions::quiet(8), f);
+        assert_eq!(one, eight);
+        assert_eq!(one.runs.len(), 3 * 2 * 4);
+        for (i, r) in one.runs.iter().enumerate() {
+            assert_eq!(r.cell.index, i);
+            assert_eq!(r.values[0], r.cell.seed as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3 values for 2 metrics")]
+    fn metric_arity_is_checked() {
+        let _ = run_sweep(&spec(), &["a", "b"], RunOptions::quiet(1), |_| {
+            vec![0.0, 0.0, 0.0]
+        });
+    }
+}

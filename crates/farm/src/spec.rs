@@ -1,0 +1,378 @@
+//! Sweep specification: axes, validation, matrix expansion, and the
+//! hash-of-coordinates seed-derivation rule.
+
+use dare_simcore::rng::DetRng;
+
+/// One factor of the factorial design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    /// Factor name, e.g. `"scheduler"`.
+    pub name: String,
+    /// The levels swept, in declared (column) order.
+    pub levels: Vec<String>,
+    /// Whether this axis's coordinate enters the per-cell seed hash.
+    ///
+    /// `false` (treatment axis): all levels share a seed per replicate —
+    /// common random numbers, for paired comparisons across systems.
+    /// `true` (seeded axis): each level draws an independent random
+    /// environment.
+    pub seeded: bool,
+}
+
+/// A declarative factorial sweep: axes × `seeds` replicates, rooted at
+/// `base_seed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Sweep name (used in progress output and the JSON report).
+    pub name: String,
+    /// Factors, in declared order. The declared order fixes CSV column
+    /// order but never affects seeds.
+    pub axes: Vec<Axis>,
+    /// Replicates per coordinate (≥ 1).
+    pub seeds: u32,
+    /// Root seed every cell seed is derived from.
+    pub base_seed: u64,
+}
+
+/// One run of the expanded matrix: a coordinate plus a replicate index,
+/// carrying its derived seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Enumeration index in declared-order expansion (replicates
+    /// innermost). Diagnostic only — never used for seeding.
+    pub index: usize,
+    /// `(axis name, level)` pairs in declared axis order.
+    pub coords: Vec<(String, String)>,
+    /// Replicate number, `0..seeds`.
+    pub replicate: u32,
+    /// Seed for this run, from [`cell_seed`].
+    pub seed: u64,
+}
+
+impl Cell {
+    /// The level this cell takes on `axis`, if the axis exists.
+    pub fn coord(&self, axis: &str) -> Option<&str> {
+        self.coords
+            .iter()
+            .find(|(a, _)| a == axis)
+            .map(|(_, l)| l.as_str())
+    }
+
+    /// Canonical coordinate key: `axis=level` pairs over *all* axes,
+    /// sorted by axis name and joined with `;`. Identifies the
+    /// coordinate independent of axis declaration order; aggregate rows
+    /// group and sort by this key.
+    pub fn key(&self) -> String {
+        coord_key(&self.coords)
+    }
+}
+
+/// Canonical key over a coordinate list: sorted by axis name,
+/// `axis=level` joined with `;`.
+fn coord_key(coords: &[(String, String)]) -> String {
+    let mut pairs: Vec<String> = coords.iter().map(|(a, l)| format!("{a}={l}")).collect();
+    pairs.sort();
+    pairs.join(";")
+}
+
+/// Derive the seed for one cell of a sweep.
+///
+/// `seeded_key` is the canonical key (see [`Cell::key`]) restricted to
+/// the *seeded* axes' coordinates — treatment axes are excluded so all
+/// their levels share draws. The rule:
+///
+/// - empty `seeded_key` and `replicate == 0` → `base_seed` unchanged,
+///   so a 1-seed sweep with no seeded axes reproduces the repo's
+///   historical single-seed runs bit-for-bit;
+/// - otherwise, a `DetRng` substream labelled `farm:<seeded_key>` at
+///   index `replicate`, which hashes the coordinate *text*. Enumeration
+///   order never enters, so reordering the matrix cannot move seeds.
+pub fn cell_seed(base_seed: u64, seeded_key: &str, replicate: u32) -> u64 {
+    if seeded_key.is_empty() && replicate == 0 {
+        return base_seed;
+    }
+    DetRng::new(base_seed)
+        .substream_idx(&format!("farm:{seeded_key}"), replicate as u64)
+        .seed()
+}
+
+impl SweepSpec {
+    /// New empty spec with one replicate.
+    pub fn new(name: &str, base_seed: u64) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            axes: Vec::new(),
+            seeds: 1,
+            base_seed,
+        }
+    }
+
+    /// Add a treatment axis (levels share seeds per replicate).
+    pub fn axis(mut self, name: &str, levels: &[&str]) -> Self {
+        self.axes.push(Axis {
+            name: name.to_string(),
+            levels: levels.iter().map(|s| s.to_string()).collect(),
+            seeded: false,
+        });
+        self
+    }
+
+    /// Add a seeded axis (each level draws an independent environment).
+    pub fn seeded_axis(mut self, name: &str, levels: &[&str]) -> Self {
+        self.axes.push(Axis {
+            name: name.to_string(),
+            levels: levels.iter().map(|s| s.to_string()).collect(),
+            seeded: true,
+        });
+        self
+    }
+
+    /// Set the replicate count.
+    pub fn seeds(mut self, n: u32) -> Self {
+        self.seeds = n;
+        self
+    }
+
+    /// Check the spec is well-formed: a name, `seeds ≥ 1`, no duplicate
+    /// axis names, every axis non-empty with unique levels, and no
+    /// `=`/`;`/`,`/newline in names or levels (they would corrupt keys
+    /// and CSV).
+    pub fn validate(&self) -> Result<(), String> {
+        fn clean(kind: &str, s: &str) -> Result<(), String> {
+            if s.is_empty() {
+                return Err(format!("{kind} must not be empty"));
+            }
+            for bad in ['=', ';', ',', '\n'] {
+                if s.contains(bad) {
+                    return Err(format!("{kind} {s:?} contains reserved character {bad:?}"));
+                }
+            }
+            Ok(())
+        }
+        clean("sweep name", &self.name)?;
+        if self.seeds == 0 {
+            return Err("seeds must be >= 1".into());
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for ax in &self.axes {
+            clean("axis name", &ax.name)?;
+            if names.contains(&ax.name.as_str()) {
+                return Err(format!("duplicate axis name {:?}", ax.name));
+            }
+            names.push(&ax.name);
+            if ax.levels.is_empty() {
+                return Err(format!("axis {:?} has no levels", ax.name));
+            }
+            let mut seen: Vec<&str> = Vec::new();
+            for l in &ax.levels {
+                clean("level", l)?;
+                if seen.contains(&l.as_str()) {
+                    return Err(format!("axis {:?} repeats level {l:?}", ax.name));
+                }
+                seen.push(l);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of runs the matrix expands to (`∏ levels × seeds`).
+    pub fn cell_count(&self) -> usize {
+        self.axes
+            .iter()
+            .map(|a| a.levels.len())
+            .product::<usize>()
+            .saturating_mul(self.seeds as usize)
+    }
+
+    /// Expand to the full run matrix: declared-order nested product with
+    /// replicates innermost. Panics on an invalid spec — call
+    /// [`SweepSpec::validate`] first for a recoverable error.
+    pub fn expand(&self) -> Vec<Cell> {
+        if let Err(e) = self.validate() {
+            panic!("invalid SweepSpec {:?}: {e}", self.name);
+        }
+        let mut cells = Vec::with_capacity(self.cell_count());
+        let mut coords: Vec<(String, String)> = Vec::with_capacity(self.axes.len());
+        self.expand_axis(0, &mut coords, &mut cells);
+        cells
+    }
+
+    fn expand_axis(
+        &self,
+        depth: usize,
+        coords: &mut Vec<(String, String)>,
+        out: &mut Vec<Cell>,
+    ) {
+        if depth == self.axes.len() {
+            let seeded: Vec<(String, String)> = self
+                .axes
+                .iter()
+                .zip(coords.iter())
+                .filter(|(ax, _)| ax.seeded)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let seeded_key = coord_key(&seeded);
+            for rep in 0..self.seeds {
+                out.push(Cell {
+                    index: out.len(),
+                    coords: coords.clone(),
+                    replicate: rep,
+                    seed: cell_seed(self.base_seed, &seeded_key, rep),
+                });
+            }
+            return;
+        }
+        let ax = &self.axes[depth];
+        for level in &ax.levels {
+            coords.push((ax.name.clone(), level.clone()));
+            self.expand_axis(depth + 1, coords, out);
+            coords.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SweepSpec {
+        SweepSpec::new("demo", 42)
+            .axis("scheduler", &["fifo", "fair"])
+            .axis("policy", &["vanilla", "dare"])
+            .seeded_axis("faults", &["none", "heavy"])
+            .seeds(3)
+    }
+
+    #[test]
+    fn expansion_counts_and_order() {
+        let cells = demo().expand();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 3);
+        assert_eq!(cells.len(), demo().cell_count());
+        // Declared order, replicates innermost.
+        assert_eq!(cells[0].coords[0], ("scheduler".into(), "fifo".into()));
+        assert_eq!(cells[0].replicate, 0);
+        assert_eq!(cells[1].replicate, 1);
+        assert_eq!(cells[3].coords[2], ("faults".into(), "heavy".into()));
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn treatment_axes_share_seeds_within_replicate() {
+        // Common random numbers: same faults level + replicate ⇒ same
+        // seed across all scheduler × policy combinations.
+        let cells = demo().expand();
+        for a in &cells {
+            for b in &cells {
+                if a.coord("faults") == b.coord("faults") && a.replicate == b.replicate {
+                    assert_eq!(a.seed, b.seed, "{:?} vs {:?}", a.coords, b.coords);
+                }
+            }
+        }
+        // ...and seeded levels / replicates draw distinct seeds.
+        let s = |f: &str, r: u32| {
+            cells
+                .iter()
+                .find(|c| c.coord("faults") == Some(f) && c.replicate == r)
+                .unwrap()
+                .seed
+        };
+        assert_ne!(s("none", 0), s("heavy", 0));
+        assert_ne!(s("none", 0), s("none", 1));
+    }
+
+    #[test]
+    fn seeds_stable_under_matrix_reordering() {
+        // Hash-of-coordinates: permuting axis declaration order and
+        // level order must not move any cell's seed.
+        let reordered = SweepSpec::new("demo", 42)
+            .seeded_axis("faults", &["heavy", "none"])
+            .axis("policy", &["dare", "vanilla"])
+            .axis("scheduler", &["fair", "fifo"])
+            .seeds(3)
+            .expand();
+        for c in demo().expand() {
+            let twin = reordered
+                .iter()
+                .find(|r| r.key() == c.key() && r.replicate == c.replicate)
+                .expect("same coordinate exists after reordering");
+            assert_eq!(twin.seed, c.seed, "seed moved for {}", c.key());
+            assert_ne!(twin.index, c.index, "reordering does permute enumeration");
+        }
+    }
+
+    #[test]
+    fn seeds_stable_when_axes_are_added() {
+        // Growing the design must not reseed existing cells: a cell's
+        // seed depends only on its seeded coordinates.
+        let small = SweepSpec::new("demo", 42)
+            .seeded_axis("faults", &["none", "heavy"])
+            .seeds(2)
+            .expand();
+        let grown = demo().expand();
+        for c in &small {
+            let twin = grown
+                .iter()
+                .find(|g| g.coord("faults") == c.coord("faults") && g.replicate == c.replicate)
+                .unwrap();
+            assert_eq!(twin.seed, c.seed);
+        }
+    }
+
+    #[test]
+    fn legacy_single_seed_anchor() {
+        // No seeded axes, replicate 0 ⇒ the base seed itself, so the
+        // historical single-seed figures are the farm's first replicate.
+        let cells = SweepSpec::new("legacy", 20110926)
+            .axis("policy", &["vanilla", "dare"])
+            .expand();
+        assert!(cells.iter().all(|c| c.seed == 20110926));
+        let cells = SweepSpec::new("legacy", 20110926)
+            .axis("policy", &["vanilla", "dare"])
+            .seeds(2)
+            .expand();
+        assert_eq!(cells[0].seed, 20110926);
+        assert_ne!(cells[1].seed, 20110926);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_specs() {
+        assert!(SweepSpec::new("", 1).validate().is_err());
+        assert!(SweepSpec::new("x", 1).seeds(0).validate().is_err());
+        assert!(SweepSpec::new("x", 1)
+            .axis("a", &["1"])
+            .axis("a", &["2"])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::new("x", 1).axis("a", &[]).validate().is_err());
+        assert!(SweepSpec::new("x", 1)
+            .axis("a", &["1", "1"])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::new("x", 1)
+            .axis("a=b", &["1"])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::new("x", 1)
+            .axis("a", &["v;w"])
+            .validate()
+            .is_err());
+        assert!(demo().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SweepSpec")]
+    fn expand_panics_on_invalid() {
+        let _ = SweepSpec::new("x", 1).axis("a", &[]).expand();
+    }
+
+    #[test]
+    fn key_is_sorted_and_complete() {
+        let cells = demo().expand();
+        assert_eq!(
+            cells[0].key(),
+            "faults=none;policy=vanilla;scheduler=fifo"
+        );
+    }
+}

@@ -129,6 +129,68 @@ impl OnlineStats {
     }
 }
 
+/// Replicated-run summary: sample mean, sample standard deviation, and
+/// the 95 % confidence half-width of the mean (normal approximation,
+/// `1.96 s/√n`) over N independent seeds of one experiment cell.
+///
+/// `std` and `ci95` are **0.0 when `n < 2`** — a single replicate has no
+/// spread estimate. They are never NaN; presentation layers (the farm's
+/// CSV merger) render them as empty fields instead of fabricating a zero
+/// spread. Normal approximation rather than Student-t: at the ~5-10 seed
+/// replications the experiment farm runs, the difference is well inside
+/// the simulator-vs-paper tolerance bands, and it keeps the half-width a
+/// closed form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of replicates.
+    pub n: u64,
+    /// Sample mean (0 when `n == 0`).
+    pub mean: f64,
+    /// Sample standard deviation, `n-1` denominator (0 when `n < 2`).
+    pub std: f64,
+    /// 95 % confidence half-width `1.96 · std / √n` (0 when `n < 2`).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// True when enough replicates exist for `std`/`ci95` to be defined.
+    pub fn has_spread(&self) -> bool {
+        self.n >= 2
+    }
+}
+
+/// Summarize replicated measurements into mean / sample std / 95 % CI.
+///
+/// Accepts any sample count without panicking: empty input yields an
+/// all-zero summary, a single sample yields its value as the mean with
+/// zero (undefined) spread.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let mut st = OnlineStats::new();
+    for &x in xs {
+        st.push(x);
+    }
+    summarize_online(&st)
+}
+
+/// [`summarize`] over an already-filled [`OnlineStats`] accumulator
+/// (parallel-sweep reductions merge accumulators, then summarize once).
+pub fn summarize_online(st: &OnlineStats) -> Summary {
+    let n = st.count();
+    let (std, ci95) = if n >= 2 {
+        // Sample variance from the population variance OnlineStats keeps.
+        let s = (st.variance() * n as f64 / (n as f64 - 1.0)).sqrt();
+        (s, 1.96 * s / (n as f64).sqrt())
+    } else {
+        (0.0, 0.0)
+    };
+    Summary {
+        n,
+        mean: st.mean(),
+        std,
+        ci95,
+    }
+}
+
 /// Geometric mean of strictly positive values — the paper's GMTT (Eq. 1).
 ///
 /// Computed in log space to avoid overflow on long products. Non-positive
@@ -519,6 +581,60 @@ mod tests {
         empty.merge(&b);
         assert_eq!(empty.count(), 2);
         assert_eq!(empty.mean(), 2.0);
+    }
+
+    #[test]
+    fn summary_ci_half_width_matches_hand_computation() {
+        // [2,4,4,4,5,5,7,9]: mean 5, sample variance 32/7, so
+        // s = sqrt(32/7) = 2.13808993529939..., ci95 = 1.96·s/√8.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = summarize(&xs);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * (32.0f64 / 7.0).sqrt() / 8.0f64.sqrt()).abs() < 1e-12);
+        assert!(s.has_spread());
+
+        // Two-sample case, fully by hand: [1, 3] → mean 2, s = √2,
+        // ci95 = 1.96·√2/√2 = 1.96.
+        let s = summarize(&[1.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((s.ci95 - 1.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_n1_and_empty_are_nan_free() {
+        // n = 1: spread is undefined — must come back 0.0 (not NaN, no
+        // panic) and report has_spread() == false so emitters can render
+        // empty fields.
+        let s = summarize(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert!(!s.has_spread());
+        assert!(!s.mean.is_nan() && !s.std.is_nan() && !s.ci95.is_nan());
+
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!((s.mean, s.std, s.ci95), (0.0, 0.0, 0.0));
+        assert!(!s.has_spread());
+    }
+
+    #[test]
+    fn summarize_online_agrees_with_slice_form() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).cos() * 5.0).collect();
+        let mut st = OnlineStats::new();
+        for &x in &xs {
+            st.push(x);
+        }
+        let a = summarize(&xs);
+        let b = summarize_online(&st);
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.std - b.std).abs() < 1e-12);
+        assert!((a.ci95 - b.ci95).abs() < 1e-12);
+        assert_eq!(a.n, b.n);
     }
 
     #[test]

@@ -314,7 +314,9 @@ fn usage() -> String {
      --self-profile              time event dispatch by subsystem (wall clock)\n\
      --csv / --csv-header        machine-readable one-row output\n\
      \n\
-     dare-sim mc [flags]         bounded model checker (see `dare-sim mc --help`)"
+     dare-sim mc [flags]         bounded model checker (see `dare-sim mc --help`)\n\
+     dare-sim experiments [ids...] [--seed N] [--seeds N]\n\
+                                 regenerate paper figures/tables (see `dare-sim experiments --help`)"
         .into()
 }
 
@@ -529,6 +531,12 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("mc") {
         std::process::exit(run_mc(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("experiments") {
+        // Forward to the dare-bench experiment driver, so one command
+        // regenerates every figure/table: `dare-sim experiments -- all
+        // --seeds 5`. (cli::run skips a leading literal `--` itself.)
+        std::process::exit(dare_repro::bench::cli::run(&argv[1..]));
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

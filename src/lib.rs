@@ -4,6 +4,7 @@
 //! and downstream users can depend on one crate. See the workspace README
 //! for the architecture overview and DESIGN.md for the per-experiment index.
 
+pub use dare_bench as bench;
 pub use dare_core as core;
 pub use dare_dfs as dfs;
 pub use dare_mapred as mapred;
