@@ -81,6 +81,11 @@ fn run_one(which: &str, seed: u64, seeds: u32) -> i32 {
                 return 1;
             }
         }
+        "attribution" => {
+            if attribution::run(seed, seeds) > 0 {
+                return 1;
+            }
+        }
         "telemetry-smoke" => {
             if telemetry_smoke::run(seed) > 0 {
                 return 1;
@@ -121,7 +126,7 @@ fn usage(err: &str) -> i32 {
     }
     eprintln!(
         "usage: experiments [ids...] [--seed N] [--seeds N]\n\
-         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation resilience durability farm plots trace-smoke telemetry-smoke throughput verify all\n\
+         ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation resilience durability farm plots trace-smoke telemetry-smoke throughput attribution verify all\n\
          --seeds N replicates every sweep over N derived seeds (CI columns in the CSVs)"
     );
     if err.is_empty() {

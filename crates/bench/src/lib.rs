@@ -16,6 +16,7 @@ pub mod plot;
 pub mod experiments {
     //! One module per paper artifact.
     pub mod ablation;
+    pub mod attribution;
     pub mod durability;
     pub mod farm;
     pub mod fig1;

@@ -28,15 +28,39 @@ pub const GOLDEN_SEED: u64 = 0xDA7E;
 /// delay-scheduling skips and dynamic replication, small enough that a
 /// golden file stays reviewable in a diff.
 pub fn golden_workload() -> Workload {
-    synthesize(
-        "golden",
-        &SwimParams {
-            jobs: 12,
-            files: 12,
-            ..SwimParams::wl1()
-        },
-        GOLDEN_SEED,
-    )
+    synthesize("golden", &golden_params(), GOLDEN_SEED)
+}
+
+/// SWIM parameters behind [`golden_workload`], exposed so replicated
+/// experiments can resynthesize the same shape under derived seeds.
+pub fn golden_params() -> SwimParams {
+    SwimParams {
+        jobs: 12,
+        files: 12,
+        ..SwimParams::wl1()
+    }
+}
+
+/// The skew-heavy companion workload for the attribution experiment: a
+/// "yahoo"-style profile where a few hot files dominate the access
+/// stream (steeper Zipf exponent, short hot-set phases), so dynamic
+/// replication has real headroom to convert critical-path remote
+/// fetches into local reads. Same pinned seed as the golden matrix.
+pub fn yahoo_workload() -> Workload {
+    synthesize("yahoo", &yahoo_params(), GOLDEN_SEED)
+}
+
+/// SWIM parameters behind [`yahoo_workload`].
+pub fn yahoo_params() -> SwimParams {
+    SwimParams {
+        jobs: 40,
+        files: 16,
+        zipf_s: 1.6,
+        phase_jobs: 20,
+        focal_per_phase: 2,
+        focal_prob: 0.9,
+        ..SwimParams::wl1()
+    }
 }
 
 /// The scenario matrix: FIFO/Fair × vanilla/DARE-LRU, all on

@@ -281,6 +281,227 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Parse one JSONL line back into its event payload (inverse of
+/// [`record_to_json`], minus `t`/`seq` which the caller reads itself).
+///
+/// Hand-rolled like every other JSON reader in this offline workspace:
+/// the exporter writes a fixed key order with unambiguous key names, so
+/// substring extraction is exact on well-formed lines and merely
+/// error-reporting on malformed ones.
+fn parse_event(line: &str) -> Result<TraceEvent, String> {
+    use crate::event::{FlowKind, Loc};
+    let ev = field_str(line, "\"ev\":\"").ok_or("missing \"ev\"")?;
+    let u = |key: &str| -> Result<u64, String> {
+        let pat = format!("\"{key}\":");
+        field_u64(line, &pat).ok_or_else(|| format!("missing integer field \"{key}\""))
+    };
+    let u32f = |key: &str| -> Result<u32, String> {
+        u(key).and_then(|v| {
+            u32::try_from(v).map_err(|_| format!("field \"{key}\" out of u32 range"))
+        })
+    };
+    let b = |key: &str| -> Result<bool, String> {
+        let pat = format!("\"{key}\":");
+        field_bool(line, &pat).ok_or_else(|| format!("missing bool field \"{key}\""))
+    };
+    let loc = |key: &str| -> Result<Loc, String> {
+        let pat = format!("\"{key}\":\"");
+        match field_str(line, &pat) {
+            Some("node") => Ok(Loc::Node),
+            Some("rack") => Ok(Loc::Rack),
+            Some("remote") => Ok(Loc::Remote),
+            Some(other) => Err(format!("unknown locality {other:?}")),
+            None => Err(format!("missing string field \"{key}\"")),
+        }
+    };
+    let kind = || -> Result<FlowKind, String> {
+        match field_str(line, "\"kind\":\"") {
+            Some("fetch") => Ok(FlowKind::Fetch),
+            Some("recovery") => Ok(FlowKind::Recovery),
+            Some("proactive") => Ok(FlowKind::Proactive),
+            Some(other) => Err(format!("unknown flow kind {other:?}")),
+            None => Err("missing string field \"kind\"".into()),
+        }
+    };
+    // Flow context: the exporter writes either a `block` key (block copy)
+    // or the job/task/attempt triple (input fetch).
+    let ctx = || -> Result<FlowCtx, String> {
+        if line.contains("\"block\":") {
+            Ok(FlowCtx::Block { block: u("block")? })
+        } else {
+            Ok(FlowCtx::Fetch {
+                job: u32f("job")?,
+                task: u32f("task")?,
+                attempt: u32f("attempt")?,
+            })
+        }
+    };
+    Ok(match ev {
+        "job_submitted" => TraceEvent::JobSubmitted {
+            job: u32f("job")?,
+            maps: u32f("maps")?,
+        },
+        "job_completed" => TraceEvent::JobCompleted {
+            job: u32f("job")?,
+            dur_us: u("dur_us")?,
+        },
+        "job_failed" => TraceEvent::JobFailed { job: u32f("job")? },
+        "task_launched" => TraceEvent::TaskLaunched {
+            job: u32f("job")?,
+            task: u32f("task")?,
+            attempt: u32f("attempt")?,
+            node: u32f("node")?,
+            loc: loc("loc")?,
+            speculative: b("spec")?,
+            local_read: b("local_read")?,
+        },
+        "task_read_done" => TraceEvent::TaskReadDone {
+            job: u32f("job")?,
+            task: u32f("task")?,
+            attempt: u32f("attempt")?,
+            node: u32f("node")?,
+        },
+        "task_committed" => TraceEvent::TaskCommitted {
+            job: u32f("job")?,
+            task: u32f("task")?,
+            attempt: u32f("attempt")?,
+            node: u32f("node")?,
+            dur_us: u("dur_us")?,
+        },
+        "task_aborted" => TraceEvent::TaskAborted {
+            job: u32f("job")?,
+            task: u32f("task")?,
+            attempt: u32f("attempt")?,
+            node: u32f("node")?,
+        },
+        "task_requeued" => TraceEvent::TaskRequeued {
+            job: u32f("job")?,
+            task: u32f("task")?,
+            attempt: u32f("attempt")?,
+        },
+        "delay_skip" => TraceEvent::DelaySkip {
+            job: u32f("job")?,
+            node: u32f("node")?,
+            skips: u32f("skips")?,
+            offered: loc("offered")?,
+        },
+        "flow_started" => TraceEvent::FlowStarted {
+            flow: u("flow")?,
+            kind: kind()?,
+            src: u32f("src")?,
+            dst: u32f("dst")?,
+            bytes: u("bytes")?,
+            cross_rack: b("cross_rack")?,
+            ctx: ctx()?,
+        },
+        "flow_finished" => TraceEvent::FlowFinished {
+            flow: u("flow")?,
+            kind: kind()?,
+            src: u32f("src")?,
+            dst: u32f("dst")?,
+            bytes: u("bytes")?,
+            dur_us: u("dur_us")?,
+            ctx: ctx()?,
+        },
+        "flow_cancelled" => TraceEvent::FlowCancelled {
+            flow: u("flow")?,
+            kind: kind()?,
+        },
+        "replica_decision" => TraceEvent::ReplicaDecision {
+            node: u32f("node")?,
+            block: u("block")?,
+            replicate: b("replicate")?,
+            evictions: u32f("evictions")?,
+        },
+        "replica_committed" => TraceEvent::ReplicaCommitted {
+            node: u32f("node")?,
+            block: u("block")?,
+        },
+        "replica_evicted" => TraceEvent::ReplicaEvicted {
+            node: u32f("node")?,
+            block: u("block")?,
+        },
+        "node_crashed" => TraceEvent::NodeCrashed {
+            node: u32f("node")?,
+            permanent: b("permanent")?,
+        },
+        "node_rejoined" => TraceEvent::NodeRejoined {
+            node: u32f("node")?,
+            restored: u32f("restored")?,
+        },
+        "node_declared_dead" => TraceEvent::NodeDeclaredDead {
+            node: u32f("node")?,
+            under_replicated: u32f("under")?,
+        },
+        "block_lost" => TraceEvent::BlockLost { block: u("block")? },
+        "recovery_queued" => TraceEvent::RecoveryQueued {
+            block: u("block")?,
+            visible: u32f("visible")?,
+        },
+        "replica_corrupted" => TraceEvent::ReplicaCorrupted {
+            node: u32f("node")?,
+            block: u("block")?,
+            dynamic: b("dynamic")?,
+        },
+        "checksum_failed" => TraceEvent::ChecksumFailed {
+            node: u32f("node")?,
+            block: u("block")?,
+            job: u32f("job")?,
+            task: u32f("task")?,
+            attempt: u32f("attempt")?,
+        },
+        "replica_quarantined" => TraceEvent::ReplicaQuarantined {
+            node: u32f("node")?,
+            block: u("block")?,
+            dynamic: b("dynamic")?,
+        },
+        "scrub_complete" => TraceEvent::ScrubComplete {
+            node: u32f("node")?,
+            bytes: u("bytes")?,
+            found: u32f("found")?,
+        },
+        "repair_commit" => TraceEvent::RepairCommit {
+            block: u("block")?,
+            node: u32f("node")?,
+            wait_us: u("wait_us")?,
+        },
+        other => return Err(format!("unknown event name {other:?}")),
+    })
+}
+
+/// Parse a JSONL export back into a [`Trace`].
+///
+/// The text is schema-validated first ([`validate_jsonl`]: dense `seq`,
+/// non-decreasing `t`, known event names), then every line is decoded and
+/// re-recorded through a [`crate::Tracer`], so the rebuilt trace carries the same
+/// counters and latency histograms the original run accumulated.
+/// Round-trip is exact: `from_jsonl(&to_jsonl(t))` re-serializes to the
+/// same bytes.
+pub fn from_jsonl(jsonl: &str) -> Result<Trace, String> {
+    validate_jsonl(jsonl)?;
+    let mut tracer = crate::recorder::Tracer::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        let lineno = i + 1;
+        let t = field_u64(line, "\"t\":")
+            .ok_or_else(|| format!("line {lineno}: missing integer field \"t\""))?;
+        let event = parse_event(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        tracer.record(dare_simcore::time::SimTime::from_micros(t), event);
+    }
+    Ok(tracer.finish())
+}
+
 /// Serialize a trace in Chrome Trace Event format, openable in Perfetto.
 ///
 /// Layout: pid 1 = job spans (one row per job), pid 2 = task attempts
@@ -598,6 +819,120 @@ mod tests {
         // Time going backwards.
         let back = j.replace("{\"t\":4020,", "{\"t\":1,");
         assert!(validate_jsonl(&back).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn from_jsonl_round_trips_exactly() {
+        let trace = sample_trace();
+        let j = to_jsonl(&trace);
+        let rebuilt = from_jsonl(&j).expect("parses");
+        assert_eq!(rebuilt.records(), trace.records());
+        assert_eq!(rebuilt.counters(), trace.counters());
+        assert_eq!(to_jsonl(&rebuilt), j, "re-serialization is byte-identical");
+        // Malformed input is rejected with a line number.
+        let bad = j.replace("\"maps\":1", "\"maps\":x");
+        assert!(from_jsonl(&bad).unwrap_err().contains("line 1"));
+        assert!(from_jsonl("{\"t\":0,\"seq\":0,\"ev\":\"job_teleported\"}\n").is_err());
+    }
+
+    #[test]
+    fn from_jsonl_round_trips_every_event_kind() {
+        use crate::event::{FlowCtx, FlowKind};
+        let mut tr = Tracer::new();
+        let evs = [
+            TraceEvent::JobSubmitted { job: 1, maps: 2 },
+            TraceEvent::TaskLaunched {
+                job: 1,
+                task: 0,
+                attempt: 0,
+                node: 3,
+                loc: Loc::Remote,
+                speculative: true,
+                local_read: false,
+            },
+            TraceEvent::FlowStarted {
+                flow: 9,
+                kind: FlowKind::Recovery,
+                src: 1,
+                dst: 2,
+                bytes: 4096,
+                cross_rack: true,
+                ctx: FlowCtx::Block { block: 17 },
+            },
+            TraceEvent::FlowFinished {
+                flow: 9,
+                kind: FlowKind::Recovery,
+                src: 1,
+                dst: 2,
+                bytes: 4096,
+                dur_us: 55,
+                ctx: FlowCtx::Block { block: 17 },
+            },
+            TraceEvent::FlowCancelled {
+                flow: 10,
+                kind: FlowKind::Proactive,
+            },
+            TraceEvent::DelaySkip {
+                job: 1,
+                node: 4,
+                skips: 2,
+                offered: Loc::Rack,
+            },
+            TraceEvent::TaskAborted {
+                job: 1,
+                task: 0,
+                attempt: 0,
+                node: 3,
+            },
+            TraceEvent::TaskRequeued {
+                job: 1,
+                task: 0,
+                attempt: 1,
+            },
+            TraceEvent::ReplicaDecision {
+                node: 2,
+                block: 5,
+                replicate: false,
+                evictions: 0,
+            },
+            TraceEvent::NodeCrashed {
+                node: 7,
+                permanent: false,
+            },
+            TraceEvent::NodeDeclaredDead {
+                node: 7,
+                under_replicated: 3,
+            },
+            TraceEvent::RecoveryQueued {
+                block: 5,
+                visible: 1,
+            },
+            TraceEvent::ChecksumFailed {
+                node: 2,
+                block: 5,
+                job: 1,
+                task: 0,
+                attempt: 1,
+            },
+            TraceEvent::ScrubComplete {
+                node: 2,
+                bytes: 1 << 20,
+                found: 1,
+            },
+            TraceEvent::RepairCommit {
+                block: 5,
+                node: 3,
+                wait_us: 777,
+            },
+            TraceEvent::JobFailed { job: 1 },
+        ];
+        for (i, ev) in evs.into_iter().enumerate() {
+            tr.record(SimTime::from_micros(i as u64 * 10), ev);
+        }
+        let trace = tr.finish();
+        let j = to_jsonl(&trace);
+        let rebuilt = from_jsonl(&j).expect("parses");
+        assert_eq!(rebuilt.records(), trace.records());
     }
 
     #[test]

@@ -202,6 +202,156 @@ pub fn flow_spans(trace: &Trace) -> Vec<FlowSpan> {
     spans
 }
 
+/// Counts returned by a successful [`Trace::validate_spans`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanCheck {
+    /// Task-attempt spans that opened and closed exactly once.
+    pub task_spans: usize,
+    /// Flow spans that opened and closed exactly once.
+    pub flow_spans: usize,
+}
+
+impl Trace {
+    /// Debug check that every task and flow span closes exactly once.
+    ///
+    /// Walks the log once and errors on the first structural violation,
+    /// naming the offending record's event index (its `seq`):
+    ///
+    /// * a `task_read_done` / `task_committed` / `task_aborted` with no
+    ///   open attempt for its `(job, task, attempt, node)` — a close
+    ///   without an open, or a double close;
+    /// * a `flow_finished` / `flow_cancelled` for a flow id that is not
+    ///   open;
+    /// * after the walk, any span still open — reported as the orphan
+    ///   whose *opening* event index is smallest, so the error points at
+    ///   where the leak began rather than deep inside a query helper.
+    ///
+    /// Speculative duplicates legitimately share an attempt number; they
+    /// are tracked per `(job, task, attempt, node)` so a backup and its
+    /// original are distinct spans. Note that a backup that loses the
+    /// commit race on a *completed* task is torn down without its own
+    /// abort event only when the engine never re-observes it, so traces
+    /// from speculation-heavy or mid-crash runs can legitimately report
+    /// orphans: this is a strict structural check meant for golden-style
+    /// harness traces, and analysis layers should treat its failure as a
+    /// warning, not a hard error.
+    pub fn validate_spans(&self) -> Result<SpanCheck, String> {
+        use std::collections::HashMap;
+        // Open task attempts: (job, task, attempt, node) -> opening seq.
+        let mut open_tasks: HashMap<(u32, u32, u32, u32), u64> = HashMap::new();
+        // Open flows: flow id -> opening seq.
+        let mut open_flows: HashMap<u64, u64> = HashMap::new();
+        let mut check = SpanCheck::default();
+        for r in self.records() {
+            match r.event {
+                TraceEvent::TaskLaunched {
+                    job,
+                    task,
+                    attempt,
+                    node,
+                    ..
+                } => {
+                    if let Some(prev) = open_tasks.insert((job, task, attempt, node), r.seq) {
+                        return Err(format!(
+                            "event #{}: task_launched reopens span job {job} task {task} \
+                             attempt {attempt} node {node} (already open since event #{prev})",
+                            r.seq
+                        ));
+                    }
+                }
+                TraceEvent::TaskReadDone {
+                    job,
+                    task,
+                    attempt,
+                    node,
+                } if !open_tasks.contains_key(&(job, task, attempt, node)) => {
+                    return Err(format!(
+                        "event #{}: task_read_done for job {job} task {task} attempt \
+                         {attempt} node {node} matches no open task span",
+                        r.seq
+                    ));
+                }
+                TraceEvent::TaskCommitted {
+                    job,
+                    task,
+                    attempt,
+                    node,
+                    ..
+                } => {
+                    if open_tasks.remove(&(job, task, attempt, node)).is_none() {
+                        return Err(format!(
+                            "event #{}: task_committed for job {job} task {task} attempt \
+                             {attempt} node {node} closes no open task span (double close?)",
+                            r.seq
+                        ));
+                    }
+                    check.task_spans += 1;
+                }
+                TraceEvent::TaskAborted {
+                    job,
+                    task,
+                    attempt,
+                    node,
+                } => {
+                    if open_tasks.remove(&(job, task, attempt, node)).is_none() {
+                        return Err(format!(
+                            "event #{}: task_aborted for job {job} task {task} attempt \
+                             {attempt} node {node} closes no open task span (double close?)",
+                            r.seq
+                        ));
+                    }
+                    check.task_spans += 1;
+                }
+                TraceEvent::FlowStarted { flow, .. } => {
+                    if let Some(prev) = open_flows.insert(flow, r.seq) {
+                        return Err(format!(
+                            "event #{}: flow_started reopens flow {flow} (already open \
+                             since event #{prev})",
+                            r.seq
+                        ));
+                    }
+                }
+                TraceEvent::FlowFinished { flow, .. } | TraceEvent::FlowCancelled { flow, .. } => {
+                    if open_flows.remove(&flow).is_none() {
+                        return Err(format!(
+                            "event #{}: {} closes no open flow {flow} (double close?)",
+                            r.seq,
+                            r.event.name()
+                        ));
+                    }
+                    check.flow_spans += 1;
+                }
+                _ => {}
+            }
+        }
+        // Report the earliest-opened orphan, if any.
+        let first_task = open_tasks
+            .iter()
+            .min_by_key(|(_, &seq)| seq)
+            .map(|(&(job, task, attempt, node), &seq)| {
+                (
+                    seq,
+                    format!(
+                        "task span job {job} task {task} attempt {attempt} node {node} \
+                         (opened at event #{seq}) never closed"
+                    ),
+                )
+            });
+        let first_flow = open_flows
+            .iter()
+            .min_by_key(|(_, &seq)| seq)
+            .map(|(&flow, &seq)| (seq, format!("flow {flow} (opened at event #{seq}) never closed")));
+        match (first_task, first_flow) {
+            (Some((ts, tmsg)), Some((fs, fmsg))) => {
+                return Err(if ts <= fs { tmsg } else { fmsg });
+            }
+            (Some((_, msg)), None) | (None, Some((_, msg))) => return Err(msg),
+            (None, None) => {}
+        }
+        Ok(check)
+    }
+}
+
 /// All records touching job `job` (submission, its tasks, its fetch
 /// flows, completion), in trace order — a per-job timeline.
 pub fn per_job_timeline(trace: &Trace, job: u32) -> Vec<&TraceRecord> {
@@ -367,6 +517,86 @@ mod tests {
         assert_eq!(flows[0].end, Some(t(40)));
         assert!(flows[0].finished);
         assert!(tasks[0].overlaps_flow(&flows[0]));
+    }
+
+    #[test]
+    fn validate_spans_accepts_balanced_traces() {
+        let trace = demo();
+        let check = trace.validate_spans().expect("demo trace is balanced");
+        assert_eq!(
+            check,
+            SpanCheck {
+                task_spans: 1,
+                flow_spans: 1
+            }
+        );
+    }
+
+    #[test]
+    fn validate_spans_reports_the_first_orphan_by_event_index() {
+        // A launch that never closes: the error names its opening index.
+        let mut tr = Tracer::new();
+        tr.record(t(0), TraceEvent::JobSubmitted { job: 0, maps: 1 });
+        tr.record(
+            t(5),
+            TraceEvent::TaskLaunched {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 1,
+                loc: Loc::Node,
+                speculative: false,
+                local_read: true,
+            },
+        );
+        let err = tr.finish().validate_spans().unwrap_err();
+        assert!(err.contains("event #1"), "orphan points at the open: {err}");
+        assert!(err.contains("never closed"), "{err}");
+    }
+
+    #[test]
+    fn validate_spans_rejects_closes_without_opens() {
+        // Commit with no matching launch.
+        let mut tr = Tracer::new();
+        tr.record(
+            t(1),
+            TraceEvent::TaskCommitted {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                node: 1,
+                dur_us: 1,
+            },
+        );
+        let err = tr.finish().validate_spans().unwrap_err();
+        assert!(err.contains("closes no open task span"), "{err}");
+
+        // Flow finished twice: the second close is the violation.
+        let mut tr = Tracer::new();
+        let flow = |f| TraceEvent::FlowStarted {
+            flow: f,
+            kind: FlowKind::Fetch,
+            src: 0,
+            dst: 1,
+            bytes: 1,
+            cross_rack: false,
+            ctx: FlowCtx::Block { block: 0 },
+        };
+        let fin = |f| TraceEvent::FlowFinished {
+            flow: f,
+            kind: FlowKind::Fetch,
+            src: 0,
+            dst: 1,
+            bytes: 1,
+            dur_us: 1,
+            ctx: FlowCtx::Block { block: 0 },
+        };
+        tr.record(t(0), flow(7));
+        tr.record(t(1), fin(7));
+        tr.record(t(2), fin(7));
+        let err = tr.finish().validate_spans().unwrap_err();
+        assert!(err.contains("event #2"), "{err}");
+        assert!(err.contains("closes no open flow"), "{err}");
     }
 
     #[test]

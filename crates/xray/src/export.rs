@@ -1,0 +1,329 @@
+//! Byte-stable CSV/JSON exports and the terminal attribution table.
+//!
+//! Every duration is formatted straight from integer microseconds as a
+//! fixed six-decimal seconds string (`123.456789`), so identical traces
+//! produce byte-identical exports regardless of platform, thread count
+//! or float rounding mode — the same golden-file discipline the JSONL
+//! trace export follows.
+
+use crate::analyze::{JobXray, XrayReport, COMPONENT_BUCKETS};
+
+/// Format integer microseconds as a fixed-point seconds string with six
+/// decimals (`1_500_000` → `"1.500000"`). Pure integer arithmetic for
+/// byte stability.
+pub fn secs(us: u64) -> String {
+    format!("{}.{:06}", us / 1_000_000, us % 1_000_000)
+}
+
+/// The per-job CSV header, one column per critical-path bucket, one
+/// per all-task bucket sum, plus the three what-if estimates.
+pub const CSV_HEADER: &str = "job,maps,tasks,turnaround_s,reduce_s,critical_task,\
+cp_queue_s,cp_sched_delay_s,cp_fetch_s,cp_recovery_s,cp_compute_s,cp_retry_s,\
+sum_queue_s,sum_sched_delay_s,sum_fetch_s,sum_recovery_s,sum_compute_s,sum_retry_s,\
+whatif_all_local_s,whatif_zero_sched_s,whatif_zero_fault_s";
+
+fn csv_row(j: &JobXray) -> String {
+    let mut row = format!(
+        "{},{},{},{},{},{}",
+        j.job,
+        j.maps,
+        j.tasks.len(),
+        secs(j.turnaround_us),
+        secs(j.reduce_us),
+        j.critical_task
+    );
+    for b in COMPONENT_BUCKETS {
+        row.push(',');
+        row.push_str(&secs(j.cp_bucket_us(b)));
+    }
+    for b in COMPONENT_BUCKETS {
+        row.push(',');
+        row.push_str(&secs(j.sum_bucket_us(b)));
+    }
+    for w in [
+        j.whatif_all_local_us,
+        j.whatif_zero_sched_us,
+        j.whatif_zero_fault_us,
+    ] {
+        row.push(',');
+        row.push_str(&secs(w));
+    }
+    row
+}
+
+/// Render the report as a per-job CSV (header + one row per completed
+/// job, sorted by job id, trailing newline).
+pub fn to_csv(report: &XrayReport) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for j in &report.jobs {
+        out.push_str(&csv_row(j));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the report as a single JSON object (`"schema":
+/// "dare-xray-v1"`): aggregate totals plus a per-job array. Hand-rolled
+/// and byte-stable; durations are fixed-point seconds numbers.
+pub fn to_json(report: &XrayReport) -> String {
+    let t = report.totals();
+    let mut out = String::from("{\"schema\":\"dare-xray-v1\"");
+    out.push_str(&format!(
+        ",\"jobs\":{},\"jobs_failed\":{},\"tasks\":{},\"skipped_tasks\":{}",
+        t.jobs, report.jobs_failed, t.tasks, report.skipped_tasks
+    ));
+    out.push_str(&format!(
+        ",\"spec_launches\":{},\"spec_waste_s\":{}",
+        report.spec_launches,
+        secs(report.spec_waste_us)
+    ));
+    out.push_str(&format!(
+        ",\"turnaround_s\":{},\"reduce_s\":{}",
+        secs(t.turnaround_us),
+        secs(t.reduce_us)
+    ));
+    for (i, b) in COMPONENT_BUCKETS.iter().enumerate() {
+        out.push_str(&format!(",\"cp_{}_s\":{}", b.name(), secs(t.cp_us[i])));
+    }
+    for (i, b) in COMPONENT_BUCKETS.iter().enumerate() {
+        out.push_str(&format!(",\"sum_{}_s\":{}", b.name(), secs(t.sum_us[i])));
+    }
+    out.push_str(&format!(
+        ",\"whatif_all_local_s\":{},\"whatif_zero_sched_s\":{},\"whatif_zero_fault_s\":{}",
+        secs(t.whatif_all_local_us),
+        secs(t.whatif_zero_sched_us),
+        secs(t.whatif_zero_fault_us)
+    ));
+    out.push_str(",\"per_job\":[");
+    for (i, j) in report.jobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"job\":{},\"maps\":{},\"tasks\":{},\"turnaround_s\":{},\"reduce_s\":{},\
+             \"critical_task\":{}",
+            j.job,
+            j.maps,
+            j.tasks.len(),
+            secs(j.turnaround_us),
+            secs(j.reduce_us),
+            j.critical_task
+        ));
+        for b in COMPONENT_BUCKETS {
+            out.push_str(&format!(
+                ",\"cp_{}_s\":{}",
+                b.name(),
+                secs(j.cp_bucket_us(b))
+            ));
+        }
+        for b in COMPONENT_BUCKETS {
+            out.push_str(&format!(
+                ",\"sum_{}_s\":{}",
+                b.name(),
+                secs(j.sum_bucket_us(b))
+            ));
+        }
+        out.push_str(&format!(
+            ",\"whatif_all_local_s\":{},\"whatif_zero_sched_s\":{},\"whatif_zero_fault_s\":{}}}",
+            secs(j.whatif_all_local_us),
+            secs(j.whatif_zero_sched_us),
+            secs(j.whatif_zero_fault_us)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Render the human attribution table printed by `dare-sim xray`: the
+/// `top` slowest jobs by turnaround (critical-path buckets per row), a
+/// totals row, and the what-if summary lines.
+pub fn table(report: &XrayReport, top: usize) -> String {
+    let t = report.totals();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "xray: {} jobs attributed ({} failed/incomplete excluded), {} tasks",
+        t.jobs, report.jobs_failed, t.tasks
+    ));
+    if report.spec_launches > 0 {
+        out.push_str(&format!(
+            "; {} speculative backups ({} s waste)",
+            report.spec_launches,
+            secs(report.spec_waste_us)
+        ));
+    }
+    out.push('\n');
+    if report.jobs.is_empty() {
+        return out;
+    }
+    out.push_str(&format!(
+        "{:>6} {:>5} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "job", "maps", "turnaround", "queue", "sched", "fetch", "recovery", "compute", "retry",
+        "reduce"
+    ));
+    let mut order: Vec<&JobXray> = report.jobs.iter().collect();
+    order.sort_by(|a, b| {
+        b.turnaround_us
+            .cmp(&a.turnaround_us)
+            .then(a.job.cmp(&b.job))
+    });
+    for j in order.iter().take(top) {
+        out.push_str(&format!(
+            "{:>6} {:>5} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            j.job,
+            j.maps,
+            secs(j.turnaround_us),
+            secs(j.cp_bucket_us(crate::Bucket::Queue)),
+            secs(j.cp_bucket_us(crate::Bucket::SchedDelay)),
+            secs(j.cp_bucket_us(crate::Bucket::Fetch)),
+            secs(j.cp_bucket_us(crate::Bucket::Recovery)),
+            secs(j.cp_bucket_us(crate::Bucket::Compute)),
+            secs(j.cp_bucket_us(crate::Bucket::Retry)),
+            secs(j.reduce_us),
+        ));
+    }
+    if order.len() > top {
+        out.push_str(&format!("  ... {} more jobs\n", order.len() - top));
+    }
+    out.push_str(&format!(
+        "{:>6} {:>5} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "TOTAL",
+        t.tasks,
+        secs(t.turnaround_us),
+        secs(t.cp_us[0]),
+        secs(t.cp_us[1]),
+        secs(t.cp_us[2]),
+        secs(t.cp_us[3]),
+        secs(t.cp_us[4]),
+        secs(t.cp_us[5]),
+        secs(t.reduce_us),
+    ));
+    for (name, w) in [
+        ("all-local fetches", t.whatif_all_local_us),
+        ("zero sched delay", t.whatif_zero_sched_us),
+        ("zero faults", t.whatif_zero_fault_us),
+    ] {
+        let saved = t.turnaround_us - w;
+        let pct = if t.turnaround_us > 0 {
+            saved as f64 * 100.0 / t.turnaround_us as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "what-if {:<18} turnaround {} s (saves {} s, {:.1}%)\n",
+            name,
+            secs(w),
+            secs(saved),
+            pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use dare_simcore::time::SimTime;
+    use dare_trace::{Loc, TraceEvent, Tracer};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn mini_report() -> XrayReport {
+        let mut tr = Tracer::new();
+        tr.record(t(0), TraceEvent::JobSubmitted { job: 3, maps: 1 });
+        tr.record(
+            t(1_000_000),
+            TraceEvent::TaskLaunched {
+                job: 3,
+                task: 0,
+                attempt: 0,
+                node: 2,
+                loc: Loc::Node,
+                speculative: false,
+                local_read: true,
+            },
+        );
+        tr.record(
+            t(1_250_000),
+            TraceEvent::TaskReadDone {
+                job: 3,
+                task: 0,
+                attempt: 0,
+                node: 2,
+            },
+        );
+        tr.record(
+            t(4_000_000),
+            TraceEvent::TaskCommitted {
+                job: 3,
+                task: 0,
+                attempt: 0,
+                node: 2,
+                dur_us: 3_000_000,
+            },
+        );
+        tr.record(
+            t(4_500_000),
+            TraceEvent::JobCompleted {
+                job: 3,
+                dur_us: 4_500_000,
+            },
+        );
+        analyze(&tr.finish())
+    }
+
+    #[test]
+    fn secs_formats_fixed_point() {
+        assert_eq!(secs(0), "0.000000");
+        assert_eq!(secs(1), "0.000001");
+        assert_eq!(secs(1_500_000), "1.500000");
+        assert_eq!(secs(61_000_001), "61.000001");
+    }
+
+    #[test]
+    fn csv_is_exact_and_stable() {
+        let r = mini_report();
+        let csv = to_csv(&r);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert_eq!(
+            row,
+            "3,1,1,4.500000,0.500000,0,\
+             1.000000,0.000000,0.000000,0.000000,3.000000,0.000000,\
+             1.000000,0.000000,0.000000,0.000000,3.000000,0.000000,\
+             4.500000,4.500000,4.500000"
+        );
+        assert_eq!(lines.next(), None);
+        // Byte-stable across renders.
+        assert_eq!(csv, to_csv(&r));
+    }
+
+    #[test]
+    fn json_carries_schema_and_totals() {
+        let r = mini_report();
+        let json = to_json(&r);
+        assert!(json.starts_with("{\"schema\":\"dare-xray-v1\""));
+        assert!(json.contains("\"jobs\":1"));
+        assert!(json.contains("\"cp_compute_s\":3.000000"));
+        assert!(json.contains("\"whatif_all_local_s\":4.500000"));
+        assert!(json.contains("\"per_job\":[{\"job\":3,"));
+        assert!(json.ends_with("]}\n"));
+        assert_eq!(json, to_json(&r));
+    }
+
+    #[test]
+    fn table_lists_jobs_and_whatifs() {
+        let r = mini_report();
+        let tbl = table(&r, 10);
+        assert!(tbl.contains("1 jobs attributed"));
+        assert!(tbl.contains("what-if all-local fetches"));
+        assert!(tbl.contains("4.500000"));
+        // Truncation notice when top is smaller than the job count.
+        let tbl0 = table(&r, 0);
+        assert!(tbl0.contains("... 1 more jobs"));
+    }
+}

@@ -44,6 +44,9 @@ struct Args {
     workload_out: Option<String>,
     trace_chrome: Option<String>,
     trace_jsonl: Option<String>,
+    xray: bool,
+    xray_csv: Option<String>,
+    xray_json: Option<String>,
     telemetry: bool,
     telemetry_interval: Option<u64>,
     telemetry_csv: Option<String>,
@@ -76,6 +79,9 @@ impl Default for Args {
             workload_out: None,
             trace_chrome: None,
             trace_jsonl: None,
+            xray: false,
+            xray_csv: None,
+            xray_json: None,
             telemetry: false,
             telemetry_interval: None,
             telemetry_csv: None,
@@ -140,6 +146,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--save-workload" => a.workload_out = Some(value("--save-workload")?.clone()),
             "--trace" => a.trace_chrome = Some(value("--trace")?.clone()),
             "--trace-jsonl" => a.trace_jsonl = Some(value("--trace-jsonl")?.clone()),
+            "--xray" => a.xray = true,
+            "--xray-csv" => {
+                a.xray = true;
+                a.xray_csv = Some(value("--xray-csv")?.clone());
+            }
+            "--xray-json" => {
+                a.xray = true;
+                a.xray_json = Some(value("--xray-json")?.clone());
+            }
             "--telemetry" => a.telemetry = true,
             "--telemetry-interval" => {
                 a.telemetry = true;
@@ -177,6 +192,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if !(0.0..=1.0).contains(&a.budget) {
         return Err(format!("--budget {} out of [0,1]", a.budget));
+    }
+    // Every output flag must write to a distinct file: previously
+    // `--trace x --trace-jsonl x` (or any other pair sharing a path)
+    // silently overwrote whichever file was written first.
+    let outputs = [
+        ("--save-workload", &a.workload_out),
+        ("--trace", &a.trace_chrome),
+        ("--trace-jsonl", &a.trace_jsonl),
+        ("--xray-csv", &a.xray_csv),
+        ("--xray-json", &a.xray_json),
+        ("--telemetry-csv", &a.telemetry_csv),
+        ("--telemetry-jsonl", &a.telemetry_jsonl),
+    ];
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for (flag, path) in outputs {
+        if let Some(path) = path.as_deref() {
+            if let Some((other, _)) = seen.iter().find(|(_, p)| *p == path) {
+                return Err(format!(
+                    "{other} and {flag} would both write to {path}; pick distinct output paths"
+                ));
+            }
+            seen.push((flag, path));
+        }
     }
     Ok(a)
 }
@@ -223,7 +261,7 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
             bytes_per_sec: mbps << 20,
         });
     }
-    if a.trace_chrome.is_some() || a.trace_jsonl.is_some() {
+    if a.trace_chrome.is_some() || a.trace_jsonl.is_some() || a.xray {
         cfg.record_trace = true;
     }
     if a.telemetry {
@@ -307,6 +345,9 @@ fn usage() -> String {
      --save-workload PATH        export the synthesized workload before running\n\
      --trace PATH                record events, write a Chrome trace (Perfetto)\n\
      --trace-jsonl PATH          record events, write the JSONL event log\n\
+     --xray                      attribute where job time went (critical path, what-ifs)\n\
+     --xray-csv PATH             write the per-job attribution CSV (implies --xray)\n\
+     --xray-json PATH            write the attribution report JSON (implies --xray)\n\
      --telemetry                 sample cluster state, print a summary table\n\
      --telemetry-interval SECS   sampling interval (default 5; implies --telemetry)\n\
      --telemetry-csv PATH        write the cluster time-series as CSV\n\
@@ -315,9 +356,131 @@ fn usage() -> String {
      --csv / --csv-header        machine-readable one-row output\n\
      \n\
      dare-sim mc [flags]         bounded model checker (see `dare-sim mc --help`)\n\
+     dare-sim xray TRACE.jsonl   attribute a saved trace (see `dare-sim xray --help`)\n\
      dare-sim experiments [ids...] [--seed N] [--seeds N]\n\
                                  regenerate paper figures/tables (see `dare-sim experiments --help`)"
         .into()
+}
+
+/// Parsed `xray` subcommand line.
+#[derive(Debug, Clone, Default)]
+struct XrayArgs {
+    input: Option<String>,
+    csv: Option<String>,
+    json: Option<String>,
+    top: usize,
+    validate: bool,
+}
+
+fn parse_xray_args(argv: &[String]) -> Result<XrayArgs, String> {
+    let mut a = XrayArgs {
+        top: 10,
+        ..XrayArgs::default()
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--csv" => a.csv = Some(value("--csv")?.clone()),
+            "--json" => a.json = Some(value("--json")?.clone()),
+            "--top" => a.top = parse_num(value("--top")?)?,
+            "--validate" => a.validate = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            path => {
+                if a.input.is_some() {
+                    return Err(format!("unexpected extra argument {path}"));
+                }
+                a.input = Some(path.to_string());
+            }
+        }
+    }
+    if a.input.is_none() {
+        return Err("missing input: pass a trace JSONL path (from --trace-jsonl)".into());
+    }
+    if let (Some(c), Some(j)) = (&a.csv, &a.json) {
+        if c == j {
+            return Err(format!(
+                "--csv and --json would both write to {c}; pick distinct output paths"
+            ));
+        }
+    }
+    Ok(a)
+}
+
+fn usage_xray() -> String {
+    "usage: dare-sim xray TRACE.jsonl [flags]\n\
+     TRACE.jsonl          a trace saved by `dare-sim --trace-jsonl PATH`\n\
+     --csv PATH           write the per-job attribution CSV\n\
+     --json PATH          write the attribution report JSON\n\
+     --top N              table rows to print (default 10)\n\
+     --validate           check every task/flow span closes exactly once first"
+        .into()
+}
+
+/// Run the `xray` subcommand; returns the process exit code.
+fn run_xray(argv: &[String]) -> i32 {
+    use dare_repro::{trace, xray};
+    let args = match parse_xray_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            if e.is_empty() {
+                println!("{}", usage_xray());
+                return 0;
+            }
+            eprintln!("error: {e}\n\n{}", usage_xray());
+            return 2;
+        }
+    };
+    let input = args.input.expect("parse_xray_args requires an input");
+    let jsonl = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not read trace {input}: {e}");
+            return 2;
+        }
+    };
+    let parsed = match trace::from_jsonl(&jsonl) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {input} is not a valid trace JSONL: {e}");
+            return 2;
+        }
+    };
+    if args.validate {
+        match parsed.validate_spans() {
+            Ok(c) => println!(
+                "spans balanced: {} task spans, {} flow spans closed exactly once",
+                c.task_spans, c.flow_spans
+            ),
+            // Speculation-heavy or truncated traces can legitimately
+            // orphan spans, so this is a warning, not a hard failure.
+            Err(e) => eprintln!("warning: span check failed: {e}"),
+        }
+    }
+    let report = xray::analyze(&parsed);
+    if let Err(e) = report.check() {
+        eprintln!("error: xray invariant violated: {e}");
+        return 1;
+    }
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, xray::to_csv(&report)) {
+            eprintln!("error: could not write xray CSV to {path}: {e}");
+            return 2;
+        }
+        eprintln!("[dare-sim] xray CSV saved to {path}");
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, xray::to_json(&report)) {
+            eprintln!("error: could not write xray JSON to {path}: {e}");
+            return 2;
+        }
+        eprintln!("[dare-sim] xray JSON saved to {path}");
+    }
+    print!("{}", xray::table(&report, args.top));
+    0
 }
 
 /// Parsed `mc` subcommand line.
@@ -532,6 +695,9 @@ fn main() {
     if argv.first().map(String::as_str) == Some("mc") {
         std::process::exit(run_mc(&argv[1..]));
     }
+    if argv.first().map(String::as_str) == Some("xray") {
+        std::process::exit(run_xray(&argv[1..]));
+    }
     if argv.first().map(String::as_str) == Some("experiments") {
         // Forward to the dare-bench experiment driver, so one command
         // regenerates every figure/table: `dare-sim experiments -- all
@@ -593,6 +759,28 @@ fn main() {
             eprintln!("[dare-sim] trace JSONL saved to {path}");
         }
         eprintln!("[dare-sim] {}", trace.summary());
+        if args.xray {
+            let report = dare_repro::xray::analyze(trace);
+            if let Err(e) = report.check() {
+                eprintln!("error: xray invariant violated: {e}");
+                std::process::exit(2);
+            }
+            if let Some(path) = &args.xray_csv {
+                if let Err(e) = std::fs::write(path, dare_repro::xray::to_csv(&report)) {
+                    eprintln!("error: could not write xray CSV to {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("[dare-sim] xray CSV saved to {path}");
+            }
+            if let Some(path) = &args.xray_json {
+                if let Err(e) = std::fs::write(path, dare_repro::xray::to_json(&report)) {
+                    eprintln!("error: could not write xray JSON to {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("[dare-sim] xray JSON saved to {path}");
+            }
+            eprint!("{}", dare_repro::xray::table(&report, 10));
+        }
     }
 
     if let Some(telemetry) = &r.telemetry {
@@ -778,6 +966,63 @@ mod tests {
         assert_eq!(a.workload_in.as_deref(), Some("wl.json"));
         assert_eq!(a.workload_out.as_deref(), Some("out.wl"));
         assert!(parse_args(&argv("--save-trace x")).is_err());
+    }
+
+    #[test]
+    fn xray_flags_enable_recording() {
+        let a = parse_args(&argv("--jobs 5")).expect("valid");
+        assert!(!a.xray);
+        assert!(!build_config(&a).expect("valid").record_trace);
+
+        let a = parse_args(&argv("--xray")).expect("valid");
+        assert!(a.xray);
+        assert!(build_config(&a).expect("valid").record_trace);
+
+        let a = parse_args(&argv("--xray-csv x.csv --xray-json x.json")).expect("valid");
+        assert!(a.xray, "output flags imply --xray");
+        assert_eq!(a.xray_csv.as_deref(), Some("x.csv"));
+        assert_eq!(a.xray_json.as_deref(), Some("x.json"));
+        assert!(build_config(&a).expect("valid").record_trace);
+
+        // Composable with the other observability flags in one run.
+        let a = parse_args(&argv(
+            "--trace-jsonl t.jsonl --telemetry-csv t.csv --xray-csv x.csv",
+        ))
+        .expect("valid");
+        assert!(a.xray && a.telemetry && a.trace_jsonl.is_some());
+    }
+
+    #[test]
+    fn output_flags_reject_shared_paths() {
+        // Any two output flags aimed at one file used to overwrite it
+        // silently; now the collision is a parse error.
+        let err = parse_args(&argv("--trace out.json --trace-jsonl out.json"))
+            .expect_err("collision rejected");
+        assert!(err.contains("out.json"), "names the path: {err}");
+        assert!(err.contains("--trace") && err.contains("--trace-jsonl"));
+        assert!(parse_args(&argv("--xray-csv a.csv --telemetry-csv a.csv")).is_err());
+        assert!(parse_args(&argv("--save-workload w --xray-json w")).is_err());
+        // Distinct paths stay valid.
+        assert!(parse_args(&argv("--trace a.json --trace-jsonl b.jsonl")).is_ok());
+    }
+
+    #[test]
+    fn xray_subcommand_flags_parse() {
+        let a = parse_xray_args(&argv(
+            "trace.jsonl --csv out.csv --json out.json --top 3 --validate",
+        ))
+        .expect("valid xray argv");
+        assert_eq!(a.input.as_deref(), Some("trace.jsonl"));
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.top, 3);
+        assert!(a.validate);
+
+        assert!(parse_xray_args(&[]).is_err(), "input required");
+        assert!(parse_xray_args(&argv("a.jsonl b.jsonl")).is_err());
+        assert!(parse_xray_args(&argv("a.jsonl --bogus")).is_err());
+        assert!(parse_xray_args(&argv("a.jsonl --top x")).is_err());
+        assert!(parse_xray_args(&argv("a.jsonl --csv o --json o")).is_err());
     }
 
     #[test]

@@ -16,3 +16,4 @@ pub use dare_simcore as simcore;
 pub use dare_telemetry as telemetry;
 pub use dare_trace as trace;
 pub use dare_workload as workload;
+pub use dare_xray as xray;
