@@ -87,6 +87,10 @@ enum Ev {
     TaskRetry { job: u32, task: u32, attempt: u32 },
     /// Injected degradation of a node: its work slows by the factor.
     NodeDegrade(u32, f64),
+    /// Injected gray failure of a node: disk reads run `disk`× slower
+    /// and the NIC delivers `nic`× less bandwidth, but the node keeps
+    /// heartbeating. The restore event carries `1.0`/`1.0`.
+    NodeGray { node: u32, disk: f64, nic: f64 },
     /// Injected silent corruption of a replica: the bytes rot on disk,
     /// invisible to the master until a read or scrub checksums them.
     CorruptReplica { node: u32, block: u64 },
@@ -154,6 +158,9 @@ fn ev_digest(ev: &Ev) -> u64 {
             fold(12, &[job as u64, task as u64, attempt as u64])
         }
         Ev::NodeDegrade(n, f) => fold(13, &[n as u64, f.to_bits()]),
+        Ev::NodeGray { node, disk, nic } => {
+            fold(17, &[node as u64, disk.to_bits(), nic.to_bits()])
+        }
         Ev::CorruptReplica { node, block } => fold(14, &[node as u64, block]),
         Ev::ScrubStart { node, epoch } => fold(15, &[node as u64, epoch as u64]),
         Ev::ScrubDone {
@@ -324,6 +331,13 @@ pub struct Engine {
     repair_started: FxHashMap<u64, SimTime>,
     /// Per-node slowdown factor (1.0 = healthy; limplock injection).
     slow_factor: Vec<f64>,
+    /// Per-node gray-failure disk derating (1.0 = healthy). Unlike
+    /// `slow_factor` this touches disk reads only — compute is intact,
+    /// so the node keeps making (slow) progress and heartbeating.
+    gray_disk: Vec<f64>,
+    /// Per-node gray-failure NIC derating, mirrored into
+    /// [`FlowSim::set_node_factor`] (kept here for the fingerprint).
+    gray_nic: Vec<f64>,
     /// Map-task attempts that had to be re-executed due to failures.
     pub reexecuted_tasks: u64,
     /// Per-attempt timeline (only populated with `record_timeline`).
@@ -505,6 +519,7 @@ fn subsystem_of(ev: &Ev) -> Subsystem {
         | Ev::DeclareDead { .. }
         | Ev::TaskRetry { .. }
         | Ev::NodeDegrade(..)
+        | Ev::NodeGray { .. }
         | Ev::CorruptReplica { .. } => Subsystem::Fault,
     }
 }
@@ -740,6 +755,55 @@ impl Engine {
                 crate::faults::FaultEvent::CorruptReplica { at_secs, node, block } => {
                     events.push(SimTime::from_secs(at_secs), Ev::CorruptReplica { node, block });
                 }
+                // The master lives on side A, so a partition is — from
+                // its point of view — a simultaneous transient crash of
+                // every side-B node: heartbeats and flows across the cut
+                // stop, the missed-heartbeat timeout declares the far
+                // side dead, and the heal rejoins each node with a block
+                // report (the same reconciliation path as a rejoin).
+                crate::faults::FaultEvent::Partition {
+                    at_secs,
+                    ref racks_b,
+                    heal_secs,
+                    ..
+                } => {
+                    for &rack in racks_b {
+                        for nid in dfs.topology().nodes_in_rack(dare_net::RackId(rack)) {
+                            events.push(
+                                SimTime::from_secs(at_secs),
+                                Ev::NodeCrash {
+                                    node: nid.0,
+                                    permanent: false,
+                                    down_secs: heal_secs,
+                                },
+                            );
+                        }
+                    }
+                }
+                crate::faults::FaultEvent::GrayNode {
+                    at_secs,
+                    node,
+                    secs,
+                    disk_factor,
+                    nic_factor,
+                } => {
+                    events.push(
+                        SimTime::from_secs(at_secs),
+                        Ev::NodeGray {
+                            node,
+                            disk: disk_factor,
+                            nic: nic_factor,
+                        },
+                    );
+                    events.push(
+                        SimTime::from_secs(at_secs + secs),
+                        Ev::NodeGray {
+                            node,
+                            disk: 1.0,
+                            nic: 1.0,
+                        },
+                    );
+                }
             }
         }
         // Staggered background scrub passes (one chain per node).
@@ -811,6 +875,8 @@ impl Engine {
             scrubbing: vec![false; n],
             repair_started: FxHashMap::default(),
             slow_factor: vec![1.0; n],
+            gray_disk: vec![1.0; n],
+            gray_nic: vec![1.0; n],
             timeline: Vec::new(),
             timeline_idx: FxHashMap::default(),
             reexecuted_tasks: 0,
@@ -1135,6 +1201,8 @@ impl Engine {
             mix(&mut h, self.running_reduces[i] as u64);
             mix(&mut h, self.active_local_reads[i] as u64);
             mix(&mut h, self.slow_factor[i].to_bits());
+            mix(&mut h, self.gray_disk[i].to_bits());
+            mix(&mut h, self.gray_nic[i].to_bits());
             for &(j, t) in &self.running_on[i] {
                 mix(&mut h, ((j as u64) << 32) | t as u64);
             }
@@ -1499,6 +1567,17 @@ impl Engine {
             Ev::NodeDegrade(node, factor) => {
                 self.slow_factor[node as usize] = factor.max(1.0);
             }
+            Ev::NodeGray { node, disk, nic } => {
+                let ni = node as usize;
+                self.gray_disk[ni] = disk.max(1.0);
+                self.gray_nic[ni] = nic.max(1.0);
+                // Rates of in-flight flows touching the node change now;
+                // an earlier-than-predicted completion is impossible (the
+                // NIC only got slower or recovered), but a recovery can
+                // pull completions forward, so re-poll the flow sim.
+                self.flows.set_node_factor(self.now, NodeId(node), nic.max(1.0));
+                self.schedule_netcheck();
+            }
             Ev::CorruptReplica { node, block } => self.on_corrupt_replica(node, block),
             Ev::ScrubStart { node, epoch } => self.on_scrub_start(node, epoch),
             Ev::ScrubDone {
@@ -1775,7 +1854,12 @@ impl Engine {
                     .map_or(0.0, |s| s.bytes_per_sec as f64 / MB as f64);
                 cap = (cap - scrub_mbps).max(cap * 0.5);
             }
-            let share = cap / readers as f64 / self.slow_factor[node as usize];
+            // Limplock and gray-disk derating compound; gray touches the
+            // read path only (compute stays intact, unlike `slow_factor`
+            // which also stretches `task_compute`).
+            let share = cap
+                / readers as f64
+                / (self.slow_factor[node as usize] * self.gray_disk[node as usize]);
             let dur = SimDuration::from_secs_f64(bytes as f64 / (share * MB as f64));
             self.events.push(
                 self.now + dur,

@@ -74,6 +74,43 @@ pub enum FaultEvent {
         /// [`FaultPlan::validate_blocks`]).
         block: u64,
     },
+    /// Network partition: the fabric splits into two rack groups at
+    /// `at_secs` and heals `heal_secs` later. The master (JobTracker +
+    /// NameNode) lives on side A, so every node in a `racks_b` rack goes
+    /// silent from the master's point of view — heartbeats and `net`
+    /// flows across the cut are dropped, the partitioned side is declared
+    /// dead after the missed-heartbeat timeout, and the heal triggers a
+    /// block report reconciling the namenode's stale replica state,
+    /// exactly like a transient rejoin. Racks listed in neither group sit
+    /// on the master's side. The two groups must be disjoint and
+    /// non-empty.
+    Partition {
+        /// Simulation time of the cut, in seconds.
+        at_secs: u64,
+        /// Racks on the master's side of the cut.
+        racks_a: Vec<u32>,
+        /// Racks cut off from the master.
+        racks_b: Vec<u32>,
+        /// Seconds until the partition heals (must be ≥ 1).
+        heal_secs: u64,
+    },
+    /// Gray failure: from `at_secs` for `secs` seconds the node's disk
+    /// reads run `disk_factor`× slower and its NIC delivers
+    /// `nic_factor`× less bandwidth, but the node *keeps heartbeating* —
+    /// no crash, no declare-dead. Degraded-but-alive nodes stress the
+    /// straggler-timeout/speculation path instead of the death path.
+    GrayNode {
+        /// Simulation time the degradation starts, in seconds.
+        at_secs: u64,
+        /// Node index (must be `< profile.nodes`).
+        node: u32,
+        /// Seconds until the node recovers to full speed (must be ≥ 1).
+        secs: u64,
+        /// Disk-read slowdown multiplier (must be ≥ 1).
+        disk_factor: f64,
+        /// NIC bandwidth derating multiplier (must be ≥ 1).
+        nic_factor: f64,
+    },
 }
 
 impl FaultEvent {
@@ -83,8 +120,9 @@ impl FaultEvent {
             FaultEvent::Kill { node, .. }
             | FaultEvent::Crash { node, .. }
             | FaultEvent::Slowdown { node, .. }
-            | FaultEvent::CorruptReplica { node, .. } => Some(node),
-            FaultEvent::RackOutage { .. } => None,
+            | FaultEvent::CorruptReplica { node, .. }
+            | FaultEvent::GrayNode { node, .. } => Some(node),
+            FaultEvent::RackOutage { .. } | FaultEvent::Partition { .. } => None,
         }
     }
 
@@ -102,7 +140,13 @@ impl FaultEvent {
             | FaultEvent::RackOutage {
                 at_secs, down_secs, ..
             } => Some((at_secs, at_secs.saturating_add(down_secs))),
-            FaultEvent::Slowdown { .. } | FaultEvent::CorruptReplica { .. } => None,
+            // A partition's per-node windows are expanded against real
+            // rack membership in `validate_topology`; gray nodes keep
+            // heartbeating, so they open no availability window at all.
+            FaultEvent::Slowdown { .. }
+            | FaultEvent::CorruptReplica { .. }
+            | FaultEvent::Partition { .. }
+            | FaultEvent::GrayNode { .. } => None,
         }
     }
 }
@@ -189,8 +233,63 @@ impl FaultPlan {
                     }
                 }
                 FaultEvent::CorruptReplica { .. } => {}
+                FaultEvent::Partition {
+                    ref racks_a,
+                    ref racks_b,
+                    heal_secs,
+                    ..
+                } => {
+                    if racks_a.is_empty() || racks_b.is_empty() {
+                        return Err("partition sides must both be non-empty".into());
+                    }
+                    if heal_secs == 0 {
+                        return Err("partition must last >= 1 s before healing".into());
+                    }
+                    if let Some(r) = racks_a.iter().find(|r| racks_b.contains(r)) {
+                        return Err(format!(
+                            "rack {r} appears on both sides of a partition \
+                             (a rack cannot be partitioned from itself)"
+                        ));
+                    }
+                }
+                FaultEvent::GrayNode {
+                    secs,
+                    disk_factor,
+                    nic_factor,
+                    ..
+                } => {
+                    if secs == 0 {
+                        return Err("gray episode must last >= 1 s".into());
+                    }
+                    for (name, f) in [("disk_factor", disk_factor), ("nic_factor", nic_factor)] {
+                        if f < 1.0 || f.is_nan() {
+                            return Err(format!("gray {name} {f} must be >= 1"));
+                        }
+                    }
+                }
             }
         }
+        // Gray episodes on one node must not overlap each other: the
+        // engine keeps a single degradation factor per node, so two
+        // concurrent episodes would race their restore events. (Overlap
+        // with crash windows stays legal, like `Slowdown`.)
+        let gray: Vec<(u32, u64, u64)> = self
+            .events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::GrayNode { at_secs, node, secs, .. } => {
+                    Some((node, at_secs, at_secs.saturating_add(secs)))
+                }
+                _ => None,
+            })
+            .collect();
+        check_overlap(&gray).map_err(|(n, a, b)| {
+            format!(
+                "node {n} has overlapping gray episodes [{}s, {}s] and [{}s, {}s] — \
+                 their restore events would race",
+                a.0, a.1, b.0, b.1
+            )
+        })?;
         // Per-node availability windows must not overlap. Rack outages
         // are expanded against real membership in `validate_topology`;
         // here only node-targeted events are paired.
@@ -211,12 +310,26 @@ impl FaultPlan {
     /// rack-outage windows overlapping node faults.
     pub fn validate_racks(&self, racks: u32) -> Result<(), String> {
         for ev in &self.events {
-            if let FaultEvent::RackOutage { rack, .. } = *ev {
-                if rack >= racks {
+            match *ev {
+                FaultEvent::RackOutage { rack, .. } if rack >= racks => {
                     return Err(format!(
                         "rack outage targets rack {rack} but the topology has {racks} racks"
                     ));
                 }
+                FaultEvent::Partition {
+                    ref racks_a,
+                    ref racks_b,
+                    ..
+                } => {
+                    for r in racks_a.iter().chain(racks_b) {
+                        if *r >= racks {
+                            return Err(format!(
+                                "partition references rack {r} but the topology has {racks} racks"
+                            ));
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -230,15 +343,31 @@ impl FaultPlan {
         self.validate_racks(topo.racks())?;
         let mut windows: Vec<(u32, u64, u64)> = Vec::new();
         for ev in &self.events {
-            let Some((s, e)) = ev.window() else { continue };
             match *ev {
                 FaultEvent::RackOutage { rack, .. } => {
+                    let (s, e) = ev.window().expect("rack outage has a window");
                     for n in topo.nodes_in_rack(dare_net::RackId(rack)) {
                         windows.push((n.0, s, e));
                     }
                 }
+                // Side B of a partition is unavailable to the master for
+                // the whole cut, exactly like a rack outage of each of
+                // its racks.
+                FaultEvent::Partition {
+                    at_secs,
+                    ref racks_b,
+                    heal_secs,
+                    ..
+                } => {
+                    let (s, e) = (at_secs, at_secs.saturating_add(heal_secs));
+                    for &rack in racks_b {
+                        for n in topo.nodes_in_rack(dare_net::RackId(rack)) {
+                            windows.push((n.0, s, e));
+                        }
+                    }
+                }
                 _ => {
-                    if let Some(n) = ev.node() {
+                    if let (Some(n), Some((s, e))) = (ev.node(), ev.window()) {
                         windows.push((n, s, e));
                     }
                 }
@@ -433,6 +562,38 @@ impl FaultPlan {
                         "{{\"kind\": \"corrupt_replica\", \"at_secs\": {at_secs}, \"node\": {node}, \"block\": {block}}}"
                     );
                 }
+                FaultEvent::Partition {
+                    at_secs,
+                    ref racks_a,
+                    ref racks_b,
+                    heal_secs,
+                } => {
+                    let list = |racks: &[u32]| {
+                        racks
+                            .iter()
+                            .map(u32::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    };
+                    let _ = write!(
+                        s,
+                        "{{\"kind\": \"partition\", \"at_secs\": {at_secs}, \"racks_a\": [{}], \"racks_b\": [{}], \"heal_secs\": {heal_secs}}}",
+                        list(racks_a),
+                        list(racks_b),
+                    );
+                }
+                FaultEvent::GrayNode {
+                    at_secs,
+                    node,
+                    secs,
+                    disk_factor,
+                    nic_factor,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"kind\": \"gray_node\", \"at_secs\": {at_secs}, \"node\": {node}, \"secs\": {secs}, \"disk_factor\": {disk_factor}, \"nic_factor\": {nic_factor}}}"
+                    );
+                }
             }
         }
         s.push_str("\n  ]\n}\n");
@@ -556,6 +717,36 @@ fn parse_event(v: &json::Json) -> Result<FaultEvent, String> {
                 at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
                 node: take(kind, &fields, "node")?.as_u32("node")?,
                 block: take(kind, &fields, "block")?.as_u64("block")?,
+            })
+        }
+        "partition" => {
+            allow(&fields, &["at_secs", "racks_a", "racks_b", "heal_secs"])?;
+            fn racks(
+                kind: &str,
+                fields: &[(&str, &json::Json)],
+                name: &str,
+            ) -> Result<Vec<u32>, String> {
+                take(kind, fields, name)?
+                    .as_arr(name)?
+                    .iter()
+                    .map(|v| v.as_u32(name))
+                    .collect()
+            }
+            Ok(FaultEvent::Partition {
+                at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
+                racks_a: racks(kind, &fields, "racks_a")?,
+                racks_b: racks(kind, &fields, "racks_b")?,
+                heal_secs: take(kind, &fields, "heal_secs")?.as_u64("heal_secs")?,
+            })
+        }
+        "gray_node" => {
+            allow(&fields, &["at_secs", "node", "secs", "disk_factor", "nic_factor"])?;
+            Ok(FaultEvent::GrayNode {
+                at_secs: take(kind, &fields, "at_secs")?.as_u64("at_secs")?,
+                node: take(kind, &fields, "node")?.as_u32("node")?,
+                secs: take(kind, &fields, "secs")?.as_u64("secs")?,
+                disk_factor: take(kind, &fields, "disk_factor")?.as_f64("disk_factor")?,
+                nic_factor: take(kind, &fields, "nic_factor")?.as_f64("nic_factor")?,
             })
         }
         other => Err(format!("unknown event kind \"{other}\"")),
@@ -1163,6 +1354,131 @@ mod tests {
         let err = FaultPlan::from_json("{\"events\": [{\"kind\": \"kill\", \"at_secs\": 5, \"node\": 1, \"down_secs\": 3}]}").unwrap_err();
         assert!(err.contains("unknown key"), "got: {err}");
         assert!(FaultPlan::from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn partition_and_gray_round_trip_through_json() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::Partition {
+                    at_secs: 40,
+                    racks_a: vec![0, 2],
+                    racks_b: vec![1, 3],
+                    heal_secs: 35,
+                },
+                FaultEvent::GrayNode {
+                    at_secs: 12,
+                    node: 5,
+                    secs: 90,
+                    disk_factor: 8.0,
+                    nic_factor: 2.5,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).expect("own output parses");
+        assert_eq!(back, plan);
+        assert!(plan.validate(10).is_ok());
+        assert!(plan.validate_racks(4).is_ok());
+        assert!(plan.validate_racks(3).is_err(), "rack 3 out of range");
+
+        // Required fields are enforced per variant.
+        let err = FaultPlan::from_json(
+            "{\"events\": [{\"kind\": \"partition\", \"at_secs\": 5, \"racks_a\": [0], \"heal_secs\": 9}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing \"racks_b\""), "got: {err}");
+        let err = FaultPlan::from_json(
+            "{\"events\": [{\"kind\": \"gray_node\", \"at_secs\": 5, \"node\": 1, \"secs\": 9, \"disk_factor\": 2}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing \"nic_factor\""), "got: {err}");
+        let err = FaultPlan::from_json(
+            "{\"events\": [{\"kind\": \"partition\", \"at_secs\": 5, \"racks_a\": [0], \"racks_b\": 1, \"heal_secs\": 9}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("array"), "got: {err}");
+    }
+
+    #[test]
+    fn self_partition_and_overlapping_gray_are_rejected() {
+        // A rack on both sides of the cut is a self-partition.
+        let mut p = FaultPlan {
+            events: vec![FaultEvent::Partition {
+                at_secs: 10,
+                racks_a: vec![0, 1],
+                racks_b: vec![1, 2],
+                heal_secs: 30,
+            }],
+            ..FaultPlan::default()
+        };
+        let err = p.validate(10).unwrap_err();
+        assert!(err.contains("both sides"), "got: {err}");
+
+        // Empty sides and zero heal are degenerate.
+        p.events = vec![FaultEvent::Partition {
+            at_secs: 10,
+            racks_a: vec![],
+            racks_b: vec![1],
+            heal_secs: 30,
+        }];
+        assert!(p.validate(10).is_err(), "empty side A");
+        p.events = vec![FaultEvent::Partition {
+            at_secs: 10,
+            racks_a: vec![0],
+            racks_b: vec![1],
+            heal_secs: 0,
+        }];
+        assert!(p.validate(10).is_err(), "zero heal");
+
+        // Overlapping gray episodes on one node race their restores.
+        p.events = vec![
+            FaultEvent::GrayNode { at_secs: 10, node: 3, secs: 20, disk_factor: 4.0, nic_factor: 1.0 },
+            FaultEvent::GrayNode { at_secs: 25, node: 3, secs: 10, disk_factor: 2.0, nic_factor: 2.0 },
+        ];
+        let err = p.validate(10).unwrap_err();
+        assert!(err.contains("gray"), "got: {err}");
+
+        // The same two episodes on different nodes are fine, as is a gray
+        // episode overlapping a crash window (the node is down anyway).
+        p.events = vec![
+            FaultEvent::GrayNode { at_secs: 10, node: 3, secs: 20, disk_factor: 4.0, nic_factor: 1.0 },
+            FaultEvent::GrayNode { at_secs: 25, node: 4, secs: 10, disk_factor: 2.0, nic_factor: 2.0 },
+            FaultEvent::Crash { at_secs: 15, node: 3, down_secs: 5 },
+        ];
+        assert!(p.validate(10).is_ok());
+
+        // Sub-unity factors are speedups, not degradations.
+        p.events = vec![FaultEvent::GrayNode {
+            at_secs: 10,
+            node: 3,
+            secs: 20,
+            disk_factor: 0.5,
+            nic_factor: 1.0,
+        }];
+        assert!(p.validate(10).is_err(), "disk speedup rejected");
+    }
+
+    #[test]
+    fn partition_windows_expand_against_topology() {
+        use dare_net::Topology;
+        // Two racks of 5 nodes: rack 0 = nodes 0-4, rack 1 = nodes 5-9.
+        let topo = Topology::explicit(vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1], 2);
+        let mut p = FaultPlan {
+            events: vec![
+                FaultEvent::Partition { at_secs: 20, racks_a: vec![0], racks_b: vec![1], heal_secs: 30 },
+                FaultEvent::Crash { at_secs: 30, node: 7, down_secs: 5 },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(p.validate(10).is_ok(), "node-only validation cannot see racks");
+        let err = p.validate_topology(&topo).unwrap_err();
+        assert!(err.contains("overlapping"), "crash inside the cut: {err}");
+
+        // The same crash on the master's side is fine — side A stays up.
+        p.events[1] = FaultEvent::Crash { at_secs: 30, node: 2, down_secs: 5 };
+        assert!(p.validate_topology(&topo).is_ok());
     }
 
     #[test]

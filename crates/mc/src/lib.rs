@@ -223,9 +223,21 @@ pub struct McReport {
     /// explorations of the same bound must agree bit-for-bit (the
     /// determinism regression check).
     pub fingerprint_digest: u64,
-    /// Invariant violations found (empty on a clean pass).
+    /// Every invariant violation found, including those whose artifacts
+    /// were dropped by the [`MAX_STORED_VIOLATIONS`] cap. Compare against
+    /// `violations.len()` to tell a capped run from a small one.
+    pub violations_total: u64,
+    /// Invariant violations found (empty on a clean pass), capped at
+    /// [`MAX_STORED_VIOLATIONS`] stored artifacts; `violations_total`
+    /// keeps the true count.
     pub violations: Vec<Violation>,
 }
+
+/// Cap on *stored* violation artifacts (each carries a full JSONL trace,
+/// so an unbounded `stop_on_violation = false` sweep would hold every
+/// violating trace in memory at once). The total count is never capped:
+/// [`McReport::violations_total`] counts all violations found.
+pub const MAX_STORED_VIOLATIONS: usize = 32;
 
 /// The model cluster's workload: one file of `blocks` input blocks and a
 /// single one-reduce job over it, small enough that a closed path drains
@@ -383,29 +395,26 @@ fn successors(cfg: &McConfig, eng: &Engine, faults: PathFaults) -> Vec<Action> {
 
 /// Export a violating run as a JSONL counterexample: `#` headers carry
 /// the checker config and action prefix (the golden differ's normalizer
-/// strips them), then the engine's structured trace.
+/// strips them), then the engine's structured trace. The artifact format
+/// itself lives in [`dare_trace::counterexample`], shared with
+/// `dare-chaos`.
 fn export_counterexample(
     cfg: &McConfig,
     eng: &mut Engine,
     actions: &[Action],
     error: &str,
 ) -> String {
-    let mut out = String::new();
-    out.push_str("# dare-mc counterexample\n");
-    out.push_str(&format!(
-        "# config: nodes={} blocks={} rf={} depth={} seed={:#x} seeded_bug={}\n",
-        cfg.nodes, cfg.blocks, cfg.rf, cfg.depth, cfg.seed, cfg.seeded_bug
-    ));
-    for line in error.lines() {
-        out.push_str(&format!("# violation: {line}\n"));
-    }
-    for a in actions {
-        out.push_str(&format!("# action: {}\n", a.encode()));
-    }
-    if let Some(trace) = eng.take_trace() {
-        out.push_str(&dare_trace::to_jsonl(&trace));
-    }
-    out
+    let headers: Vec<(&str, String)> = actions.iter().map(|a| ("action", a.encode())).collect();
+    dare_trace::render_counterexample(
+        "dare-mc",
+        &format!(
+            "nodes={} blocks={} rf={} depth={} seed={:#x} seeded_bug={}",
+            cfg.nodes, cfg.blocks, cfg.rf, cfg.depth, cfg.seed, cfg.seeded_bug
+        ),
+        error,
+        &headers,
+        eng.take_trace().as_ref(),
+    )
 }
 
 /// Explore the bounded state space and report what was found.
@@ -445,13 +454,16 @@ pub fn explore(cfg: &McConfig) -> Result<McReport, String> {
             // terminal + path invariants.
             report.paths_closed += 1;
             if let Err(e) = close_path(&mut eng, faults, cfg.rf) {
-                let jsonl = export_counterexample(cfg, &mut eng, &prefix, &e);
-                report.violations.push(Violation {
-                    actions: prefix.clone(),
-                    during_closure: true,
-                    error: e,
-                    jsonl,
-                });
+                report.violations_total += 1;
+                if report.violations.len() < MAX_STORED_VIOLATIONS {
+                    let jsonl = export_counterexample(cfg, &mut eng, &prefix, &e);
+                    report.violations.push(Violation {
+                        actions: prefix.clone(),
+                        during_closure: true,
+                        error: e,
+                        jsonl,
+                    });
+                }
                 if cfg.stop_on_violation {
                     break 'outer;
                 }
@@ -483,14 +495,17 @@ pub fn explore(cfg: &McConfig) -> Result<McReport, String> {
                     }
                 }
                 Err(boxed) => {
-                    let (mut bad, e) = *boxed;
-                    let jsonl = export_counterexample(cfg, &mut bad, &child, &e);
-                    report.violations.push(Violation {
-                        actions: child,
-                        during_closure: false,
-                        error: e,
-                        jsonl,
-                    });
+                    report.violations_total += 1;
+                    if report.violations.len() < MAX_STORED_VIOLATIONS {
+                        let (mut bad, e) = *boxed;
+                        let jsonl = export_counterexample(cfg, &mut bad, &child, &e);
+                        report.violations.push(Violation {
+                            actions: child,
+                            during_closure: false,
+                            error: e,
+                            jsonl,
+                        });
+                    }
                     if cfg.stop_on_violation {
                         break 'outer;
                     }
@@ -502,30 +517,20 @@ pub fn explore(cfg: &McConfig) -> Result<McReport, String> {
 }
 
 /// Strip the `#` header lines of a counterexample, leaving the pure
-/// trace JSONL (what [`dare_trace::validate_jsonl`] accepts). The golden
-/// differ does this internally; other consumers use this helper.
+/// trace JSONL (what [`dare_trace::validate_jsonl`] accepts). Thin
+/// re-export of the shared [`dare_trace::counterexample`] helper.
 pub fn strip_headers(counterexample: &str) -> String {
-    let mut out = String::new();
-    for line in counterexample.lines() {
-        if !line.trim_start().starts_with('#') && !line.trim().is_empty() {
-            out.push_str(line);
-            out.push('\n');
-        }
-    }
-    out
+    dare_trace::strip_headers(counterexample)
 }
 
 /// Parse the `# action:` headers of a counterexample export.
 pub fn parse_counterexample_actions(jsonl: &str) -> Result<Vec<Action>, String> {
-    let mut actions = Vec::new();
-    for line in jsonl.lines() {
-        if let Some(rest) = line.strip_prefix("# action:") {
-            let a = Action::decode(rest.trim())
-                .ok_or_else(|| format!("unparseable counterexample action: {line:?}"))?;
-            actions.push(a);
-        }
-    }
-    Ok(actions)
+    dare_trace::header_values(jsonl, "action")
+        .iter()
+        .map(|s| {
+            Action::decode(s).ok_or_else(|| format!("unparseable counterexample action: {s:?}"))
+        })
+        .collect()
 }
 
 /// What replaying a counterexample established.
@@ -598,6 +603,7 @@ mod tests {
             "unexpected violations: {:?}",
             report.violations.iter().map(|v| &v.error).collect::<Vec<_>>()
         );
+        assert_eq!(report.violations_total, 0);
         assert!(report.states_visited > report.states_explored / 2);
         assert!(report.deduped > 0, "dedup never fired at this bound");
         assert!(!report.truncated);
@@ -679,6 +685,8 @@ mod tests {
             !report.violations.is_empty(),
             "the seeded recovery bug must be caught"
         );
+        // Under the storage cap every found violation is still counted.
+        assert_eq!(report.violations_total, report.violations.len() as u64);
         let v = &report.violations[0];
         assert!(
             v.error.contains("rereplication-convergence"),

@@ -88,6 +88,9 @@ pub struct FlowSim {
     /// recomputation allocates nothing and never sweeps idle nodes.
     tx_count: Vec<u32>,
     rx_count: Vec<u32>,
+    /// Per-node NIC derating factor (gray-failure injection): the node's
+    /// effective capacity is `nic / factor`. `1.0` = healthy.
+    node_factor: Vec<f64>,
 }
 
 impl FlowSim {
@@ -112,7 +115,24 @@ impl FlowSim {
             completed_starts: Vec::new(),
             tx_count: vec![0; n],
             rx_count: vec![0; n],
+            node_factor: vec![1.0; n],
         }
+    }
+
+    /// Set a node's NIC derating factor (gray-failure injection): its
+    /// effective capacity becomes `nic / factor` for both tx and rx
+    /// until the factor is reset to `1.0`. Residual bytes are advanced
+    /// to `now` first and every active flow's rate recomputed, so the
+    /// change is piecewise-constant like any arrival or departure.
+    pub fn set_node_factor(&mut self, now: SimTime, node: NodeId, factor: f64) {
+        assert!(
+            factor >= 1.0 && !factor.is_nan(),
+            "NIC derating factor must be >= 1, got {factor}"
+        );
+        assert!(node.idx() < self.node_factor.len());
+        self.advance(now);
+        self.node_factor[node.idx()] = factor;
+        self.recompute_rates();
     }
 
     /// Peak number of simultaneously active flows (slab high-water mark).
@@ -254,8 +274,10 @@ impl FlowSim {
     }
 
     /// Per-node NIC utilization across the active flows, written into
-    /// `out` as `(tx, rx)` fractions of capacity in `[0, 1]` (cross-rack
-    /// flows run below their fair share, so sums stay within the NIC).
+    /// `out` as `(tx, rx)` fractions of *effective* capacity in `[0, 1]`
+    /// (cross-rack flows run below their fair share, so sums stay within
+    /// the NIC; a derated node reports against its degraded capacity, so
+    /// saturating a gray NIC still reads as 1.0).
     ///
     /// Flows are accumulated in ascending-id order so the floating-point
     /// sums — and therefore a telemetry export built from them — are
@@ -273,9 +295,10 @@ impl FlowSim {
             out[src].0 += rate;
             out[dst].1 += rate;
         }
-        for (u, &cap) in out.iter_mut().zip(&self.nic_bytes_per_sec) {
-            u.0 /= cap;
-            u.1 /= cap;
+        for (i, (u, &cap)) in out.iter_mut().zip(&self.nic_bytes_per_sec).enumerate() {
+            let eff = cap / self.node_factor[i];
+            u.0 /= eff;
+            u.1 /= eff;
         }
     }
 
@@ -294,15 +317,16 @@ impl FlowSim {
             self.tx_count[f.src.idx()] += 1;
             self.rx_count[f.dst.idx()] += 1;
         }
-        let (tx, rx, caps, oversub) = (
+        let (tx, rx, caps, fac, oversub) = (
             &self.tx_count,
             &self.rx_count,
             &self.nic_bytes_per_sec,
+            &self.node_factor,
             self.oversub,
         );
         for (_, f) in self.flows.iter_mut() {
-            let tx_share = caps[f.src.idx()] / tx[f.src.idx()] as f64;
-            let rx_share = caps[f.dst.idx()] / rx[f.dst.idx()] as f64;
+            let tx_share = caps[f.src.idx()] / fac[f.src.idx()] / tx[f.src.idx()] as f64;
+            let rx_share = caps[f.dst.idx()] / fac[f.dst.idx()] / rx[f.dst.idx()] as f64;
             let mut rate = tx_share.min(rx_share);
             if f.cross_rack {
                 rate /= oversub;
@@ -496,6 +520,38 @@ mod tests {
         assert!((util[1].0 - 0.5).abs() < 1e-9);
         assert!((util[2].1 - 1.0).abs() < 1e-9);
         assert_eq!(util[2].0, 0.0, "no tx at the receiver");
+    }
+
+    #[test]
+    fn node_factor_derates_and_restores_mid_flow() {
+        let mut s = sim(2, 100.0);
+        let id = s.start(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MB, false);
+        // 0.5 s at full rate moves 50 MB; then the receiver goes gray 4x.
+        s.set_node_factor(SimTime::from_secs_f64(0.5), NodeId(1), 4.0);
+        assert!((s.rate_of(id).unwrap() - 25.0 * MB as f64).abs() < 1.0);
+        let (t, _) = s.next_completion().expect("flow active");
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-5, "50 MB @ 25 MB/s: got {t}");
+        // Recovery at t=1.5 (25 MB moved gray, 25 MB left at full rate).
+        s.set_node_factor(SimTime::from_secs_f64(1.5), NodeId(1), 1.0);
+        let (t, _) = s.next_completion().expect("flow active");
+        assert!((t.as_secs_f64() - 1.75).abs() < 1e-5, "got {t}");
+    }
+
+    #[test]
+    fn gray_source_bottlenecks_and_utilization_reads_effective() {
+        let mut s = sim(3, 100.0);
+        s.set_node_factor(SimTime::ZERO, NodeId(0), 2.0);
+        let a = s.start(SimTime::ZERO, NodeId(0), NodeId(2), 100 * MB, false);
+        let b = s.start(SimTime::ZERO, NodeId(1), NodeId(2), 100 * MB, false);
+        // rx fair share is 50 each; the gray tx side only offers 50, so
+        // both flows sit at 50 MB/s and the receiver stays saturated.
+        assert!((s.rate_of(a).unwrap() - 50.0 * MB as f64).abs() < 1.0);
+        assert!((s.rate_of(b).unwrap() - 50.0 * MB as f64).abs() < 1.0);
+        let mut util = Vec::new();
+        s.nic_utilization_into(&mut util);
+        assert!((util[0].0 - 1.0).abs() < 1e-9, "gray tx saturated vs effective cap");
+        assert!((util[1].0 - 0.5).abs() < 1e-9);
+        assert!((util[2].1 - 1.0).abs() < 1e-9);
     }
 
     #[test]

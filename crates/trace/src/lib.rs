@@ -16,6 +16,8 @@
 //!   schema validator.
 //! - [`query`]: span reconstruction and assertion helpers for tests.
 //! - [`diff`]: the normalizing golden-file differ with actionable output.
+//! - [`counterexample`]: the shared `#`-header counterexample artifact
+//!   format `dare-mc` and `dare-chaos` both emit and replay.
 //!
 //! This crate depends only on `dare-simcore` so every domain crate above
 //! it (dfs, sched, net, mapred) can emit into it without cycles; domain
@@ -23,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod counterexample;
 pub mod diff;
 pub mod event;
 pub mod export;
@@ -30,6 +33,7 @@ pub mod query;
 pub mod recorder;
 pub mod stats;
 
+pub use counterexample::{header_values, render_counterexample, strip_headers};
 pub use diff::diff_golden;
 pub use event::{FlowCtx, FlowKind, Loc, Subsystem, TraceEvent, TraceRecord};
 pub use export::{from_jsonl, record_to_json, to_chrome, to_jsonl, validate_jsonl};

@@ -356,6 +356,7 @@ fn usage() -> String {
      --csv / --csv-header        machine-readable one-row output\n\
      \n\
      dare-sim mc [flags]         bounded model checker (see `dare-sim mc --help`)\n\
+     dare-sim chaos [flags]      chaos fuzzer with shrinking (see `dare-sim chaos --help`)\n\
      dare-sim xray TRACE.jsonl   attribute a saved trace (see `dare-sim xray --help`)\n\
      dare-sim experiments [ids...] [--seed N] [--seeds N]\n\
                                  regenerate paper figures/tables (see `dare-sim experiments --help`)"
@@ -652,6 +653,18 @@ fn run_mc(argv: &[String]) -> i32 {
     if report.violations.is_empty() {
         println!("no invariant violations found within the bound");
     } else {
+        // A capped run is distinguishable from a small one: the total
+        // count keeps climbing past the stored-artifact cap.
+        println!(
+            "{} violation(s) found, {} stored with counterexamples{}",
+            report.violations_total,
+            report.violations.len(),
+            if report.violations_total > report.violations.len() as u64 {
+                " (storage cap reached; later violations counted but not exported)"
+            } else {
+                ""
+            }
+        );
         for v in &report.violations {
             println!("\nVIOLATION: {}", v.error);
             let prefix: Vec<String> = v.actions.iter().map(|a| a.encode()).collect();
@@ -690,10 +703,221 @@ fn run_mc(argv: &[String]) -> i32 {
     }
 }
 
+/// Parsed `chaos` subcommand line.
+#[derive(Debug, Clone)]
+struct ChaosArgs {
+    cfg: dare_repro::chaos::ChaosConfig,
+    out: Option<String>,
+    bench_json: Option<String>,
+    replay: Option<String>,
+    expect_violation: bool,
+}
+
+fn parse_chaos_args(argv: &[String]) -> Result<ChaosArgs, String> {
+    use dare_repro::chaos::{Alphabet, ChaosConfig};
+    let mut cfg = ChaosConfig::default();
+    let mut out = None;
+    let mut bench_json = None;
+    let mut replay = None;
+    let mut expect_violation = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => cfg.nodes = parse_num(value("--nodes")?)?,
+            "--horizon" => cfg.horizon_secs = parse_num(value("--horizon")?)?,
+            "--density" => cfg.density = parse_num(value("--density")?)?,
+            "--alphabet" => cfg.alphabet = Alphabet::parse(value("--alphabet")?)?,
+            "--seed" => cfg.seed = parse_num(value("--seed")?)?,
+            "--budget-runs" => cfg.budget_runs = parse_num(value("--budget-runs")?)?,
+            "--budget-secs" => cfg.budget_secs = parse_num(value("--budget-secs")?)?,
+            "--threads" => cfg.threads = parse_num(value("--threads")?)?,
+            "--no-shrink" => cfg.shrink = false,
+            "--seeded-bug" => cfg.seeded_bug = true,
+            "--out" => out = Some(value("--out")?.clone()),
+            "--bench-json" => bench_json = Some(value("--bench-json")?.clone()),
+            "--replay" => replay = Some(value("--replay")?.clone()),
+            "--expect-violation" => expect_violation = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    cfg.validate()?;
+    Ok(ChaosArgs {
+        cfg,
+        out,
+        bench_json,
+        replay,
+        expect_violation,
+    })
+}
+
+fn usage_chaos() -> String {
+    "usage: dare-sim chaos [flags]\n\
+     --nodes N            fuzzed cluster size, 8..=1000 (default 50)\n\
+     --horizon SECS       fault-injection horizon (default 240)\n\
+     --density F          mean fault events per schedule (default 5)\n\
+     --alphabet LIST      all, or comma list of kill|crash|rack|slowdown|corrupt|partition|gray\n\
+     --seed N             campaign seed (default 0xc4a05fa7)\n\
+     --budget-runs N      schedules to try (default 256)\n\
+     --budget-secs N      wall-clock cap, 0 = off (checked between batches)\n\
+     --threads N          fuzz workers, 0 = all cores (verdicts are thread-invariant)\n\
+     --no-shrink          skip delta-debugging the failing schedule\n\
+     --seeded-bug         arm the deliberate recovery-path mutation (pipeline check)\n\
+     --out PATH           write the counterexample here (plan JSON goes to PATH.plan.json)\n\
+     --bench-json PATH    write the campaign stats JSON (BENCH_chaos format)\n\
+     --replay PATH        re-run a saved counterexample and diff its trace\n\
+     --expect-violation   exit nonzero unless a violation is found"
+        .into()
+}
+
+/// Run the `chaos` subcommand; returns the process exit code.
+fn run_chaos(argv: &[String]) -> i32 {
+    use dare_repro::chaos;
+    let args = match parse_chaos_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            if e.is_empty() {
+                println!("{}", usage_chaos());
+                return 0;
+            }
+            eprintln!("error: {e}\n\n{}", usage_chaos());
+            return 2;
+        }
+    };
+
+    if let Some(path) = &args.replay {
+        let saved = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read counterexample {path}: {e}");
+                return 2;
+            }
+        };
+        let replay = match chaos::replay_counterexample(&args.cfg, &saved) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        match (&replay.reproduced, &replay.failure_key) {
+            (true, Some(k)) => println!("violation reproduced (failure key {k})"),
+            (true, None) => println!("violation reproduced"),
+            (false, _) => println!("replay ran clean (violation did NOT reproduce)"),
+        }
+        if replay.failure_key != replay.expected_key {
+            println!(
+                "failure key mismatch: replay {:?}, counterexample recorded {:?}",
+                replay.failure_key, replay.expected_key
+            );
+        }
+        match &replay.diff {
+            None => println!("replayed trace matches the saved counterexample"),
+            Some(d) => println!("replayed trace DIVERGES from the saved counterexample:\n{d}"),
+        }
+        return if replay.verified() { 0 } else { 1 };
+    }
+
+    let report = match chaos::fuzz(&args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    println!(
+        "chaos: nodes={} horizon={}s density={} alphabet={} seed={:#x} seeded_bug={}",
+        args.cfg.nodes,
+        args.cfg.horizon_secs,
+        args.cfg.density,
+        args.cfg.alphabet.encode(),
+        args.cfg.seed,
+        args.cfg.seeded_bug
+    );
+    println!(
+        "fuzzed {} schedule(s), {} engine events in {:.2}s ({:.0} events/s){}",
+        report.runs,
+        report.steps,
+        report.wall_secs,
+        report.events_per_sec,
+        if report.stopped_on_budget_secs {
+            " — stopped on wall-clock budget"
+        } else {
+            ""
+        }
+    );
+
+    if let Some(path) = &args.bench_json {
+        if let Err(e) = std::fs::write(path, chaos::bench_json(&args.cfg, &report)) {
+            eprintln!("error: could not write bench JSON to {path}: {e}");
+            return 2;
+        }
+        println!("campaign stats saved to {path}");
+    }
+
+    match &report.violation {
+        None => {
+            println!("no invariant violations found within the budget");
+            if args.expect_violation {
+                eprintln!("error: --expect-violation set but the campaign found none");
+                return 1;
+            }
+            0
+        }
+        Some(v) => {
+            println!("\nVIOLATION (run {}, failure key {}): {}", v.run, v.key, v.error);
+            println!(
+                "shrunk {} -> {} fault event(s) in {} probe(s); replay {}",
+                v.shrink.original_events,
+                v.shrink.minimal_events,
+                v.shrink.probes,
+                if v.replay_verified {
+                    "verified (same failure, byte-identical trace)".to_string()
+                } else {
+                    format!("DIVERGED: {:?}", v.replay_diff)
+                }
+            );
+            if let Some(out) = &args.out {
+                let plan_path = format!("{out}.plan.json");
+                if let Err(e) = std::fs::write(out, &v.counterexample) {
+                    eprintln!("error: could not write counterexample to {out}: {e}");
+                    return 2;
+                }
+                if let Err(e) = std::fs::write(&plan_path, &v.plan_json) {
+                    eprintln!("error: could not write fault plan to {plan_path}: {e}");
+                    return 2;
+                }
+                println!(
+                    "counterexample saved to {out} (replay with: dare-sim chaos --replay {out} ...same knobs...)"
+                );
+                println!(
+                    "minimal fault plan saved to {plan_path} (replay with: dare-sim --fault-plan {plan_path})"
+                );
+            }
+            if args.expect_violation {
+                if !v.replay_verified {
+                    eprintln!("error: violation found but replay verification failed");
+                    return 1;
+                }
+                0
+            } else {
+                1
+            }
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("mc") {
         std::process::exit(run_mc(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(run_chaos(&argv[1..]));
     }
     if argv.first().map(String::as_str) == Some("xray") {
         std::process::exit(run_xray(&argv[1..]));
@@ -1184,6 +1408,39 @@ mod tests {
         assert!(parse_mc_args(&argv("--strategy astar")).is_err());
         assert!(parse_mc_args(&argv("--bogus 1")).is_err());
         assert!(parse_mc_args(&argv("--crash-secs 5,x")).is_err());
+    }
+
+    #[test]
+    fn chaos_flags_parse() {
+        let a = parse_chaos_args(&argv(
+            "--nodes 100 --horizon 300 --density 8 --alphabet crash,partition,gray \
+             --seed 7 --budget-runs 500 --budget-secs 60 --threads 4 --no-shrink \
+             --seeded-bug --out ce.jsonl --bench-json b.json --expect-violation",
+        ))
+        .expect("valid chaos argv");
+        assert_eq!(a.cfg.nodes, 100);
+        assert_eq!(a.cfg.horizon_secs, 300);
+        assert_eq!(a.cfg.density, 8.0);
+        assert_eq!(a.cfg.alphabet.encode(), "crash,partition,gray");
+        assert_eq!(a.cfg.seed, 7);
+        assert_eq!(a.cfg.budget_runs, 500);
+        assert_eq!(a.cfg.budget_secs, 60);
+        assert_eq!(a.cfg.threads, 4);
+        assert!(!a.cfg.shrink);
+        assert!(a.cfg.seeded_bug);
+        assert_eq!(a.out.as_deref(), Some("ce.jsonl"));
+        assert_eq!(a.bench_json.as_deref(), Some("b.json"));
+        assert!(a.expect_violation);
+
+        let d = parse_chaos_args(&argv("")).expect("defaults parse");
+        assert_eq!(d.cfg.nodes, 50);
+        assert!(d.cfg.shrink);
+        assert!(d.replay.is_none());
+
+        assert!(parse_chaos_args(&argv("--nodes 4")).is_err(), "bounds checked");
+        assert!(parse_chaos_args(&argv("--alphabet warp")).is_err());
+        assert!(parse_chaos_args(&argv("--bogus 1")).is_err());
+        assert!(parse_chaos_args(&argv("--density 0")).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! for the architecture overview and DESIGN.md for the per-experiment index.
 
 pub use dare_bench as bench;
+pub use dare_chaos as chaos;
 pub use dare_core as core;
 pub use dare_dfs as dfs;
 pub use dare_mapred as mapred;
